@@ -1,0 +1,152 @@
+//===- ablation_region_size.cpp - Region size vs energy (Fig. 10 / §5.3) ---------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper argues (§5.3, §8 Fig. 10) that Ocelot must infer the *smallest*
+/// region satisfying a policy: an intuitive manually placed region around a
+/// whole function also includes its heavy post-processing, and on a small
+/// energy buffer such a region can never complete, while the Ocelot-inferred
+/// region (just the two sensor reads) still does.
+///
+/// This ablation sweeps the capacitor size over the Fig. 10 "confirm"
+/// pattern and reports, per placement, whether the program completes and
+/// its minimum viable capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/TableFmt.h"
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <array>
+#include <cstdio>
+
+using namespace ocelot;
+
+namespace {
+
+// Fig. 10: confirm() reads the pressure sensor twice consistently, then does
+// much more processing on the values.
+const char *ConfirmBody = R"(
+io pres;
+
+static acc = 0;
+static processed = 0;
+
+fn confirm() {
+  let consistent(1) y = pres();
+  let consistent(1) y2 = pres();
+  // "...more processing" — heavy smoothing over the pair.
+  let mut s = 0;
+  for i in 0..64 {
+    s = s + (y * 3 + y2 * 5 + i) / 7;
+    acc += s % 13;
+  }
+  processed += 1;
+}
+
+fn main() {
+  confirm();
+}
+)";
+
+const char *ConfirmWholeFnAtomic = R"(
+io pres;
+
+static acc = 0;
+static processed = 0;
+
+fn confirm() {
+  atomic {
+    let consistent(1) y = pres();
+    let consistent(1) y2 = pres();
+    let mut s = 0;
+    for i in 0..64 {
+      s = s + (y * 3 + y2 * 5 + i) / 7;
+      acc += s % 13;
+    }
+    processed += 1;
+  }
+}
+
+fn main() {
+  confirm();
+}
+)";
+
+struct Placement {
+  const char *Name;
+  const char *Src;
+  ExecModel Model;
+};
+
+bool completesAt(const CompileResult &R, uint64_t Capacity) {
+  Environment Env;
+  Env.setSignal(0, SensorSignal::noise(100, 50, 300, 5));
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.Energy.CapacityCycles = Capacity;
+  Cfg.Energy.ReserveCycles = Capacity / 20 + 150;
+  Cfg.MaxAbortsPerRegion = 50;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  for (int Run = 0; Run < 5; ++Run) {
+    RunResult Res = I.runOnce();
+    if (Res.Starved || !Res.Completed)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: region size vs energy buffer (Fig. 10, §5.3) "
+              "==\n\n");
+  Placement Placements[] = {
+      {"Ocelot-inferred (reads only)", ConfirmBody, ExecModel::Ocelot},
+      {"Manual whole-confirm region", ConfirmWholeFnAtomic,
+       ExecModel::AtomicsOnly},
+  };
+
+  Table T({"capacity (cycles)", "Ocelot-inferred", "whole-fn region"});
+  std::vector<uint64_t> Capacities = {400,  600,  800,  1200, 1600,
+                                      2400, 3200, 4800, 6400};
+  std::vector<std::array<bool, 2>> Results;
+  CompileResult Compiled[2];
+  for (int PIdx = 0; PIdx < 2; ++PIdx) {
+    DiagnosticEngine Diags;
+    CompileOptions Opts;
+    Opts.Model = Placements[PIdx].Model;
+    Compiled[PIdx] = compileSource(Placements[PIdx].Src, Opts, Diags);
+    if (!Compiled[PIdx].Ok) {
+      std::fprintf(stderr, "compile failed: %s\n", Diags.str().c_str());
+      return 1;
+    }
+  }
+  uint64_t MinViable[2] = {0, 0};
+  for (uint64_t Cap : Capacities) {
+    bool Ok[2];
+    for (int PIdx = 0; PIdx < 2; ++PIdx) {
+      Ok[PIdx] = completesAt(Compiled[PIdx], Cap);
+      if (Ok[PIdx] && MinViable[PIdx] == 0)
+        MinViable[PIdx] = Cap;
+    }
+    T.addRow({std::to_string(Cap), Ok[0] ? "completes" : "STARVED",
+              Ok[1] ? "completes" : "STARVED"});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("Minimum viable capacity: Ocelot-inferred %llu cycles, "
+              "whole-function %llu cycles.\n",
+              static_cast<unsigned long long>(MinViable[0]),
+              static_cast<unsigned long long>(MinViable[1]));
+  std::printf("The inferred region tolerates a %.1fx smaller energy buffer "
+              "(paper: programs whose\nminimal region still cannot complete "
+              "are fundamentally unsatisfiable, §5.3).\n",
+              MinViable[0] ? static_cast<double>(MinViable[1]) /
+                                 static_cast<double>(MinViable[0])
+                           : 0.0);
+  return 0;
+}

@@ -1,0 +1,163 @@
+//===- micro_runtime.cpp - Runtime mechanism micro-benchmarks --------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-suite for the simulator's mechanisms: interpreter
+/// throughput, taint-tracking overhead, undo-log modes (dynamic first-write
+/// vs static omega backup), compilation and region-inference cost. These
+/// support Figures 7/8 by showing where simulated cycles come from and what
+/// the host-side costs of the toolchain are.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Benchmarks.h"
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ocelot;
+
+namespace {
+
+const BenchmarkDef &tire() { return *findBenchmark("tire"); }
+const BenchmarkDef &cem() { return *findBenchmark("cem"); }
+
+CompileResult compiled(const BenchmarkDef &B, ExecModel M) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = M;
+  CompileResult R = compileSource(B.AnnotatedSrc, Opts, Diags);
+  if (!R.Ok)
+    std::abort();
+  return R;
+}
+
+void BM_CompileOcelot(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    CompileOptions Opts;
+    Opts.Model = ExecModel::Ocelot;
+    CompileResult R = compileSource(tire().AnnotatedSrc, Opts, Diags);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+BENCHMARK(BM_CompileOcelot);
+
+void BM_CompileJitOnly(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    CompileOptions Opts;
+    Opts.Model = ExecModel::JitOnly;
+    CompileResult R = compileSource(tire().AnnotatedSrc, Opts, Diags);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+BENCHMARK(BM_CompileJitOnly);
+
+void BM_InterpretContinuous(benchmark::State &State) {
+  CompileResult R = compiled(tire(), ExecModel::Ocelot);
+  Environment Env;
+  tire().setupEnvironment(Env, 1);
+  RunConfig Cfg;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    RunResult Res = I.runOnce();
+    Cycles += Res.OnCycles;
+    benchmark::DoNotOptimize(Res.Completed);
+  }
+  State.counters["sim_cycles/run"] =
+      benchmark::Counter(static_cast<double>(Cycles) /
+                         static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_InterpretContinuous);
+
+void BM_InterpretWithTaint(benchmark::State &State) {
+  CompileResult R = compiled(tire(), ExecModel::Ocelot);
+  Environment Env;
+  tire().setupEnvironment(Env, 1);
+  RunConfig Cfg;
+  Cfg.TrackTaint = true;
+  Cfg.MonitorFormal = true;
+  Cfg.MonitorBitVector = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  for (auto _ : State) {
+    RunResult Res = I.runOnce();
+    benchmark::DoNotOptimize(Res.Completed);
+  }
+}
+BENCHMARK(BM_InterpretWithTaint);
+
+void BM_InterpretIntermittent(benchmark::State &State) {
+  CompileResult R = compiled(tire(), ExecModel::Ocelot);
+  Environment Env;
+  tire().setupEnvironment(Env, 1);
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  for (auto _ : State) {
+    RunResult Res = I.runOnce();
+    benchmark::DoNotOptimize(Res.Completed);
+  }
+}
+BENCHMARK(BM_InterpretIntermittent);
+
+/// Undo-log mode comparison on CEM's write-heavy atomics build: dynamic
+/// first-write logging vs static omega backup at region entry (simulated
+/// cycle counts are the interesting output).
+void undoLogMode(benchmark::State &State, bool StaticOmega) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = ExecModel::AtomicsOnly;
+  CompileResult R = compileSource(cem().AtomicsSrc, Opts, Diags);
+  if (!R.Ok)
+    std::abort();
+  Environment Env;
+  cem().setupEnvironment(Env, 1);
+  RunConfig Cfg;
+  Cfg.StaticOmega = StaticOmega;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  uint64_t SimCycles = 0, LogEntries = 0;
+  for (auto _ : State) {
+    RunResult Res = I.runOnce();
+    SimCycles += Res.OnCycles;
+    LogEntries += Res.UndoLogEntries;
+  }
+  double N = static_cast<double>(State.iterations());
+  State.counters["sim_cycles/run"] =
+      benchmark::Counter(static_cast<double>(SimCycles) / N);
+  State.counters["log_entries/run"] =
+      benchmark::Counter(static_cast<double>(LogEntries) / N);
+}
+
+void BM_UndoLogDynamic(benchmark::State &State) {
+  undoLogMode(State, /*StaticOmega=*/false);
+}
+BENCHMARK(BM_UndoLogDynamic);
+
+void BM_UndoLogStaticOmega(benchmark::State &State) {
+  undoLogMode(State, /*StaticOmega=*/true);
+}
+BENCHMARK(BM_UndoLogStaticOmega);
+
+void BM_RegionInference(benchmark::State &State) {
+  // Inference cost isolated: parse+lower once per iteration is included in
+  // BM_CompileOcelot; here the delta against JitOnly shows analysis cost.
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    CompileOptions Opts;
+    Opts.Model = ExecModel::Ocelot;
+    Opts.SelfCheck = true;
+    CompileResult R = compileSource(cem().AnnotatedSrc, Opts, Diags);
+    benchmark::DoNotOptimize(R.InferredRegions.size());
+  }
+}
+BENCHMARK(BM_RegionInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

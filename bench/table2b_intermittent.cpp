@@ -1,0 +1,60 @@
+//===- table2b_intermittent.cpp - Paper Table 2(b) --------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2(b): the fraction of completed runs containing a
+/// policy violation while executing on (simulated) intermittent power for a
+/// fixed window. The paper ran each benchmark for 100 seconds (50-450
+/// completions) and reports Ocelot 0% everywhere and JIT
+/// {50, 0, 24, 77, 50, 3}% — benchmarks whose constraints span most of the
+/// program violate often; CEM's tiny constrained window almost never sees a
+/// failure at exactly the wrong point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "harness/TableFmt.h"
+
+#include <cstdio>
+
+using namespace ocelot;
+
+int main() {
+  std::printf("== Table 2(b): Violating %% while running intermittently "
+              "==\n\n");
+  constexpr uint64_t TauBudget = 150'000'000; // Fixed simulated window.
+  constexpr uint64_t Seed = 99;
+  EnergyConfig Energy;
+
+  Table T({"Exec. Model", "Activity", "CEM", "Greenhouse", "Photo",
+           "Send Photo", "Tire"});
+  Table Detail({"benchmark", "model", "completed runs", "violating",
+                "reboots/run"});
+  const char *Names[2] = {"Ocelot", "JIT"};
+  const ExecModel Models[2] = {ExecModel::Ocelot, ExecModel::JitOnly};
+  const char *Order[6] = {"activity", "cem",        "greenhouse",
+                          "photo",    "send_photo", "tire"};
+  for (int M = 0; M < 2; ++M) {
+    std::vector<std::string> Row = {Names[M]};
+    for (const char *Name : Order) {
+      const BenchmarkDef &B = *findBenchmark(Name);
+      CompiledBenchmark CB = compileBenchmark(B, Models[M]);
+      IntermittentMetrics I = measureIntermittent(CB, B, Energy, TauBudget,
+                                                  Seed, /*Monitors=*/true);
+      Row.push_back(fmtPct(I.violationPct()));
+      Detail.addRow({Name, Names[M], std::to_string(I.CompletedRuns),
+                     std::to_string(I.ViolatingRuns),
+                     fmt(I.RebootsPerRun, 2)});
+    }
+    T.addRow(std::move(Row));
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("%s\n", Detail.str().c_str());
+  std::printf("Paper: Ocelot 0%% everywhere; JIT {50, 0, 24, 77, 50, 3}%% — "
+              "wide constraint\nwindows violate often, CEM's tiny window "
+              "almost never.\n");
+  return 0;
+}

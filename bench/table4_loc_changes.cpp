@@ -1,0 +1,59 @@
+//===- table4_loc_changes.cpp - Paper Table 4 --------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 4: concrete lines of code needed to obtain correct
+/// input timing on each benchmark under Ocelot, TICS and Samoyed (plus the
+/// Atomics baseline), using the paper's cost models over our sources. The
+/// paper's reported values are printed alongside. Ocelot requires the
+/// fewest changes everywhere and neither real-time nor data-flow reasoning.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/EffortModel.h"
+#include "harness/Experiment.h"
+#include "harness/TableFmt.h"
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+using namespace ocelot;
+
+int main() {
+  std::printf("== Table 4: Effort of using Ocelot vs TICS and Samoyed ==\n\n");
+  // The paper's reported LoC (its benchmark sources differ slightly from
+  // our OCL ports, so ours need not match exactly; ordering should).
+  std::map<std::string, std::array<int, 3>> PaperLoC = {
+      {"activity", {5, 20, 18}}, {"cem", {2, 8, 4}},
+      {"greenhouse", {7, 12, 6}}, {"photo", {2, 8, 12}},
+      {"send_photo", {4, 8, 4}},  {"tire", {9, 32, 24}},
+  };
+
+  Table T({"benchmark", "Ocelot", "Atomics", "TICS", "Samoyed",
+           "paper(Oce/TICS/Samoyed)"});
+  bool OcelotAlwaysFewest = true;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    CompiledBenchmark Ann = compileBenchmark(B, ExecModel::Ocelot);
+    CompiledBenchmark Man = compileBenchmark(B, ExecModel::AtomicsOnly);
+    EffortInputs In = effortInputs(Ann.R, Man.R);
+    int O = ocelotLoc(In), A = atomicsLoc(In), Ti = ticsLoc(In),
+        S = samoyedLoc(In);
+    if (O > Ti || O > S || O > A)
+      OcelotAlwaysFewest = false;
+    auto Paper = PaperLoC[B.Name];
+    T.addRow({B.Name, std::to_string(O), std::to_string(A),
+              std::to_string(Ti), std::to_string(S),
+              std::to_string(Paper[0]) + "/" + std::to_string(Paper[1]) +
+                  "/" + std::to_string(Paper[2])});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("Reasoning required:  Ocelot: none;  TICS: real-time;  "
+              "Samoyed/Atomics: data-flow.\n");
+  std::printf("Ocelot requires the fewest changes on every benchmark: %s\n",
+              OcelotAlwaysFewest ? "yes (matches the paper)" : "NO");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- checker_mode.cpp - Validating manual region placement (§8) ------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §8 workflow: programmers who already placed atomic regions
+/// (e.g. ported from Samoyed) can run Ocelot as a *checker*. A correct
+/// placement is accepted; an off-by-one placement that leaves a use of a
+/// fresh variable outside the region is rejected with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/Compiler.h"
+
+#include <cstdio>
+
+using namespace ocelot;
+
+namespace {
+
+const char *GoodPlacement = R"(
+io gyro;
+
+static spins = 0;
+
+fn main() {
+  let mut rate = 0;
+  atomic {
+    rate = gyro();
+    Fresh(rate);
+    if rate > 500 {
+      send(rate);
+    }
+    log(rate);
+  }
+  spins += 1;
+}
+)";
+
+// The log(rate) use escaped the region: stale data could be logged.
+const char *BadPlacement = R"(
+io gyro;
+
+static spins = 0;
+
+fn main() {
+  let mut rate = 0;
+  atomic {
+    rate = gyro();
+    Fresh(rate);
+    if rate > 500 {
+      send(rate);
+    }
+  }
+  log(rate);
+  spins += 1;
+}
+)";
+
+bool checkPlacement(const char *Name, const char *Src) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = ExecModel::CheckOnly;
+  CompileResult R = compileSource(Src, Opts, Diags);
+  if (!R.Ok) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+    return false;
+  }
+  std::printf("%-16s -> %s\n", Name,
+              R.PlacementValid ? "ACCEPTED: regions enforce all annotations"
+                               : "REJECTED:");
+  if (!R.PlacementValid)
+    for (const Diagnostic &D : Diags.diagnostics())
+      std::printf("    %s\n", D.Message.c_str());
+  return true;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ocelot checker mode (§8) ==\n\n");
+  if (!checkPlacement("good placement", GoodPlacement))
+    return 1;
+  if (!checkPlacement("bad placement", BadPlacement))
+    return 1;
+  std::printf("\nManual regions carry no specification; annotations do. The "
+              "checker catches the\nplacement mistake the runtime would "
+              "otherwise only reveal as stale logged data.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- greenhouse_monitor.cpp - Energy sweep on the greenhouse app -----------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deployment-planning example: sweep the energy buffer size for the
+/// greenhouse benchmark and report, per capacitor, throughput (completed
+/// runs per simulated second), reboots, and JIT-build violation rates.
+/// Shows the §5.3 satisfiability boundary — below a threshold the Ocelot
+/// build's region cannot complete and the device makes no progress.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "harness/TableFmt.h"
+
+#include <cstdio>
+
+using namespace ocelot;
+
+int main() {
+  const BenchmarkDef &B = *findBenchmark("greenhouse");
+  CompiledBenchmark Oce = compileBenchmark(B, ExecModel::Ocelot);
+  CompiledBenchmark Jit = compileBenchmark(B, ExecModel::JitOnly);
+
+  std::printf("== Greenhouse: capacitor sizing sweep ==\n\n");
+  Table T({"capacity (cycles)", "Ocelot runs", "Ocelot reboots/run",
+           "Ocelot violations", "JIT violations"});
+  for (uint64_t Capacity : {600u, 900u, 1400u, 2200u, 4400u, 8800u}) {
+    EnergyConfig E;
+    E.CapacityCycles = Capacity;
+    E.ReserveCycles = Capacity / 4;
+    IntermittentMetrics MO =
+        measureIntermittent(Oce, B, E, 20'000'000, 7, /*Monitors=*/true);
+    IntermittentMetrics MJ =
+        measureIntermittent(Jit, B, E, 20'000'000, 7, /*Monitors=*/true);
+    T.addRow({std::to_string(Capacity),
+              MO.Starved ? "STARVED (region too large, §5.3)"
+                         : std::to_string(MO.CompletedRuns),
+              MO.Starved ? "-" : fmt(MO.RebootsPerRun, 2),
+              MO.Starved ? "-" : fmtPct(MO.violationPct()),
+              MJ.Starved ? "-" : fmtPct(MJ.violationPct())});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("Ocelot never violates at any viable capacity; if even the "
+              "minimal inferred region\ncannot complete, the program's "
+              "timing constraints are fundamentally unsatisfiable\non that "
+              "energy buffer (§5.3).\n");
+  return 0;
+}

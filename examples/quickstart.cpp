@@ -1,0 +1,90 @@
+//===- quickstart.cpp - Ocelot in five minutes ------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: write an OCL program with Fresh/Consistent annotations,
+/// compile it with Ocelot, inspect the inferred atomic regions, and run it
+/// on simulated intermittent power with violation monitoring.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <cstdio>
+
+using namespace ocelot;
+
+int main() {
+  // 1. An annotated program: the temperature must be *fresh* when the
+  //    alarm decision is made (the paper's Fig. 2 scenario).
+  const char *Source = R"(
+io thermometer;
+
+fn main() {
+  let x = thermometer();
+  Fresh(x);
+  if x > 30 {
+    alarm();
+  }
+  log(x);
+}
+)";
+
+  // 2. Compile under the Ocelot execution model: JIT checkpoints
+  //    everywhere, plus inferred atomic regions enforcing the annotations.
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = ExecModel::Ocelot;
+  CompileResult R = compileSource(Source, Opts, Diags);
+  if (!R.Ok) {
+    std::fprintf(stderr, "compilation failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("== Compiled IR (with the inferred atomic region) ==\n\n%s\n",
+              printProgram(*R.Prog).c_str());
+  std::printf("Policies: %zu fresh, %zu consistent; inferred regions: %zu\n",
+              R.Policies.Fresh.size(), R.Policies.Consistent.size(),
+              R.InferredRegions.size());
+  for (const FreshPolicy &Pol : R.Policies.Fresh) {
+    std::printf("  Fresh(%s): %zu input chain(s), %zu use site(s)\n",
+                Pol.VarName.c_str(), Pol.Inputs.size(), Pol.Uses.size());
+    for (const ProvChain &C : Pol.Inputs)
+      std::printf("    input: %s\n", chainToString(*R.Prog, C).c_str());
+  }
+
+  // 3. Run on intermittent power (Capybara-like capacitor + harvester)
+  //    with both violation detectors armed.
+  Environment Env;
+  Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42)); // varying weather
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Cfg.RecordTrace = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+
+  int Violations = 0;
+  uint64_t Reboots = 0;
+  for (int Run = 0; Run < 200; ++Run) {
+    RunResult Res = I.runOnce();
+    if (!Res.Completed) {
+      std::fprintf(stderr, "run failed: %s\n", Res.Trap.c_str());
+      return 1;
+    }
+    if (Res.ViolatedFresh || Res.ViolatedConsistent)
+      ++Violations;
+    Reboots += Res.Reboots;
+  }
+  std::printf("\n== 200 intermittent runs ==\n");
+  std::printf("reboots: %llu, freshness/consistency violations: %d\n",
+              static_cast<unsigned long long>(Reboots), Violations);
+  std::printf("Ocelot's region re-collects the input after every failure, "
+              "so the alarm decision\nis always made on fresh data.\n");
+  return Violations == 0 ? 0 : 1;
+}

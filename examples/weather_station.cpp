@@ -1,0 +1,103 @@
+//===- weather_station.cpp - The paper's Fig. 2 scenario ---------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The motivating example (Fig. 2): a weather station reads a thermometer
+/// (alarm on heat), then logs a pressure/humidity pair that may indicate a
+/// storm. Under JIT checkpointing, a power failure between the readings
+/// logs a (fair-weather pressure, storm humidity) pair no continuous
+/// execution could produce, and heat alarms are missed; under Ocelot both
+/// hazards disappear. This example runs both builds side by side and counts
+/// the divergences.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+
+using namespace ocelot;
+
+namespace {
+
+const char *WeatherSrc = R"(
+io tmp, pres, hum;
+
+static alarms = 0;
+static logs = 0;
+
+fn main() {
+  let x = tmp();
+  Fresh(x);
+  if x > 25 {
+    alarm();
+  }
+  let y = pres();
+  Consistent(y, 1);
+  let z = hum();
+  Consistent(z, 1);
+  log(y, z);
+  logs += 1;
+}
+)";
+
+} // namespace
+
+int main() {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+
+  Opts.Model = ExecModel::JitOnly;
+  CompileResult Jit = compileSource(WeatherSrc, Opts, Diags);
+  Opts.Model = ExecModel::Ocelot;
+  CompileResult Oce = compileSource(WeatherSrc, Opts, Diags);
+  if (!Jit.Ok || !Oce.Ok) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  auto RunCampaign = [](CompileResult &R, const char *Name) {
+    Environment Env;
+    // A front is passing: temperature falls, pressure drops, humidity
+    // climbs — piecewise-random signals over logical time.
+    Env.setSignal(0, SensorSignal::noise(15, 25, 3000, 101)); // tmp
+    Env.setSignal(1, SensorSignal::noise(950, 80, 5000, 202)); // pres
+    Env.setSignal(2, SensorSignal::noise(40, 55, 4000, 303));  // hum
+    RunConfig Cfg;
+    Cfg.Plan = FailurePlan::energyDriven();
+    Cfg.MonitorBitVector = true;
+    Cfg.MonitorFormal = true;
+    Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+    int StaleAlarmRuns = 0, SplitPairRuns = 0, Runs = 600;
+    uint64_t Reboots = 0;
+    for (int Run = 0; Run < Runs; ++Run) {
+      RunResult Res = I.runOnce();
+      if (!Res.Completed) {
+        std::fprintf(stderr, "%s run failed: %s\n", Name, Res.Trap.c_str());
+        std::abort();
+      }
+      Reboots += Res.Reboots;
+      if (Res.ViolatedFresh)
+        ++StaleAlarmRuns;
+      if (Res.ViolatedConsistent)
+        ++SplitPairRuns;
+    }
+    std::printf("%-8s %4d runs, %5llu reboots | stale alarm decisions: %3d "
+                "| split pressure/humidity pairs: %3d\n",
+                Name, Runs, static_cast<unsigned long long>(Reboots),
+                StaleAlarmRuns, SplitPairRuns);
+  };
+
+  std::printf("== Weather station (paper Fig. 2) on intermittent power "
+              "==\n\n");
+  RunCampaign(Jit, "JIT");
+  RunCampaign(Oce, "Ocelot");
+  std::printf("\nJIT resumes mid-program after charging delays: it raises "
+              "alarms on old\ntemperatures and logs pressure/humidity pairs "
+              "sampled through a power failure.\nOcelot's inferred regions "
+              "re-collect inputs, matching a continuous execution.\n");
+  return 0;
+}

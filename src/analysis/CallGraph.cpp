@@ -1,0 +1,80 @@
+//===- CallGraph.cpp - Program call graph -------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+using namespace ocelot;
+
+CallGraph::CallGraph(const Program &P) {
+  int N = P.numFunctions();
+  SitesByCaller.resize(N);
+  SitesByCallee.resize(N);
+  for (int F = 0; F < N; ++F) {
+    const Function *Fn = P.function(F);
+    for (int B = 0; B < Fn->numBlocks(); ++B)
+      for (const Instruction &I : Fn->block(B)->instructions()) {
+        if (I.Op != Opcode::Call)
+          continue;
+        CallSite S;
+        S.Caller = F;
+        S.Label = I.Label;
+        S.Block = B;
+        S.Callee = I.Callee;
+        SitesByCaller[F].push_back(S);
+        SitesByCallee[I.Callee].push_back(S);
+      }
+  }
+
+  // Topological sort (callees first) via DFS; detects cycles.
+  std::vector<int> Color(N, 0);
+  for (int F = 0; F < N && !Cyclic; ++F) {
+    if (Color[F])
+      continue;
+    std::vector<std::pair<int, bool>> Stack = {{F, false}};
+    while (!Stack.empty()) {
+      auto [Node, Done] = Stack.back();
+      Stack.pop_back();
+      if (Done) {
+        Color[Node] = 2;
+        BottomUp.push_back(Node);
+        continue;
+      }
+      if (Color[Node] == 2)
+        continue;
+      if (Color[Node] == 1)
+        continue;
+      Color[Node] = 1;
+      Stack.push_back({Node, true});
+      for (const CallSite &S : SitesByCaller[Node]) {
+        if (Color[S.Callee] == 1) {
+          Cyclic = true;
+          Stack.clear();
+          break;
+        }
+        if (Color[S.Callee] == 0)
+          Stack.push_back({S.Callee, false});
+      }
+    }
+  }
+
+  // Transitive reachability over the DAG (N is small for OCL programs).
+  Reach.assign(N, std::vector<char>(N, 0));
+  if (!Cyclic) {
+    for (int F : BottomUp) { // Callees first.
+      Reach[F][F] = 1;
+      for (const CallSite &S : SitesByCaller[F])
+        for (int T = 0; T < N; ++T)
+          if (Reach[S.Callee][T])
+            Reach[F][T] = 1;
+    }
+  }
+}
+
+bool CallGraph::reaches(int Ancestor, int Func) const {
+  if (Cyclic)
+    return true; // Conservative.
+  return Reach[Ancestor][Func];
+}

@@ -1,0 +1,59 @@
+//===- CallGraph.h - Program call graph -------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_ANALYSIS_CALLGRAPH_H
+#define OCELOT_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace ocelot {
+
+/// One call edge: the call instruction in the caller plus the callee id.
+struct CallSite {
+  int Caller = -1;
+  uint32_t Label = 0; ///< Label of the Call instruction in the caller.
+  int Block = -1;     ///< Block holding the call (cached for convenience).
+  int Callee = -1;
+};
+
+/// The static call graph of a program. OCL rejects recursion, so the graph
+/// is a DAG; several Ocelot analyses process functions bottom-up in
+/// topological order.
+class CallGraph {
+public:
+  explicit CallGraph(const Program &P);
+
+  const std::vector<CallSite> &callSitesIn(int Func) const {
+    return SitesByCaller[Func];
+  }
+  const std::vector<CallSite> &callersOf(int Func) const {
+    return SitesByCallee[Func];
+  }
+
+  /// \returns true if the call graph contains a cycle (should be impossible
+  /// for Sema-checked OCL programs; used by tests on hand-built IR).
+  bool hasCycle() const { return Cyclic; }
+
+  /// Functions ordered callees-first (valid only when acyclic).
+  const std::vector<int> &bottomUpOrder() const { return BottomUp; }
+
+  /// \returns true if \p Ancestor == \p Func or \p Func is (transitively)
+  /// called from \p Ancestor.
+  bool reaches(int Ancestor, int Func) const;
+
+private:
+  std::vector<std::vector<CallSite>> SitesByCaller;
+  std::vector<std::vector<CallSite>> SitesByCallee;
+  std::vector<int> BottomUp;
+  std::vector<std::vector<char>> Reach; ///< Reach[A][B]: A reaches B.
+  bool Cyclic = false;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_ANALYSIS_CALLGRAPH_H

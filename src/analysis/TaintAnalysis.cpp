@@ -1,0 +1,360 @@
+//===- TaintAnalysis.cpp - Input-dependence analysis ---------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TaintAnalysis.h"
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+bool TokenSet::mergeFrom(const TokenSet &O) {
+  bool Changed = false;
+  for (int X : O.Params)
+    Changed |= Params.insert(X).second;
+  for (int X : O.RefContents)
+    Changed |= RefContents.insert(X).second;
+  for (const ProvChain &C : O.Locals)
+    Changed |= Locals.insert(C).second;
+  for (int X : O.Globals)
+    Changed |= Globals.insert(X).second;
+  return Changed;
+}
+
+TaintAnalysis::TaintAnalysis(const Program &P, const CallGraph &CG)
+    : P(P), CG(CG) {
+  assert(!CG.hasCycle() && "taint analysis requires an acyclic call graph");
+  FT.resize(P.numFunctions());
+  GlobalContent.resize(P.numGlobals());
+  Contexts.resize(P.numFunctions());
+  for (int F = 0; F < P.numFunctions(); ++F)
+    FT[F].RegTaint.resize(P.function(F)->numRegs());
+  // Callees first so summaries are available at call sites.
+  for (int F : CG.bottomUpOrder())
+    analyzeFunction(F);
+  computeContexts();
+  computeGlobalContent();
+}
+
+TokenSet TaintAnalysis::translateCalleeTokens(
+    const Instruction &Call, const TokenSet &CalleeTokens,
+    const std::vector<TokenSet> &ArgTokens, int CallerFunc) const {
+  TokenSet Out;
+  for (int I : CalleeTokens.Params)
+    if (I < static_cast<int>(ArgTokens.size()))
+      Out.mergeFrom(ArgTokens[static_cast<size_t>(I)]);
+  for (int I : CalleeTokens.RefContents) {
+    assert(I < static_cast<int>(Call.ArgRefGlobal.size()) &&
+           Call.ArgRefGlobal[static_cast<size_t>(I)] >= 0 &&
+           "ref content token for non-ref argument");
+    Out.Globals.insert(Call.ArgRefGlobal[static_cast<size_t>(I)]);
+  }
+  for (const ProvChain &C : CalleeTokens.Locals) {
+    ProvChain Prefixed;
+    Prefixed.reserve(C.size() + 1);
+    Prefixed.push_back(InstrRef(CallerFunc, Call.Label));
+    Prefixed.insert(Prefixed.end(), C.begin(), C.end());
+    Out.Locals.insert(std::move(Prefixed));
+  }
+  for (int G : CalleeTokens.Globals)
+    Out.Globals.insert(G);
+  return Out;
+}
+
+void TaintAnalysis::analyzeFunction(int Func) {
+  const Function &F = *P.function(Func);
+  FunctionTaint &Res = FT[Func];
+  int NumBlocks = F.numBlocks();
+  int NumRegs = F.numRegs();
+
+  // Control dependence (transitive) via the post-dominator tree.
+  DominatorTree PDT = DominatorTree::computePostDominators(F);
+  std::vector<std::set<int>> CtrlDeps(NumBlocks); // block -> branch blocks
+  for (int C = 0; C < NumBlocks; ++C) {
+    const BasicBlock *BB = F.block(C);
+    if (!BB->hasTerminator() || BB->terminator().Op != Opcode::CondBr)
+      continue;
+    for (int S : BB->successors()) {
+      int Runner = S;
+      while (Runner >= 0 && Runner != PDT.idom(C)) {
+        if (Runner != C)
+          CtrlDeps[Runner].insert(C);
+        Runner = PDT.idom(Runner);
+      }
+    }
+  }
+  // Transitive closure (nesting where the inner condition is defined
+  // outside the outer branch still inherits the outer control taint).
+  for (bool Grown = true; Grown;) {
+    Grown = false;
+    for (int B = 0; B < NumBlocks; ++B) {
+      std::set<int> Add;
+      for (int C : CtrlDeps[B])
+        for (int CC : CtrlDeps[C])
+          if (!CtrlDeps[B].count(CC))
+            Add.insert(CC);
+      if (!Add.empty()) {
+        CtrlDeps[B].insert(Add.begin(), Add.end());
+        Grown = true;
+      }
+    }
+  }
+
+  std::vector<std::vector<TokenSet>> BlockOut(
+      NumBlocks, std::vector<TokenSet>(NumRegs));
+  std::vector<char> BlockSeen(NumBlocks, 0);
+  std::vector<TokenSet> CondTaint(NumBlocks);  // taint of CondBr conditions
+  std::vector<TokenSet> RefLocalWritten(F.numParams());
+  auto Preds = F.computePredecessors();
+
+  auto TokensOf = [](const std::vector<TokenSet> &Regs, Operand O) {
+    return O.isReg() ? Regs[static_cast<size_t>(O.Reg)] : TokenSet();
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B = 0; B < NumBlocks; ++B) {
+      // Entry state: merge of predecessors (params at the entry block).
+      std::vector<TokenSet> Regs(NumRegs);
+      if (B == 0) {
+        for (int I = 0; I < F.numParams(); ++I)
+          if (!F.paramIsRef(I))
+            Regs[static_cast<size_t>(I)].Params.insert(I);
+      }
+      for (int Pr : Preds[B])
+        if (BlockSeen[Pr])
+          for (int R = 0; R < NumRegs; ++R)
+            Regs[static_cast<size_t>(R)].mergeFrom(
+                BlockOut[Pr][static_cast<size_t>(R)]);
+
+      // Control taint for definitions in this block.
+      TokenSet Ctrl;
+      for (int C : CtrlDeps[B])
+        Ctrl.mergeFrom(CondTaint[C]);
+
+      auto Define = [&](int Dst, TokenSet T) {
+        if (Dst < 0)
+          return;
+        T.mergeFrom(Ctrl);
+        Regs[static_cast<size_t>(Dst)] = std::move(T);
+        Changed |= Res.RegTaint[static_cast<size_t>(Dst)].mergeFrom(
+            Regs[static_cast<size_t>(Dst)]);
+      };
+
+      for (const Instruction &I : F.block(B)->instructions()) {
+        switch (I.Op) {
+        case Opcode::Const:
+          Define(I.Dst, TokenSet());
+          break;
+        case Opcode::Mov:
+        case Opcode::Un:
+          Define(I.Dst, TokensOf(Regs, I.A));
+          break;
+        case Opcode::Bin: {
+          TokenSet T = TokensOf(Regs, I.A);
+          T.mergeFrom(TokensOf(Regs, I.B));
+          Define(I.Dst, std::move(T));
+          break;
+        }
+        case Opcode::LoadG: {
+          TokenSet T;
+          T.Globals.insert(I.GlobalId);
+          Define(I.Dst, std::move(T));
+          break;
+        }
+        case Opcode::StoreG: {
+          TokenSet T = TokensOf(Regs, I.A);
+          T.mergeFrom(Ctrl);
+          Changed |= Res.GlobalWrites[I.GlobalId].mergeFrom(T);
+          break;
+        }
+        case Opcode::LoadA: {
+          TokenSet T;
+          T.Globals.insert(I.GlobalId);
+          T.mergeFrom(TokensOf(Regs, I.A)); // index selects the element
+          Define(I.Dst, std::move(T));
+          break;
+        }
+        case Opcode::StoreA: {
+          TokenSet T = TokensOf(Regs, I.B);
+          T.mergeFrom(TokensOf(Regs, I.A));
+          T.mergeFrom(Ctrl);
+          Changed |= Res.GlobalWrites[I.GlobalId].mergeFrom(T);
+          break;
+        }
+        case Opcode::LoadInd: {
+          assert(I.A.isReg() && I.A.Reg < F.numParams() &&
+                 F.paramIsRef(I.A.Reg) && "deref of a non-reference");
+          TokenSet T;
+          T.RefContents.insert(I.A.Reg);
+          T.mergeFrom(RefLocalWritten[static_cast<size_t>(I.A.Reg)]);
+          Define(I.Dst, std::move(T));
+          break;
+        }
+        case Opcode::StoreInd: {
+          assert(I.A.isReg() && I.A.Reg < F.numParams() &&
+                 F.paramIsRef(I.A.Reg) && "store through a non-reference");
+          TokenSet T = TokensOf(Regs, I.B);
+          T.mergeFrom(Ctrl);
+          Changed |= Res.RefOut[I.A.Reg].mergeFrom(T);
+          Changed |=
+              RefLocalWritten[static_cast<size_t>(I.A.Reg)].mergeFrom(T);
+          break;
+        }
+        case Opcode::Input: {
+          TokenSet T;
+          T.Locals.insert(ProvChain{InstrRef(Func, I.Label)});
+          Define(I.Dst, std::move(T));
+          break;
+        }
+        case Opcode::Call: {
+          const FunctionTaint &Callee = FT[I.Callee];
+          std::vector<TokenSet> ArgTokens;
+          ArgTokens.reserve(I.Args.size());
+          for (const Operand &A : I.Args)
+            ArgTokens.push_back(TokensOf(Regs, A));
+          auto &Recorded = Res.CallArgTaint[I.Label];
+          if (Recorded.size() != ArgTokens.size())
+            Recorded.resize(ArgTokens.size());
+          for (size_t AI = 0; AI < ArgTokens.size(); ++AI)
+            Changed |= Recorded[AI].mergeFrom(ArgTokens[AI]);
+
+          Define(I.Dst,
+                 translateCalleeTokens(I, Callee.Ret, ArgTokens, Func));
+          // Callee stores through our ref arguments hit known globals.
+          for (const auto &[ParamIdx, T] : Callee.RefOut) {
+            int Target = I.ArgRefGlobal[static_cast<size_t>(ParamIdx)];
+            assert(Target >= 0 && "RefOut for a non-ref argument");
+            TokenSet Tr = translateCalleeTokens(I, T, ArgTokens, Func);
+            Tr.mergeFrom(Ctrl);
+            Changed |= Res.GlobalWrites[Target].mergeFrom(Tr);
+          }
+          for (const auto &[G, T] : Callee.GlobalWrites) {
+            TokenSet Tr = translateCalleeTokens(I, T, ArgTokens, Func);
+            Tr.mergeFrom(Ctrl);
+            Changed |= Res.GlobalWrites[G].mergeFrom(Tr);
+          }
+          break;
+        }
+        case Opcode::Ret:
+          if (I.A.isReg()) {
+            TokenSet T = TokensOf(Regs, I.A);
+            T.mergeFrom(Ctrl);
+            Changed |= Res.Ret.mergeFrom(T);
+          }
+          break;
+        case Opcode::CondBr:
+          Changed |= CondTaint[B].mergeFrom(TokensOf(Regs, I.A));
+          break;
+        case Opcode::Fresh:
+        case Opcode::Consistent:
+          Changed |= Res.AnnotTaint[I.Label].mergeFrom(TokensOf(Regs, I.A));
+          break;
+        case Opcode::Br:
+        case Opcode::AtomicStart:
+        case Opcode::AtomicEnd:
+        case Opcode::Output:
+        case Opcode::Nop:
+          break;
+        }
+      }
+
+      if (!BlockSeen[B]) {
+        BlockSeen[B] = 1;
+        Changed = true;
+      }
+      for (int R = 0; R < NumRegs; ++R)
+        if (BlockOut[B][static_cast<size_t>(R)].mergeFrom(
+                Regs[static_cast<size_t>(R)]))
+          Changed = true;
+    }
+  }
+}
+
+void TaintAnalysis::computeContexts() {
+  // Top-down over the DAG: main has the empty context.
+  int Main = P.mainFunction();
+  if (Main < 0)
+    return;
+  Contexts[Main].push_back(ProvChain{});
+  const auto &Order = CG.bottomUpOrder();
+  constexpr size_t MaxContexts = 512;
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    int Caller = *It;
+    for (const CallSite &S : CG.callSitesIn(Caller)) {
+      for (const ProvChain &Pi : Contexts[Caller]) {
+        if (Contexts[S.Callee].size() >= MaxContexts)
+          break;
+        ProvChain C = Pi;
+        C.push_back(InstrRef(Caller, S.Label));
+        Contexts[S.Callee].push_back(std::move(C));
+      }
+    }
+  }
+}
+
+void TaintAnalysis::computeGlobalContent() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int F = 0; F < P.numFunctions(); ++F) {
+      for (const auto &[G, T] : FT[F].GlobalWrites) {
+        std::set<std::pair<int, int>> Guard;
+        std::set<ProvChain> Abs = resolveAbsoluteImpl(F, T, Guard);
+        for (const ProvChain &C : Abs)
+          if (GlobalContent[G].insert(C).second)
+            Changed = true;
+      }
+    }
+  }
+}
+
+std::set<ProvChain>
+TaintAnalysis::resolveAbsolute(int Func, const TokenSet &T) const {
+  std::set<std::pair<int, int>> Guard;
+  return resolveAbsoluteImpl(Func, T, Guard);
+}
+
+std::set<ProvChain>
+TaintAnalysis::resolveAbsoluteImpl(int Func, const TokenSet &T,
+                                   std::set<std::pair<int, int>> &Guard) const {
+  std::set<ProvChain> Out;
+  for (const ProvChain &C : T.Locals)
+    for (const ProvChain &Pi : Contexts[Func]) {
+      ProvChain Abs = Pi;
+      Abs.insert(Abs.end(), C.begin(), C.end());
+      Out.insert(std::move(Abs));
+    }
+  for (int G : T.Globals)
+    Out.insert(GlobalContent[G].begin(), GlobalContent[G].end());
+  for (int ParamIdx : T.Params) {
+    if (!Guard.insert({Func, ParamIdx}).second)
+      continue;
+    for (const CallSite &S : CG.callersOf(Func)) {
+      auto It = FT[S.Caller].CallArgTaint.find(S.Label);
+      if (It == FT[S.Caller].CallArgTaint.end())
+        continue;
+      if (ParamIdx >= static_cast<int>(It->second.size()))
+        continue;
+      std::set<ProvChain> Up = resolveAbsoluteImpl(
+          S.Caller, It->second[static_cast<size_t>(ParamIdx)], Guard);
+      Out.insert(Up.begin(), Up.end());
+    }
+  }
+  for (int ParamIdx : T.RefContents) {
+    for (const CallSite &S : CG.callersOf(Func)) {
+      const Function *Caller = P.function(S.Caller);
+      const Instruction *CallInst = Caller->instrAt(Caller->findLabel(S.Label));
+      assert(CallInst && "call site must exist");
+      int Target = CallInst->ArgRefGlobal[static_cast<size_t>(ParamIdx)];
+      assert(Target >= 0 && "ref content for non-ref argument");
+      Out.insert(GlobalContent[Target].begin(), GlobalContent[Target].end());
+    }
+  }
+  return Out;
+}

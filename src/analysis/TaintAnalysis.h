@@ -1,0 +1,139 @@
+//===- TaintAnalysis.h - Input-dependence analysis --------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inter-procedural, context-sensitive input-dependence ("taint") analysis,
+/// reproducing the paper's §5.1 / Appendix I (Algorithm 2):
+///
+///  * Inputs are the taint sources; taint propagates through data flow and
+///    control flow (branch conditions taint control-dependent definitions).
+///  * Each taint carries *provenance*: the chain of call sites ending at the
+///    input instruction (the paper's rho), so two calls to the same sensor
+///    wrapper are distinguished (Fig. 6(b)).
+///  * Function summaries record how taint enters (argBy), leaves (retBy),
+///    and flows through reference parameters (pbr), mirroring the paper's
+///    local/caller summaries; OCL's ownership discipline (references created
+///    only at call sites, targets statically known) stands in for the Rust
+///    alias precision Ocelot relies on (§3.3).
+///  * Mutable non-volatile globals — which the paper excludes in Rust — are
+///    supported conservatively: the content taint of a global is the
+///    program-wide union of everything ever stored to it (flow-insensitive),
+///    which is sound for policy construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_ANALYSIS_TAINTANALYSIS_H
+#define OCELOT_ANALYSIS_TAINTANALYSIS_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ocelot {
+
+/// Symbolic taint of a value within one function's analysis space.
+/// (ProvChain itself is defined with the IR in ir/Instruction.h.)
+struct TokenSet {
+  /// Taint entering through value parameters (paper: argBy).
+  std::set<int> Params;
+  /// Taint read through reference parameters' referents (resolved to the
+  /// target global at each call site).
+  std::set<int> RefContents;
+  /// Inputs reached without leaving this function's subtree: chains whose
+  /// first element is an instruction of this function (paper: local /
+  /// retBy composition).
+  std::set<ProvChain> Locals;
+  /// Taint obtained by reading a non-volatile global's content.
+  std::set<int> Globals;
+
+  bool empty() const {
+    return Params.empty() && RefContents.empty() && Locals.empty() &&
+           Globals.empty();
+  }
+
+  /// Set-union; \returns true if this set grew.
+  bool mergeFrom(const TokenSet &O);
+};
+
+/// Per-function analysis results.
+struct FunctionTaint {
+  /// Taint of the returned value (paper: ret <- inInfo).
+  TokenSet Ret;
+  /// Taint stored through each reference parameter (paper: &arg <- inInfo).
+  std::map<int, TokenSet> RefOut;
+  /// Taint stored to each global, including effects of callees.
+  std::map<int, TokenSet> GlobalWrites;
+  /// Taint of the annotated operand at each Fresh/Consistent marker,
+  /// keyed by the marker's label.
+  std::map<uint32_t, TokenSet> AnnotTaint;
+  /// Taint of every argument at each call site, keyed by the call label.
+  std::map<uint32_t, std::vector<TokenSet>> CallArgTaint;
+  /// Final (fixpoint) taint of every register, merged over the whole
+  /// function. Used by use-site collection and tests.
+  std::vector<TokenSet> RegTaint;
+};
+
+/// Runs the analysis over a whole program. The call graph must be acyclic.
+class TaintAnalysis {
+public:
+  TaintAnalysis(const Program &P, const CallGraph &CG);
+
+  const FunctionTaint &functionTaint(int Func) const { return FT[Func]; }
+
+  /// Program-wide content taint of global \p G as absolute chains (rooted
+  /// at main).
+  const std::set<ProvChain> &globalContent(int G) const {
+    return GlobalContent[G];
+  }
+
+  /// All absolute call chains from main to \p Func (each a list of call
+  /// sites; empty chain for main itself).
+  const std::vector<ProvChain> &contexts(int Func) const {
+    return Contexts[Func];
+  }
+
+  /// \returns true if \p T only contains Locals tokens, i.e. every input it
+  /// depends on is reached inside the owning function's subtree.
+  static bool isSelfContained(const TokenSet &T) {
+    return T.Params.empty() && T.RefContents.empty() && T.Globals.empty();
+  }
+
+  /// Expands \p T (in \p Func's space) into absolute chains rooted at main:
+  /// Params through every caller, RefContents/Globals through the global
+  /// content map, Locals by prefixing with every context of \p Func.
+  std::set<ProvChain> resolveAbsolute(int Func, const TokenSet &T) const;
+
+  /// Expands \p T keeping chains relative to \p Func. Only valid for
+  /// self-contained sets.
+  std::set<ProvChain> resolveRelative(const TokenSet &T) const {
+    return T.Locals;
+  }
+
+private:
+  void analyzeFunction(int Func);
+  void computeContexts();
+  void computeGlobalContent();
+  TokenSet translateCalleeTokens(const Instruction &Call,
+                                 const TokenSet &CalleeTokens,
+                                 const std::vector<TokenSet> &ArgTokens,
+                                 int CallerFunc) const;
+  std::set<ProvChain>
+  resolveAbsoluteImpl(int Func, const TokenSet &T,
+                      std::set<std::pair<int, int>> &ParamGuard) const;
+
+  const Program &P;
+  const CallGraph &CG;
+  std::vector<FunctionTaint> FT;
+  std::vector<std::set<ProvChain>> GlobalContent;
+  std::vector<std::vector<ProvChain>> Contexts;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_ANALYSIS_TAINTANALYSIS_H

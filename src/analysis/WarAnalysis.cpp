@@ -1,0 +1,175 @@
+//===- WarAnalysis.cpp - WAR / EMW sets for atomic regions --------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/WarAnalysis.h"
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+WarAnalysis::WarAnalysis(const Program &P, const CallGraph &CG)
+    : P(P), CG(CG) {
+  Summaries.resize(P.numFunctions());
+  computeSummaries();
+  collectRegions();
+}
+
+const RegionInfo *WarAnalysis::regionById(int RegionId) const {
+  for (const RegionInfo &R : Regions)
+    if (R.RegionId == RegionId)
+      return &R;
+  return nullptr;
+}
+
+/// Applies one instruction's global effects (including callee summaries) to
+/// the read/write sets. Ref-param accesses are resolved through \p RefTarget
+/// which maps a param index to its global, or collects into param sets when
+/// the mapping is unknown (i.e. while summarizing the callee itself).
+namespace {
+
+struct Effects {
+  std::set<int> *ReadG;
+  std::set<int> *WriteG;
+  std::set<int> *ReadRef;  // may be null
+  std::set<int> *WriteRef; // may be null
+};
+
+void applyInstr(const Program &P, const std::vector<RwSummary> &Summaries,
+                const Instruction &I, const Effects &E) {
+  switch (I.Op) {
+  case Opcode::LoadG:
+  case Opcode::LoadA:
+    E.ReadG->insert(I.GlobalId);
+    break;
+  case Opcode::StoreG:
+  case Opcode::StoreA:
+    E.WriteG->insert(I.GlobalId);
+    break;
+  case Opcode::LoadInd:
+    assert(I.A.isReg());
+    if (E.ReadRef)
+      E.ReadRef->insert(I.A.Reg);
+    break;
+  case Opcode::StoreInd:
+    assert(I.A.isReg());
+    if (E.WriteRef)
+      E.WriteRef->insert(I.A.Reg);
+    break;
+  case Opcode::Call: {
+    const RwSummary &S = Summaries[static_cast<size_t>(I.Callee)];
+    E.ReadG->insert(S.ReadGlobals.begin(), S.ReadGlobals.end());
+    E.WriteG->insert(S.WriteGlobals.begin(), S.WriteGlobals.end());
+    for (int ParamIdx : S.ReadRefParams) {
+      int Target = I.ArgRefGlobal[static_cast<size_t>(ParamIdx)];
+      assert(Target >= 0 && "ref read through non-ref argument");
+      E.ReadG->insert(Target);
+    }
+    for (int ParamIdx : S.WriteRefParams) {
+      int Target = I.ArgRefGlobal[static_cast<size_t>(ParamIdx)];
+      assert(Target >= 0 && "ref write through non-ref argument");
+      E.WriteG->insert(Target);
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  (void)P;
+}
+
+} // namespace
+
+void WarAnalysis::computeSummaries() {
+  for (int F : CG.bottomUpOrder()) {
+    const Function &Fn = *P.function(F);
+    RwSummary &S = Summaries[static_cast<size_t>(F)];
+    Effects E{&S.ReadGlobals, &S.WriteGlobals, &S.ReadRefParams,
+              &S.WriteRefParams};
+    for (int B = 0; B < Fn.numBlocks(); ++B)
+      for (const Instruction &I : Fn.block(B)->instructions())
+        applyInstr(P, Summaries, I, E);
+  }
+}
+
+void WarAnalysis::collectRegions() {
+  for (int F = 0; F < P.numFunctions(); ++F) {
+    const Function &Fn = *P.function(F);
+    DominatorTree DT = DominatorTree::computeDominators(Fn);
+    DominatorTree PDT = DominatorTree::computePostDominators(Fn);
+
+    // Pair up region bounds by id within this function.
+    std::map<int, InstrPos> Starts, Ends;
+    for (int B = 0; B < Fn.numBlocks(); ++B) {
+      const auto &Instrs = Fn.block(B)->instructions();
+      for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
+        const Instruction &I = Instrs[Idx];
+        if (I.Op == Opcode::AtomicStart)
+          Starts[I.RegionId] = {B, static_cast<int>(Idx)};
+        else if (I.Op == Opcode::AtomicEnd)
+          Ends[I.RegionId] = {B, static_cast<int>(Idx)};
+      }
+    }
+
+    for (const auto &[RegionId, StartPos] : Starts) {
+      auto EndIt = Ends.find(RegionId);
+      if (EndIt == Ends.end())
+        continue; // Verifier rejects unmatched bounds.
+      const InstrPos &EndPos = EndIt->second;
+
+      RegionInfo R;
+      R.RegionId = RegionId;
+      R.Func = F;
+      R.StartLabel = Fn.instrAt(StartPos)->Label;
+      R.EndLabel = Fn.instrAt(EndPos)->Label;
+
+      Effects E{&R.Reads, &R.Writes, nullptr, nullptr};
+      std::set<int> RefReads, RefWrites;
+      E.ReadRef = &RefReads;
+      E.WriteRef = &RefWrites;
+
+      for (int B = 0; B < Fn.numBlocks(); ++B) {
+        const auto &Instrs = Fn.block(B)->instructions();
+        for (size_t Idx = 0; Idx < Instrs.size(); ++Idx) {
+          InstrPos Pos{B, static_cast<int>(Idx)};
+          if (!DT.dominates(StartPos, Pos) || !PDT.dominates(EndPos, Pos))
+            continue;
+          applyInstr(P, Summaries, Instrs[Idx], E);
+          ++R.StaticSize;
+        }
+      }
+
+      // A region with accesses through the enclosing function's own ref
+      // params cannot resolve targets locally; conservatively include every
+      // global any caller passes for that parameter.
+      auto ResolveRefSet = [&](const std::set<int> &ParamIdxs,
+                               std::set<int> &Into) {
+        for (int ParamIdx : ParamIdxs)
+          for (const CallSite &Site : CG.callersOf(F)) {
+            const Function *Caller = P.function(Site.Caller);
+            const Instruction *Call =
+                Caller->instrAt(Caller->findLabel(Site.Label));
+            assert(Call && "call site must exist");
+            int Target = Call->ArgRefGlobal[static_cast<size_t>(ParamIdx)];
+            if (Target >= 0)
+              Into.insert(Target);
+          }
+      };
+      ResolveRefSet(RefReads, R.Reads);
+      ResolveRefSet(RefWrites, R.Writes);
+
+      for (int G : R.Writes) {
+        if (R.Reads.count(G))
+          R.War.insert(G);
+        else
+          R.Emw.insert(G);
+        R.Omega.insert(G);
+      }
+      Regions.push_back(std::move(R));
+    }
+  }
+}

@@ -1,0 +1,82 @@
+//===- WarAnalysis.h - WAR / EMW sets for atomic regions --------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, for every atomic region in a program, the set of non-volatile
+/// locations the undo-logging runtime must be able to restore:
+///
+///  * WAR set — globals read and written inside the region
+///    (write-after-read dependences make naive re-execution non-idempotent,
+///    §2.1);
+///  * EMW set — the remaining written globals ("exclusive may-write",
+///    conditionally-written data that checkpointing systems must also back
+///    up when inputs are involved, Surbatovich et al. OOPSLA'19/'20);
+///  * omega = WAR ∪ EMW — the paper's startatom(aID, omega) parameter.
+///
+/// Effects of callees (including stores through reference parameters,
+/// resolved to their statically known target globals) are included
+/// transitively. Region membership is dominance-based: an instruction
+/// belongs to a region when the region's start dominates it and the region's
+/// end post-dominates it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_ANALYSIS_WARANALYSIS_H
+#define OCELOT_ANALYSIS_WARANALYSIS_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Program.h"
+
+#include <set>
+#include <vector>
+
+namespace ocelot {
+
+/// Transitive global read/write effects of one function.
+struct RwSummary {
+  std::set<int> ReadGlobals;
+  std::set<int> WriteGlobals;
+  std::set<int> ReadRefParams;  ///< Ref params read through (LoadInd).
+  std::set<int> WriteRefParams; ///< Ref params written through (StoreInd).
+};
+
+/// One atomic region and its undo-log requirements.
+struct RegionInfo {
+  int RegionId = -1;
+  int Func = -1;
+  uint32_t StartLabel = 0;
+  uint32_t EndLabel = 0;
+  std::set<int> Reads;
+  std::set<int> Writes;
+  std::set<int> War;   ///< Reads ∩ Writes.
+  std::set<int> Emw;   ///< Writes \ War.
+  std::set<int> Omega; ///< War ∪ Emw (== Writes).
+  /// Instruction count statically inside the region (an energy proxy used
+  /// by the region-size ablation).
+  int StaticSize = 0;
+};
+
+class WarAnalysis {
+public:
+  WarAnalysis(const Program &P, const CallGraph &CG);
+
+  const std::vector<RegionInfo> &regions() const { return Regions; }
+  const RegionInfo *regionById(int RegionId) const;
+  const RwSummary &summary(int Func) const { return Summaries[Func]; }
+
+private:
+  void computeSummaries();
+  void collectRegions();
+
+  const Program &P;
+  const CallGraph &CG;
+  std::vector<RwSummary> Summaries;
+  std::vector<RegionInfo> Regions;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_ANALYSIS_WARANALYSIS_H

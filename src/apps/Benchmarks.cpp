@@ -1,0 +1,679 @@
+//===- Benchmarks.cpp - The paper's six evaluation benchmarks -------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Benchmarks.h"
+
+using namespace ocelot;
+
+// -- Activity (TICS) ---------------------------------------------------------
+// Accelerometer window -> feature -> classification. The window samples form
+// a consistent set; the derived feature must be fresh through classification
+// and logging.
+
+static const char *ActivityAnnotated = R"(
+// Activity recognition (from the TICS artifact, ported to OCL).
+io accel_x, accel_y, accel_z;
+
+static history: [int; 16];
+static hist_idx = 0;
+static moving_count = 0;
+static total_count = 0;
+static duty_cycle = 0;
+static churn = 0;
+
+fn sample_feature() -> int {
+  let mut sx = 0;
+  let mut sy = 0;
+  let mut sz = 0;
+  for i in 0..4 {
+    let consistent(1) ax = accel_x();
+    let consistent(1) ay = accel_y();
+    let consistent(1) az = accel_z();
+    sx = sx + ax;
+    sy = sy + ay;
+    sz = sz + az;
+  }
+  let mx = sx / 4;
+  let my = sy / 4;
+  let mz = sz / 4;
+  return mx * mx + my * my + mz * mz;
+}
+
+fn classify(feat: int) -> int {
+  if feat > 2500 {
+    return 1;
+  }
+  return 0;
+}
+
+// Sliding-window statistics over past classifications; no timing
+// constraints apply (runs under plain JIT checkpoints in Ocelot builds).
+fn update_stats(cls: int) {
+  history[hist_idx] = cls;
+  hist_idx = (hist_idx + 1) % 16;
+  if cls == 1 {
+    moving_count += 1;
+  }
+  total_count += 1;
+  let mut active = 0;
+  for i in 0..16 {
+    active = active + history[i];
+  }
+  let mut transitions = 0;
+  for i in 0..15 {
+    if history[i + 1] != history[i] {
+      transitions = transitions + 1;
+    }
+  }
+  duty_cycle = (active * 100) / 16;
+  churn = transitions;
+}
+
+fn main() {
+  let feat = sample_feature();
+  Fresh(feat);
+  let cls = classify(feat);
+  log(cls, feat);
+  update_stats(cls);
+}
+)";
+
+static const char *ActivityAtomics = R"(
+// Activity recognition, manually regioned (Atomics-only configuration).
+io accel_x, accel_y, accel_z;
+
+static history: [int; 16];
+static hist_idx = 0;
+static moving_count = 0;
+static total_count = 0;
+static duty_cycle = 0;
+static churn = 0;
+
+fn sample_feature() -> int {
+  let mut sx = 0;
+  let mut sy = 0;
+  let mut sz = 0;
+  atomic {
+    for i in 0..4 {
+      let consistent(1) ax = accel_x();
+      let consistent(1) ay = accel_y();
+      let consistent(1) az = accel_z();
+      sx = sx + ax;
+      sy = sy + ay;
+      sz = sz + az;
+    }
+  }
+  let mx = sx / 4;
+  let my = sy / 4;
+  let mz = sz / 4;
+  return mx * mx + my * my + mz * mz;
+}
+
+fn classify(feat: int) -> int {
+  if feat > 2500 {
+    return 1;
+  }
+  return 0;
+}
+
+fn update_stats(cls: int) {
+  atomic {
+    history[hist_idx] = cls;
+    hist_idx = (hist_idx + 1) % 16;
+    if cls == 1 {
+      moving_count += 1;
+    }
+    total_count += 1;
+    let mut active = 0;
+    for i in 0..16 {
+      active = active + history[i];
+    }
+    let mut transitions = 0;
+    for i in 0..15 {
+      if history[i + 1] != history[i] {
+        transitions = transitions + 1;
+      }
+    }
+    duty_cycle = (active * 100) / 16;
+    churn = transitions;
+  }
+}
+
+fn main() {
+  let mut feat = 0;
+  let mut cls = 0;
+  atomic {
+    feat = sample_feature();
+    Fresh(feat);
+    cls = classify(feat);
+    log(cls, feat);
+  }
+  update_stats(cls);
+}
+)";
+
+// -- Greenhouse (TICS) -------------------------------------------------------
+
+static const char *GreenhouseAnnotated = R"(
+// Greenhouse monitor: the humidity/temperature pair must be consistent.
+io humidity, temperature;
+
+static readings = 0;
+static vent_events = 0;
+
+fn read_humidity() -> int {
+  let raw = humidity();
+  return (raw * 103) / 100 + 2;
+}
+
+fn read_temperature() -> int {
+  let raw = temperature();
+  return (raw * 99) / 100 - 1;
+}
+
+fn main() {
+  let consistent(1) h = read_humidity();
+  let consistent(1) t = read_temperature();
+  let vpd = t * 8 - h * 2;
+  if vpd > 300 {
+    send(vpd);
+    vent_events += 1;
+  }
+  log(h, t);
+  readings += 1;
+}
+)";
+
+static const char *GreenhouseAtomics = R"(
+// Greenhouse monitor, manually regioned.
+io humidity, temperature;
+
+static readings = 0;
+static vent_events = 0;
+
+fn read_humidity() -> int {
+  let raw = humidity();
+  return (raw * 103) / 100 + 2;
+}
+
+fn read_temperature() -> int {
+  let raw = temperature();
+  return (raw * 99) / 100 - 1;
+}
+
+fn main() {
+  let mut h = 0;
+  let mut t = 0;
+  atomic {
+    h = read_humidity();
+    Consistent(h, 1);
+    t = read_temperature();
+    Consistent(t, 1);
+  }
+  let vpd = t * 8 - h * 2;
+  atomic {
+    if vpd > 300 {
+      send(vpd);
+      vent_events += 1;
+    }
+    log(h, t);
+    readings += 1;
+  }
+}
+)";
+
+// -- Photo (Samoyed) ---------------------------------------------------------
+
+static const char *PhotoAnnotated = R"(
+// Photo: average of five photoresistor readings taken together.
+io photo;
+
+static captures = 0;
+
+fn main() {
+  let mut sum = 0;
+  for i in 0..5 {
+    let consistent(1) p = photo();
+    sum = sum + p;
+  }
+  let avg = sum / 5;
+  log(avg);
+  captures += 1;
+}
+)";
+
+static const char *PhotoAtomics = R"(
+// Photo, manually regioned.
+io photo;
+
+static captures = 0;
+
+fn main() {
+  let mut sum = 0;
+  atomic {
+    for i in 0..5 {
+      let consistent(1) p = photo();
+      sum = sum + p;
+    }
+  }
+  let avg = sum / 5;
+  atomic {
+    log(avg);
+    captures += 1;
+  }
+}
+)";
+
+// -- SendPhoto (Samoyed) -----------------------------------------------------
+
+static const char *SendPhotoAnnotated = R"(
+// SendPhoto: sample the photoresistor; radio a packet if the value is high.
+io photo;
+
+static sends = 0;
+
+fn main() {
+  let p = photo();
+  Fresh(p);
+  if p > 180 {
+    send(p);
+    sends += 1;
+  }
+  log(p);
+}
+)";
+
+static const char *SendPhotoAtomics = R"(
+// SendPhoto, manually regioned.
+io photo;
+
+static sends = 0;
+
+fn main() {
+  let mut p = 0;
+  atomic {
+    p = photo();
+    Fresh(p);
+    if p > 180 {
+      send(p);
+      sends += 1;
+    }
+    log(p);
+  }
+}
+)";
+
+// -- CEM (DINO) ---------------------------------------------------------------
+// Compression logger: one sensed value, then lookup/insertion into a
+// compressed log (a probed dictionary) plus a periodic decay pass. The
+// freshness constraint covers only a few instructions, so Ocelot's inferred
+// region is small while Atomics-only pays undo-logging for all of the
+// dictionary work (the paper's 2.5x outlier, §7.2).
+
+static const char *CemAnnotated = R"(
+// CEM compression logger (from DINO), ported to OCL: one sensed value is
+// quantized and a window of deltas is folded into a compressed dictionary
+// (fixed-width probe so both build variants do identical work).
+io temperature;
+
+static dict_keys: [int; 64];
+static dict_counts: [int; 64];
+static inserts = 0;
+static evictions = 0;
+
+fn hash_key(k: int) -> int {
+  return (k * 31 + 17) % 64;
+}
+
+fn dict_insert(k: int) -> int {
+  let h = hash_key(k);
+  let mut slot = -1;
+  for i in 0..8 {
+    let idx = (h + i) % 64;
+    if slot < 0 {
+      if dict_keys[idx] == k {
+        dict_counts[idx] += 1;
+        slot = idx;
+      } else {
+        if dict_keys[idx] == 0 {
+          dict_keys[idx] = k;
+          dict_counts[idx] = 1;
+          slot = idx;
+        }
+      }
+    }
+  }
+  if slot < 0 {
+    dict_keys[h] = k;
+    dict_counts[h] = 1;
+    evictions += 1;
+    slot = h;
+  }
+  return slot;
+}
+
+fn decay_pass() {
+  for i in 0..64 {
+    let c = dict_counts[i];
+    if c > 1 {
+      dict_counts[i] = c - c / 4;
+    }
+  }
+}
+
+fn main() {
+  let t = temperature();
+  Fresh(t);
+  let key = t / 4 + 1;
+  let mut checksum = 0;
+  for w in 0..4 {
+    let slot = dict_insert(key + w * 7);
+    checksum = checksum + slot;
+  }
+  inserts += 4;
+  if inserts % 32 == 0 {
+    decay_pass();
+  }
+  log(checksum, key);
+}
+)";
+
+static const char *CemAtomics = R"(
+// CEM compression logger, divided into atomic regions throughout, in the
+// task-granularity style of DINO: every probe step, eviction, decay chunk
+// and bookkeeping step is its own region.
+io temperature;
+
+static dict_keys: [int; 64];
+static dict_counts: [int; 64];
+static inserts = 0;
+static evictions = 0;
+
+fn hash_key(k: int) -> int {
+  return (k * 31 + 17) % 64;
+}
+
+fn dict_insert(k: int) -> int {
+  let h = hash_key(k);
+  let mut slot = -1;
+  for i in 0..8 {
+    atomic {
+      if slot < 0 {
+        let idx = (h + i) % 64;
+        if dict_keys[idx] == k {
+          dict_counts[idx] += 1;
+          slot = idx;
+        } else {
+          if dict_keys[idx] == 0 {
+            dict_keys[idx] = k;
+            dict_counts[idx] = 1;
+            slot = idx;
+          }
+        }
+      }
+    }
+  }
+  atomic {
+    if slot < 0 {
+      dict_keys[h] = k;
+      dict_counts[h] = 1;
+      evictions += 1;
+      slot = h;
+    }
+  }
+  return slot;
+}
+
+fn decay_pass() {
+  for c in 0..4 {
+    atomic {
+      for i in 0..16 {
+        let j = c * 16 + i;
+        let v = dict_counts[j];
+        if v > 1 {
+          dict_counts[j] = v - v / 4;
+        }
+      }
+    }
+  }
+}
+
+fn main() {
+  let mut t = 0;
+  let mut key = 0;
+  atomic {
+    t = temperature();
+    Fresh(t);
+    key = t / 4 + 1;
+  }
+  let mut checksum = 0;
+  for w in 0..4 {
+    let slot = dict_insert(key + w * 7);
+    checksum = checksum + slot;
+  }
+  atomic {
+    inserts += 4;
+  }
+  if inserts % 32 == 0 {
+    decay_pass();
+  }
+  atomic {
+    log(checksum, key);
+  }
+}
+)";
+
+// -- Tire (this paper, Fig. 9) -------------------------------------------------
+
+static const char *TireAnnotated = R"(
+// Tire safety monitor (the paper's own application, Fig. 9): the burst-tire
+// decision must be made on fresh data, and the pressure delta must be
+// temporally consistent with the motion estimate.
+io pressure, tire_temp, accel;
+
+static base_pressure = 450;
+static urgent_warnings = 0;
+static warnings = 0;
+static samples = 0;
+static pressure_log: [int; 16];
+static log_head = 0;
+static smooth = 0;
+static trend = 0;
+
+fn read_motion() -> int {
+  let mut m = 0;
+  for i in 0..4 {
+    let a = accel();
+    m = m + a * a;
+  }
+  return m / 4;
+}
+
+fn compensate(p: int, t: int) -> int {
+  return p - (t * 2) / 10;
+}
+
+// Post-decision bookkeeping: moving average and trend over the pressure
+// history. No timing constraints apply here — this is the bulk of the
+// program that runs under plain JIT checkpointing in the Ocelot build.
+fn update_history(d: int) {
+  pressure_log[log_head] = d;
+  log_head = (log_head + 1) % 16;
+  let mut acc = 0;
+  for i in 0..16 {
+    acc = acc + pressure_log[i];
+  }
+  smooth = acc / 16;
+  let mut rising = 0;
+  for i in 0..15 {
+    if pressure_log[i + 1] > pressure_log[i] {
+      rising = rising + 1;
+    }
+  }
+  trend = rising;
+  samples += 1;
+}
+
+fn main() {
+  let consistent(2) p = pressure();
+  let consistent(2) t = tire_temp();
+  let avg_diff = compensate(p, t) - base_pressure;
+  FreshConsistent(avg_diff, 1);
+  let motion = read_motion();
+  FreshConsistent(motion, 1);
+  // History keeps a copy: the log entry itself has no freshness
+  // requirement, so bookkeeping stays outside the constrained window.
+  let logged = avg_diff * 1;
+  if motion > 900 && avg_diff < -50 {
+    send(avg_diff);
+    urgent_warnings += 1;
+  } else {
+    if avg_diff < -20 {
+      log(avg_diff);
+      warnings += 1;
+    }
+  }
+  update_history(logged);
+}
+)";
+
+static const char *TireAtomics = R"(
+// Tire safety monitor, manually regioned: a frequently executing region in
+// read_motion nests inside the large region in main (§7.2's note on Tire).
+io pressure, tire_temp, accel;
+
+static base_pressure = 450;
+static urgent_warnings = 0;
+static warnings = 0;
+static samples = 0;
+static pressure_log: [int; 16];
+static log_head = 0;
+static smooth = 0;
+static trend = 0;
+
+fn read_motion() -> int {
+  let mut m = 0;
+  atomic {
+    for i in 0..4 {
+      let a = accel();
+      m = m + a * a;
+    }
+  }
+  return m / 4;
+}
+
+fn compensate(p: int, t: int) -> int {
+  return p - (t * 2) / 10;
+}
+
+fn update_history(d: int) {
+  atomic {
+    pressure_log[log_head] = d;
+    log_head = (log_head + 1) % 16;
+    let mut acc = 0;
+    for i in 0..16 {
+      acc = acc + pressure_log[i];
+    }
+    smooth = acc / 16;
+    let mut rising = 0;
+    for i in 0..15 {
+      if pressure_log[i + 1] > pressure_log[i] {
+        rising = rising + 1;
+      }
+    }
+    trend = rising;
+    samples += 1;
+  }
+}
+
+fn main() {
+  let mut p = 0;
+  let mut t = 0;
+  let mut avg_diff = 0;
+  let mut motion = 0;
+  let mut logged = 0;
+  atomic {
+    p = pressure();
+    Consistent(p, 2);
+    t = tire_temp();
+    Consistent(t, 2);
+    avg_diff = compensate(p, t) - base_pressure;
+    FreshConsistent(avg_diff, 1);
+    motion = read_motion();
+    FreshConsistent(motion, 1);
+    logged = avg_diff * 1;
+    if motion > 900 && avg_diff < -50 {
+      send(avg_diff);
+      urgent_warnings += 1;
+    } else {
+      if avg_diff < -20 {
+        log(avg_diff);
+        warnings += 1;
+      }
+    }
+  }
+  update_history(logged);
+}
+)";
+
+void BenchmarkDef::setupEnvironment(Environment &Env, uint64_t Seed) const {
+  auto S = [&](uint64_t Salt) { return Seed * 0x9e3779b9ULL + Salt; };
+  if (Name == "activity") {
+    Env.setSignal(0, SensorSignal::noise(-60, 120, 200, S(1)));
+    Env.setSignal(1, SensorSignal::noise(-60, 120, 230, S(2)));
+    Env.setSignal(2, SensorSignal::noise(-60, 120, 260, S(3)));
+  } else if (Name == "greenhouse") {
+    Env.setSignal(0, SensorSignal::noise(20, 60, 400, S(4)));   // humidity
+    Env.setSignal(1, SensorSignal::noise(30, 30, 600, S(5)));   // temperature
+  } else if (Name == "photo" || Name == "send_photo") {
+    Env.setSignal(0, SensorSignal::noise(50, 200, 300, S(6)));
+  } else if (Name == "cem") {
+    Env.setSignal(0, SensorSignal::noise(0, 120, 500, S(7)));
+  } else if (Name == "tire") {
+    Env.setSignal(0, SensorSignal::noise(350, 150, 350, S(8))); // pressure
+    Env.setSignal(1, SensorSignal::noise(10, 40, 500, S(9)));   // temp
+    Env.setSignal(2, SensorSignal::noise(-40, 80, 150, S(10))); // accel
+  }
+}
+
+const std::vector<BenchmarkDef> &ocelot::allBenchmarks() {
+  static const std::vector<BenchmarkDef> Benchmarks = {
+      {"activity",
+       "TICS",
+       ActivityAnnotated,
+       ActivityAtomics,
+       {"Accel*"},
+       "Con, Fresh"},
+      {"cem", "DINO", CemAnnotated, CemAtomics, {"Temp*"}, "Fresh"},
+      {"greenhouse",
+       "TICS",
+       GreenhouseAnnotated,
+       GreenhouseAtomics,
+       {"Hum", "Temp"},
+       "Con"},
+      {"photo", "Samoyed", PhotoAnnotated, PhotoAtomics, {"Photo"}, "Con"},
+      {"send_photo",
+       "Samoyed",
+       SendPhotoAnnotated,
+       SendPhotoAtomics,
+       {"Photo"},
+       "Fresh"},
+      {"tire",
+       "Ocelot",
+       TireAnnotated,
+       TireAtomics,
+       {"Pres*", "Temp*", "Accel*"},
+       "Fresh, Con, FreshCon"},
+  };
+  return Benchmarks;
+}
+
+const BenchmarkDef *ocelot::findBenchmark(const std::string &Name) {
+  for (const BenchmarkDef &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

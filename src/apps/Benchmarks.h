@@ -1,0 +1,56 @@
+//===- Benchmarks.h - The paper's six evaluation benchmarks -----*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OCL ports of the paper's benchmarks (Table 1):
+///
+///   Activity   (TICS)    accel window features + classification; Con+Fresh
+///   Greenhouse (TICS)    humidity/temperature pair;              Con
+///   Photo      (Samoyed) average of 5 photoresistor readings;    Con
+///   SendPhoto  (Samoyed) sample + conditional radio send;        Fresh
+///   CEM        (DINO)    temperature into compression log;       Fresh
+///   Tire       (Ocelot)  pressure/temp/accel tire monitor;       Fresh+Con,
+///                        FreshCon on the same data (Fig. 9)
+///
+/// Each benchmark has two sources: the annotated program (used for the
+/// JIT-only and Ocelot builds) and a manually regioned variant for the
+/// Atomics-only configuration ("entirely divided into atomic regions",
+/// §7.2, with regions placed where inferred regions would go).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_APPS_BENCHMARKS_H
+#define OCELOT_APPS_BENCHMARKS_H
+
+#include "runtime/Environment.h"
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+struct BenchmarkDef {
+  std::string Name;
+  std::string Origin;       ///< Paper/system the benchmark comes from.
+  const char *AnnotatedSrc; ///< Annotations only (JIT-only / Ocelot builds).
+  const char *AtomicsSrc;   ///< Manual atomic regions (Atomics-only build).
+  std::vector<std::string> Sensors;
+  std::string Constraints;  ///< Table 1's constraint column.
+
+  /// Configures the benchmark's sensor environment (time-varying signals
+  /// seeded from \p Seed).
+  void setupEnvironment(Environment &Env, uint64_t Seed) const;
+};
+
+/// All six benchmarks in the paper's presentation order.
+const std::vector<BenchmarkDef> &allBenchmarks();
+
+/// Lookup by name; nullptr if unknown.
+const BenchmarkDef *findBenchmark(const std::string &Name);
+
+} // namespace ocelot
+
+#endif // OCELOT_APPS_BENCHMARKS_H

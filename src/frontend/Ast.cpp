@@ -1,0 +1,79 @@
+//===- Ast.cpp - OCL abstract syntax tree --------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+using namespace ocelot;
+
+ExprPtr Expr::makeInt(int64_t V, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::IntLit;
+  E->IntValue = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeBool(bool V, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::BoolLit;
+  E->BoolValue = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeVar(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Var;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeUnary(AstUnOp Op, ExprPtr Operand, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Unary;
+  E->UnOp = Op;
+  E->Children.push_back(std::move(Operand));
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeBinary(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Binary;
+  E->BinKind = Op;
+  E->Children.push_back(std::move(L));
+  E->Children.push_back(std::move(R));
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeCall(std::string Name, std::vector<ExprPtr> Args,
+                       SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Call;
+  E->Name = std::move(Name);
+  E->Children = std::move(Args);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeIndex(std::string Name, ExprPtr Idx, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Index;
+  E->Name = std::move(Name);
+  E->Children.push_back(std::move(Idx));
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::makeAddrOf(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::AddrOf;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}

@@ -1,0 +1,183 @@
+//===- Ast.h - OCL abstract syntax tree -------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the OCL modeling language — the paper's Appendix A language
+/// (values, references, arrays, if, let, calls, inputs, annotations, atomic
+/// regions) extended with bounded for loops (which lowering unrolls, as the
+/// paper assumes), break/continue, compound assignment sugar and output
+/// builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FRONTEND_AST_H
+#define OCELOT_FRONTEND_AST_H
+
+#include "ir/Opcode.h"
+#include "ir/Type.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+// -- Expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  IntLit,  ///< 42
+  BoolLit, ///< true / false
+  Var,     ///< x
+  Unary,   ///< -e, !e, ~e, *r (deref of a reference parameter)
+  Binary,  ///< e1 op e2 (including short-circuit && and ||)
+  Call,    ///< f(args) — user function or io-declared sensor
+  Index,   ///< a[e]
+  AddrOf,  ///< &x — only valid directly as a call argument
+};
+
+/// Unary operators at the AST level; Deref is OCL '*r'.
+enum class AstUnOp { Neg, BitNot, LogNot, Deref };
+
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  // IntLit / BoolLit.
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+
+  // Var / Call / AddrOf / Index: the referenced name.
+  std::string Name;
+
+  // Unary.
+  AstUnOp UnOp = AstUnOp::Neg;
+
+  // Binary.
+  BinOp BinKind = BinOp::Add;
+
+  // Children: Unary/Index use [0] (and Index target is Name); Binary uses
+  // [0], [1]; Call uses all as arguments.
+  std::vector<ExprPtr> Children;
+
+  static ExprPtr makeInt(int64_t V, SourceLoc Loc);
+  static ExprPtr makeBool(bool V, SourceLoc Loc);
+  static ExprPtr makeVar(std::string Name, SourceLoc Loc);
+  static ExprPtr makeUnary(AstUnOp Op, ExprPtr Operand, SourceLoc Loc);
+  static ExprPtr makeBinary(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc);
+  static ExprPtr makeCall(std::string Name, std::vector<ExprPtr> Args,
+                          SourceLoc Loc);
+  static ExprPtr makeIndex(std::string Name, ExprPtr Idx, SourceLoc Loc);
+  static ExprPtr makeAddrOf(std::string Name, SourceLoc Loc);
+};
+
+// -- Statements --------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  Let,      ///< let [fresh|consistent(n)] x [: ty] = e;  or let a = [init; N];
+  Assign,   ///< x = e; a[i] = e; *r = e; (+=, -=, *= desugared by parser)
+  If,       ///< if e { } else { }
+  For,      ///< for i in lo..hi { }  (constant bounds)
+  Break,    ///< break;
+  Continue, ///< continue;
+  Return,   ///< return e?;
+  ExprStmt, ///< call-expression statement
+  Atomic,   ///< atomic { ... } — manual region
+  Annot,    ///< Fresh(x); Consistent(x, n); FreshConsistent(x, n);
+  Output,   ///< log(...)/alarm()/send(...)/uart(...)
+  Block,    ///< nested { ... }
+};
+
+/// Assignment target flavor.
+enum class AssignTarget { Var, Index, Deref };
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  // Let.
+  std::string Name;
+  bool IsFresh = false;       ///< let fresh x = e
+  bool IsConsistent = false;  ///< let consistent(n) x = e
+  int ConsistentSet = -1;
+  ExprPtr Init;               ///< Scalar initializer.
+  bool IsArray = false;       ///< let a = [v; N];
+  int64_t ArrayInitValue = 0;
+  int64_t ArraySize = 0;
+
+  // Assign.
+  AssignTarget Target = AssignTarget::Var;
+  ExprPtr IndexExpr; ///< For Index targets.
+  ExprPtr Value;
+
+  // If.
+  ExprPtr Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+
+  // For.
+  int64_t LoopLo = 0;
+  int64_t LoopHi = 0;
+  std::vector<StmtPtr> Body; ///< For / Atomic / Block bodies.
+
+  // Return / ExprStmt.
+  ExprPtr Value2; ///< Return value or the expression of an ExprStmt.
+
+  // Annot: Name is the variable; flags say which annotations apply.
+  bool AnnotFresh = false;
+  bool AnnotConsistent = false;
+  int AnnotSet = -1;
+
+  // Output.
+  OutputKind OutKind = OutputKind::Log;
+  std::vector<ExprPtr> OutArgs;
+};
+
+// -- Top-level items ---------------------------------------------------------
+
+struct ParamDecl {
+  std::string Name;
+  Type Ty = Type::Int; ///< Int, Bool or Ref.
+  SourceLoc Loc;
+};
+
+struct FnDecl {
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  Type RetTy = Type::Unit;
+  std::vector<StmtPtr> Body;
+  SourceLoc Loc;
+};
+
+struct IoDecl {
+  std::vector<std::string> Names;
+  SourceLoc Loc;
+};
+
+struct StaticDecl {
+  std::string Name;
+  bool IsArray = false;
+  int64_t ArraySize = 1;
+  int64_t InitValue = 0;
+  SourceLoc Loc;
+};
+
+/// A parsed OCL compilation unit.
+struct Module {
+  std::vector<IoDecl> Ios;
+  std::vector<StaticDecl> Statics;
+  std::vector<FnDecl> Functions;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_FRONTEND_AST_H

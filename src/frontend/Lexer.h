@@ -1,0 +1,46 @@
+//===- Lexer.h - OCL lexer --------------------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FRONTEND_LEXER_H
+#define OCELOT_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Tokenizes an OCL source buffer. Supports '//' line and '/* */' block
+/// comments; reports malformed characters and unterminated comments to the
+/// diagnostics engine and continues.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer. The result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Src.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+  void skipTrivia();
+  Token lexToken();
+  Token makeToken(TokKind K, SourceLoc Loc) const;
+
+  std::string Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_FRONTEND_LEXER_H

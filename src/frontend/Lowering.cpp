@@ -1,0 +1,519 @@
+//===- Lowering.cpp - AST to Ocelot IR ------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ocelot;
+
+namespace {
+
+/// Where a source-level name lives after lowering.
+struct Slot {
+  enum class Kind { Reg, Global, GlobalArray, RefParam };
+  Kind K = Kind::Reg;
+  int Index = -1; ///< Register index or global id.
+};
+
+class Lowerer {
+public:
+  Lowerer(const Module &M, DiagnosticEngine &Diags)
+      : M(M), Diags(Diags), P(std::make_unique<Program>()), B(*P) {}
+
+  std::unique_ptr<Program> run() {
+    declareTopLevel();
+    for (const FnDecl &Fn : M.Functions)
+      lowerFunction(Fn);
+    const Function *Main = P->functionByName("main");
+    assert(Main && "sema guarantees main exists");
+    P->setMainFunction(Main->id());
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(P);
+  }
+
+private:
+  // -- Top-level ------------------------------------------------------------
+
+  void declareTopLevel() {
+    for (const IoDecl &Io : M.Ios)
+      for (const std::string &Name : Io.Names)
+        P->addSensor({Name, Io.Loc});
+    for (const StaticDecl &S : M.Statics) {
+      GlobalVar G;
+      G.Name = S.Name;
+      G.Size = S.IsArray ? static_cast<int>(S.ArraySize) : 1;
+      G.Init.assign(static_cast<size_t>(G.Size), S.InitValue);
+      G.Loc = S.Loc;
+      P->addGlobal(std::move(G));
+    }
+    // Declare all signatures before lowering any body so calls resolve.
+    for (const FnDecl &Fn : M.Functions) {
+      Function *F = P->addFunction(Fn.Name);
+      for (const ParamDecl &Par : Fn.Params)
+        F->addParam(Par.Name, Par.Ty == Type::Ref);
+      F->setHasReturnValue(Fn.RetTy != Type::Unit);
+    }
+  }
+
+  // -- Scopes -----------------------------------------------------------------
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void bind(const std::string &Name, Slot S) { Scopes.back()[Name] = S; }
+
+  Slot resolve(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    int Gid = P->findGlobal(Name);
+    assert(Gid >= 0 && "sema guarantees names resolve");
+    Slot S;
+    S.K = isArrayStatic(Name) ? Slot::Kind::GlobalArray : Slot::Kind::Global;
+    S.Index = Gid;
+    return S;
+  }
+
+  bool isArrayStatic(const std::string &Name) const {
+    for (const StaticDecl &S : M.Statics)
+      if (S.Name == Name)
+        return S.IsArray;
+    return false;
+  }
+
+  // -- Address-taken scan ----------------------------------------------------
+
+  void scanAddrTaken(const Expr &E, std::set<std::string> &Out) {
+    if (E.Kind == ExprKind::AddrOf)
+      Out.insert(E.Name);
+    for (const ExprPtr &C : E.Children)
+      scanAddrTaken(*C, Out);
+  }
+
+  void scanAddrTaken(const std::vector<StmtPtr> &Stmts,
+                     std::set<std::string> &Out) {
+    for (const StmtPtr &S : Stmts) {
+      if (S->Init)
+        scanAddrTaken(*S->Init, Out);
+      if (S->IndexExpr)
+        scanAddrTaken(*S->IndexExpr, Out);
+      if (S->Value)
+        scanAddrTaken(*S->Value, Out);
+      if (S->Cond)
+        scanAddrTaken(*S->Cond, Out);
+      if (S->Value2)
+        scanAddrTaken(*S->Value2, Out);
+      for (const ExprPtr &A : S->OutArgs)
+        scanAddrTaken(*A, Out);
+      scanAddrTaken(S->Then, Out);
+      scanAddrTaken(S->Else, Out);
+      scanAddrTaken(S->Body, Out);
+    }
+  }
+
+  /// Returns (creating on first use) the function-static global that backs a
+  /// promoted local. Promoted names are unique per (function, variable).
+  int promotedGlobal(const std::string &Var, int Size, SourceLoc Loc) {
+    std::string Name = F->name() + "::" + Var;
+    int Gid = P->findGlobal(Name);
+    if (Gid >= 0)
+      return Gid;
+    GlobalVar G;
+    G.Name = Name;
+    G.Size = Size;
+    G.Init.assign(static_cast<size_t>(Size), 0);
+    G.IsPromotedLocal = true;
+    G.Loc = Loc;
+    return P->addGlobal(std::move(G));
+  }
+
+  // -- Block plumbing ----------------------------------------------------------
+
+  bool terminated() const { return B.blockPtr()->hasTerminator(); }
+
+  // -- Expressions --------------------------------------------------------------
+
+  Operand lowerExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Operand::imm(E.IntValue);
+    case ExprKind::BoolLit:
+      return Operand::imm(E.BoolValue ? 1 : 0);
+    case ExprKind::Var: {
+      Slot S = resolve(E.Name);
+      switch (S.K) {
+      case Slot::Kind::Reg:
+        return Operand::reg(S.Index);
+      case Slot::Kind::Global:
+        return Operand::reg(B.emitLoadG(S.Index, E.Loc));
+      case Slot::Kind::RefParam:
+        // Only reachable as the operand of a deref ('*r'); the register
+        // holds the reference value itself.
+        return Operand::reg(S.Index);
+      case Slot::Kind::GlobalArray:
+        assert(false && "sema rejects direct use of arrays as scalars");
+        return Operand::imm(0);
+      }
+      return Operand::imm(0);
+    }
+    case ExprKind::Unary: {
+      if (E.UnOp == AstUnOp::Deref) {
+        Operand Ref = lowerExpr(*E.Children[0]);
+        return Operand::reg(B.emitLoadInd(Ref, E.Loc));
+      }
+      Operand A = lowerExpr(*E.Children[0]);
+      UnOp Op = E.UnOp == AstUnOp::Neg     ? UnOp::Neg
+                : E.UnOp == AstUnOp::BitNot ? UnOp::Not
+                                            : UnOp::LNot;
+      return Operand::reg(B.emitUn(Op, A, E.Loc));
+    }
+    case ExprKind::Binary: {
+      if (E.BinKind == BinOp::LAnd || E.BinKind == BinOp::LOr)
+        return lowerShortCircuit(E);
+      Operand L = lowerExpr(*E.Children[0]);
+      Operand R = lowerExpr(*E.Children[1]);
+      return Operand::reg(B.emitBin(E.BinKind, L, R, E.Loc));
+    }
+    case ExprKind::Call:
+      return lowerCall(E, /*WantValue=*/true);
+    case ExprKind::Index: {
+      Slot S = resolve(E.Name);
+      assert(S.K == Slot::Kind::GlobalArray && "sema checks array indexing");
+      Operand Idx = lowerExpr(*E.Children[0]);
+      return Operand::reg(B.emitLoadA(S.Index, Idx, E.Loc));
+    }
+    case ExprKind::AddrOf:
+      assert(false && "AddrOf handled at call sites");
+      return Operand::imm(0);
+    }
+    return Operand::imm(0);
+  }
+
+  Operand lowerShortCircuit(const Expr &E) {
+    // result = L; if (need RHS) result = R;
+    int Result = F->newReg();
+    Operand L = lowerExpr(*E.Children[0]);
+    B.emitMovTo(Result, L, E.Loc);
+    BasicBlock *RhsBB = F->addBlock("sc.rhs");
+    BasicBlock *JoinBB = F->addBlock("sc.join");
+    if (E.BinKind == BinOp::LAnd)
+      B.emitCondBr(Operand::reg(Result), RhsBB->id(), JoinBB->id(), E.Loc);
+    else
+      B.emitCondBr(Operand::reg(Result), JoinBB->id(), RhsBB->id(), E.Loc);
+    B.setBlock(RhsBB);
+    Operand R = lowerExpr(*E.Children[1]);
+    B.emitMovTo(Result, R, E.Loc);
+    B.emitBr(JoinBB->id(), E.Loc);
+    B.setBlock(JoinBB);
+    return Operand::reg(Result);
+  }
+
+  Operand lowerCall(const Expr &E, bool WantValue) {
+    int SensorId = P->findSensor(E.Name);
+    if (SensorId >= 0)
+      return Operand::reg(B.emitInput(SensorId, E.Loc));
+
+    Function *Callee = P->functionByName(E.Name);
+    assert(Callee && "sema checks calls resolve");
+    std::vector<Operand> Args;
+    std::vector<int> RefGlobals;
+    for (size_t I = 0; I < E.Children.size(); ++I) {
+      const Expr &Arg = *E.Children[I];
+      if (Arg.Kind == ExprKind::AddrOf) {
+        Slot S = resolve(Arg.Name);
+        assert((S.K == Slot::Kind::Global) &&
+               "address-taken locals are promoted; statics are globals");
+        // The reference value is the global id itself.
+        Args.push_back(Operand::imm(S.Index));
+        RefGlobals.push_back(S.Index);
+      } else {
+        Args.push_back(lowerExpr(Arg));
+        RefGlobals.push_back(-1);
+      }
+    }
+    int Dst = -1;
+    if (WantValue && Callee->hasReturnValue())
+      Dst = F->newReg();
+    B.emitCall(Dst, Callee->id(), std::move(Args), std::move(RefGlobals),
+               E.Loc);
+    return Dst >= 0 ? Operand::reg(Dst) : Operand::none();
+  }
+
+  /// Reads the current value of a scalar variable (for annotations).
+  Operand readVar(const std::string &Name, SourceLoc Loc) {
+    Slot S = resolve(Name);
+    if (S.K == Slot::Kind::Reg)
+      return Operand::reg(S.Index);
+    assert(S.K == Slot::Kind::Global && "annotations apply to scalars");
+    return Operand::reg(B.emitLoadG(S.Index, Loc));
+  }
+
+  // -- Statements ------------------------------------------------------------
+
+  void lowerStmts(const std::vector<StmtPtr> &Stmts) {
+    for (const StmtPtr &S : Stmts) {
+      if (terminated())
+        return; // Unreachable code after return/break/continue.
+      lowerStmt(*S);
+    }
+  }
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Let:
+      lowerLet(S);
+      break;
+    case StmtKind::Assign:
+      lowerAssign(S);
+      break;
+    case StmtKind::If:
+      lowerIf(S);
+      break;
+    case StmtKind::For:
+      lowerFor(S);
+      break;
+    case StmtKind::Break:
+      assert(!LoopStack.empty());
+      B.emitBr(LoopStack.back().second, S.Loc);
+      break;
+    case StmtKind::Continue:
+      assert(!LoopStack.empty());
+      B.emitBr(LoopStack.back().first, S.Loc);
+      break;
+    case StmtKind::Return:
+      if (S.Value2) {
+        Operand V = lowerExpr(*S.Value2);
+        B.emitMovTo(RetReg, V, S.Loc);
+      }
+      B.emitBr(ExitBB->id(), S.Loc);
+      break;
+    case StmtKind::ExprStmt:
+      lowerCall(*S.Value2, /*WantValue=*/false);
+      break;
+    case StmtKind::Atomic: {
+      int RegionId = P->newRegionId();
+      B.emitAtomicStart(RegionId, S.Loc);
+      pushScope();
+      lowerStmts(S.Body);
+      popScope();
+      assert(!terminated() && "sema rejects control flow out of atomic");
+      B.emitAtomicEnd(RegionId, S.Loc);
+      break;
+    }
+    case StmtKind::Annot: {
+      Operand V = readVar(S.Name, S.Loc);
+      if (S.AnnotFresh)
+        B.emitFresh(V, S.Name, S.Loc);
+      if (S.AnnotConsistent)
+        B.emitConsistent(V, S.AnnotSet, S.Name, S.Loc);
+      break;
+    }
+    case StmtKind::Output: {
+      std::vector<Operand> Args;
+      for (const ExprPtr &A : S.OutArgs)
+        Args.push_back(lowerExpr(*A));
+      B.emitOutput(S.OutKind, std::move(Args), S.Loc);
+      break;
+    }
+    case StmtKind::Block:
+      pushScope();
+      lowerStmts(S.Body);
+      popScope();
+      break;
+    }
+  }
+
+  void lowerLet(const Stmt &S) {
+    if (S.IsArray) {
+      int Gid =
+          promotedGlobal(S.Name, static_cast<int>(S.ArraySize), S.Loc);
+      // Re-initialize the array at the declaration point to preserve
+      // per-activation semantics of the promoted local.
+      for (int64_t I = 0; I < S.ArraySize; ++I)
+        B.emitStoreA(Gid, Operand::imm(I), Operand::imm(S.ArrayInitValue),
+                     S.Loc);
+      Slot Sl;
+      Sl.K = Slot::Kind::GlobalArray;
+      Sl.Index = Gid;
+      bind(S.Name, Sl);
+      return;
+    }
+
+    Operand Init = lowerExpr(*S.Init);
+    Operand VarValue;
+    if (AddrTaken.count(S.Name)) {
+      int Gid = promotedGlobal(S.Name, 1, S.Loc);
+      B.emitStoreG(Gid, Init, S.Loc);
+      Slot Sl;
+      Sl.K = Slot::Kind::Global;
+      Sl.Index = Gid;
+      bind(S.Name, Sl);
+      if (S.IsFresh || S.IsConsistent)
+        VarValue = Operand::reg(B.emitLoadG(Gid, S.Loc));
+    } else {
+      int Reg = F->newReg();
+      B.emitMovTo(Reg, Init, S.Loc);
+      Slot Sl;
+      Sl.K = Slot::Kind::Reg;
+      Sl.Index = Reg;
+      bind(S.Name, Sl);
+      VarValue = Operand::reg(Reg);
+    }
+    if (S.IsFresh)
+      B.emitFresh(VarValue, S.Name, S.Loc);
+    if (S.IsConsistent)
+      B.emitConsistent(VarValue, S.ConsistentSet, S.Name, S.Loc);
+  }
+
+  void lowerAssign(const Stmt &S) {
+    switch (S.Target) {
+    case AssignTarget::Var: {
+      Operand V = lowerExpr(*S.Value);
+      Slot Sl = resolve(S.Name);
+      if (Sl.K == Slot::Kind::Reg)
+        B.emitMovTo(Sl.Index, V, S.Loc);
+      else {
+        assert(Sl.K == Slot::Kind::Global);
+        B.emitStoreG(Sl.Index, V, S.Loc);
+      }
+      break;
+    }
+    case AssignTarget::Index: {
+      Slot Sl = resolve(S.Name);
+      assert(Sl.K == Slot::Kind::GlobalArray);
+      Operand Idx = lowerExpr(*S.IndexExpr);
+      Operand V = lowerExpr(*S.Value);
+      B.emitStoreA(Sl.Index, Idx, V, S.Loc);
+      break;
+    }
+    case AssignTarget::Deref: {
+      Slot Sl = resolve(S.Name);
+      assert(Sl.K == Slot::Kind::RefParam);
+      Operand V = lowerExpr(*S.Value);
+      B.emitStoreInd(Operand::reg(Sl.Index), V, S.Loc);
+      break;
+    }
+    }
+  }
+
+  void lowerIf(const Stmt &S) {
+    Operand Cond = lowerExpr(*S.Cond);
+    BasicBlock *ThenBB = F->addBlock("if.then");
+    BasicBlock *ElseBB = S.Else.empty() ? nullptr : F->addBlock("if.else");
+    BasicBlock *JoinBB = F->addBlock("if.join");
+    B.emitCondBr(Cond, ThenBB->id(), ElseBB ? ElseBB->id() : JoinBB->id(),
+                 S.Loc);
+    B.setBlock(ThenBB);
+    pushScope();
+    lowerStmts(S.Then);
+    popScope();
+    if (!terminated())
+      B.emitBr(JoinBB->id(), S.Loc);
+    if (ElseBB) {
+      B.setBlock(ElseBB);
+      pushScope();
+      lowerStmts(S.Else);
+      popScope();
+      if (!terminated())
+        B.emitBr(JoinBB->id(), S.Loc);
+    }
+    B.setBlock(JoinBB);
+  }
+
+  void lowerFor(const Stmt &S) {
+    int64_t N = S.LoopHi - S.LoopLo;
+    BasicBlock *ExitLoop = F->addBlock("for.exit");
+    if (N <= 0) {
+      B.emitBr(ExitLoop->id(), S.Loc);
+      B.setBlock(ExitLoop);
+      return;
+    }
+    std::vector<BasicBlock *> Iters;
+    Iters.reserve(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Iters.push_back(F->addBlock("for.iter" + std::to_string(I)));
+    B.emitBr(Iters[0]->id(), S.Loc);
+    for (int64_t I = 0; I < N; ++I) {
+      B.setBlock(Iters[I]);
+      int NextId =
+          I + 1 < N ? Iters[static_cast<size_t>(I + 1)]->id() : ExitLoop->id();
+      LoopStack.push_back({NextId, ExitLoop->id()});
+      pushScope();
+      int IterReg = F->newReg();
+      B.emitMovTo(IterReg, Operand::imm(S.LoopLo + I), S.Loc);
+      Slot Sl;
+      Sl.K = Slot::Kind::Reg;
+      Sl.Index = IterReg;
+      bind(S.Name, Sl);
+      lowerStmts(S.Body);
+      popScope();
+      LoopStack.pop_back();
+      if (!terminated())
+        B.emitBr(NextId, S.Loc);
+    }
+    B.setBlock(ExitLoop);
+  }
+
+  // -- Functions ---------------------------------------------------------------
+
+  void lowerFunction(const FnDecl &Fn) {
+    F = P->functionByName(Fn.Name);
+    B.setFunction(F);
+    Scopes.clear();
+    LoopStack.clear();
+    AddrTaken.clear();
+    scanAddrTaken(Fn.Body, AddrTaken);
+
+    BasicBlock *Entry = F->addBlock("entry");
+    ExitBB = F->addBlock("exit");
+    B.setBlock(Entry);
+    pushScope();
+    for (int I = 0; I < F->numParams(); ++I) {
+      Slot Sl;
+      Sl.K = F->paramIsRef(I) ? Slot::Kind::RefParam : Slot::Kind::Reg;
+      Sl.Index = I;
+      bind(F->paramName(I), Sl);
+    }
+    RetReg = F->hasReturnValue() ? F->newReg() : -1;
+
+    lowerStmts(Fn.Body);
+    if (!terminated())
+      B.emitBr(ExitBB->id(), Fn.Loc);
+
+    B.setBlock(ExitBB);
+    B.emitRet(F->hasReturnValue() ? Operand::reg(RetReg) : Operand::none(),
+              Fn.Loc);
+    popScope();
+  }
+
+  const Module &M;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Program> P;
+  IRBuilder B;
+
+  Function *F = nullptr;
+  std::vector<std::map<std::string, Slot>> Scopes;
+  std::set<std::string> AddrTaken;
+  /// (continue target, break target) for the innermost unrolled iteration.
+  std::vector<std::pair<int, int>> LoopStack;
+  int RetReg = -1;
+  BasicBlock *ExitBB = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Program> ocelot::lowerModule(const Module &M,
+                                             DiagnosticEngine &Diags) {
+  return Lowerer(M, Diags).run();
+}

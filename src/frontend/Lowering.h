@@ -1,0 +1,39 @@
+//===- Lowering.h - AST to Ocelot IR ----------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically valid OCL module to IR:
+///   * bounded for loops are fully unrolled (the paper's language assumes
+///     bound loops are unrolled to ifs, §4.1);
+///   * every `return` branches to a single exit block, giving each function
+///     the "return landing pad" that makes post-dominance well-behaved
+///     (§6.2);
+///   * local arrays and address-taken locals are promoted to function-static
+///     non-volatile globals (sound because recursion is rejected), matching
+///     NVRAM-main-memory intermittent platforms;
+///   * short-circuit && / || become control flow;
+///   * manual `atomic { }` blocks become AtomicStart/AtomicEnd bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FRONTEND_LOWERING_H
+#define OCELOT_FRONTEND_LOWERING_H
+
+#include "frontend/Ast.h"
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace ocelot {
+
+/// Lowers \p M (which must have passed Sema) into a fresh Program.
+/// \returns nullptr and reports diagnostics on internal failure.
+std::unique_ptr<Program> lowerModule(const Module &M, DiagnosticEngine &Diags);
+
+} // namespace ocelot
+
+#endif // OCELOT_FRONTEND_LOWERING_H

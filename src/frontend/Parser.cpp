@@ -1,0 +1,686 @@
+//===- Parser.cpp - OCL recursive-descent parser ------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+using namespace ocelot;
+
+/// Deep-copies an expression. Used to desugar compound indexed assignment
+/// (a[i] += e) into a[i] = a[i] + e; Sema restricts such indexes to pure
+/// expressions so double evaluation is safe.
+static ExprPtr cloneExpr(const Expr &E) {
+  auto C = std::make_unique<Expr>();
+  C->Kind = E.Kind;
+  C->Loc = E.Loc;
+  C->IntValue = E.IntValue;
+  C->BoolValue = E.BoolValue;
+  C->Name = E.Name;
+  C->UnOp = E.UnOp;
+  C->BinKind = E.BinKind;
+  for (const ExprPtr &Child : E.Children)
+    C->Children.push_back(cloneExpr(*Child));
+  return C;
+}
+
+std::unique_ptr<Module> Parser::parseSource(const std::string &Source,
+                                            DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseModule();
+}
+
+const Token &Parser::peek(int Ahead) const {
+  size_t I = Pos + static_cast<size_t>(Ahead);
+  if (I >= Toks.size())
+    I = Toks.size() - 1; // Eof sentinel.
+  return Toks[I];
+}
+
+Token Parser::advance() {
+  Token T = cur();
+  if (Pos + 1 < Toks.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+Token Parser::expect(TokKind K, const char *Context) {
+  if (check(K))
+    return advance();
+  error(std::string("expected ") + tokKindName(K) + " " + Context +
+        ", found " + tokKindName(cur().Kind));
+  return cur();
+}
+
+void Parser::error(const std::string &Msg) { Diags.error(cur().Loc, Msg); }
+
+void Parser::syncToStmtBoundary() {
+  while (!check(TokKind::Eof) && !check(TokKind::Semi) &&
+         !check(TokKind::RBrace))
+    advance();
+  accept(TokKind::Semi);
+}
+
+std::unique_ptr<Module> Parser::parseModule() {
+  auto M = std::make_unique<Module>();
+  while (!check(TokKind::Eof)) {
+    switch (cur().Kind) {
+    case TokKind::KwIo:
+      parseIoDecl(*M);
+      break;
+    case TokKind::KwStatic:
+      parseStaticDecl(*M);
+      break;
+    case TokKind::KwFn:
+      parseFnDecl(*M);
+      break;
+    default:
+      error("expected 'io', 'static' or 'fn' at top level, found " +
+            std::string(tokKindName(cur().Kind)));
+      advance();
+      break;
+    }
+    if (Diags.errorCount() > 50)
+      break; // Avoid diagnostic floods on garbage input.
+  }
+  return M;
+}
+
+void Parser::parseIoDecl(Module &M) {
+  IoDecl D;
+  D.Loc = cur().Loc;
+  expect(TokKind::KwIo, "to begin io declaration");
+  do {
+    Token Name = expect(TokKind::Ident, "in io declaration");
+    D.Names.push_back(Name.Text);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Semi, "after io declaration");
+  M.Ios.push_back(std::move(D));
+}
+
+void Parser::parseStaticDecl(Module &M) {
+  StaticDecl D;
+  D.Loc = cur().Loc;
+  expect(TokKind::KwStatic, "to begin static declaration");
+  D.Name = expect(TokKind::Ident, "in static declaration").Text;
+  if (accept(TokKind::Colon)) {
+    // static buf: [int; 16];
+    expect(TokKind::LBracket, "in static array type");
+    expect(TokKind::Ident, "element type in static array"); // 'int' etc.
+    expect(TokKind::Semi, "in static array type");
+    D.ArraySize = expect(TokKind::IntLit, "array size").IntValue;
+    D.IsArray = true;
+    expect(TokKind::RBracket, "to close static array type");
+  }
+  if (accept(TokKind::Assign)) {
+    bool Negative = accept(TokKind::Minus);
+    D.InitValue = expect(TokKind::IntLit, "static initializer").IntValue;
+    if (Negative)
+      D.InitValue = -D.InitValue;
+  }
+  expect(TokKind::Semi, "after static declaration");
+  M.Statics.push_back(std::move(D));
+}
+
+Type Parser::parseType() {
+  if (accept(TokKind::Amp)) {
+    // Reference type: &int / &u16 / ...
+    expect(TokKind::Ident, "after '&' in type");
+    return Type::Ref;
+  }
+  Token T = expect(TokKind::Ident, "in type position");
+  if (T.Text == "bool")
+    return Type::Bool;
+  // All integer spellings (int, i32, u16, u32, i64, usize...) map to Int.
+  return Type::Int;
+}
+
+void Parser::parseFnDecl(Module &M) {
+  FnDecl F;
+  F.Loc = cur().Loc;
+  expect(TokKind::KwFn, "to begin function");
+  F.Name = expect(TokKind::Ident, "function name").Text;
+  expect(TokKind::LParen, "after function name");
+  if (!check(TokKind::RParen)) {
+    do {
+      ParamDecl P;
+      P.Loc = cur().Loc;
+      P.Name = expect(TokKind::Ident, "parameter name").Text;
+      expect(TokKind::Colon, "after parameter name");
+      P.Ty = parseType();
+      F.Params.push_back(std::move(P));
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "to close parameter list");
+  if (accept(TokKind::Arrow))
+    F.RetTy = parseType();
+  F.Body = parseBlock();
+  M.Functions.push_back(std::move(F));
+}
+
+std::vector<StmtPtr> Parser::parseBlock() {
+  std::vector<StmtPtr> Stmts;
+  expect(TokKind::LBrace, "to begin block");
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (S)
+      Stmts.push_back(std::move(S));
+    else
+      syncToStmtBoundary();
+  }
+  expect(TokKind::RBrace, "to close block");
+  return Stmts;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::KwLet:
+    return parseLet();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwBreak: {
+    advance();
+    expect(TokKind::Semi, "after 'break'");
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Break;
+    S->Loc = Loc;
+    return S;
+  }
+  case TokKind::KwContinue: {
+    advance();
+    expect(TokKind::Semi, "after 'continue'");
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Continue;
+    S->Loc = Loc;
+    return S;
+  }
+  case TokKind::KwReturn: {
+    advance();
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Return;
+    S->Loc = Loc;
+    if (!check(TokKind::Semi))
+      S->Value2 = parseExpr();
+    expect(TokKind::Semi, "after return");
+    return S;
+  }
+  case TokKind::KwAtomic: {
+    advance();
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Atomic;
+    S->Loc = Loc;
+    S->Body = parseBlock();
+    return S;
+  }
+  case TokKind::KwFreshAnnot:
+  case TokKind::KwConsistentAnnot:
+  case TokKind::KwFreshConsistentAnnot:
+    return parseAnnot();
+  case TokKind::KwLog:
+    advance();
+    return parseOutput(OutputKind::Log);
+  case TokKind::KwAlarm:
+    advance();
+    return parseOutput(OutputKind::Alarm);
+  case TokKind::KwSend:
+    advance();
+    return parseOutput(OutputKind::Send);
+  case TokKind::KwUart:
+    advance();
+    return parseOutput(OutputKind::Uart);
+  case TokKind::LBrace: {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Block;
+    S->Loc = Loc;
+    S->Body = parseBlock();
+    return S;
+  }
+  case TokKind::Star: {
+    // *r = e;
+    advance();
+    Token Name = expect(TokKind::Ident, "after '*' in assignment");
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Assign;
+    S->Loc = Loc;
+    S->Target = AssignTarget::Deref;
+    S->Name = Name.Text;
+    TokKind AssignKind = cur().Kind;
+    if (AssignKind == TokKind::PlusAssign ||
+        AssignKind == TokKind::MinusAssign ||
+        AssignKind == TokKind::StarAssign) {
+      advance();
+      ExprPtr Rhs = parseExpr();
+      BinOp Op = AssignKind == TokKind::PlusAssign  ? BinOp::Add
+                 : AssignKind == TokKind::MinusAssign ? BinOp::Sub
+                                                      : BinOp::Mul;
+      ExprPtr Lhs = Expr::makeUnary(AstUnOp::Deref,
+                                    Expr::makeVar(Name.Text, Loc), Loc);
+      S->Value = Expr::makeBinary(Op, std::move(Lhs), std::move(Rhs), Loc);
+    } else {
+      expect(TokKind::Assign, "in deref assignment");
+      S->Value = parseExpr();
+    }
+    expect(TokKind::Semi, "after assignment");
+    return S;
+  }
+  case TokKind::Ident: {
+    // Assignment or expression statement.
+    if (peek(1).Kind == TokKind::Assign || peek(1).Kind == TokKind::PlusAssign ||
+        peek(1).Kind == TokKind::MinusAssign ||
+        peek(1).Kind == TokKind::StarAssign) {
+      Token Name = advance();
+      TokKind AssignKind = advance().Kind;
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Assign;
+      S->Loc = Loc;
+      S->Target = AssignTarget::Var;
+      S->Name = Name.Text;
+      ExprPtr Rhs = parseExpr();
+      if (AssignKind != TokKind::Assign) {
+        BinOp Op = AssignKind == TokKind::PlusAssign  ? BinOp::Add
+                   : AssignKind == TokKind::MinusAssign ? BinOp::Sub
+                                                        : BinOp::Mul;
+        Rhs = Expr::makeBinary(Op, Expr::makeVar(Name.Text, Loc),
+                               std::move(Rhs), Loc);
+      }
+      S->Value = std::move(Rhs);
+      expect(TokKind::Semi, "after assignment");
+      return S;
+    }
+    if (peek(1).Kind == TokKind::LBracket) {
+      // Could be a[i] = e; — or an expression statement starting with index.
+      // Scan for matching ']' followed by an assignment operator.
+      size_t Save = Pos;
+      Token Name = advance();
+      advance(); // [
+      int Depth = 1;
+      while (Depth > 0 && !check(TokKind::Eof)) {
+        if (check(TokKind::LBracket))
+          ++Depth;
+        else if (check(TokKind::RBracket))
+          --Depth;
+        if (Depth > 0)
+          advance();
+      }
+      bool IsIndexedAssign = false;
+      if (check(TokKind::RBracket)) {
+        TokKind After = peek(1).Kind;
+        IsIndexedAssign = After == TokKind::Assign ||
+                          After == TokKind::PlusAssign ||
+                          After == TokKind::MinusAssign ||
+                          After == TokKind::StarAssign;
+      }
+      Pos = Save;
+      if (IsIndexedAssign) {
+        advance(); // name
+        advance(); // [
+        ExprPtr Idx = parseExpr();
+        expect(TokKind::RBracket, "to close index");
+        TokKind AssignKind = advance().Kind;
+        auto S = std::make_unique<Stmt>();
+        S->Kind = StmtKind::Assign;
+        S->Loc = Loc;
+        S->Target = AssignTarget::Index;
+        S->Name = Name.Text;
+        ExprPtr Rhs = parseExpr();
+        if (AssignKind != TokKind::Assign) {
+          BinOp Op = AssignKind == TokKind::PlusAssign  ? BinOp::Add
+                     : AssignKind == TokKind::MinusAssign ? BinOp::Sub
+                                                          : BinOp::Mul;
+          Rhs = Expr::makeBinary(
+              Op, Expr::makeIndex(Name.Text, cloneExpr(*Idx), Loc),
+              std::move(Rhs), Loc);
+        }
+        S->IndexExpr = std::move(Idx);
+        S->Value = std::move(Rhs);
+        expect(TokKind::Semi, "after assignment");
+        return S;
+      }
+    }
+    // Fall through: expression statement.
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::ExprStmt;
+    S->Loc = Loc;
+    S->Value2 = parseExpr();
+    expect(TokKind::Semi, "after expression statement");
+    return S;
+  }
+  default:
+    error("unexpected token " + std::string(tokKindName(cur().Kind)) +
+          " at start of statement");
+    return nullptr;
+  }
+}
+
+StmtPtr Parser::parseLet() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwLet, "to begin let");
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Let;
+  S->Loc = Loc;
+  // 'mut' is accepted and ignored: all OCL lets are mutable (paper §4.1).
+  if (check(TokKind::Ident) && cur().Text == "mut")
+    advance();
+  if (accept(TokKind::KwFresh))
+    S->IsFresh = true;
+  else if (accept(TokKind::KwConsistent)) {
+    S->IsConsistent = true;
+    expect(TokKind::LParen, "after 'consistent'");
+    S->ConsistentSet =
+        static_cast<int>(expect(TokKind::IntLit, "consistent set id").IntValue);
+    expect(TokKind::RParen, "to close consistent set id");
+  }
+  S->Name = expect(TokKind::Ident, "variable name in let").Text;
+  if (accept(TokKind::Colon))
+    parseType(); // Type ascription is accepted and checked by Sema via init.
+  expect(TokKind::Assign, "in let");
+  if (check(TokKind::LBracket)) {
+    // Array literal: [v; N]
+    advance();
+    bool Negative = accept(TokKind::Minus);
+    S->ArrayInitValue = expect(TokKind::IntLit, "array init value").IntValue;
+    if (Negative)
+      S->ArrayInitValue = -S->ArrayInitValue;
+    expect(TokKind::Semi, "in array literal");
+    S->ArraySize = expect(TokKind::IntLit, "array size").IntValue;
+    expect(TokKind::RBracket, "to close array literal");
+    S->IsArray = true;
+  } else {
+    S->Init = parseExpr();
+  }
+  expect(TokKind::Semi, "after let");
+  return S;
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwIf, "to begin if");
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Loc = Loc;
+  S->Cond = parseExpr();
+  S->Then = parseBlock();
+  if (accept(TokKind::KwElse)) {
+    if (check(TokKind::KwIf)) {
+      StmtPtr Nested = parseIf();
+      S->Else.push_back(std::move(Nested));
+    } else {
+      S->Else = parseBlock();
+    }
+  }
+  return S;
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwFor, "to begin for");
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::For;
+  S->Loc = Loc;
+  S->Name = expect(TokKind::Ident, "loop variable").Text;
+  expect(TokKind::KwIn, "in for loop");
+  S->LoopLo = expect(TokKind::IntLit, "loop lower bound").IntValue;
+  expect(TokKind::DotDot, "in loop range");
+  S->LoopHi = expect(TokKind::IntLit, "loop upper bound").IntValue;
+  S->Body = parseBlock();
+  return S;
+}
+
+StmtPtr Parser::parseAnnot() {
+  SourceLoc Loc = cur().Loc;
+  TokKind K = advance().Kind;
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Annot;
+  S->Loc = Loc;
+  expect(TokKind::LParen, "after annotation keyword");
+  accept(TokKind::Amp); // Tire writes FreshConsistent(&currMotion, 1).
+  S->Name = expect(TokKind::Ident, "annotated variable").Text;
+  if (K == TokKind::KwFreshAnnot) {
+    S->AnnotFresh = true;
+  } else {
+    S->AnnotConsistent = true;
+    if (K == TokKind::KwFreshConsistentAnnot)
+      S->AnnotFresh = true;
+    expect(TokKind::Comma, "before consistent set id");
+    S->AnnotSet =
+        static_cast<int>(expect(TokKind::IntLit, "consistent set id").IntValue);
+  }
+  expect(TokKind::RParen, "to close annotation");
+  expect(TokKind::Semi, "after annotation");
+  return S;
+}
+
+StmtPtr Parser::parseOutput(OutputKind K) {
+  SourceLoc Loc = cur().Loc;
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Output;
+  S->Loc = Loc;
+  S->OutKind = K;
+  expect(TokKind::LParen, "after output keyword");
+  if (!check(TokKind::RParen)) {
+    do {
+      S->OutArgs.push_back(parseExpr());
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "to close output");
+  expect(TokKind::Semi, "after output");
+  return S;
+}
+
+// -- Expressions -------------------------------------------------------------
+
+ExprPtr Parser::parseExpr() { return parseLogicalOr(); }
+
+ExprPtr Parser::parseLogicalOr() {
+  ExprPtr L = parseLogicalAnd();
+  while (check(TokKind::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseLogicalAnd();
+    L = Expr::makeBinary(BinOp::LOr, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseLogicalAnd() {
+  ExprPtr L = parseComparison();
+  while (check(TokKind::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseComparison();
+    L = Expr::makeBinary(BinOp::LAnd, std::move(L), std::move(R), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr L = parseBitOr();
+  for (;;) {
+    BinOp Op;
+    switch (cur().Kind) {
+    case TokKind::Lt:
+      Op = BinOp::Lt;
+      break;
+    case TokKind::Le:
+      Op = BinOp::Le;
+      break;
+    case TokKind::Gt:
+      Op = BinOp::Gt;
+      break;
+    case TokKind::Ge:
+      Op = BinOp::Ge;
+      break;
+    case TokKind::EqEq:
+      Op = BinOp::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = BinOp::Ne;
+      break;
+    default:
+      return L;
+    }
+    SourceLoc Loc = advance().Loc;
+    ExprPtr R = parseBitOr();
+    L = Expr::makeBinary(Op, std::move(L), std::move(R), Loc);
+  }
+}
+
+ExprPtr Parser::parseBitOr() {
+  ExprPtr L = parseBitXor();
+  while (check(TokKind::Pipe)) {
+    SourceLoc Loc = advance().Loc;
+    L = Expr::makeBinary(BinOp::Or, std::move(L), parseBitXor(), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseBitXor() {
+  ExprPtr L = parseBitAnd();
+  while (check(TokKind::Caret)) {
+    SourceLoc Loc = advance().Loc;
+    L = Expr::makeBinary(BinOp::Xor, std::move(L), parseBitAnd(), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseBitAnd() {
+  ExprPtr L = parseShift();
+  while (check(TokKind::Amp)) {
+    SourceLoc Loc = advance().Loc;
+    L = Expr::makeBinary(BinOp::And, std::move(L), parseShift(), Loc);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseShift() {
+  ExprPtr L = parseAdditive();
+  for (;;) {
+    BinOp Op;
+    if (check(TokKind::Shl))
+      Op = BinOp::Shl;
+    else if (check(TokKind::Shr))
+      Op = BinOp::Shr;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = Expr::makeBinary(Op, std::move(L), parseAdditive(), Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr L = parseMultiplicative();
+  for (;;) {
+    BinOp Op;
+    if (check(TokKind::Plus))
+      Op = BinOp::Add;
+    else if (check(TokKind::Minus))
+      Op = BinOp::Sub;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = Expr::makeBinary(Op, std::move(L), parseMultiplicative(), Loc);
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr L = parseUnary();
+  for (;;) {
+    BinOp Op;
+    if (check(TokKind::Star))
+      Op = BinOp::Mul;
+    else if (check(TokKind::Slash))
+      Op = BinOp::Div;
+    else if (check(TokKind::Percent))
+      Op = BinOp::Mod;
+    else
+      return L;
+    SourceLoc Loc = advance().Loc;
+    L = Expr::makeBinary(Op, std::move(L), parseUnary(), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  if (accept(TokKind::Minus))
+    return Expr::makeUnary(AstUnOp::Neg, parseUnary(), Loc);
+  if (accept(TokKind::Bang))
+    return Expr::makeUnary(AstUnOp::LogNot, parseUnary(), Loc);
+  if (accept(TokKind::Tilde))
+    return Expr::makeUnary(AstUnOp::BitNot, parseUnary(), Loc);
+  if (accept(TokKind::Star))
+    return Expr::makeUnary(AstUnOp::Deref, parseUnary(), Loc);
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::IntLit: {
+    Token T = advance();
+    return Expr::makeInt(T.IntValue, Loc);
+  }
+  case TokKind::KwTrue:
+    advance();
+    return Expr::makeBool(true, Loc);
+  case TokKind::KwFalse:
+    advance();
+    return Expr::makeBool(false, Loc);
+  case TokKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokKind::Amp: {
+    advance();
+    Token Name = expect(TokKind::Ident, "after '&'");
+    return Expr::makeAddrOf(Name.Text, Loc);
+  }
+  case TokKind::Ident: {
+    Token Name = advance();
+    if (accept(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          // '&x' directly in argument position is a reference argument;
+          // anywhere else '&' is bitwise-and.
+          if (check(TokKind::Amp) && peek(1).Kind == TokKind::Ident &&
+              (peek(2).Kind == TokKind::Comma ||
+               peek(2).Kind == TokKind::RParen)) {
+            SourceLoc ALoc = advance().Loc;
+            Token RefName = advance();
+            Args.push_back(Expr::makeAddrOf(RefName.Text, ALoc));
+          } else {
+            Args.push_back(parseExpr());
+          }
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "to close call");
+      return Expr::makeCall(Name.Text, std::move(Args), Loc);
+    }
+    if (accept(TokKind::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      expect(TokKind::RBracket, "to close index");
+      return Expr::makeIndex(Name.Text, std::move(Idx), Loc);
+    }
+    return Expr::makeVar(Name.Text, Loc);
+  }
+  default:
+    error("expected expression, found " +
+          std::string(tokKindName(cur().Kind)));
+    advance();
+    return Expr::makeInt(0, Loc);
+  }
+}

@@ -1,0 +1,79 @@
+//===- Parser.h - OCL recursive-descent parser ------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FRONTEND_PARSER_H
+#define OCELOT_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace ocelot {
+
+/// Parses an OCL source buffer into a Module. On error the parser reports a
+/// diagnostic and attempts to resynchronize at statement boundaries; callers
+/// must consult the diagnostics engine before using the result.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Toks(std::move(Tokens)), Diags(Diags) {}
+
+  /// Convenience: lex + parse a source string.
+  static std::unique_ptr<Module> parseSource(const std::string &Source,
+                                             DiagnosticEngine &Diags);
+
+  std::unique_ptr<Module> parseModule();
+
+private:
+  const Token &peek(int Ahead = 0) const;
+  const Token &cur() const { return peek(0); }
+  Token advance();
+  bool check(TokKind K) const { return cur().Kind == K; }
+  bool accept(TokKind K);
+  Token expect(TokKind K, const char *Context);
+  void error(const std::string &Msg);
+  void syncToStmtBoundary();
+
+  // Items.
+  void parseIoDecl(Module &M);
+  void parseStaticDecl(Module &M);
+  void parseFnDecl(Module &M);
+  Type parseType();
+
+  // Statements.
+  std::vector<StmtPtr> parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseLet();
+  StmtPtr parseIf();
+  StmtPtr parseFor();
+  StmtPtr parseAnnot();
+  StmtPtr parseOutput(OutputKind K);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseLogicalOr();
+  ExprPtr parseLogicalAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseBitOr();
+  ExprPtr parseBitXor();
+  ExprPtr parseBitAnd();
+  ExprPtr parseShift();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Toks;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_FRONTEND_PARSER_H

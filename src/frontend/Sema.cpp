@@ -1,0 +1,547 @@
+//===- Sema.cpp - OCL semantic checks ------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace ocelot;
+
+namespace {
+
+struct VarInfo {
+  Type Ty = Type::Int;
+  bool IsArray = false;
+  bool IsStatic = false;
+  /// Parameters and loop variables cannot have their address taken (only
+  /// let-bound locals and statics can back a reference).
+  bool NoAddr = false;
+};
+
+struct FnSig {
+  std::vector<Type> Params;
+  Type Ret = Type::Unit;
+  const FnDecl *Decl = nullptr;
+};
+
+class SemaChecker {
+public:
+  SemaChecker(const Module &M, DiagnosticEngine &Diags) : M(M), Diags(Diags) {}
+
+  bool run() {
+    collectTopLevel();
+    if (Diags.hasErrors())
+      return false;
+    for (const FnDecl &F : M.Functions)
+      checkFunction(F);
+    checkNoRecursion();
+    if (!Funcs.count("main"))
+      Diags.error({}, "program has no 'main' function");
+    else if (!Funcs["main"].Params.empty())
+      Diags.error(Funcs["main"].Decl->Loc, "'main' must take no parameters");
+    return !Diags.hasErrors();
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) { Diags.error(Loc, Msg); }
+
+  void collectTopLevel() {
+    for (const IoDecl &Io : M.Ios)
+      for (const std::string &Name : Io.Names)
+        if (!Sensors.insert(Name).second)
+          error(Io.Loc, "duplicate io declaration '" + Name + "'");
+    for (const StaticDecl &S : M.Statics) {
+      if (Sensors.count(S.Name) || Statics.count(S.Name)) {
+        error(S.Loc, "duplicate top-level name '" + S.Name + "'");
+        continue;
+      }
+      VarInfo V;
+      V.Ty = Type::Int;
+      V.IsArray = S.IsArray;
+      V.IsStatic = true;
+      Statics[S.Name] = V;
+      if (S.IsArray && S.ArraySize <= 0)
+        error(S.Loc, "static array '" + S.Name + "' must have positive size");
+    }
+    for (const FnDecl &F : M.Functions) {
+      if (Sensors.count(F.Name) || Statics.count(F.Name) ||
+          Funcs.count(F.Name)) {
+        error(F.Loc, "duplicate top-level name '" + F.Name + "'");
+        continue;
+      }
+      FnSig Sig;
+      Sig.Ret = F.RetTy;
+      Sig.Decl = &F;
+      std::set<std::string> ParamNames;
+      for (const ParamDecl &P : F.Params) {
+        Sig.Params.push_back(P.Ty);
+        if (!ParamNames.insert(P.Name).second)
+          error(P.Loc, "duplicate parameter '" + P.Name + "' in " + F.Name);
+      }
+      Funcs[F.Name] = std::move(Sig);
+    }
+  }
+
+  // -- Scopes --------------------------------------------------------------
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declare(SourceLoc Loc, const std::string &Name, VarInfo Info) {
+    for (const auto &Scope : Scopes)
+      if (Scope.count(Name)) {
+        error(Loc, "redeclaration of '" + Name +
+                       "' (OCL disallows shadowing for analysis clarity)");
+        return false;
+      }
+    if (Statics.count(Name)) {
+      error(Loc, "local '" + Name + "' shadows a static");
+      return false;
+    }
+    Scopes.back()[Name] = Info;
+    return true;
+  }
+
+  const VarInfo *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    auto St = Statics.find(Name);
+    return St == Statics.end() ? nullptr : &St->second;
+  }
+
+  // -- Expressions -----------------------------------------------------------
+
+  /// Type-checks \p E and returns its type; reports and returns Int on error
+  /// to limit cascades.
+  Type checkExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Type::Int;
+    case ExprKind::BoolLit:
+      return Type::Bool;
+    case ExprKind::Var: {
+      const VarInfo *V = lookup(E.Name);
+      if (!V) {
+        error(E.Loc, "use of undeclared variable '" + E.Name + "'");
+        return Type::Int;
+      }
+      if (V->IsArray) {
+        error(E.Loc, "array '" + E.Name + "' used as a scalar");
+        return Type::Int;
+      }
+      return V->Ty;
+    }
+    case ExprKind::Unary: {
+      Type T = checkExpr(*E.Children[0]);
+      switch (E.UnOp) {
+      case AstUnOp::Neg:
+      case AstUnOp::BitNot:
+        if (T != Type::Int)
+          error(E.Loc, "arithmetic negation requires an int operand");
+        return Type::Int;
+      case AstUnOp::LogNot:
+        if (T != Type::Bool)
+          error(E.Loc, "'!' requires a bool operand");
+        return Type::Bool;
+      case AstUnOp::Deref:
+        if (T != Type::Ref)
+          error(E.Loc, "'*' requires a reference parameter");
+        return Type::Int;
+      }
+      return Type::Int;
+    }
+    case ExprKind::Binary: {
+      Type L = checkExpr(*E.Children[0]);
+      Type R = checkExpr(*E.Children[1]);
+      switch (E.BinKind) {
+      case BinOp::LAnd:
+      case BinOp::LOr:
+        if (L != Type::Bool || R != Type::Bool)
+          error(E.Loc, "logical operator requires bool operands");
+        return Type::Bool;
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (L != R)
+          error(E.Loc, "comparison of mismatched types");
+        return Type::Bool;
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (L != Type::Int || R != Type::Int)
+          error(E.Loc, "ordering comparison requires int operands");
+        return Type::Bool;
+      default:
+        if (L != Type::Int || R != Type::Int)
+          error(E.Loc, "arithmetic requires int operands");
+        return Type::Int;
+      }
+    }
+    case ExprKind::Call:
+      return checkCall(E);
+    case ExprKind::Index: {
+      const VarInfo *V = lookup(E.Name);
+      if (!V)
+        error(E.Loc, "use of undeclared array '" + E.Name + "'");
+      else if (!V->IsArray)
+        error(E.Loc, "'" + E.Name + "' is not an array");
+      if (checkExpr(*E.Children[0]) != Type::Int)
+        error(E.Loc, "array index must be an int");
+      return Type::Int;
+    }
+    case ExprKind::AddrOf:
+      error(E.Loc, "'&" + E.Name +
+                       "' may only appear directly as a call argument "
+                       "(references are created at call sites)");
+      return Type::Ref;
+    }
+    return Type::Int;
+  }
+
+  Type checkCall(const Expr &E) {
+    if (Sensors.count(E.Name)) {
+      if (!E.Children.empty())
+        error(E.Loc, "sensor '" + E.Name + "' takes no arguments");
+      return Type::Int;
+    }
+    auto It = Funcs.find(E.Name);
+    if (It == Funcs.end()) {
+      error(E.Loc, "call to unknown function '" + E.Name + "'");
+      return Type::Int;
+    }
+    const FnSig &Sig = It->second;
+    if (E.Children.size() != Sig.Params.size()) {
+      error(E.Loc, "wrong number of arguments to '" + E.Name + "'");
+      return Sig.Ret;
+    }
+    for (size_t I = 0; I < E.Children.size(); ++I) {
+      const Expr &Arg = *E.Children[I];
+      if (Sig.Params[I] == Type::Ref) {
+        if (Arg.Kind != ExprKind::AddrOf) {
+          error(Arg.Loc, "parameter " + std::to_string(I + 1) + " of '" +
+                             E.Name + "' expects a reference argument '&x'");
+          continue;
+        }
+        const VarInfo *V = lookup(Arg.Name);
+        if (!V)
+          error(Arg.Loc, "use of undeclared variable '&" + Arg.Name + "'");
+        else if (V->IsArray)
+          error(Arg.Loc, "cannot take a reference to array '" + Arg.Name +
+                             "'");
+        else if (V->Ty == Type::Ref)
+          error(Arg.Loc,
+                "cannot re-borrow reference parameter '" + Arg.Name +
+                    "' (OCL references may not be forwarded; pass the "
+                    "underlying data instead)");
+        else if (V->NoAddr)
+          error(Arg.Loc, "cannot take the address of parameter or loop "
+                         "variable '" +
+                             Arg.Name + "'");
+      } else {
+        if (Arg.Kind == ExprKind::AddrOf) {
+          error(Arg.Loc, "parameter " + std::to_string(I + 1) + " of '" +
+                             E.Name + "' expects a value, not a reference");
+          continue;
+        }
+        Type T = checkExpr(Arg);
+        if (T != Sig.Params[I])
+          error(Arg.Loc, "argument type mismatch calling '" + E.Name + "'");
+      }
+    }
+    return Sig.Ret;
+  }
+
+  // -- Statements --------------------------------------------------------------
+
+  void checkStmts(const std::vector<StmtPtr> &Stmts) {
+    for (const StmtPtr &S : Stmts)
+      checkStmt(*S);
+  }
+
+  void checkStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Let: {
+      VarInfo V;
+      if (S.IsArray) {
+        V.IsArray = true;
+        if (S.ArraySize <= 0)
+          error(S.Loc, "array '" + S.Name + "' must have positive size");
+      } else {
+        V.Ty = checkExpr(*S.Init);
+        if (V.Ty == Type::Ref)
+          error(S.Loc, "cannot bind a reference in a let");
+        if (V.Ty == Type::Unit)
+          error(S.Loc, "cannot bind the result of a unit function");
+      }
+      declare(S.Loc, S.Name, V);
+      if (S.IsConsistent && S.ConsistentSet < 0)
+        error(S.Loc, "consistent set id must be non-negative");
+      break;
+    }
+    case StmtKind::Assign: {
+      switch (S.Target) {
+      case AssignTarget::Var: {
+        const VarInfo *V = lookup(S.Name);
+        if (!V) {
+          error(S.Loc, "assignment to undeclared variable '" + S.Name + "'");
+          break;
+        }
+        if (V->IsArray) {
+          error(S.Loc, "cannot assign whole array '" + S.Name + "'");
+          break;
+        }
+        if (V->Ty == Type::Ref) {
+          error(S.Loc, "cannot reassign reference parameter '" + S.Name +
+                           "'");
+          break;
+        }
+        Type T = checkExpr(*S.Value);
+        if (T != V->Ty)
+          error(S.Loc, "assignment type mismatch for '" + S.Name + "'");
+        break;
+      }
+      case AssignTarget::Index: {
+        const VarInfo *V = lookup(S.Name);
+        if (!V)
+          error(S.Loc, "assignment to undeclared array '" + S.Name + "'");
+        else if (!V->IsArray)
+          error(S.Loc, "'" + S.Name + "' is not an array");
+        if (checkExpr(*S.IndexExpr) != Type::Int)
+          error(S.Loc, "array index must be an int");
+        if (checkExpr(*S.Value) != Type::Int)
+          error(S.Loc, "array element assignment requires an int value");
+        break;
+      }
+      case AssignTarget::Deref: {
+        const VarInfo *V = lookup(S.Name);
+        if (!V)
+          error(S.Loc, "assignment through undeclared reference '" + S.Name +
+                           "'");
+        else if (V->Ty != Type::Ref)
+          error(S.Loc, "'*" + S.Name + "' requires a reference parameter");
+        if (checkExpr(*S.Value) != Type::Int)
+          error(S.Loc, "reference assignment requires an int value");
+        break;
+      }
+      }
+      break;
+    }
+    case StmtKind::If:
+      if (checkExpr(*S.Cond) != Type::Bool)
+        error(S.Loc, "if condition must be a bool");
+      pushScope();
+      checkStmts(S.Then);
+      popScope();
+      pushScope();
+      checkStmts(S.Else);
+      popScope();
+      break;
+    case StmtKind::For: {
+      if (S.LoopLo > S.LoopHi)
+        error(S.Loc, "for loop lower bound exceeds upper bound");
+      if (S.LoopHi - S.LoopLo > 4096)
+        error(S.Loc, "for loop spans more than 4096 iterations; OCL loops "
+                     "are unrolled and must be small");
+      pushScope();
+      declare(S.Loc, S.Name, VarInfo{Type::Int, false, false, true});
+      ++LoopDepth;
+      checkStmts(S.Body);
+      --LoopDepth;
+      popScope();
+      break;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      if (LoopDepth == 0)
+        error(S.Loc, "break/continue outside of a loop");
+      break;
+    case StmtKind::Return: {
+      if (AtomicDepth > 0)
+        error(S.Loc, "return inside 'atomic { }' is not permitted (regions "
+                     "must be entered and exited on every path)");
+      Type Want = CurFn->RetTy;
+      if (S.Value2) {
+        Type Got = checkExpr(*S.Value2);
+        if (Want == Type::Unit)
+          error(S.Loc, "unit function returns a value");
+        else if (Got != Want)
+          error(S.Loc, "return type mismatch");
+      } else if (Want != Type::Unit) {
+        error(S.Loc, "non-unit function must return a value");
+      }
+      break;
+    }
+    case StmtKind::ExprStmt: {
+      if (S.Value2->Kind != ExprKind::Call)
+        error(S.Loc, "expression statement must be a call");
+      else
+        checkExpr(*S.Value2);
+      break;
+    }
+    case StmtKind::Atomic: {
+      // Loops enclosing the atomic block must not be escaped from inside it;
+      // reset the loop depth so break/continue require a loop opened within
+      // the region.
+      int SavedLoopDepth = LoopDepth;
+      LoopDepth = 0;
+      ++AtomicDepth;
+      pushScope();
+      checkStmts(S.Body);
+      popScope();
+      --AtomicDepth;
+      LoopDepth = SavedLoopDepth;
+      break;
+    }
+    case StmtKind::Annot: {
+      const VarInfo *V = lookup(S.Name);
+      if (!V)
+        error(S.Loc, "annotation names undeclared variable '" + S.Name + "'");
+      else if (V->IsArray)
+        error(S.Loc, "annotations apply to scalar variables, not arrays");
+      if (S.AnnotConsistent && S.AnnotSet < 0)
+        error(S.Loc, "consistent set id must be non-negative");
+      break;
+    }
+    case StmtKind::Output:
+      for (const ExprPtr &Arg : S.OutArgs)
+        checkExpr(*Arg);
+      break;
+    case StmtKind::Block:
+      pushScope();
+      checkStmts(S.Body);
+      popScope();
+      break;
+    }
+  }
+
+  /// Conservative all-paths-return analysis: a statement list returns if any
+  /// statement definitely returns; if/else returns when both arms do.
+  bool stmtsReturn(const std::vector<StmtPtr> &Stmts) {
+    for (const StmtPtr &S : Stmts) {
+      switch (S->Kind) {
+      case StmtKind::Return:
+        return true;
+      case StmtKind::If:
+        if (!S->Else.empty() && stmtsReturn(S->Then) && stmtsReturn(S->Else))
+          return true;
+        break;
+      case StmtKind::Atomic:
+      case StmtKind::Block:
+        if (stmtsReturn(S->Body))
+          return true;
+        break;
+      default:
+        break;
+      }
+    }
+    return false;
+  }
+
+  void checkFunction(const FnDecl &F) {
+    CurFn = &F;
+    LoopDepth = 0;
+    Scopes.clear();
+    pushScope();
+    for (const ParamDecl &P : F.Params)
+      declare(P.Loc, P.Name, VarInfo{P.Ty, false, false, true});
+    checkStmts(F.Body);
+    if (F.RetTy != Type::Unit && !stmtsReturn(F.Body))
+      error(F.Loc, "function '" + F.Name + "' may fall off the end without "
+                                           "returning a value");
+    popScope();
+    CurFn = nullptr;
+  }
+
+  // -- Recursion -----------------------------------------------------------
+
+  void collectCalls(const Expr &E, std::set<std::string> &Out) {
+    if (E.Kind == ExprKind::Call && Funcs.count(E.Name))
+      Out.insert(E.Name);
+    for (const ExprPtr &C : E.Children)
+      collectCalls(*C, Out);
+  }
+
+  void collectCalls(const std::vector<StmtPtr> &Stmts,
+                    std::set<std::string> &Out) {
+    for (const StmtPtr &S : Stmts) {
+      if (S->Init)
+        collectCalls(*S->Init, Out);
+      if (S->IndexExpr)
+        collectCalls(*S->IndexExpr, Out);
+      if (S->Value)
+        collectCalls(*S->Value, Out);
+      if (S->Cond)
+        collectCalls(*S->Cond, Out);
+      if (S->Value2)
+        collectCalls(*S->Value2, Out);
+      for (const ExprPtr &A : S->OutArgs)
+        collectCalls(*A, Out);
+      collectCalls(S->Then, Out);
+      collectCalls(S->Else, Out);
+      collectCalls(S->Body, Out);
+    }
+  }
+
+  /// Rejects recursion (direct or mutual), which the paper's systems
+  /// disallow (§4.1) and region inference relies on.
+  void checkNoRecursion() {
+    std::map<std::string, std::set<std::string>> Calls;
+    for (const FnDecl &F : M.Functions)
+      collectCalls(F.Body, Calls[F.Name]);
+    // Iterative DFS with colors.
+    std::map<std::string, int> Color; // 0 white, 1 grey, 2 black.
+    for (const FnDecl &F : M.Functions) {
+      if (Color[F.Name])
+        continue;
+      std::vector<std::pair<std::string, bool>> Stack = {{F.Name, false}};
+      while (!Stack.empty()) {
+        auto [Name, Done] = Stack.back();
+        Stack.pop_back();
+        if (Done) {
+          Color[Name] = 2;
+          continue;
+        }
+        if (Color[Name] == 2)
+          continue;
+        if (Color[Name] == 1)
+          continue;
+        Color[Name] = 1;
+        Stack.push_back({Name, true});
+        for (const std::string &Callee : Calls[Name]) {
+          if (Color[Callee] == 1) {
+            error(Funcs[Callee].Decl->Loc,
+                  "recursion involving '" + Callee +
+                      "' is not permitted in intermittent programs");
+            return;
+          }
+          if (Color[Callee] == 0)
+            Stack.push_back({Callee, false});
+        }
+      }
+    }
+  }
+
+  const Module &M;
+  DiagnosticEngine &Diags;
+  std::set<std::string> Sensors;
+  std::map<std::string, VarInfo> Statics;
+  std::map<std::string, FnSig> Funcs;
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+  const FnDecl *CurFn = nullptr;
+  int LoopDepth = 0;
+  int AtomicDepth = 0;
+};
+
+} // namespace
+
+bool ocelot::checkModule(const Module &M, DiagnosticEngine &Diags) {
+  return SemaChecker(M, Diags).run();
+}

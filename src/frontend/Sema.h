@@ -1,0 +1,29 @@
+//===- Sema.h - OCL semantic checks -----------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for OCL. Enforces the restrictions the paper's formal
+/// system relies on: no recursion, references created only at call sites
+/// (ownership — the Rust property §3.3 leans on), annotations name declared
+/// variables, bounded loops, and ordinary type/scope rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FRONTEND_SEMA_H
+#define OCELOT_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace ocelot {
+
+/// Checks \p M; reports problems to \p Diags.
+/// \returns true when the module is semantically valid.
+bool checkModule(const Module &M, DiagnosticEngine &Diags);
+
+} // namespace ocelot
+
+#endif // OCELOT_FRONTEND_SEMA_H

@@ -1,0 +1,94 @@
+//===- Token.h - OCL lexical tokens -----------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FRONTEND_TOKEN_H
+#define OCELOT_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ocelot {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwFn,
+  KwLet,
+  KwFresh,      // 'fresh' in let bindings
+  KwConsistent, // 'consistent' in let bindings
+  KwFreshAnnot,      // 'Fresh' standalone annotation
+  KwConsistentAnnot, // 'Consistent' standalone annotation
+  KwFreshConsistentAnnot, // 'FreshConsistent': both at once (Tire, Fig. 9)
+  KwIf,
+  KwElse,
+  KwFor,
+  KwIn,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwAtomic,
+  KwIo,
+  KwStatic,
+  KwTrue,
+  KwFalse,
+  KwLog,
+  KwAlarm,
+  KwSend,
+  KwUart,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Arrow,   // ->
+  DotDot,  // ..
+  Amp,     // &
+  AmpAmp,  // &&
+  Pipe,    // |
+  PipePipe,// ||
+  Caret,   // ^
+  Bang,    // !
+  Tilde,   // ~
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Shl, // <<
+  Shr, // >>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,// -=
+  StarAssign, // *=
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;  ///< Identifier spelling.
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+};
+
+const char *tokKindName(TokKind K);
+
+} // namespace ocelot
+
+#endif // OCELOT_FRONTEND_TOKEN_H

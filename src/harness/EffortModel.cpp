@@ -1,0 +1,52 @@
+//===- EffortModel.cpp - Programmer-effort LoC models ----------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/EffortModel.h"
+
+using namespace ocelot;
+
+EffortInputs ocelot::effortInputs(const CompileResult &Annotated,
+                                  const CompileResult &AtomicsBuild) {
+  EffortInputs E;
+  E.Annotated = Annotated.Effort;
+  E.Atomics = AtomicsBuild.Effort;
+  E.FreshPolicies = static_cast<int>(Annotated.Policies.Fresh.size());
+  E.ConsistentSets = static_cast<int>(Annotated.Policies.Consistent.size());
+  E.ConsistentVars = Annotated.Effort.ConsistentAnnots +
+                     Annotated.Effort.FreshConsistentAnnots;
+  return E;
+}
+
+int ocelot::ocelotLoc(const EffortInputs &E) {
+  // One line per declared input + one line per annotated datum
+  // (FreshConsistent is a single source line annotating one datum).
+  int AnnotatedData = E.Annotated.FreshAnnots + E.Annotated.ConsistentAnnots +
+                      E.Annotated.FreshConsistentAnnots;
+  return E.Annotated.IoDeclNames + AnnotatedData;
+}
+
+int ocelot::atomicsLoc(const EffortInputs &E) {
+  // Inputs must still be declared (undo logging backs up EMW sets), plus
+  // region start/end per manually placed region.
+  return E.Atomics.IoDeclNames + 2 * E.Atomics.ManualRegions;
+}
+
+int ocelot::ticsLoc(const EffortInputs &E) {
+  int FreshData =
+      E.Annotated.FreshAnnots + E.Annotated.FreshConsistentAnnots;
+  int ConsistentVars = E.ConsistentVars;
+  // 3 LoC (expiry, alignment, check) + 5-line handler per fresh datum;
+  // 2 LoC per consistent variable + one check and handler per set.
+  return 3 * FreshData + 5 * FreshData + 2 * ConsistentVars +
+         (1 + 5) * E.ConsistentSets;
+}
+
+int ocelot::samoyedLoc(const EffortInputs &E) {
+  // Each manual region becomes an atomic function: signature + callsite
+  // restructuring (3) + one parameter on average (1); loops need a scaling
+  // rule (3) and a software fallback (5).
+  return 4 * E.Atomics.ManualRegions + 8 * E.Atomics.ManualRegionsWithLoops;
+}

@@ -1,0 +1,51 @@
+//===- EffortModel.h - Programmer-effort LoC models --------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §7.4 analytic models of the lines of code needed to obtain
+/// correct input timing under each system (Tables 3 and 4), evaluated over
+/// our benchmark sources' annotation counts:
+///
+///   Ocelot  = (num declared inputs) + (num annotated data)
+///   JIT     = 0 (and incorrect)
+///   Atomics = (num declared inputs) + 2 * (num atomic regions)
+///   TICS    = 3 * fresh data + 5-line handler per fresh datum
+///           + 2 * consistent vars + (1 check + 5-line handler) per set
+///   Samoyed = per atomic function: 3 (signature + callsite) + 1 per
+///             parameter, + 3 (scaling rule) + 5 (fallback) when the
+///             function contains a loop
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_HARNESS_EFFORTMODEL_H
+#define OCELOT_HARNESS_EFFORTMODEL_H
+
+#include "ocelot/Compiler.h"
+
+namespace ocelot {
+
+/// Inputs to the effort model for one benchmark: the annotated build (for
+/// annotation counts and policy sets) and the manually regioned build (for
+/// Atomics/Samoyed region counts).
+struct EffortInputs {
+  EffortStats Annotated;
+  EffortStats Atomics;
+  int FreshPolicies = 0;
+  int ConsistentSets = 0;
+  int ConsistentVars = 0; ///< Source-level consistent annotations.
+};
+
+EffortInputs effortInputs(const CompileResult &Annotated,
+                          const CompileResult &AtomicsBuild);
+
+int ocelotLoc(const EffortInputs &E);
+int atomicsLoc(const EffortInputs &E);
+int ticsLoc(const EffortInputs &E);
+int samoyedLoc(const EffortInputs &E);
+
+} // namespace ocelot
+
+#endif // OCELOT_HARNESS_EFFORTMODEL_H

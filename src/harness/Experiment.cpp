@@ -1,0 +1,146 @@
+//===- Experiment.cpp - Shared evaluation harness --------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ocelot;
+
+CompiledBenchmark ocelot::compileBenchmark(const BenchmarkDef &B,
+                                           ExecModel Model) {
+  CompiledBenchmark CB;
+  CB.Name = B.Name;
+  CB.Model = Model;
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = Model;
+  // Checker mode (§8) validates manual placement, so it gets the manually
+  // regioned source, as does the Atomics-only build.
+  bool WantManualRegions =
+      Model == ExecModel::AtomicsOnly || Model == ExecModel::CheckOnly;
+  const char *Src = WantManualRegions ? B.AtomicsSrc : B.AnnotatedSrc;
+  CB.R = compileSource(Src, Opts, Diags);
+  if (!CB.R.Ok) {
+    std::fprintf(stderr, "failed to compile benchmark %s under %s:\n%s\n",
+                 B.Name.c_str(), execModelName(Model), Diags.str().c_str());
+    std::abort();
+  }
+  return CB;
+}
+
+std::set<InstrRef> ocelot::pathologicalPoints(const CompileResult &R) {
+  std::set<InstrRef> Points;
+  for (const auto &[Use, Sensors] : R.Monitor.UseChecks)
+    Points.insert(Use);
+  for (const ConsistentSetPlan &SP : R.Monitor.Sets)
+    for (size_t M = 1; M < SP.Members.size(); ++M)
+      Points.insert(SP.Members[M].back());
+  return Points;
+}
+
+ContinuousMetrics ocelot::measureContinuous(const CompiledBenchmark &CB,
+                                            const BenchmarkDef &B, int Runs,
+                                            uint64_t Seed) {
+  Environment Env;
+  B.setupEnvironment(Env, Seed);
+  RunConfig Cfg;
+  Cfg.Seed = Seed;
+  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+
+  ContinuousMetrics M;
+  uint64_t Total = 0;
+  for (int Run = 0; Run < Runs; ++Run) {
+    RunResult R = I.runOnce();
+    if (!R.Completed) {
+      std::fprintf(stderr, "continuous run of %s failed: %s\n",
+                   CB.Name.c_str(), R.Trap.c_str());
+      std::abort();
+    }
+    Total += R.OnCycles;
+    ++M.Runs;
+  }
+  M.CyclesPerRun =
+      M.Runs ? static_cast<double>(Total) / static_cast<double>(M.Runs) : 0;
+  return M;
+}
+
+IntermittentMetrics ocelot::measureIntermittent(const CompiledBenchmark &CB,
+                                                const BenchmarkDef &B,
+                                                const EnergyConfig &Energy,
+                                                uint64_t TauBudget,
+                                                uint64_t Seed, bool Monitors) {
+  Environment Env;
+  B.setupEnvironment(Env, Seed);
+  RunConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.Energy = Energy;
+  Cfg.MonitorBitVector = Monitors;
+  Cfg.MonitorFormal = Monitors;
+  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+
+  IntermittentMetrics M;
+  uint64_t On = 0, Off = 0, Reboots = 0;
+  while (I.tau() < TauBudget) {
+    RunResult R = I.runOnce();
+    if (R.Starved) {
+      M.Starved = true;
+      break;
+    }
+    if (!R.Completed) {
+      std::fprintf(stderr, "intermittent run of %s failed: %s\n",
+                   CB.Name.c_str(), R.Trap.c_str());
+      std::abort();
+    }
+    On += R.OnCycles;
+    Off += R.OffCycles;
+    Reboots += R.Reboots;
+    ++M.CompletedRuns;
+    if (R.ViolatedFresh || R.ViolatedConsistent)
+      ++M.ViolatingRuns;
+  }
+  if (M.CompletedRuns) {
+    double N = static_cast<double>(M.CompletedRuns);
+    M.OnCyclesPerRun = static_cast<double>(On) / N;
+    M.OffCyclesPerRun = static_cast<double>(Off) / N;
+    M.RebootsPerRun = static_cast<double>(Reboots) / N;
+  }
+  return M;
+}
+
+double ocelot::pathologicalViolationPct(const CompiledBenchmark &CB,
+                                        const BenchmarkDef &B, int Runs,
+                                        uint64_t Seed) {
+  Environment Env;
+  B.setupEnvironment(Env, Seed);
+  RunConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(CB.R));
+  // Long, environment-shifting off times so staleness is observable.
+  Cfg.Plan.setOffTime(20000, 200000);
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+
+  int Violating = 0;
+  int Completed = 0;
+  for (int Run = 0; Run < Runs; ++Run) {
+    RunResult R = I.runOnce();
+    if (!R.Completed) {
+      std::fprintf(stderr, "pathological run of %s failed: %s\n",
+                   CB.Name.c_str(), R.Trap.c_str());
+      std::abort();
+    }
+    ++Completed;
+    if (R.ViolatedFresh || R.ViolatedConsistent)
+      ++Violating;
+  }
+  return Completed ? static_cast<double>(Violating) /
+                         static_cast<double>(Completed)
+                   : 0.0;
+}

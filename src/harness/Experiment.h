@@ -1,0 +1,82 @@
+//===- Experiment.h - Shared evaluation harness ------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the paper's evaluation (§7): compile a benchmark
+/// under an execution model, run it continuously or intermittently, and
+/// aggregate runtime / correctness metrics. Each bench/ binary regenerates
+/// one table or figure on top of this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_HARNESS_EXPERIMENT_H
+#define OCELOT_HARNESS_EXPERIMENT_H
+
+#include "apps/Benchmarks.h"
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <set>
+#include <string>
+
+namespace ocelot {
+
+/// A benchmark compiled under one execution model.
+struct CompiledBenchmark {
+  std::string Name;
+  ExecModel Model = ExecModel::Ocelot;
+  CompileResult R;
+};
+
+/// Compiles \p B under \p Model (the Atomics-only model uses the manually
+/// regioned source). Aborts the process with a message on compile failure —
+/// benches treat the benchmarks as trusted inputs.
+CompiledBenchmark compileBenchmark(const BenchmarkDef &B, ExecModel Model);
+
+/// The §7.3 pathological failure points of a compiled benchmark: every use
+/// of a fresh variable and every non-first member of each consistent set.
+std::set<InstrRef> pathologicalPoints(const CompileResult &R);
+
+/// Average cycles per completed run on continuous power.
+struct ContinuousMetrics {
+  double CyclesPerRun = 0;
+  uint64_t Runs = 0;
+};
+ContinuousMetrics measureContinuous(const CompiledBenchmark &CB,
+                                    const BenchmarkDef &B, int Runs,
+                                    uint64_t Seed);
+
+/// Intermittent execution over a fixed simulated-time budget.
+struct IntermittentMetrics {
+  double OnCyclesPerRun = 0;
+  double OffCyclesPerRun = 0;
+  double RebootsPerRun = 0;
+  uint64_t CompletedRuns = 0;
+  uint64_t ViolatingRuns = 0; ///< Completed runs containing any violation.
+  bool Starved = false;
+
+  double violationPct() const {
+    return CompletedRuns == 0
+               ? 0.0
+               : static_cast<double>(ViolatingRuns) /
+                     static_cast<double>(CompletedRuns);
+  }
+};
+IntermittentMetrics measureIntermittent(const CompiledBenchmark &CB,
+                                        const BenchmarkDef &B,
+                                        const EnergyConfig &Energy,
+                                        uint64_t TauBudget, uint64_t Seed,
+                                        bool Monitors);
+
+/// Table 2(a): fraction of runs violating any policy under pathological
+/// failure injection.
+double pathologicalViolationPct(const CompiledBenchmark &CB,
+                                const BenchmarkDef &B, int Runs,
+                                uint64_t Seed);
+
+} // namespace ocelot
+
+#endif // OCELOT_HARNESS_EXPERIMENT_H

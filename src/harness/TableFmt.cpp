@@ -1,0 +1,68 @@
+//===- TableFmt.cpp - Fixed-width table output ----------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/TableFmt.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ocelot;
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Headers);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : "";
+      Cell.resize(Widths[I], ' ');
+      Line += Cell;
+      if (I + 1 != Widths.size())
+        Line += "  ";
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = Emit(Headers);
+  std::string Rule;
+  for (size_t I = 0; I < Widths.size(); ++I) {
+    Rule += std::string(Widths[I], '-');
+    if (I + 1 != Widths.size())
+      Rule += "  ";
+  }
+  Out += Rule + "\n";
+  for (const auto &Row : Rows)
+    Out += Emit(Row);
+  return Out;
+}
+
+std::string ocelot::fmt(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+std::string ocelot::fmtPct(double Fraction, int Precision) {
+  return fmt(Fraction * 100.0, Precision) + "%";
+}
+
+double ocelot::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

@@ -1,0 +1,39 @@
+//===- TableFmt.h - Fixed-width table output --------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_HARNESS_TABLEFMT_H
+#define OCELOT_HARNESS_TABLEFMT_H
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// A simple fixed-width text table: headers, rows, auto-sized columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  std::string str() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Precision fractional digits.
+std::string fmt(double V, int Precision = 2);
+std::string fmtPct(double Fraction, int Precision = 0);
+
+/// Geometric mean of a non-empty vector of positive ratios.
+double geomean(const std::vector<double> &Values);
+
+} // namespace ocelot
+
+#endif // OCELOT_HARNESS_TABLEFMT_H

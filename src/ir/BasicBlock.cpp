@@ -1,0 +1,32 @@
+//===- BasicBlock.cpp - Ocelot IR basic block ------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+const Instruction &BasicBlock::terminator() const {
+  assert(hasTerminator() && "block has no terminator");
+  return Instrs.back();
+}
+
+std::vector<int> BasicBlock::successors() const {
+  if (!hasTerminator())
+    return {};
+  const Instruction &T = Instrs.back();
+  switch (T.Op) {
+  case Opcode::Br:
+    return {T.Target};
+  case Opcode::CondBr:
+    return {T.Target, T.Target2};
+  case Opcode::Ret:
+    return {};
+  default:
+    return {};
+  }
+}

@@ -1,0 +1,54 @@
+//===- BasicBlock.h - Ocelot IR basic block ---------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_BASICBLOCK_H
+#define OCELOT_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+class Function;
+
+/// A straight-line sequence of instructions ending in a terminator. Block
+/// ids index into the parent function's block table and are the targets of
+/// branch instructions.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, int Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *parent() const { return Parent; }
+  int id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  std::vector<Instruction> &instructions() { return Instrs; }
+  const std::vector<Instruction> &instructions() const { return Instrs; }
+
+  bool empty() const { return Instrs.empty(); }
+  size_t size() const { return Instrs.size(); }
+
+  const Instruction &terminator() const;
+  bool hasTerminator() const {
+    return !Instrs.empty() && Instrs.back().isTerminator();
+  }
+
+  /// Successor block ids in CFG order (true target first for CondBr).
+  std::vector<int> successors() const;
+
+private:
+  Function *Parent;
+  int Id;
+  std::string Name;
+  std::vector<Instruction> Instrs;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_BASICBLOCK_H

@@ -1,0 +1,34 @@
+//===- Function.cpp - Ocelot IR function ------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace ocelot;
+
+BasicBlock *Function::addBlock(std::string BName) {
+  int BlockId = static_cast<int>(Blocks.size());
+  Blocks.push_back(
+      std::make_unique<BasicBlock>(this, BlockId, std::move(BName)));
+  return Blocks.back().get();
+}
+
+std::vector<std::vector<int>> Function::computePredecessors() const {
+  std::vector<std::vector<int>> Preds(Blocks.size());
+  for (const auto &BB : Blocks)
+    for (int Succ : BB->successors())
+      Preds[Succ].push_back(BB->id());
+  return Preds;
+}
+
+InstrPos Function::findLabel(uint32_t Label) const {
+  for (const auto &BB : Blocks) {
+    const auto &Instrs = BB->instructions();
+    for (size_t I = 0, E = Instrs.size(); I != E; ++I)
+      if (Instrs[I].Label == Label)
+        return {BB->id(), static_cast<int>(I)};
+  }
+  return {};
+}

@@ -1,0 +1,108 @@
+//===- Function.h - Ocelot IR function --------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_FUNCTION_H
+#define OCELOT_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Where an instruction lives inside a function: block id plus index within
+/// the block. Positions are invalidated by insertion; label-based InstrRefs
+/// are not.
+struct InstrPos {
+  int Block = -1;
+  int Index = -1;
+
+  bool isValid() const { return Block >= 0; }
+  bool operator==(const InstrPos &O) const {
+    return Block == O.Block && Index == O.Index;
+  }
+};
+
+/// An IR function: parameters (scalar by value, or references to globals),
+/// virtual register file size, and a list of basic blocks. Block 0 is the
+/// entry block. Parameters occupy registers [0, numParams).
+class Function {
+public:
+  Function(std::string Name, int Id) : Name(std::move(Name)), Id(Id) {}
+
+  const std::string &name() const { return Name; }
+  int id() const { return Id; }
+
+  // -- Parameters --------------------------------------------------------
+  /// Adds a parameter; returns its register index. \p IsRef marks reference
+  /// parameters (callee may LoadInd/StoreInd through them).
+  int addParam(std::string PName, bool IsRef) {
+    ParamNames.push_back(std::move(PName));
+    ParamIsRef.push_back(IsRef);
+    if (static_cast<int>(ParamNames.size()) > NumRegsCount)
+      NumRegsCount = static_cast<int>(ParamNames.size());
+    return static_cast<int>(ParamNames.size()) - 1;
+  }
+  int numParams() const { return static_cast<int>(ParamNames.size()); }
+  const std::string &paramName(int I) const { return ParamNames[I]; }
+  bool paramIsRef(int I) const { return ParamIsRef[I]; }
+
+  bool hasReturnValue() const { return HasReturnValue; }
+  void setHasReturnValue(bool V) { HasReturnValue = V; }
+
+  // -- Registers ---------------------------------------------------------
+  int newReg() { return NumRegsCount++; }
+  int numRegs() const { return NumRegsCount; }
+
+  // -- Labels ------------------------------------------------------------
+  uint32_t nextLabel() { return ++LabelCounter; }
+  uint32_t labelCounter() const { return LabelCounter; }
+
+  // -- Blocks ------------------------------------------------------------
+  BasicBlock *addBlock(std::string BName);
+  BasicBlock *block(int Id) { return Blocks[Id].get(); }
+  const BasicBlock *block(int Id) const { return Blocks[Id].get(); }
+  int numBlocks() const { return static_cast<int>(Blocks.size()); }
+  BasicBlock *entry() { return Blocks.empty() ? nullptr : Blocks[0].get(); }
+  const BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks[0].get();
+  }
+
+  /// Predecessor block ids for every block (recomputed on each call; the
+  /// IR is small and transforms are rare).
+  std::vector<std::vector<int>> computePredecessors() const;
+
+  /// Finds the position of the instruction with the given stable label, or
+  /// an invalid position if absent.
+  InstrPos findLabel(uint32_t Label) const;
+
+  Instruction *instrAt(InstrPos P) {
+    if (!P.isValid())
+      return nullptr;
+    return &Blocks[P.Block]->instructions()[P.Index];
+  }
+  const Instruction *instrAt(InstrPos P) const {
+    if (!P.isValid())
+      return nullptr;
+    return &Blocks[P.Block]->instructions()[P.Index];
+  }
+
+private:
+  std::string Name;
+  int Id;
+  std::vector<std::string> ParamNames;
+  std::vector<bool> ParamIsRef;
+  bool HasReturnValue = false;
+  int NumRegsCount = 0;
+  uint32_t LabelCounter = 0;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_FUNCTION_H

@@ -1,0 +1,217 @@
+//===- IRBuilder.cpp - Convenience construction of Ocelot IR ----------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+Instruction IRBuilder::make(Opcode Op, SourceLoc Loc) {
+  assert(Func && Block && "builder has no insertion point");
+  Instruction I;
+  I.Op = Op;
+  I.Loc = Loc;
+  I.Label = Func->nextLabel();
+  return I;
+}
+
+uint32_t IRBuilder::insert(Instruction I) {
+  assert(Func && Block && "builder has no insertion point");
+  if (I.Label == 0)
+    I.Label = Func->nextLabel();
+  uint32_t L = I.Label;
+  Block->instructions().push_back(std::move(I));
+  return L;
+}
+
+int IRBuilder::emitConst(int64_t V, SourceLoc Loc) {
+  Instruction I = make(Opcode::Const, Loc);
+  I.Dst = Func->newReg();
+  I.A = Operand::imm(V);
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+int IRBuilder::emitBin(BinOp Op, Operand A, Operand B, SourceLoc Loc) {
+  Instruction I = make(Opcode::Bin, Loc);
+  I.Dst = Func->newReg();
+  I.BinKind = Op;
+  I.A = A;
+  I.B = B;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+int IRBuilder::emitUn(UnOp Op, Operand A, SourceLoc Loc) {
+  Instruction I = make(Opcode::Un, Loc);
+  I.Dst = Func->newReg();
+  I.UnKind = Op;
+  I.A = A;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+int IRBuilder::emitMov(Operand A, SourceLoc Loc) {
+  Instruction I = make(Opcode::Mov, Loc);
+  I.Dst = Func->newReg();
+  I.A = A;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+void IRBuilder::emitMovTo(int Dst, Operand A, SourceLoc Loc) {
+  Instruction I = make(Opcode::Mov, Loc);
+  I.Dst = Dst;
+  I.A = A;
+  Block->instructions().push_back(std::move(I));
+}
+
+int IRBuilder::emitLoadG(int GlobalId, SourceLoc Loc) {
+  Instruction I = make(Opcode::LoadG, Loc);
+  I.Dst = Func->newReg();
+  I.GlobalId = GlobalId;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+void IRBuilder::emitStoreG(int GlobalId, Operand A, SourceLoc Loc) {
+  Instruction I = make(Opcode::StoreG, Loc);
+  I.GlobalId = GlobalId;
+  I.A = A;
+  Block->instructions().push_back(std::move(I));
+}
+
+int IRBuilder::emitLoadA(int GlobalId, Operand Idx, SourceLoc Loc) {
+  Instruction I = make(Opcode::LoadA, Loc);
+  I.Dst = Func->newReg();
+  I.GlobalId = GlobalId;
+  I.A = Idx;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+void IRBuilder::emitStoreA(int GlobalId, Operand Idx, Operand Val,
+                           SourceLoc Loc) {
+  Instruction I = make(Opcode::StoreA, Loc);
+  I.GlobalId = GlobalId;
+  I.A = Idx;
+  I.B = Val;
+  Block->instructions().push_back(std::move(I));
+}
+
+int IRBuilder::emitLoadInd(Operand Ref, SourceLoc Loc) {
+  Instruction I = make(Opcode::LoadInd, Loc);
+  I.Dst = Func->newReg();
+  I.A = Ref;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+void IRBuilder::emitStoreInd(Operand Ref, Operand Val, SourceLoc Loc) {
+  Instruction I = make(Opcode::StoreInd, Loc);
+  I.A = Ref;
+  I.B = Val;
+  Block->instructions().push_back(std::move(I));
+}
+
+int IRBuilder::emitInput(int SensorId, SourceLoc Loc) {
+  Instruction I = make(Opcode::Input, Loc);
+  I.Dst = Func->newReg();
+  I.SensorId = SensorId;
+  int Dst = I.Dst;
+  Block->instructions().push_back(std::move(I));
+  return Dst;
+}
+
+uint32_t IRBuilder::emitCall(int Dst, int Callee, std::vector<Operand> Args,
+                             std::vector<int> ArgRefGlobal, SourceLoc Loc) {
+  Instruction I = make(Opcode::Call, Loc);
+  I.Dst = Dst;
+  I.Callee = Callee;
+  I.Args = std::move(Args);
+  I.ArgRefGlobal = std::move(ArgRefGlobal);
+  if (I.ArgRefGlobal.empty())
+    I.ArgRefGlobal.assign(I.Args.size(), -1);
+  assert(I.ArgRefGlobal.size() == I.Args.size() &&
+         "ref-arg metadata must match arg count");
+  uint32_t L = I.Label;
+  Block->instructions().push_back(std::move(I));
+  return L;
+}
+
+void IRBuilder::emitRet(Operand A, SourceLoc Loc) {
+  Instruction I = make(Opcode::Ret, Loc);
+  I.A = A;
+  Block->instructions().push_back(std::move(I));
+}
+
+void IRBuilder::emitBr(int Target, SourceLoc Loc) {
+  Instruction I = make(Opcode::Br, Loc);
+  I.Target = Target;
+  Block->instructions().push_back(std::move(I));
+}
+
+void IRBuilder::emitCondBr(Operand Cond, int TargetT, int TargetF,
+                           SourceLoc Loc) {
+  Instruction I = make(Opcode::CondBr, Loc);
+  I.A = Cond;
+  I.Target = TargetT;
+  I.Target2 = TargetF;
+  Block->instructions().push_back(std::move(I));
+}
+
+uint32_t IRBuilder::emitFresh(Operand A, const std::string &VarName,
+                              SourceLoc Loc) {
+  Instruction I = make(Opcode::Fresh, Loc);
+  I.A = A;
+  I.VarName = VarName;
+  uint32_t L = I.Label;
+  Block->instructions().push_back(std::move(I));
+  return L;
+}
+
+uint32_t IRBuilder::emitConsistent(Operand A, int SetId,
+                                   const std::string &VarName, SourceLoc Loc) {
+  Instruction I = make(Opcode::Consistent, Loc);
+  I.A = A;
+  I.SetId = SetId;
+  I.VarName = VarName;
+  uint32_t L = I.Label;
+  Block->instructions().push_back(std::move(I));
+  return L;
+}
+
+void IRBuilder::emitAtomicStart(int RegionId, SourceLoc Loc) {
+  Instruction I = make(Opcode::AtomicStart, Loc);
+  I.RegionId = RegionId;
+  Block->instructions().push_back(std::move(I));
+}
+
+void IRBuilder::emitAtomicEnd(int RegionId, SourceLoc Loc) {
+  Instruction I = make(Opcode::AtomicEnd, Loc);
+  I.RegionId = RegionId;
+  Block->instructions().push_back(std::move(I));
+}
+
+void IRBuilder::emitOutput(OutputKind K, std::vector<Operand> Args,
+                           SourceLoc Loc) {
+  Instruction I = make(Opcode::Output, Loc);
+  I.OutKind = K;
+  I.Args = std::move(Args);
+  Block->instructions().push_back(std::move(I));
+}
+
+void IRBuilder::emitNop(SourceLoc Loc) {
+  Block->instructions().push_back(make(Opcode::Nop, Loc));
+}

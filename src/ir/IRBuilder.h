@@ -1,0 +1,79 @@
+//===- IRBuilder.h - Convenience construction of Ocelot IR ------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder used by the frontend lowering and by tests to construct IR with
+/// stable labels. The builder tracks an insertion point (block) and assigns
+/// every created instruction a fresh label from the enclosing function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_IRBUILDER_H
+#define OCELOT_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+namespace ocelot {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : Prog(P) {}
+
+  Program &program() { return Prog; }
+
+  void setFunction(Function *F) {
+    Func = F;
+    Block = nullptr;
+  }
+  Function *function() const { return Func; }
+
+  void setBlock(BasicBlock *BB) { Block = BB; }
+  BasicBlock *blockPtr() const { return Block; }
+
+  /// Appends \p I to the current block after assigning it a fresh label
+  /// (unless it already carries one). \returns the instruction's label.
+  uint32_t insert(Instruction I);
+
+  // -- Typed helpers (each returns the destination register or label) -----
+  int emitConst(int64_t V, SourceLoc Loc = {});
+  int emitBin(BinOp Op, Operand A, Operand B, SourceLoc Loc = {});
+  int emitUn(UnOp Op, Operand A, SourceLoc Loc = {});
+  int emitMov(Operand A, SourceLoc Loc = {});
+  void emitMovTo(int Dst, Operand A, SourceLoc Loc = {});
+  int emitLoadG(int GlobalId, SourceLoc Loc = {});
+  void emitStoreG(int GlobalId, Operand A, SourceLoc Loc = {});
+  int emitLoadA(int GlobalId, Operand Idx, SourceLoc Loc = {});
+  void emitStoreA(int GlobalId, Operand Idx, Operand Val, SourceLoc Loc = {});
+  int emitLoadInd(Operand Ref, SourceLoc Loc = {});
+  void emitStoreInd(Operand Ref, Operand Val, SourceLoc Loc = {});
+  int emitInput(int SensorId, SourceLoc Loc = {});
+  /// \p Dst may be -1 for calls whose result is unused / unit.
+  uint32_t emitCall(int Dst, int Callee, std::vector<Operand> Args,
+                    std::vector<int> ArgRefGlobal, SourceLoc Loc = {});
+  void emitRet(Operand A, SourceLoc Loc = {});
+  void emitBr(int Target, SourceLoc Loc = {});
+  void emitCondBr(Operand Cond, int TargetT, int TargetF, SourceLoc Loc = {});
+  uint32_t emitFresh(Operand A, const std::string &VarName,
+                     SourceLoc Loc = {});
+  uint32_t emitConsistent(Operand A, int SetId, const std::string &VarName,
+                          SourceLoc Loc = {});
+  void emitAtomicStart(int RegionId, SourceLoc Loc = {});
+  void emitAtomicEnd(int RegionId, SourceLoc Loc = {});
+  void emitOutput(OutputKind K, std::vector<Operand> Args,
+                  SourceLoc Loc = {});
+  void emitNop(SourceLoc Loc = {});
+
+private:
+  Instruction make(Opcode Op, SourceLoc Loc);
+
+  Program &Prog;
+  Function *Func = nullptr;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_IRBUILDER_H

@@ -1,0 +1,25 @@
+//===- IRPrinter.h - Textual rendering of Ocelot IR -------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_IRPRINTER_H
+#define OCELOT_IR_IRPRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace ocelot {
+
+/// Renders a function in the textual IR syntax (block headers, labeled
+/// instructions). Intended for tests, debugging and documentation output.
+std::string printFunction(const Program &P, const Function &F);
+
+/// Renders the whole program: sensors, globals, then every function.
+std::string printProgram(const Program &P);
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_IRPRINTER_H

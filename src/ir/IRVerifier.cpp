@@ -1,0 +1,192 @@
+//===- IRVerifier.cpp - Structural IR sanity checks ---------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVerifier.h"
+
+#include <set>
+#include <vector>
+
+using namespace ocelot;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    if (P.mainFunction() < 0 || P.mainFunction() >= P.numFunctions()) {
+      error({}, "program has no main function");
+      return false;
+    }
+    if (P.function(P.mainFunction())->numParams() != 0)
+      error({}, "main function must take no parameters");
+    for (int I = 0; I < P.numFunctions(); ++I)
+      verifyFunction(*P.function(I));
+    return !Diags.hasErrors();
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) { Diags.error(Loc, Msg); }
+
+  void checkReg(const Function &F, const Instruction &I, Operand O) {
+    if (O.isReg() && (O.Reg < 0 || O.Reg >= F.numRegs()))
+      error(I.Loc, "register out of range in '" + I.str() + "' of function " +
+                       F.name());
+  }
+
+  void verifyInstr(const Function &F, const Instruction &I) {
+    if (I.Dst >= F.numRegs())
+      error(I.Loc, "destination register out of range in " + F.name());
+    checkReg(F, I, I.A);
+    checkReg(F, I, I.B);
+    for (const Operand &Arg : I.Args)
+      checkReg(F, I, Arg);
+
+    switch (I.Op) {
+    case Opcode::LoadG:
+    case Opcode::StoreG:
+    case Opcode::LoadA:
+    case Opcode::StoreA:
+      if (I.GlobalId < 0 || I.GlobalId >= P.numGlobals())
+        error(I.Loc, "global id out of range in " + F.name());
+      else if ((I.Op == Opcode::LoadA || I.Op == Opcode::StoreA) &&
+               P.global(I.GlobalId).Size < 1)
+        error(I.Loc, "array access to empty global in " + F.name());
+      break;
+    case Opcode::Input:
+      if (I.SensorId < 0 || I.SensorId >= P.numSensors())
+        error(I.Loc, "sensor id out of range in " + F.name());
+      break;
+    case Opcode::Call: {
+      if (I.Callee < 0 || I.Callee >= P.numFunctions()) {
+        error(I.Loc, "call to unknown function in " + F.name());
+        break;
+      }
+      const Function &Callee = *P.function(I.Callee);
+      if (static_cast<int>(I.Args.size()) != Callee.numParams())
+        error(I.Loc, "call arity mismatch: " + F.name() + " -> " +
+                         Callee.name());
+      if (I.ArgRefGlobal.size() != I.Args.size()) {
+        error(I.Loc, "ref-arg metadata size mismatch in " + F.name());
+        break;
+      }
+      for (size_t A = 0; A < I.Args.size(); ++A) {
+        bool IsRefArg = I.ArgRefGlobal[A] >= 0;
+        bool WantsRef = static_cast<int>(A) < Callee.numParams() &&
+                        Callee.paramIsRef(static_cast<int>(A));
+        if (IsRefArg != WantsRef)
+          error(I.Loc, "reference/value argument mismatch calling " +
+                           Callee.name() + " from " + F.name());
+        if (IsRefArg && I.ArgRefGlobal[A] >= P.numGlobals())
+          error(I.Loc, "ref argument targets unknown global in " + F.name());
+      }
+      if (I.Dst >= 0 && !Callee.hasReturnValue())
+        error(I.Loc, "call captures result of unit function " +
+                         Callee.name());
+      break;
+    }
+    case Opcode::Ret:
+      if (F.hasReturnValue() && I.A.isNone())
+        error(I.Loc, "function " + F.name() + " must return a value");
+      if (!F.hasReturnValue() && !I.A.isNone())
+        error(I.Loc, "unit function " + F.name() + " returns a value");
+      break;
+    case Opcode::Br:
+      if (I.Target < 0 || I.Target >= F.numBlocks())
+        error(I.Loc, "branch target out of range in " + F.name());
+      break;
+    case Opcode::CondBr:
+      if (I.Target < 0 || I.Target >= F.numBlocks() || I.Target2 < 0 ||
+          I.Target2 >= F.numBlocks())
+        error(I.Loc, "condbr target out of range in " + F.name());
+      break;
+    case Opcode::AtomicStart:
+    case Opcode::AtomicEnd:
+      if (I.RegionId < 0)
+        error(I.Loc, "atomic region bound without region id in " + F.name());
+      break;
+    default:
+      break;
+    }
+  }
+
+  void verifyFunction(const Function &F) {
+    if (F.numBlocks() == 0) {
+      error({}, "function " + F.name() + " has no blocks");
+      return;
+    }
+    std::set<uint32_t> Labels;
+    for (int B = 0; B < F.numBlocks(); ++B) {
+      const BasicBlock *BB = F.block(B);
+      if (!BB->hasTerminator()) {
+        error({}, "block bb" + std::to_string(B) + " of " + F.name() +
+                      " lacks a terminator");
+        continue;
+      }
+      const auto &Instrs = BB->instructions();
+      for (size_t I = 0; I < Instrs.size(); ++I) {
+        if (Instrs[I].isTerminator() && I + 1 != Instrs.size())
+          error(Instrs[I].Loc,
+                "terminator in the middle of bb" + std::to_string(B) +
+                    " of " + F.name());
+        if (!Labels.insert(Instrs[I].Label).second)
+          error(Instrs[I].Loc, "duplicate instruction label in " + F.name());
+        verifyInstr(F, Instrs[I]);
+      }
+    }
+    verifyRegionDepths(F);
+  }
+
+  /// Checks that atomic-region nesting depth is consistent at every block
+  /// entry and zero at every return. The runtime flattens nested regions
+  /// with a counter (Appendix H), which requires exactly this property.
+  void verifyRegionDepths(const Function &F) {
+    std::vector<int> DepthAt(F.numBlocks(), -1);
+    std::vector<int> Work;
+    DepthAt[0] = 0;
+    Work.push_back(0);
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      const BasicBlock *BB = F.block(B);
+      int Depth = DepthAt[B];
+      for (const Instruction &I : BB->instructions()) {
+        if (I.Op == Opcode::AtomicStart)
+          ++Depth;
+        else if (I.Op == Opcode::AtomicEnd) {
+          --Depth;
+          if (Depth < 0) {
+            error(I.Loc, "atomic_end without matching start in " + F.name());
+            return;
+          }
+        } else if (I.Op == Opcode::Ret && Depth != 0) {
+          error(I.Loc, "return inside an open atomic region in " + F.name());
+          return;
+        }
+      }
+      for (int Succ : BB->successors()) {
+        if (DepthAt[Succ] == -1) {
+          DepthAt[Succ] = Depth;
+          Work.push_back(Succ);
+        } else if (DepthAt[Succ] != Depth) {
+          error({}, "inconsistent atomic region depth at bb" +
+                        std::to_string(Succ) + " of " + F.name());
+          return;
+        }
+      }
+    }
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+bool ocelot::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  return Verifier(P, Diags).run();
+}

@@ -1,0 +1,26 @@
+//===- IRVerifier.h - Structural IR sanity checks ---------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_IRVERIFIER_H
+#define OCELOT_IR_IRVERIFIER_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+namespace ocelot {
+
+/// Verifies structural well-formedness of a program: terminated blocks,
+/// in-range registers/targets/globals/sensors, call arity and ref-parameter
+/// agreement, unique labels, and atomic-region depth consistency along all
+/// paths (each function must enter and leave every region it opens).
+///
+/// \returns true when the program is well-formed; problems are reported to
+/// \p Diags.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_IRVERIFIER_H

@@ -1,0 +1,144 @@
+//===- Instruction.h - Ocelot IR instruction --------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single IR instruction. Instructions are tagged structs rather than a
+/// class hierarchy: the interpreter dispatches on the opcode in a hot loop
+/// and the analyses want cheap copies when programs are transformed.
+///
+/// Every instruction carries a \c Label that is unique within its function
+/// and stable across transformations; the paper identifies instructions by
+/// (function, label) pairs and Ocelot's policies do the same here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_INSTRUCTION_H
+#define OCELOT_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// An instruction operand: either a virtual register or an immediate.
+struct Operand {
+  enum class Kind : uint8_t { None, Reg, Imm };
+
+  Kind K = Kind::None;
+  int Reg = -1;
+  int64_t Imm = 0;
+
+  Operand() = default;
+  static Operand none() { return Operand(); }
+  static Operand reg(int R) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.Reg = R;
+    return O;
+  }
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.Imm = V;
+    return O;
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+
+  bool operator==(const Operand &O) const {
+    return K == O.K && Reg == O.Reg && Imm == O.Imm;
+  }
+
+  std::string str() const;
+};
+
+/// Uniquely identifies an instruction program-wide: function index plus the
+/// instruction's stable label (the paper's (f, l) pair).
+struct InstrRef {
+  int Func = -1;
+  uint32_t Label = 0;
+
+  InstrRef() = default;
+  InstrRef(int Func, uint32_t Label) : Func(Func), Label(Label) {}
+
+  bool isValid() const { return Func >= 0; }
+
+  bool operator==(const InstrRef &O) const {
+    return Func == O.Func && Label == O.Label;
+  }
+  bool operator<(const InstrRef &O) const {
+    if (Func != O.Func)
+      return Func < O.Func;
+    return Label < O.Label;
+  }
+};
+
+/// A provenance chain: call-site instructions descending from some root
+/// function, ending with the instruction itself (the paper's
+/// (f1,l1) :: ... :: (sense, l)). Shared by the taint analysis, policies
+/// and the runtime violation monitor.
+using ProvChain = std::vector<InstrRef>;
+
+/// A single IR instruction; see Opcode for the field conventions of each
+/// opcode. Fields unused by an opcode keep their defaults.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint32_t Label = 0; ///< Stable, unique within the enclosing function.
+
+  int Dst = -1;  ///< Destination virtual register, or -1.
+  Operand A, B;  ///< Generic operands.
+  BinOp BinKind = BinOp::Add;
+  UnOp UnKind = UnOp::Neg;
+
+  int GlobalId = -1; ///< LoadG/StoreG/LoadA/StoreA target.
+  int SensorId = -1; ///< Input source.
+  int Callee = -1;   ///< Call target function index.
+
+  /// Call or Output arguments.
+  std::vector<Operand> Args;
+  /// For Call: per-argument reference target. ArgRefGlobal[i] >= 0 means
+  /// argument i is a reference to that global (OCL references appear only
+  /// as call arguments, so the target is statically known — the ownership
+  /// discipline the paper gets from Rust).
+  std::vector<int> ArgRefGlobal;
+
+  int Target = -1;  ///< Br target / CondBr true target (block id).
+  int Target2 = -1; ///< CondBr false target (block id).
+
+  int SetId = -1;    ///< Consistent-set id for Consistent annotations.
+  int RegionId = -1; ///< Atomic region id for AtomicStart/AtomicEnd.
+  OutputKind OutKind = OutputKind::Log;
+
+  /// Source-level variable name for annotations and diagnostics.
+  std::string VarName;
+  SourceLoc Loc;
+
+  bool isTerminator() const {
+    return Op == Opcode::Ret || Op == Opcode::Br || Op == Opcode::CondBr;
+  }
+  bool isAnnotation() const {
+    return Op == Opcode::Fresh || Op == Opcode::Consistent;
+  }
+  bool isRegionBound() const {
+    return Op == Opcode::AtomicStart || Op == Opcode::AtomicEnd;
+  }
+
+  /// Appends every register this instruction reads to \p Regs.
+  void collectUsedRegs(std::vector<int> &Regs) const;
+
+  /// Renders the instruction in the textual IR syntax.
+  std::string str() const;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_INSTRUCTION_H

@@ -1,0 +1,63 @@
+//===- Program.cpp - Ocelot IR module ----------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+Function *Program::addFunction(const std::string &Name) {
+  assert(FuncIndex.find(Name) == FuncIndex.end() && "duplicate function");
+  int Id = static_cast<int>(Funcs.size());
+  Funcs.push_back(std::make_unique<Function>(Name, Id));
+  FuncIndex[Name] = Id;
+  return Funcs.back().get();
+}
+
+Function *Program::functionByName(const std::string &Name) {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? nullptr : Funcs[It->second].get();
+}
+
+const Function *Program::functionByName(const std::string &Name) const {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? nullptr : Funcs[It->second].get();
+}
+
+int Program::addGlobal(GlobalVar G) {
+  assert(GlobalIndex.find(G.Name) == GlobalIndex.end() && "duplicate global");
+  int Id = static_cast<int>(Globals.size());
+  GlobalIndex[G.Name] = Id;
+  Globals.push_back(std::move(G));
+  return Id;
+}
+
+int Program::findGlobal(const std::string &Name) const {
+  auto It = GlobalIndex.find(Name);
+  return It == GlobalIndex.end() ? -1 : It->second;
+}
+
+int Program::addSensor(SensorDecl S) {
+  assert(SensorIndex.find(S.Name) == SensorIndex.end() && "duplicate sensor");
+  int Id = static_cast<int>(Sensors.size());
+  SensorIndex[S.Name] = Id;
+  Sensors.push_back(std::move(S));
+  return Id;
+}
+
+int Program::findSensor(const std::string &Name) const {
+  auto It = SensorIndex.find(Name);
+  return It == SensorIndex.end() ? -1 : It->second;
+}
+
+size_t Program::countInstructions() const {
+  size_t N = 0;
+  for (const auto &F : Funcs)
+    for (int B = 0; B < F->numBlocks(); ++B)
+      N += F->block(B)->size();
+  return N;
+}

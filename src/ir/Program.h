@@ -1,0 +1,93 @@
+//===- Program.h - Ocelot IR module -----------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level IR container: functions, non-volatile globals (scalars and
+/// arrays), and declared sensors. Mirrors the paper's program p = FD with a
+/// distinguished main function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_PROGRAM_H
+#define OCELOT_IR_PROGRAM_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// A non-volatile global: a scalar (Size == 1) or an int array. Local OCL
+/// arrays and address-taken locals are promoted here by lowering (legal
+/// because recursion is disallowed), matching intermittent platforms whose
+/// main memory is NVRAM.
+struct GlobalVar {
+  std::string Name;
+  int Size = 1;
+  std::vector<int64_t> Init; ///< Empty means zero-initialized.
+  bool IsPromotedLocal = false;
+  SourceLoc Loc;
+};
+
+/// A declared input source (the paper's IN() operations are calls to
+/// io-declared sensor functions).
+struct SensorDecl {
+  std::string Name;
+  SourceLoc Loc;
+};
+
+/// A whole IR program.
+class Program {
+public:
+  // -- Functions ---------------------------------------------------------
+  Function *addFunction(const std::string &Name);
+  Function *function(int Id) { return Funcs[Id].get(); }
+  const Function *function(int Id) const { return Funcs[Id].get(); }
+  Function *functionByName(const std::string &Name);
+  const Function *functionByName(const std::string &Name) const;
+  int numFunctions() const { return static_cast<int>(Funcs.size()); }
+
+  int mainFunction() const { return MainFunc; }
+  void setMainFunction(int Id) { MainFunc = Id; }
+
+  // -- Globals -----------------------------------------------------------
+  int addGlobal(GlobalVar G);
+  const GlobalVar &global(int Id) const { return Globals[Id]; }
+  GlobalVar &global(int Id) { return Globals[Id]; }
+  int numGlobals() const { return static_cast<int>(Globals.size()); }
+  int findGlobal(const std::string &Name) const;
+
+  // -- Sensors -----------------------------------------------------------
+  int addSensor(SensorDecl S);
+  const SensorDecl &sensor(int Id) const { return Sensors[Id]; }
+  int numSensors() const { return static_cast<int>(Sensors.size()); }
+  int findSensor(const std::string &Name) const;
+
+  // -- Region ids --------------------------------------------------------
+  /// Allocates a fresh atomic-region id (unique program-wide).
+  int newRegionId() { return NextRegionId++; }
+  int regionIdCounter() const { return NextRegionId; }
+
+  /// Counts instructions across all functions (used by reports and tests).
+  size_t countInstructions() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::map<std::string, int> FuncIndex;
+  std::vector<GlobalVar> Globals;
+  std::map<std::string, int> GlobalIndex;
+  std::vector<SensorDecl> Sensors;
+  std::map<std::string, int> SensorIndex;
+  int MainFunc = -1;
+  int NextRegionId = 0;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_PROGRAM_H

@@ -1,0 +1,42 @@
+//===- Type.h - OCL frontend types ------------------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OCL modeling language's type system, as in the paper's Appendix A:
+/// integers, booleans, references (to globals, passed only as call
+/// arguments), and the unit type for functions without a return value.
+/// Arrays live only in non-volatile global memory and are typed Int
+/// element-wise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_IR_TYPE_H
+#define OCELOT_IR_TYPE_H
+
+#include <string>
+
+namespace ocelot {
+
+/// Scalar OCL type. Values are 64-bit at runtime; Bool is 0/1.
+enum class Type { Unit, Int, Bool, Ref };
+
+inline const char *typeName(Type T) {
+  switch (T) {
+  case Type::Unit:
+    return "unit";
+  case Type::Int:
+    return "int";
+  case Type::Bool:
+    return "bool";
+  case Type::Ref:
+    return "ref";
+  }
+  return "?";
+}
+
+} // namespace ocelot
+
+#endif // OCELOT_IR_TYPE_H

@@ -1,0 +1,22 @@
+//===- Policy.cpp - Freshness and consistency policies ------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/Policy.h"
+
+#include "ir/Program.h"
+
+using namespace ocelot;
+
+std::string ocelot::chainToString(const Program &P, const ProvChain &Chain) {
+  std::string S;
+  for (size_t I = 0; I < Chain.size(); ++I) {
+    if (I)
+      S += " :: ";
+    S += P.function(Chain[I].Func)->name() + "@" +
+         std::to_string(Chain[I].Label);
+  }
+  return S;
+}

@@ -1,0 +1,71 @@
+//===- Policy.h - Freshness and consistency policies ------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Policies record an annotation and the instructions that must execute
+/// atomically to enforce it (paper §5.1, Fig. 5):
+///
+///   pol ::= fresh(decl : (f,l), inputs : rho-list, uses : (f1,l1)-list)
+///         | consistent(decls : (f1,l1)-list, inputs : rho-list)
+///
+/// Inputs carry provenance chains. Chains are *rooted*: when every input a
+/// policy depends on is reached inside the annotating function's subtree,
+/// chains are kept relative to that function (RootFunc), so a region can be
+/// placed inside it regardless of how many call sites reach it. When taint
+/// escapes above the annotating function (through parameters or globals),
+/// chains are expanded to absolute (main-rooted) form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_OCELOT_POLICY_H
+#define OCELOT_OCELOT_POLICY_H
+
+#include "analysis/TaintAnalysis.h"
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// A freshness policy: inputs the annotated variable depends on plus every
+/// use of the variable must share one atomic region with the declaration.
+struct FreshPolicy {
+  int Id = -1;
+  InstrRef Decl;       ///< The Fresh marker instruction.
+  std::string VarName; ///< Source-level variable name (diagnostics).
+  int DeclFunc = -1;   ///< Function containing the marker.
+  int RootFunc = -1;   ///< Root of the input chains (DeclFunc or main).
+  std::vector<ProvChain> Inputs;
+  std::vector<InstrRef> Uses; ///< Instructions in DeclFunc using the var.
+};
+
+/// A temporal-consistency policy: every input any member of the set depends
+/// on must execute inside one atomic region.
+struct ConsistentPolicy {
+  int Id = -1;
+  int SetId = -1;
+  std::vector<InstrRef> Decls; ///< Consistent markers in the set.
+  std::vector<std::string> VarNames;
+  int RootFunc = -1;
+  std::vector<ProvChain> Inputs;
+};
+
+/// All policies of a program (the paper's PD).
+struct PolicySet {
+  std::vector<FreshPolicy> Fresh;
+  std::vector<ConsistentPolicy> Consistent;
+
+  bool empty() const { return Fresh.empty() && Consistent.empty(); }
+  size_t size() const { return Fresh.size() + Consistent.size(); }
+};
+
+/// Renders a provenance chain as "f1@l1 :: f2@l2 :: ..." for diagnostics.
+std::string chainToString(const Program &P, const ProvChain &Chain);
+
+} // namespace ocelot
+
+#endif // OCELOT_OCELOT_POLICY_H

@@ -1,0 +1,31 @@
+//===- PolicyBuilder.h - Annotation to policy mapping -----------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the policy declarations (the paper's PD) from the Fresh /
+/// Consistent markers in a program, using the taint analysis's
+/// input-dependence map with provenance (paper §6.1: "the algorithm starts
+/// with empty policy declarations and adds the operations to the policies").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_OCELOT_POLICYBUILDER_H
+#define OCELOT_OCELOT_POLICYBUILDER_H
+
+#include "ocelot/Policy.h"
+#include "support/Diagnostics.h"
+
+namespace ocelot {
+
+/// Constructs all policies for \p P. Warnings are reported for annotations
+/// that depend on no inputs (such policies are dropped — there is nothing
+/// to enforce).
+PolicySet buildPolicies(const Program &P, const CallGraph &CG,
+                        const TaintAnalysis &TA, DiagnosticEngine &Diags);
+
+} // namespace ocelot
+
+#endif // OCELOT_OCELOT_POLICYBUILDER_H

@@ -1,0 +1,207 @@
+//===- RegionChecker.cpp - Policy enforcement checking -------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/RegionChecker.h"
+
+#include "analysis/Dominators.h"
+#include "ocelot/RegionInference.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ocelot;
+
+namespace {
+
+/// One atomic region of a function, located by positions of its bounds.
+struct RegionBounds {
+  int RegionId;
+  InstrPos Start;
+  InstrPos End;
+};
+
+std::vector<RegionBounds> regionsIn(const Function &F) {
+  std::map<int, RegionBounds> ById;
+  for (int B = 0; B < F.numBlocks(); ++B) {
+    const auto &Instrs = F.block(B)->instructions();
+    for (size_t I = 0; I < Instrs.size(); ++I) {
+      const Instruction &Ins = Instrs[I];
+      if (Ins.Op == Opcode::AtomicStart) {
+        ById[Ins.RegionId].RegionId = Ins.RegionId;
+        ById[Ins.RegionId].Start = {B, static_cast<int>(I)};
+      } else if (Ins.Op == Opcode::AtomicEnd) {
+        ById[Ins.RegionId].RegionId = Ins.RegionId;
+        ById[Ins.RegionId].End = {B, static_cast<int>(I)};
+      }
+    }
+  }
+  std::vector<RegionBounds> Out;
+  for (auto &[Id, R] : ById)
+    if (R.Start.isValid() && R.End.isValid())
+      Out.push_back(R);
+  return Out;
+}
+
+/// True if some region of \p F contains every representative instruction.
+bool someRegionCovers(const Function &F, const std::vector<InstrRef> &Reps) {
+  std::vector<RegionBounds> Regions = regionsIn(F);
+  if (Regions.empty())
+    return false;
+  DominatorTree DT = DominatorTree::computeDominators(F);
+  DominatorTree PDT = DominatorTree::computePostDominators(F);
+  for (const RegionBounds &R : Regions) {
+    bool All = true;
+    for (const InstrRef &Rep : Reps) {
+      InstrPos Pos = F.findLabel(Rep.Label);
+      if (!Pos.isValid() || !DT.dominates(R.Start, Pos) ||
+          !PDT.dominates(R.End, Pos)) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+/// Checks one policy: enforced if, for the candidate function or any
+/// ancestor function along the items' common path, a single region covers
+/// all representatives at that level. Above the items' root function,
+/// every calling context must be wrapped by some region around its call
+/// site (a trivially valid enclosing placement, §5.3).
+bool policyEnforced(const Program &P, const TaintAnalysis &TA, int RootFunc,
+                    const std::vector<ProvChain> &Items,
+                    std::string &FailReason) {
+  if (Items.empty())
+    return true;
+  int Candidate = findCandidateFunction(Items);
+  if (Candidate < 0) {
+    FailReason = "no candidate function contains all policy operations";
+    return false;
+  }
+  // Common path = function path of any item up to the candidate.
+  std::vector<int> PathFuncs;
+  for (const InstrRef &E : Items[0]) {
+    PathFuncs.push_back(E.Func);
+    if (E.Func == Candidate)
+      break;
+  }
+  // Deepest first: a region in the candidate is the tight placement; a
+  // region in an ancestor wrapping the whole call also enforces the policy.
+  std::reverse(PathFuncs.begin(), PathFuncs.end());
+  for (int Func : PathFuncs) {
+    std::vector<InstrRef> Reps = representativesAt(Items, Func);
+    if (someRegionCovers(*P.function(Func), Reps))
+      return true;
+  }
+  // Ancestors above the items' root: every context chain into the root
+  // must pass through a covered call site.
+  if (RootFunc >= 0 && !TA.contexts(RootFunc).empty()) {
+    bool AllContextsCovered = true;
+    for (const ProvChain &Pi : TA.contexts(RootFunc)) {
+      bool Covered = false;
+      for (auto It = Pi.rbegin(); It != Pi.rend() && !Covered; ++It)
+        Covered = someRegionCovers(*P.function(It->Func), {*It});
+      if (!Covered) {
+        AllContextsCovered = false;
+        break;
+      }
+    }
+    if (AllContextsCovered && !TA.contexts(RootFunc).begin()->empty())
+      return true;
+  }
+  FailReason = "no atomic region covers all policy operations in " +
+               P.function(Candidate)->name() + " or its callers";
+  return false;
+}
+
+bool chainsCovered(const std::vector<ProvChain> &Needed,
+                   const std::vector<ProvChain> &Given) {
+  std::set<ProvChain> G(Given.begin(), Given.end());
+  for (const ProvChain &C : Needed)
+    if (!G.count(C))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool ocelot::checkPolicyDeclarations(const Program &P,
+                                     const PolicySet &Derived,
+                                     const PolicySet &Provided,
+                                     DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const FreshPolicy &D : Derived.Fresh) {
+    const FreshPolicy *Match = nullptr;
+    for (const FreshPolicy &Prov : Provided.Fresh)
+      if (Prov.Decl == D.Decl) {
+        Match = &Prov;
+        break;
+      }
+    if (!Match) {
+      Diags.error({}, "missing fresh policy for " + D.VarName + " in " +
+                          P.function(D.DeclFunc)->name());
+      Ok = false;
+      continue;
+    }
+    if (!chainsCovered(D.Inputs, Match->Inputs)) {
+      Diags.error({}, "fresh policy for " + D.VarName +
+                          " does not cover all input dependences");
+      Ok = false;
+    }
+    std::set<InstrRef> Uses(Match->Uses.begin(), Match->Uses.end());
+    for (const InstrRef &U : D.Uses)
+      if (!Uses.count(U)) {
+        Diags.error({}, "fresh policy for " + D.VarName +
+                            " misses a use at label " +
+                            std::to_string(U.Label));
+        Ok = false;
+      }
+  }
+  for (const ConsistentPolicy &D : Derived.Consistent) {
+    const ConsistentPolicy *Match = nullptr;
+    for (const ConsistentPolicy &Prov : Provided.Consistent)
+      if (Prov.SetId == D.SetId) {
+        Match = &Prov;
+        break;
+      }
+    if (!Match) {
+      Diags.error({}, "missing consistent policy for set " +
+                          std::to_string(D.SetId));
+      Ok = false;
+      continue;
+    }
+    if (!chainsCovered(D.Inputs, Match->Inputs)) {
+      Diags.error({}, "consistent policy for set " + std::to_string(D.SetId) +
+                          " does not cover all input dependences");
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+bool ocelot::checkRegionPlacement(const Program &P, const TaintAnalysis &TA,
+                                  const PolicySet &PS,
+                                  DiagnosticEngine &Diags) {
+  bool Ok = true;
+  std::string Reason;
+  for (const FreshPolicy &Pol : PS.Fresh) {
+    if (!policyEnforced(P, TA, Pol.RootFunc, policyItems(Pol, TA), Reason)) {
+      Diags.error({}, "Fresh(" + Pol.VarName + ") is not enforced: " +
+                          Reason);
+      Ok = false;
+    }
+  }
+  for (const ConsistentPolicy &Pol : PS.Consistent) {
+    if (!policyEnforced(P, TA, Pol.RootFunc, policyItems(Pol, TA), Reason)) {
+      Diags.error({}, "consistent set " + std::to_string(Pol.SetId) +
+                          " is not enforced: " + Reason);
+      Ok = false;
+    }
+  }
+  return Ok;
+}

@@ -1,0 +1,48 @@
+//===- RegionChecker.h - Policy enforcement checking ------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5.2 sanity checks, recast over the IR:
+///
+///  * checkPolicyDeclarations — the summary / policy-declaration judgment:
+///    a provided policy set must cover everything the taint analysis
+///    derives (every input an annotated variable depends on, every use of a
+///    fresh variable) — the Let-fresh / Call-nr / checkUse rules.
+///
+///  * checkRegionPlacement — the atomic-region judgment: every policy's
+///    operations (hoisted through their provenance chains) must fall inside
+///    a single atomic region, in the candidate function or any ancestor on
+///    the common call path. Region membership is dominance-based: the
+///    region start dominates and the region end post-dominates the
+///    instruction.
+///
+/// Together these implement Theorem 1's premises; §8's "checker mode" runs
+/// them over a program whose regions were placed manually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_OCELOT_REGIONCHECKER_H
+#define OCELOT_OCELOT_REGIONCHECKER_H
+
+#include "ocelot/Policy.h"
+#include "support/Diagnostics.h"
+
+namespace ocelot {
+
+/// Checks that \p Provided covers \p Derived: same policies, with Provided's
+/// input and use lists supersets of Derived's. \returns true when covered.
+bool checkPolicyDeclarations(const Program &P, const PolicySet &Derived,
+                             const PolicySet &Provided,
+                             DiagnosticEngine &Diags);
+
+/// Checks that every policy in \p PS is enforced by some atomic region
+/// already present in \p P. \returns true when all policies are enforced.
+bool checkRegionPlacement(const Program &P, const TaintAnalysis &TA,
+                          const PolicySet &PS, DiagnosticEngine &Diags);
+
+} // namespace ocelot
+
+#endif // OCELOT_OCELOT_REGIONCHECKER_H

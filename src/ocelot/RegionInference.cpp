@@ -1,0 +1,253 @@
+//===- RegionInference.cpp - Atomic region inference ---------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/RegionInference.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ocelot;
+
+namespace {
+
+/// Chains for an instruction that must appear in the region: trivial when
+/// the instruction lives in the root function, otherwise prefixed with
+/// every (main-rooted) context of its function.
+void appendInstrItems(std::vector<ProvChain> &Items, const TaintAnalysis &TA,
+                      int RootFunc, InstrRef Instr) {
+  if (Instr.Func == RootFunc) {
+    Items.push_back(ProvChain{Instr});
+    return;
+  }
+  for (const ProvChain &Pi : TA.contexts(Instr.Func)) {
+    ProvChain C = Pi;
+    C.push_back(Instr);
+    Items.push_back(std::move(C));
+  }
+}
+
+void dedup(std::vector<ProvChain> &Items) {
+  std::sort(Items.begin(), Items.end());
+  Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+}
+
+} // namespace
+
+std::vector<ProvChain> ocelot::policyItems(const FreshPolicy &Pol,
+                                           const TaintAnalysis &TA) {
+  std::vector<ProvChain> Items(Pol.Inputs);
+  appendInstrItems(Items, TA, Pol.RootFunc, Pol.Decl);
+  for (const InstrRef &Use : Pol.Uses)
+    appendInstrItems(Items, TA, Pol.RootFunc, Use);
+  dedup(Items);
+  return Items;
+}
+
+std::vector<ProvChain> ocelot::policyItems(const ConsistentPolicy &Pol,
+                                           const TaintAnalysis &TA) {
+  // Temporal consistency constrains the *inputs* only: the definitions of
+  // the set's members need not execute atomically with them (paper §4.3,
+  // Fig. 4(b)). The markers themselves are therefore not items.
+  std::vector<ProvChain> Items(Pol.Inputs);
+  dedup(Items);
+  return Items;
+}
+
+int ocelot::findCandidateFunction(const std::vector<ProvChain> &Items) {
+  if (Items.empty())
+    return -1;
+  // Longest common prefix of the items' *entry* chains. Two items that
+  // descend through different call sites diverge at the caller even when
+  // they reach the same callee — the paper's Fig. 6(b): two calls to pres
+  // make confirm (not pres) the deepest function containing both.
+  size_t K = Items[0].size();
+  for (size_t I = 1; I < Items.size(); ++I) {
+    size_t N = std::min(K, Items[I].size());
+    size_t Same = 0;
+    while (Same < N && Items[0][Same] == Items[I][Same])
+      ++Same;
+    K = Same;
+  }
+  bool AnyEndsAtK = false;
+  for (const ProvChain &C : Items)
+    if (C.size() == K)
+      AnyEndsAtK = true;
+  if (K == 0 || AnyEndsAtK) {
+    // Divergence (or an item itself) sits in the function holding the
+    // first divergent entry — the common root when K == 0.
+    size_t Pos = K == 0 ? 0 : K - 1;
+    return Items[0][Pos].Func;
+  }
+  // All items continue below the common prefix through the same call
+  // instruction; the candidate is that call's target function.
+  return Items[0][K].Func;
+}
+
+std::vector<InstrRef>
+ocelot::representativesAt(const std::vector<ProvChain> &Items, int Func) {
+  std::vector<InstrRef> Reps;
+  Reps.reserve(Items.size());
+  for (const ProvChain &C : Items) {
+    const InstrRef *Found = nullptr;
+    for (const InstrRef &E : C)
+      if (E.Func == Func) {
+        Found = &E;
+        break;
+      }
+    assert(Found && "candidate function must appear on every item chain");
+    Reps.push_back(*Found);
+  }
+  // Dedup (several chains can share a call site).
+  std::sort(Reps.begin(), Reps.end());
+  Reps.erase(std::unique(Reps.begin(), Reps.end()), Reps.end());
+  return Reps;
+}
+
+namespace {
+
+/// Inserts \p I at (Block, Index) in \p F, assigning a fresh label.
+void insertAt(Function &F, int Block, int Index, Instruction I) {
+  I.Label = F.nextLabel();
+  auto &Instrs = F.block(Block)->instructions();
+  assert(Index >= 0 && Index <= static_cast<int>(Instrs.size()));
+  Instrs.insert(Instrs.begin() + Index, std::move(I));
+}
+
+/// Places one region around the representative instructions in \p F.
+/// \returns the placement, or nothing on failure (reported to Diags).
+bool placeRegion(Program &P, Function &F, const std::vector<InstrRef> &Reps,
+                 int RegionId, InferredRegion &Out, DiagnosticEngine &Diags) {
+  DominatorTree DT = DominatorTree::computeDominators(F);
+  DominatorTree PDT = DominatorTree::computePostDominators(F);
+
+  std::vector<InstrPos> Positions;
+  std::vector<bool> IsTerm;
+  for (const InstrRef &R : Reps) {
+    InstrPos Pos = F.findLabel(R.Label);
+    if (!Pos.isValid()) {
+      Diags.error({}, "policy instruction @" + std::to_string(R.Label) +
+                          " not found in " + F.name());
+      return false;
+    }
+    Positions.push_back(Pos);
+    IsTerm.push_back(
+        F.block(Pos.Block)->instructions()[static_cast<size_t>(Pos.Index)]
+            .isTerminator());
+  }
+
+  // Dominator-side block set uses the representative blocks directly; the
+  // post-dominator side replaces a terminator representative's block with
+  // its immediate post-dominator (the region must end after the branch, in
+  // the join — paper Fig. 3's "join bb2 bb3; call atomic_end").
+  std::vector<int> DomBlocks, PdomBlocks;
+  for (size_t I = 0; I < Positions.size(); ++I) {
+    DomBlocks.push_back(Positions[I].Block);
+    int PB = Positions[I].Block;
+    if (IsTerm[I]) {
+      PB = PDT.idom(PB);
+      if (PB < 0) {
+        Diags.error({}, "cannot end a region after a branch with no "
+                        "post-dominator in " +
+                            F.name());
+        return false;
+      }
+    }
+    PdomBlocks.push_back(PB);
+  }
+
+  int S = DT.closestCommon(DomBlocks);
+  int E = PDT.closestCommon(PdomBlocks);
+  if (S < 0 || E < 0) {
+    Diags.error({}, "no common (post-)dominator for policy operations in " +
+                        F.name());
+    return false;
+  }
+  // Widen until the start dominates the end and the end post-dominates the
+  // start, so every path through the region is balanced.
+  for (int Iter = 0; Iter < 64; ++Iter) {
+    int S2 = DT.closestCommon(S, E);
+    int E2 = PDT.closestCommon(std::vector<int>{S2, E});
+    if (S2 == S && E2 == E)
+      break;
+    S = S2;
+    E = E2;
+    if (S < 0 || E < 0) {
+      Diags.error({}, "failed to widen region bounds in " + F.name());
+      return false;
+    }
+  }
+
+  // Truncate (paper line 19): latest point in S dominating every policy
+  // operation; earliest point in E post-dominating them.
+  int StartIdx = static_cast<int>(F.block(S)->size()) - 1; // before term.
+  int EndIdx = -1; // insert at block start
+  for (size_t I = 0; I < Positions.size(); ++I) {
+    if (Positions[I].Block == S)
+      StartIdx = std::min(StartIdx, Positions[I].Index);
+    if (Positions[I].Block == E && !IsTerm[I])
+      EndIdx = std::max(EndIdx, Positions[I].Index);
+  }
+
+  Instruction Start;
+  Start.Op = Opcode::AtomicStart;
+  Start.RegionId = RegionId;
+  Instruction End;
+  End.Op = Opcode::AtomicEnd;
+  End.RegionId = RegionId;
+
+  if (S == E) {
+    assert(EndIdx >= StartIdx && "degenerate single-block region");
+    insertAt(F, S, StartIdx, Start);
+    insertAt(F, E, EndIdx + 2, End); // +1 for content, +1 for the start.
+  } else {
+    insertAt(F, S, StartIdx, Start);
+    insertAt(F, E, EndIdx + 1, End);
+  }
+
+  Out.RegionId = RegionId;
+  Out.Func = F.id();
+  // Labels of the bounds: the two most recently assigned labels.
+  Out.EndLabel = F.labelCounter();
+  Out.StartLabel = F.labelCounter() - 1;
+  (void)P;
+  return true;
+}
+
+} // namespace
+
+std::vector<InferredRegion>
+ocelot::inferAtomicRegions(Program &P, const TaintAnalysis &TA,
+                           const PolicySet &PS, DiagnosticEngine &Diags) {
+  std::vector<InferredRegion> Regions;
+
+  auto Place = [&](const std::vector<ProvChain> &Items, int PolicyId,
+                   const std::string &What) {
+    if (Items.empty())
+      return;
+    int Candidate = findCandidateFunction(Items);
+    if (Candidate < 0) {
+      Diags.error({}, "no candidate function for " + What);
+      return;
+    }
+    std::vector<InstrRef> Reps = representativesAt(Items, Candidate);
+    InferredRegion R;
+    int RegionId = P.newRegionId();
+    if (placeRegion(P, *P.function(Candidate), Reps, RegionId, R, Diags)) {
+      R.PolicyIds.push_back(PolicyId);
+      Regions.push_back(R);
+    }
+  };
+
+  for (const FreshPolicy &Pol : PS.Fresh)
+    Place(policyItems(Pol, TA), Pol.Id, "Fresh(" + Pol.VarName + ")");
+  for (const ConsistentPolicy &Pol : PS.Consistent)
+    Place(policyItems(Pol, TA), Pol.Id,
+          "consistent set " + std::to_string(Pol.SetId));
+  return Regions;
+}

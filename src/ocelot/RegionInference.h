@@ -1,0 +1,77 @@
+//===- RegionInference.h - Atomic region inference --------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ocelot's region inference (paper Algorithm 1): for each policy,
+///
+///   1. gather the policy's *items* — input provenance chains, the
+///      declaration(s), and (for freshness) every use;
+///   2. findCandidate: the deepest function whose subtree contains every
+///      item (the last function on the longest common prefix of the items'
+///      call paths);
+///   3. hoist each item to its representative instruction in the candidate
+///      function by walking its provenance chain (the paper's
+///      "call ∈ set" caller walk, lines 7-16);
+///   4. take the closest common dominator / post-dominator of the
+///      representative blocks (LLVM's passes in the paper, lines 17-18),
+///      widened until the start dominates the end and the end
+///      post-dominates the start so the region is single-entry/single-exit;
+///   5. truncate to the latest dominating / earliest post-dominating
+///      instruction and insert atomic_start / atomic_end (lines 19-20).
+///
+/// Nested or overlapping results are legal; the runtime flattens them to the
+/// outermost extent (paper §3.1, Appendix H).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_OCELOT_REGIONINFERENCE_H
+#define OCELOT_OCELOT_REGIONINFERENCE_H
+
+#include "ocelot/Policy.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace ocelot {
+
+/// Where an inferred region was placed and which policies it enforces (the
+/// paper's policy map PM).
+struct InferredRegion {
+  int RegionId = -1;
+  int Func = -1;
+  uint32_t StartLabel = 0;
+  uint32_t EndLabel = 0;
+  std::vector<int> PolicyIds;
+};
+
+/// Builds the item list of a policy: every chain is rooted at the policy's
+/// RootFunc and ends at the instruction that must be atomic.
+std::vector<ProvChain> policyItems(const FreshPolicy &Pol,
+                                   const TaintAnalysis &TA);
+std::vector<ProvChain> policyItems(const ConsistentPolicy &Pol,
+                                   const TaintAnalysis &TA);
+
+/// The deepest function containing every item (paper's findCandidate).
+/// \returns -1 for an empty item list.
+int findCandidateFunction(const std::vector<ProvChain> &Items);
+
+/// Each item's representative instruction at function \p Func: the chain
+/// entry located in \p Func (the item itself, or the call site through
+/// which the chain descends).
+std::vector<InstrRef> representativesAt(const std::vector<ProvChain> &Items,
+                                        int Func);
+
+/// Runs inference over every policy, mutating \p P by inserting region
+/// bounds. \returns the region placements, or an empty vector (with
+/// diagnostics) on failure.
+std::vector<InferredRegion> inferAtomicRegions(Program &P,
+                                               const TaintAnalysis &TA,
+                                               const PolicySet &PS,
+                                               DiagnosticEngine &Diags);
+
+} // namespace ocelot
+
+#endif // OCELOT_OCELOT_REGIONINFERENCE_H

@@ -1,0 +1,76 @@
+//===- Environment.h - Simulated sensor environment -------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic sensor signals over logical time. The paper evaluates on
+/// physical sensors (several already simulated in its own experiments,
+/// Table 1); here each sensor is a pure function of logical time τ so
+/// experiments are reproducible and staleness / inconsistency are
+/// observable: a value sensed before a long power-off differs from the
+/// environment after reboot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_ENVIRONMENT_H
+#define OCELOT_RUNTIME_ENVIRONMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Signal shapes for one sensor.
+struct SensorSignal {
+  enum class Kind {
+    Constant, ///< always Base
+    Step,     ///< Base before StepTau, Base + Amplitude after
+    Ramp,     ///< Base + Slope * (tau / Interval)
+    Square,   ///< alternates Base / Base+Amplitude every Interval
+    Noise,    ///< piecewise-constant pseudo-random in [Base, Base+Amplitude],
+              ///< re-drawn every Interval (seeded, stateless in tau)
+  };
+
+  Kind K = Kind::Constant;
+  int64_t Base = 0;
+  int64_t Amplitude = 0;
+  int64_t Slope = 0;
+  uint64_t Interval = 1000;
+  uint64_t StepTau = 0;
+  uint64_t Seed = 1;
+
+  static SensorSignal constant(int64_t Base);
+  static SensorSignal step(int64_t Base, int64_t Amplitude, uint64_t StepTau);
+  static SensorSignal ramp(int64_t Base, int64_t Slope, uint64_t Interval);
+  static SensorSignal square(int64_t Base, int64_t Amplitude,
+                             uint64_t Interval);
+  static SensorSignal noise(int64_t Base, int64_t Amplitude,
+                            uint64_t Interval, uint64_t Seed);
+
+  int64_t sample(uint64_t Tau) const;
+};
+
+/// The program's sensor environment: one signal per sensor id.
+class Environment {
+public:
+  Environment() = default;
+
+  /// Configures sensor \p Id (growing the table as needed).
+  void setSignal(int Id, SensorSignal S);
+
+  /// Default for sensors never configured: seeded noise, so experiments on
+  /// unconfigured programs still observe time-varying inputs.
+  int64_t sample(int Id, uint64_t Tau) const;
+
+  int numConfigured() const { return static_cast<int>(Signals.size()); }
+
+private:
+  std::vector<SensorSignal> Signals;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_ENVIRONMENT_H

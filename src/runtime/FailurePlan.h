@@ -1,0 +1,83 @@
+//===- FailurePlan.h - Power-failure injection ------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides when the low-power comparator fires during simulation:
+///
+///  * None — continuously powered execution;
+///  * EnergyDriven — the capacitor model decides (Fig. 8, Table 2(b));
+///  * Pathological — fail immediately before chosen instructions, once per
+///    program run: the paper's §7.3 experiment ("power failures immediately
+///    before the use of a fresh variable and between input operations in a
+///    consistent set", Table 2(a));
+///  * Periodic — every N cycles with jitter;
+///  * Random — per-instruction probability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_FAILUREPLAN_H
+#define OCELOT_RUNTIME_FAILUREPLAN_H
+
+#include "ir/Instruction.h"
+#include "support/Rng.h"
+
+#include <set>
+
+namespace ocelot {
+
+class FailurePlan {
+public:
+  enum class Kind { None, EnergyDriven, Pathological, Periodic, Random };
+
+  static FailurePlan none();
+  static FailurePlan energyDriven();
+  static FailurePlan pathological(std::set<InstrRef> Points);
+  static FailurePlan periodic(uint64_t PeriodCycles, double Jitter = 0.2);
+  static FailurePlan random(double PerInstrProb);
+
+  Kind kind() const { return K; }
+
+  /// Off-time range for plans that are not energy-driven (tau units drawn
+  /// uniformly per reboot).
+  void setOffTime(uint64_t Lo, uint64_t Hi) {
+    OffLo = Lo;
+    OffHi = Hi < Lo ? Lo : Hi;
+  }
+  uint64_t drawOffTime(Rng &R) const {
+    return static_cast<uint64_t>(
+        R.nextInRange(static_cast<int64_t>(OffLo), static_cast<int64_t>(OffHi)));
+  }
+
+  /// Called at the start of each program run (main invocation): re-arms
+  /// pathological points.
+  void resetRun();
+
+  /// \returns true if a failure must be injected immediately before
+  /// executing \p I (pathological points fire once per run).
+  bool firesBefore(InstrRef I, Rng &R);
+
+  /// \returns true if a failure fires after consuming \p Cycles more cycles
+  /// (periodic plans).
+  bool firesAfterCycles(uint64_t TotalOnCycles);
+
+  bool isEnergyDriven() const { return K == Kind::EnergyDriven; }
+
+private:
+  Kind K = Kind::None;
+  std::set<InstrRef> Points;
+  std::set<InstrRef> Fired;
+  uint64_t Period = 0;
+  double Jitter = 0.0;
+  double Prob = 0.0;
+  uint64_t NextAt = 0;
+  uint64_t OffLo = 5000;
+  uint64_t OffHi = 50000;
+  bool NextArmed = false;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_FAILUREPLAN_H

@@ -1,0 +1,622 @@
+//===- Interpreter.cpp - Intermittent execution simulator ----------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+uint64_t CostModel::costOf(const Instruction &I) const {
+  switch (I.Op) {
+  case Opcode::Input:
+    return InputCost;
+  case Opcode::Output:
+    return OutputCost;
+  case Opcode::Call:
+  case Opcode::Ret:
+    return CallCost;
+  case Opcode::AtomicStart:
+    return AtomicStartCost;
+  case Opcode::AtomicEnd:
+    return AtomicCommitCost;
+  case Opcode::Fresh:
+  case Opcode::Consistent:
+  case Opcode::Nop:
+    return 0; // Annotation markers are erased in real builds (§6.1).
+  default:
+    return Default;
+  }
+}
+
+Interpreter::Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
+                         const MonitorPlan *Plan,
+                         const std::vector<RegionInfo> *Regions)
+    : P(P), Env(Env), Cfg(std::move(Cfg)), Regions(Regions),
+      Rand(this->Cfg.Seed) {
+  static const MonitorPlan EmptyPlan;
+  Monitor = std::make_unique<ViolationMonitor>(Plan ? *Plan : EmptyPlan,
+                                               P.numSensors());
+  if (this->Cfg.Plan.isEnergyDriven())
+    Energy = std::make_unique<EnergyModel>(this->Cfg.Energy,
+                                           this->Cfg.Seed ^ 0xe4e4f00dULL);
+  if (this->Cfg.MonitorFormal)
+    this->Cfg.TrackTaint = true;
+  resetNvm();
+}
+
+void Interpreter::resetNvm() {
+  Nvm.clear();
+  Nvm.resize(static_cast<size_t>(P.numGlobals()));
+  for (int G = 0; G < P.numGlobals(); ++G) {
+    const GlobalVar &GV = P.global(G);
+    auto &Cells = Nvm[static_cast<size_t>(G)];
+    Cells.resize(static_cast<size_t>(GV.Size));
+    for (int I = 0; I < GV.Size; ++I)
+      Cells[static_cast<size_t>(I)] =
+          RtValue(I < static_cast<int>(GV.Init.size())
+                      ? GV.Init[static_cast<size_t>(I)]
+                      : 0);
+  }
+}
+
+void Interpreter::setReplayInputs(
+    std::optional<std::vector<InputEvent>> Events) {
+  Replay = std::move(Events);
+  ReplayIdx = 0;
+}
+
+std::vector<std::vector<int64_t>> Interpreter::nvmSnapshot() const {
+  std::vector<std::vector<int64_t>> Snap(Nvm.size());
+  for (size_t G = 0; G < Nvm.size(); ++G) {
+    Snap[G].reserve(Nvm[G].size());
+    for (const RtValue &V : Nvm[G])
+      Snap[G].push_back(V.V);
+  }
+  return Snap;
+}
+
+const Instruction *Interpreter::fetch() const {
+  const Frame &F = Frames.back();
+  const Function *Fn = P.function(F.Func);
+  assert(F.Block < Fn->numBlocks() && "bad block");
+  const BasicBlock *BB = Fn->block(F.Block);
+  assert(F.Idx < static_cast<int>(BB->size()) && "fell off a block");
+  return &BB->instructions()[static_cast<size_t>(F.Idx)];
+}
+
+RtValue Interpreter::eval(Operand O) const {
+  if (O.isImm())
+    return RtValue(O.Imm);
+  if (O.isReg())
+    return Frames.back().Regs[static_cast<size_t>(O.Reg)];
+  return RtValue(0);
+}
+
+ProvChain Interpreter::currentChain(uint32_t FinalLabel) const {
+  ProvChain C;
+  for (size_t I = 1; I < Frames.size(); ++I)
+    C.push_back(InstrRef(Frames[I - 1].Func, Frames[I].CallSiteLabel));
+  C.push_back(InstrRef(Frames.back().Func, FinalLabel));
+  return C;
+}
+
+const RegionInfo *Interpreter::regionInfo(int RegionId) const {
+  if (!Regions)
+    return nullptr;
+  for (const RegionInfo &R : *Regions)
+    if (R.RegionId == RegionId)
+      return &R;
+  return nullptr;
+}
+
+void Interpreter::writeGlobal(int G, int64_t Index, RtValue V, RunResult &R) {
+  auto &Cells = Nvm[static_cast<size_t>(G)];
+  assert(Index >= 0 && Index < static_cast<int64_t>(Cells.size()));
+  if (ExecMode == Mode::Atomic) {
+    if (Undo.logIfFirst(G, Index, Cells[static_cast<size_t>(Index)])) {
+      ++R.UndoLogEntries;
+      R.OnCycles += Cfg.Costs.UndoLogEntryCost;
+      LifetimeOn += Cfg.Costs.UndoLogEntryCost;
+      Tau += Cfg.Costs.UndoLogEntryCost;
+    }
+  }
+  if (!Cfg.TrackTaint)
+    V.Taint.clear();
+  Cells[static_cast<size_t>(Index)] = std::move(V);
+}
+
+void Interpreter::enterAtomic(const Instruction &I, RunResult &R) {
+  if (ExecMode == Mode::Atomic) {
+    ++Natom; // Atom-Start-Inner: flattening counter only.
+    return;
+  }
+  // Atom-Start-Outer: snapshot volatile state positioned after the start.
+  // Saving the volatile context costs like a JIT checkpoint (§6.3).
+  uint64_t SaveCost = Cfg.Costs.RegionEntryPerFrame * Frames.size();
+  R.OnCycles += SaveCost;
+  LifetimeOn += SaveCost;
+  Tau += SaveCost;
+  if (Energy)
+    Energy->consume(SaveCost);
+  ExecMode = Mode::Atomic;
+  CurrentRegion = I.RegionId;
+  Natom = 0;
+  AbortsThisRegion = 0;
+  AtomicSnapshot = Frames;
+  Undo.clear();
+  if (Cfg.StaticOmega) {
+    if (const RegionInfo *Info = regionInfo(I.RegionId)) {
+      for (int G : Info->Omega) {
+        const auto &Cells = Nvm[static_cast<size_t>(G)];
+        for (size_t Idx = 0; Idx < Cells.size(); ++Idx) {
+          if (Undo.logIfFirst(G, static_cast<int64_t>(Idx), Cells[Idx])) {
+            ++R.UndoLogEntries;
+            R.OnCycles += Cfg.Costs.AtomicOmegaPerCell;
+            LifetimeOn += Cfg.Costs.AtomicOmegaPerCell;
+            Tau += Cfg.Costs.AtomicOmegaPerCell;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Interpreter::commitAtomic(RunResult &R) {
+  if (Natom > 0) {
+    --Natom; // Atom-End-Inner.
+    return;
+  }
+  // Atom-End-Outer: effects become visible; pending events commit.
+  for (InputEvent &E : PendingInputs)
+    Committed.Inputs.push_back(E);
+  for (OutputEvent &E : PendingOutputs)
+    Committed.Outputs.push_back(E);
+  PendingInputs.clear();
+  PendingOutputs.clear();
+  Undo.clear();
+  ExecMode = Mode::Jit;
+  CurrentRegion = -1;
+  AbortsThisRegion = 0;
+  ++R.AtomicCommits;
+}
+
+void Interpreter::powerFail(RunResult &R) {
+  ++R.Reboots;
+  ++Epoch;
+  ++Committed.Reboots;
+
+  uint64_t TotalRegs = 0;
+  for (const Frame &F : Frames)
+    TotalRegs += F.Regs.size();
+
+  if (ExecMode == Mode::Jit) {
+    // JIT-LowPower: the ISR checkpoints volatile state into NVM within the
+    // raised-threshold reserve (§6.3).
+    uint64_t CkptCost =
+        Cfg.Costs.CheckpointBase + Cfg.Costs.CheckpointPerReg * TotalRegs;
+    R.OnCycles += CkptCost;
+    LifetimeOn += CkptCost;
+    Tau += CkptCost;
+    ++R.Checkpoints;
+  }
+  // Atom-LowPower: shut down immediately; nothing saved.
+
+  uint64_t Off = Energy ? Energy->recharge() : Cfg.Plan.drawOffTime(Rand);
+  Tau += Off;
+  R.OffCycles += Off;
+  Monitor->onPowerFailure();
+
+  if (ExecMode == Mode::Atomic) {
+    // Atom-Reboot: apply the undo log, restore the region-entry context.
+    Undo.restore([&](int G, int64_t Index, const RtValue &Old) {
+      Nvm[static_cast<size_t>(G)][static_cast<size_t>(Index)] = Old;
+    });
+    // In static mode the log *is* the region's backup and is retained for
+    // the next attempt; dynamic mode re-logs on first write.
+    if (!Cfg.StaticOmega)
+      Undo.clear();
+    Frames = AtomicSnapshot;
+    Natom = 0;
+    PendingInputs.clear();
+    PendingOutputs.clear();
+    ++R.AtomicAborts;
+    ++AbortsThisRegion;
+    if (AbortsThisRegion > Cfg.MaxAbortsPerRegion) {
+      R.Starved = true;
+      Frames.clear();
+    }
+  } else {
+    // JIT-Reboot: restore volatile state (identity here; costed).
+    uint64_t RestCost =
+        Cfg.Costs.RestoreBase + Cfg.Costs.RestorePerReg * TotalRegs;
+    R.OnCycles += RestCost;
+    LifetimeOn += RestCost;
+    Tau += RestCost;
+  }
+}
+
+bool Interpreter::checkEnergyAndPlan(uint64_t Cost, RunResult &R) {
+  if (Energy) {
+    if (Energy->consume(Cost))
+      return true;
+    return false;
+  }
+  if (Cfg.Plan.kind() == FailurePlan::Kind::Periodic)
+    return Cfg.Plan.firesAfterCycles(LifetimeOn);
+  return false;
+}
+
+RunResult Interpreter::runOnce() {
+  RunResult R;
+  Cfg.Plan.resetRun();
+  Monitor->beginRun();
+  size_t ViolationsBefore = Monitor->violations().size();
+
+  Frames.clear();
+  Frame Main;
+  Main.Func = P.mainFunction();
+  Main.Regs.resize(
+      static_cast<size_t>(P.function(P.mainFunction())->numRegs()));
+  Frames.push_back(std::move(Main));
+  ExecMode = Mode::Jit;
+  Natom = 0;
+  Undo.clear();
+  PendingInputs.clear();
+  PendingOutputs.clear();
+  Committed.clear();
+  AbortsThisRegion = 0;
+  CurrentRegion = -1;
+  uint64_t ConsecutiveFailures = 0;
+
+  while (!Frames.empty() && !R.Starved && R.Trap.empty()) {
+    if (R.OnCycles > Cfg.MaxOnCyclesPerRun) {
+      R.Trap = "on-cycle budget exceeded";
+      break;
+    }
+    const Instruction *I = fetch();
+    Frame &Top = Frames.back();
+    InstrRef Site(Top.Func, I->Label);
+
+    // Failure injection before the instruction (pathological / random).
+    if (Cfg.Plan.firesBefore(Site, Rand)) {
+      powerFail(R);
+      continue;
+    }
+    uint64_t Cost = Cfg.Costs.costOf(*I);
+    if (checkEnergyAndPlan(Cost, R)) {
+      ++ConsecutiveFailures;
+      if (ConsecutiveFailures > Cfg.MaxAbortsPerRegion) {
+        R.Starved = true;
+        break;
+      }
+      powerFail(R);
+      continue;
+    }
+    ConsecutiveFailures = 0;
+    R.OnCycles += Cost;
+    LifetimeOn += Cost;
+    Tau += Cost;
+
+    // Freshness checks fire when a use of a fresh variable executes.
+    if (Cfg.MonitorBitVector)
+      Monitor->onFreshUse(Site, Tau);
+    if (Cfg.MonitorFormal) {
+      auto It = Monitor->plan().UseRegs.find(Site);
+      if (It != Monitor->plan().UseRegs.end())
+        for (int Reg : It->second)
+          Monitor->onFreshUseFormal(
+              Site, Top.Regs[static_cast<size_t>(Reg)].Taint, Epoch, Tau);
+    }
+
+    ++Frames.back().Idx; // Advance before executing (branches overwrite).
+
+    switch (I->Op) {
+    case Opcode::Const:
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] = RtValue(I->A.Imm);
+      break;
+    case Opcode::Mov:
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] = eval(I->A);
+      break;
+    case Opcode::Un: {
+      RtValue A = eval(I->A);
+      int64_t V = 0;
+      switch (I->UnKind) {
+      case UnOp::Neg:
+        V = -A.V;
+        break;
+      case UnOp::Not:
+        V = ~A.V;
+        break;
+      case UnOp::LNot:
+        V = A.V == 0 ? 1 : 0;
+        break;
+      }
+      RtValue Out(V);
+      Out.Taint = std::move(A.Taint);
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] = std::move(Out);
+      break;
+    }
+    case Opcode::Bin: {
+      RtValue A = eval(I->A);
+      RtValue B = eval(I->B);
+      int64_t V = 0;
+      bool Ok = true;
+      switch (I->BinKind) {
+      case BinOp::Add:
+        V = A.V + B.V;
+        break;
+      case BinOp::Sub:
+        V = A.V - B.V;
+        break;
+      case BinOp::Mul:
+        V = A.V * B.V;
+        break;
+      case BinOp::Div:
+        if (B.V == 0)
+          Ok = false;
+        else
+          V = A.V / B.V;
+        break;
+      case BinOp::Mod:
+        if (B.V == 0)
+          Ok = false;
+        else
+          V = A.V % B.V;
+        break;
+      case BinOp::And:
+        V = A.V & B.V;
+        break;
+      case BinOp::Or:
+        V = A.V | B.V;
+        break;
+      case BinOp::Xor:
+        V = A.V ^ B.V;
+        break;
+      case BinOp::Shl:
+        V = A.V << (B.V & 63);
+        break;
+      case BinOp::Shr:
+        V = A.V >> (B.V & 63);
+        break;
+      case BinOp::Eq:
+        V = A.V == B.V;
+        break;
+      case BinOp::Ne:
+        V = A.V != B.V;
+        break;
+      case BinOp::Lt:
+        V = A.V < B.V;
+        break;
+      case BinOp::Le:
+        V = A.V <= B.V;
+        break;
+      case BinOp::Gt:
+        V = A.V > B.V;
+        break;
+      case BinOp::Ge:
+        V = A.V >= B.V;
+        break;
+      case BinOp::LAnd:
+        V = (A.V != 0) && (B.V != 0);
+        break;
+      case BinOp::LOr:
+        V = (A.V != 0) || (B.V != 0);
+        break;
+      }
+      if (!Ok) {
+        R.Trap = "division by zero at " +
+                 P.function(Site.Func)->name() + "@" +
+                 std::to_string(Site.Label);
+        break;
+      }
+      RtValue Out(V);
+      if (Cfg.TrackTaint) {
+        Out.Taint = A.Taint;
+        Out.mergeTaint(B);
+      }
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] = std::move(Out);
+      break;
+    }
+    case Opcode::LoadG:
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] =
+          Nvm[static_cast<size_t>(I->GlobalId)][0];
+      break;
+    case Opcode::StoreG:
+      writeGlobal(I->GlobalId, 0, eval(I->A), R);
+      break;
+    case Opcode::LoadA: {
+      int64_t Idx = eval(I->A).V;
+      const auto &Cells = Nvm[static_cast<size_t>(I->GlobalId)];
+      if (Idx < 0 || Idx >= static_cast<int64_t>(Cells.size())) {
+        R.Trap = "array index out of bounds in " +
+                 P.function(Site.Func)->name();
+        break;
+      }
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] =
+          Cells[static_cast<size_t>(Idx)];
+      break;
+    }
+    case Opcode::StoreA: {
+      int64_t Idx = eval(I->A).V;
+      const auto &Cells = Nvm[static_cast<size_t>(I->GlobalId)];
+      if (Idx < 0 || Idx >= static_cast<int64_t>(Cells.size())) {
+        R.Trap = "array index out of bounds in " +
+                 P.function(Site.Func)->name();
+        break;
+      }
+      writeGlobal(I->GlobalId, Idx, eval(I->B), R);
+      break;
+    }
+    case Opcode::LoadInd: {
+      int64_t G = eval(I->A).V;
+      assert(G >= 0 && G < P.numGlobals() && "bad reference value");
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] =
+          Nvm[static_cast<size_t>(G)][0];
+      break;
+    }
+    case Opcode::StoreInd: {
+      int64_t G = eval(I->A).V;
+      assert(G >= 0 && G < P.numGlobals() && "bad reference value");
+      writeGlobal(static_cast<int>(G), 0, eval(I->B), R);
+      break;
+    }
+    case Opcode::Input: {
+      int64_t V;
+      if (Replay) {
+        if (ReplayIdx >= Replay->size()) {
+          R.Trap = "replay input queue exhausted";
+          break;
+        }
+        const InputEvent &E = (*Replay)[ReplayIdx++];
+        if (E.Sensor != I->SensorId) {
+          R.Trap = "replay sensor mismatch";
+          break;
+        }
+        V = E.Value;
+      } else {
+        V = Env.sample(I->SensorId, Tau);
+      }
+      InputEvent E;
+      E.Sensor = I->SensorId;
+      E.Tau = Tau;
+      E.Epoch = Epoch;
+      E.Value = V;
+      RtValue Out(V);
+      if (Cfg.TrackTaint)
+        Out.Taint.push_back(E);
+      Frames.back().Regs[static_cast<size_t>(I->Dst)] = std::move(Out);
+      if (Cfg.MonitorBitVector)
+        Monitor->onInput(Site, currentChain(I->Label), I->SensorId, Tau);
+      if (Cfg.RecordTrace) {
+        if (ExecMode == Mode::Atomic)
+          PendingInputs.push_back(E);
+        else
+          Committed.Inputs.push_back(E);
+      }
+      break;
+    }
+    case Opcode::Call: {
+      const Function *Callee = P.function(I->Callee);
+      Frame NewFrame;
+      NewFrame.Func = I->Callee;
+      NewFrame.Regs.resize(static_cast<size_t>(Callee->numRegs()));
+      for (size_t A = 0; A < I->Args.size(); ++A)
+        NewFrame.Regs[A] = eval(I->Args[A]);
+      NewFrame.RetDst = I->Dst;
+      NewFrame.CallSiteLabel = I->Label;
+      Frames.push_back(std::move(NewFrame));
+      break;
+    }
+    case Opcode::Ret: {
+      RtValue V = I->A.isNone() ? RtValue(0) : eval(I->A);
+      int RetDst = Frames.back().RetDst;
+      Frames.pop_back();
+      if (!Frames.empty() && RetDst >= 0 && !I->A.isNone())
+        Frames.back().Regs[static_cast<size_t>(RetDst)] = std::move(V);
+      break;
+    }
+    case Opcode::Br:
+      Frames.back().Block = I->Target;
+      Frames.back().Idx = 0;
+      break;
+    case Opcode::CondBr: {
+      int Target = eval(I->A).V != 0 ? I->Target : I->Target2;
+      Frames.back().Block = Target;
+      Frames.back().Idx = 0;
+      break;
+    }
+    case Opcode::Fresh:
+      break; // Checked at uses.
+    case Opcode::Consistent:
+      if (Cfg.MonitorFormal)
+        Monitor->onConsistentMarker(I->SetId, I->Label, eval(I->A).Taint,
+                                    Epoch, Tau);
+      break;
+    case Opcode::AtomicStart:
+      enterAtomic(*I, R);
+      break;
+    case Opcode::AtomicEnd:
+      commitAtomic(R);
+      break;
+    case Opcode::Output: {
+      OutputEvent E;
+      E.Kind = I->OutKind;
+      E.Tau = Tau;
+      for (const Operand &A : I->Args)
+        E.Args.push_back(eval(A).V);
+      if (Cfg.RecordTrace) {
+        if (ExecMode == Mode::Atomic)
+          PendingOutputs.push_back(E);
+        else
+          Committed.Outputs.push_back(std::move(E));
+      }
+      break;
+    }
+    case Opcode::Nop:
+      break;
+    }
+  }
+
+  R.Completed = Frames.empty() && R.Trap.empty() && !R.Starved;
+  R.TraceData = Committed;
+  Committed.clear();
+  R.FinalTau = Tau;
+
+  R.ViolatedFresh = Monitor->runFreshViolation();
+  R.ViolatedConsistent = Monitor->runConsistentViolation();
+  const auto &AllViolations = Monitor->violations();
+  for (size_t I = ViolationsBefore; I < AllViolations.size(); ++I)
+    R.Violations.push_back(AllViolations[I]);
+  return R;
+}
+
+bool ocelot::replayRefines(const Program &P, const MonitorPlan *Plan,
+                           const Trace &T, int NumRuns,
+                           const std::vector<std::vector<int64_t>> &FinalNvm,
+                           std::string &Why) {
+  Environment Unused;
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Interpreter I(P, Unused, Cfg, Plan, nullptr);
+  I.setReplayInputs(T.Inputs);
+
+  std::vector<OutputEvent> ReplayOutputs;
+  for (int Run = 0; Run < NumRuns; ++Run) {
+    RunResult R = I.runOnce();
+    if (!R.Completed) {
+      Why = "replay run did not complete: " +
+            (R.Trap.empty() ? std::string("starved") : R.Trap);
+      return false;
+    }
+    for (const OutputEvent &E : R.TraceData.Outputs)
+      ReplayOutputs.push_back(E);
+  }
+  if (I.replayRemaining() != 0) {
+    Why = "replay consumed fewer inputs than the committed trace (" +
+          std::to_string(I.replayRemaining()) + " left)";
+    return false;
+  }
+
+  if (ReplayOutputs.size() != T.Outputs.size()) {
+    Why = "output count mismatch: replay " +
+          std::to_string(ReplayOutputs.size()) + " vs committed " +
+          std::to_string(T.Outputs.size());
+    return false;
+  }
+  for (size_t Idx = 0; Idx < ReplayOutputs.size(); ++Idx) {
+    if (!ReplayOutputs[Idx].sameContent(T.Outputs[Idx])) {
+      Why = "output " + std::to_string(Idx) + " diverged";
+      return false;
+    }
+  }
+  std::vector<std::vector<int64_t>> Snap = I.nvmSnapshot();
+  if (Snap != FinalNvm) {
+    Why = "final non-volatile memory diverged";
+    return false;
+  }
+  return true;
+}

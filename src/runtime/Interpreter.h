@@ -1,0 +1,206 @@
+//===- Interpreter.h - Intermittent execution simulator ---------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes Ocelot IR under the paper's JIT + Atomics execution model
+/// (Appendix H):
+///
+///  * Non-volatile memory (globals) persists across power failures;
+///    volatile state (the frame stack with virtual registers) is saved by a
+///    JIT checkpoint when the comparator fires, or restored to the region
+///    entry snapshot with the undo log applied when power fails inside an
+///    atomic region (rules JIT-LowPower / Atom-LowPower / *-Reboot).
+///  * Logical time tau advances with each instruction's cycle cost and by
+///    the recharge duration across each reboot — the "pick(n)" that makes
+///    stale/inconsistent inputs observable.
+///  * Nested atomic regions flatten via the natom counter
+///    (Atom-Start-Inner / Atom-End-Inner).
+///  * Optional dynamic taint (Appendix B) feeds the formal violation
+///    checker; the bit-vector detector (§7.3) runs independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_INTERPRETER_H
+#define OCELOT_RUNTIME_INTERPRETER_H
+
+#include "analysis/WarAnalysis.h"
+#include "ir/Program.h"
+#include "runtime/EnergyModel.h"
+#include "runtime/Environment.h"
+#include "runtime/FailurePlan.h"
+#include "runtime/MonitorPlan.h"
+#include "runtime/Trace.h"
+#include "runtime/UndoLog.h"
+#include "runtime/ViolationMonitor.h"
+
+#include <memory>
+#include <optional>
+
+namespace ocelot {
+
+/// Cycle costs per operation class. Values are abstract cycles; the
+/// evaluation reports ratios, which depend only on relative magnitudes
+/// (sensor reads and radio/UART output are expensive relative to ALU work,
+/// checkpoints scale with saved state — as on the paper's MSP430 target).
+struct CostModel {
+  uint64_t Default = 1;
+  uint64_t InputCost = 80;
+  uint64_t OutputCost = 200;
+  uint64_t CallCost = 2;
+  uint64_t CheckpointBase = 120;
+  uint64_t CheckpointPerReg = 1;
+  uint64_t RestoreBase = 60;
+  uint64_t RestorePerReg = 1;
+  uint64_t AtomicStartCost = 10;
+  /// Entering an (outermost) atomic region checkpoints the volatile
+  /// execution context like a JIT checkpoint does (§6.3). Charged per
+  /// active stack frame: virtual-register counts are inflated by loop
+  /// unrolling, while a real MSP430 frame is a handful of words.
+  uint64_t RegionEntryPerFrame = 8;
+  uint64_t AtomicOmegaPerCell = 2; ///< Static-omega backup per cell.
+  uint64_t UndoLogEntryCost = 3;
+  uint64_t AtomicCommitCost = 6;
+
+  uint64_t costOf(const Instruction &I) const;
+};
+
+struct RunConfig {
+  CostModel Costs;
+  FailurePlan Plan = FailurePlan::none();
+  EnergyConfig Energy;
+  uint64_t Seed = 1;
+  bool TrackTaint = false;
+  bool MonitorBitVector = false;
+  bool MonitorFormal = false; ///< Implies TrackTaint.
+  bool StaticOmega = false;   ///< Back up omega at region entry instead of
+                              ///< first-write logging.
+  bool RecordTrace = false;
+  uint64_t MaxOnCyclesPerRun = 50'000'000;
+  uint64_t MaxAbortsPerRegion = 1000; ///< Starvation detector (§5.3).
+};
+
+/// The outcome of one main() activation.
+struct RunResult {
+  bool Completed = false;
+  bool Starved = false; ///< An atomic region could not complete on the
+                        ///< available energy (region too large, §5.3).
+  std::string Trap;     ///< Non-empty on runtime error (bounds, div by 0).
+  uint64_t OnCycles = 0;
+  uint64_t OffCycles = 0;
+  uint64_t Reboots = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t UndoLogEntries = 0;
+  uint64_t AtomicCommits = 0;
+  uint64_t AtomicAborts = 0;
+  bool ViolatedFresh = false;
+  bool ViolatedConsistent = false;
+  std::vector<ViolationRecord> Violations;
+  Trace TraceData;
+  uint64_t FinalTau = 0;
+};
+
+class Interpreter {
+public:
+  /// \p Plan and \p Regions may be null/empty for programs without
+  /// annotations. NVM, tau, the reboot epoch and the energy store persist
+  /// across runOnce() calls, as on a real device.
+  Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
+              const MonitorPlan *Plan = nullptr,
+              const std::vector<RegionInfo> *Regions = nullptr);
+
+  /// Executes one activation of main() to completion (or abort).
+  RunResult runOnce();
+
+  /// Re-initializes NVM from the program's initializers (fresh device).
+  void resetNvm();
+
+  /// Feeds inputs from \p Events instead of the environment (in order);
+  /// used by the refinement replay. Pass std::nullopt to return to the
+  /// environment.
+  void setReplayInputs(std::optional<std::vector<InputEvent>> Events);
+
+  /// Inputs left in the replay queue (0 when not replaying).
+  size_t replayRemaining() const {
+    return Replay ? Replay->size() - ReplayIdx : 0;
+  }
+
+  /// Plain-value NVM snapshot for refinement comparison.
+  std::vector<std::vector<int64_t>> nvmSnapshot() const;
+
+  uint64_t tau() const { return Tau; }
+  uint64_t epoch() const { return Epoch; }
+  const ViolationMonitor &monitor() const { return *Monitor; }
+
+private:
+  struct Frame {
+    int Func = -1;
+    int Block = 0;
+    int Idx = 0;
+    std::vector<RtValue> Regs;
+    int RetDst = -1;
+    uint32_t CallSiteLabel = 0; ///< Label of the call in the caller.
+  };
+
+  enum class Mode { Jit, Atomic };
+
+  const Instruction *fetch() const;
+  RtValue eval(Operand O) const;
+  void powerFail(RunResult &R);
+  void enterAtomic(const Instruction &I, RunResult &R);
+  void commitAtomic(RunResult &R);
+  void writeGlobal(int G, int64_t Index, RtValue V, RunResult &R);
+  ProvChain currentChain(uint32_t FinalLabel) const;
+  const RegionInfo *regionInfo(int RegionId) const;
+  bool checkEnergyAndPlan(uint64_t Cost, RunResult &R);
+
+  const Program &P;
+  Environment &Env;
+  RunConfig Cfg;
+  const std::vector<RegionInfo> *Regions;
+
+  // Non-volatile state (persists across runs and failures).
+  std::vector<std::vector<RtValue>> Nvm;
+  uint64_t Tau = 0;
+  uint64_t Epoch = 0;
+  /// Cumulative on-cycles across the device lifetime (periodic failure
+  /// plans arm against this, not the per-run counter).
+  uint64_t LifetimeOn = 0;
+  std::unique_ptr<ViolationMonitor> Monitor;
+  std::unique_ptr<EnergyModel> Energy;
+  Rng Rand;
+
+  // Volatile execution state.
+  std::vector<Frame> Frames;
+  Mode ExecMode = Mode::Jit;
+  // Atomic context (kappa_atom): snapshot + undo log + nesting counter.
+  std::vector<Frame> AtomicSnapshot;
+  UndoLog Undo;
+  int Natom = 0;
+  int CurrentRegion = -1;
+  uint64_t AbortsThisRegion = 0;
+
+  // Trace buffering: committed vs pending (inside an open region).
+  Trace Committed;
+  std::vector<InputEvent> PendingInputs;
+  std::vector<OutputEvent> PendingOutputs;
+
+  std::optional<std::vector<InputEvent>> Replay;
+  size_t ReplayIdx = 0;
+};
+
+/// Replays \p T (the committed trace of \p NumRuns main() activations on a
+/// fresh device) against a continuous execution of \p P and compares
+/// outputs and the final NVM against \p FinalNvm. \returns true when the
+/// intermittent execution refines a continuous one; otherwise \p Why says
+/// what diverged.
+bool replayRefines(const Program &P, const MonitorPlan *Plan, const Trace &T,
+                   int NumRuns,
+                   const std::vector<std::vector<int64_t>> &FinalNvm,
+                   std::string &Why);
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_INTERPRETER_H

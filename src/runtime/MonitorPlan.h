@@ -1,0 +1,55 @@
+//===- MonitorPlan.h - Instrumentation plan for the violation monitor -*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static instrumentation data the compiler derives from policies for the
+/// paper's §7.3 bit-vector violation detector: which sensors each fresh
+/// use depends on, and the ordered members of each consistent set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_MONITORPLAN_H
+#define OCELOT_RUNTIME_MONITORPLAN_H
+
+#include "ir/Instruction.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ocelot {
+
+/// One consistent set: its member input operations (as absolute provenance
+/// chains, so two dynamic calls to the same sensor wrapper are distinct
+/// members) and each member's sensor.
+struct ConsistentSetPlan {
+  int SetId = -1;
+  std::vector<ProvChain> Members; ///< Absolute chains, in policy order.
+  std::vector<int> MemberSensors; ///< Sensor per member (for reporting).
+};
+
+/// The full instrumentation plan of a compiled program.
+struct MonitorPlan {
+  /// Fresh-use checks: instruction (a use of a fresh variable) -> sensors
+  /// whose bit must still be set when the use executes (paper §7.3: "On the
+  /// use of a fresh variable, the bits of any dependent sensors are
+  /// checked").
+  std::map<InstrRef, std::set<InstrRef>> UseChecks;
+
+  /// Consistent-set member checks ("On an input operation in a consistent
+  /// set, the bits of any preceding operations in the set are checked").
+  std::vector<ConsistentSetPlan> Sets;
+
+  /// For the formal checker: at each fresh use site, the registers holding
+  /// fresh-annotated variables (whose dynamic taint epochs are inspected).
+  std::map<InstrRef, std::set<int>> UseRegs;
+
+  bool empty() const { return UseChecks.empty() && Sets.empty(); }
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_MONITORPLAN_H

@@ -1,0 +1,27 @@
+//===- Trace.cpp - Committed execution traces ----------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Trace.h"
+
+using namespace ocelot;
+
+std::string Trace::summary() const {
+  std::string S = "trace: " + std::to_string(Inputs.size()) + " inputs, " +
+                  std::to_string(Outputs.size()) + " outputs, " +
+                  std::to_string(Reboots) + " reboots\n";
+  for (const OutputEvent &O : Outputs) {
+    S += "  ";
+    S += outputKindName(O.Kind);
+    S += "(";
+    for (size_t I = 0; I < O.Args.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += std::to_string(O.Args[I]);
+    }
+    S += ") @" + std::to_string(O.Tau) + "\n";
+  }
+  return S;
+}

@@ -1,0 +1,44 @@
+//===- Trace.h - Committed execution traces ---------------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The committed trace of an intermittent execution: inputs and outputs
+/// that survived (work rolled back by an aborted atomic region is
+/// discarded). The refinement checker in the interpreter replays the trace
+/// against a continuously powered execution — the paper's correctness
+/// criterion that an intermittent execution must match *some* continuous
+/// execution (§3.1, and the crash-refinement lineage in §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_TRACE_H
+#define OCELOT_RUNTIME_TRACE_H
+
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+struct Trace {
+  std::vector<InputEvent> Inputs;
+  std::vector<OutputEvent> Outputs;
+  uint64_t Reboots = 0;
+
+  void clear() {
+    Inputs.clear();
+    Outputs.clear();
+    Reboots = 0;
+  }
+
+  std::string summary() const;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_TRACE_H

@@ -1,0 +1,61 @@
+//===- UndoLog.h - Non-volatile undo logging for atomic regions -*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atomic-region runtime's undo log. Two modes, both implemented and
+/// benchmarked:
+///
+///  * dynamic — log each non-volatile cell's old value on first write
+///    within the region (precise, no analysis needed);
+///  * static  — snapshot the region's omega = WAR ∪ EMW set at region entry
+///    (the paper's startatom(aID, omega), from prior work's analyses
+///    [Alpaca / OOPSLA'20] ported in §6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_UNDOLOG_H
+#define OCELOT_RUNTIME_UNDOLOG_H
+
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace ocelot {
+
+/// Key = (global id, element index); scalars use index 0.
+class UndoLog {
+public:
+  /// Records the old value of a cell unless already logged.
+  /// \returns true if a new entry was created (costs cycles).
+  bool logIfFirst(int Global, int64_t Index, const RtValue &Old) {
+    auto [It, Inserted] = Entries.try_emplace({Global, Index}, Old);
+    (void)It;
+    return Inserted;
+  }
+
+  bool contains(int Global, int64_t Index) const {
+    return Entries.count({Global, Index}) != 0;
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  void clear() { Entries.clear(); }
+
+  /// Applies all entries through \p Restore(global, index, old value).
+  template <typename Fn> void restore(Fn &&Restore) const {
+    for (const auto &[Key, Old] : Entries)
+      Restore(Key.first, Key.second, Old);
+  }
+
+private:
+  std::map<std::pair<int, int64_t>, RtValue> Entries;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_UNDOLOG_H

@@ -1,0 +1,75 @@
+//===- Value.h - Runtime values with input taint ----------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values optionally carry *dynamic input taint* — the set of input
+/// events (sensor, logical time, reboot epoch) the value depends on. This
+/// implements the paper's taint-augmented semantics (Appendix B), which the
+/// formal freshness / temporal-consistency checker (Definitions 2 and 3)
+/// evaluates directly at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_VALUE_H
+#define OCELOT_RUNTIME_VALUE_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ocelot {
+
+/// One input operation observed at run time.
+struct InputEvent {
+  int Sensor = -1;
+  uint64_t Tau = 0;    ///< Logical time of collection.
+  uint64_t Epoch = 0;  ///< Reboot count at collection.
+  int64_t Value = 0;   ///< The sensed value (for traces / replay).
+
+  bool operator==(const InputEvent &O) const {
+    return Sensor == O.Sensor && Tau == O.Tau && Epoch == O.Epoch &&
+           Value == O.Value;
+  }
+};
+
+/// A runtime value: the 64-bit payload plus (when taint tracking is on) the
+/// input events it depends on.
+struct RtValue {
+  int64_t V = 0;
+  std::vector<InputEvent> Taint;
+
+  RtValue() = default;
+  explicit RtValue(int64_t V) : V(V) {}
+
+  /// Merges another value's taint into this one (deduplicated).
+  void mergeTaint(const RtValue &O) {
+    for (const InputEvent &E : O.Taint)
+      addTaint(E);
+  }
+
+  void addTaint(const InputEvent &E) {
+    for (const InputEvent &Have : Taint)
+      if (Have == E)
+        return;
+    Taint.push_back(E);
+  }
+};
+
+/// One observable output (log / alarm / send / uart).
+struct OutputEvent {
+  OutputKind Kind = OutputKind::Log;
+  std::vector<int64_t> Args;
+  uint64_t Tau = 0;
+
+  bool sameContent(const OutputEvent &O) const {
+    return Kind == O.Kind && Args == O.Args;
+  }
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_VALUE_H

@@ -1,0 +1,171 @@
+//===- ViolationMonitor.cpp - Freshness/consistency violation detection --------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ViolationMonitor.h"
+
+using namespace ocelot;
+
+const char *ocelot::violationKindName(ViolationRecord::Kind K) {
+  switch (K) {
+  case ViolationRecord::Kind::FreshBitVec:
+    return "fresh(bitvec)";
+  case ViolationRecord::Kind::ConsistentBitVec:
+    return "consistent(bitvec)";
+  case ViolationRecord::Kind::FreshFormal:
+    return "fresh(formal)";
+  case ViolationRecord::Kind::ConsistentFormal:
+    return "consistent(formal)";
+  }
+  return "?";
+}
+
+void ViolationMonitor::beginRun() {
+  for (auto &Flags : MemberExecuted)
+    std::fill(Flags.begin(), Flags.end(), false);
+  SetRecords.clear();
+  RunFresh = false;
+  RunConsistent = false;
+  // Records are per-run detail (the cumulative history is summarized by
+  // the saw*() flags); clearing keeps the cap from starving later runs.
+  Records.clear();
+}
+
+void ViolationMonitor::onPowerFailure() { Bits.clear(); }
+
+void ViolationMonitor::record(ViolationRecord R) {
+  if (R.K == ViolationRecord::Kind::FreshBitVec ||
+      R.K == ViolationRecord::Kind::FreshFormal) {
+    FreshViolated = true;
+    RunFresh = true;
+  } else {
+    ConsistentViolated = true;
+    RunConsistent = true;
+  }
+  if (Records.size() < 256)
+    Records.push_back(std::move(R));
+}
+
+void ViolationMonitor::onInput(InstrRef Site, const ProvChain &AbsChain,
+                               int Sensor, uint64_t Tau) {
+  (void)Sensor;
+  // Consistent-set membership: match the dynamic call chain against the
+  // plan's member chains. Checks run before this operation's bit is set,
+  // since members reached through different call sites can share the same
+  // static input instruction.
+  for (size_t SI = 0; SI < Plan.Sets.size(); ++SI) {
+    const ConsistentSetPlan &SP = Plan.Sets[SI];
+    for (size_t MI = 0; MI < SP.Members.size(); ++MI) {
+      if (SP.Members[MI] != AbsChain)
+        continue;
+      auto &Executed = MemberExecuted[SI];
+      // Re-execution of an already-executed member starts a new dynamic
+      // activation of the set (Definition 3 scopes consistency to one
+      // activation of the declaring function).
+      if (Executed[MI])
+        std::fill(Executed.begin(), Executed.end(), false);
+      // Check every *other* executed member: its operation's bit must
+      // still be set, i.e. no power failure separated it from this input
+      // (§7.3).
+      for (size_t Other = 0; Other < SP.Members.size(); ++Other) {
+        if (Other == MI || !Executed[Other])
+          continue;
+        if (!Bits.count(SP.Members[Other].back())) {
+          ViolationRecord R;
+          R.K = ViolationRecord::Kind::ConsistentBitVec;
+          R.Site = Site;
+          R.SetId = SP.SetId;
+          R.Tau = Tau;
+          R.Detail = "input collected after a power failure split "
+                     "consistent set " +
+                     std::to_string(SP.SetId);
+          record(std::move(R));
+          break;
+        }
+      }
+      Executed[MI] = true;
+    }
+  }
+  Bits.insert(Site);
+}
+
+void ViolationMonitor::onFreshUse(InstrRef Site, uint64_t Tau) {
+  auto It = Plan.UseChecks.find(Site);
+  if (It == Plan.UseChecks.end())
+    return;
+  for (const InstrRef &InputOp : It->second) {
+    if (!Bits.count(InputOp)) {
+      ViolationRecord R;
+      R.K = ViolationRecord::Kind::FreshBitVec;
+      R.Site = Site;
+      R.Tau = Tau;
+      R.Detail = "use of stale input: operation @" +
+                 std::to_string(InputOp.Label) +
+                 "'s bit cleared by a power failure";
+      record(std::move(R));
+      return;
+    }
+  }
+}
+
+void ViolationMonitor::onFreshUseFormal(InstrRef Site,
+                                        const std::vector<InputEvent> &Taint,
+                                        uint64_t Epoch, uint64_t Tau) {
+  for (const InputEvent &E : Taint) {
+    if (E.Epoch != Epoch) {
+      ViolationRecord R;
+      R.K = ViolationRecord::Kind::FreshFormal;
+      R.Site = Site;
+      R.Tau = Tau;
+      R.Detail = "value depends on an input collected in reboot epoch " +
+                 std::to_string(E.Epoch) + " but is used in epoch " +
+                 std::to_string(Epoch);
+      record(std::move(R));
+      return;
+    }
+  }
+}
+
+void ViolationMonitor::onConsistentMarker(int SetId, uint32_t MarkerLabel,
+                                          const std::vector<InputEvent> &Taint,
+                                          uint64_t Epoch, uint64_t Tau) {
+  (void)Epoch;
+  auto Key = std::make_pair(SetId, MarkerLabel);
+  if (SetRecords.count(Key)) {
+    // New dynamic activation of the set: drop the previous instance.
+    for (auto It = SetRecords.begin(); It != SetRecords.end();) {
+      if (It->first.first == SetId)
+        It = SetRecords.erase(It);
+      else
+        ++It;
+    }
+  }
+  SetRecords[Key] = Taint;
+
+  // All events across the set's recorded members must share one epoch.
+  bool HaveEpoch = false;
+  uint64_t SetEpoch = 0;
+  for (const auto &[K, Events] : SetRecords) {
+    if (K.first != SetId)
+      continue;
+    for (const InputEvent &E : Events) {
+      if (!HaveEpoch) {
+        SetEpoch = E.Epoch;
+        HaveEpoch = true;
+      } else if (E.Epoch != SetEpoch) {
+        ViolationRecord R;
+        R.K = ViolationRecord::Kind::ConsistentFormal;
+        R.SetId = SetId;
+        R.Tau = Tau;
+        R.Detail = "consistent set " + std::to_string(SetId) +
+                   " holds inputs from reboot epochs " +
+                   std::to_string(SetEpoch) + " and " +
+                   std::to_string(E.Epoch);
+        record(std::move(R));
+        return;
+      }
+    }
+  }
+}

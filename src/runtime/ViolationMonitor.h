@@ -1,0 +1,120 @@
+//===- ViolationMonitor.h - Freshness/consistency violation detection -*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two independent violation detectors, which tests cross-validate:
+///
+///  * Bit vector (the paper's §7.3 mechanism): one non-volatile bit per
+///    sensor, set on input, cleared on power failure. On a use of a fresh
+///    variable the dependent sensors' bits must be set; on an input in a
+///    consistent set the other executed members' bits must be set.
+///
+///  * Formal (Definitions 2/3 over the taint-augmented semantics of
+///    Appendix B): every value carries its input events (sensor, tau,
+///    reboot epoch). A fresh use whose value carries an event from an
+///    earlier epoch crossed a power failure; a consistent set whose
+///    members' events span different epochs was split by one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_VIOLATIONMONITOR_H
+#define OCELOT_RUNTIME_VIOLATIONMONITOR_H
+
+#include "runtime/MonitorPlan.h"
+#include "runtime/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+struct ViolationRecord {
+  enum class Kind {
+    FreshBitVec,
+    ConsistentBitVec,
+    FreshFormal,
+    ConsistentFormal,
+  };
+  Kind K;
+  InstrRef Site;
+  int SetId = -1;
+  uint64_t Tau = 0;
+  std::string Detail;
+};
+
+const char *violationKindName(ViolationRecord::Kind K);
+
+class ViolationMonitor {
+public:
+  ViolationMonitor(const MonitorPlan &Plan, int NumSensors)
+      : Plan(Plan) {
+    (void)NumSensors;
+    MemberExecuted.resize(Plan.Sets.size());
+    for (size_t I = 0; I < Plan.Sets.size(); ++I)
+      MemberExecuted[I].assign(Plan.Sets[I].Members.size(), false);
+  }
+
+  /// Clears per-run state (executed flags, formal set records). Called at
+  /// the start of each main() activation.
+  void beginRun();
+
+  /// Clears the bit vector (the paper's "On power failure, the bit vector
+  /// is cleared").
+  void onPowerFailure();
+
+  /// Input executed: sets the sensor bit, then runs the consistent-set
+  /// member check for the dynamic instance identified by \p AbsChain.
+  void onInput(InstrRef Site, const ProvChain &AbsChain, int Sensor,
+               uint64_t Tau);
+
+  /// About to execute a use of a fresh variable: bit-vector freshness
+  /// check.
+  void onFreshUse(InstrRef Site, uint64_t Tau);
+
+  /// Formal freshness check: \p Taint is the used value's input events and
+  /// \p Epoch the current reboot epoch.
+  void onFreshUseFormal(InstrRef Site, const std::vector<InputEvent> &Taint,
+                        uint64_t Epoch, uint64_t Tau);
+
+  /// Formal consistency check at a Consistent marker execution.
+  void onConsistentMarker(int SetId, uint32_t MarkerLabel,
+                          const std::vector<InputEvent> &Taint,
+                          uint64_t Epoch, uint64_t Tau);
+
+  /// Violation records of the current run (cleared by beginRun).
+  const std::vector<ViolationRecord> &violations() const { return Records; }
+  bool sawFreshViolation() const { return FreshViolated; }
+  bool sawConsistentViolation() const { return ConsistentViolated; }
+  bool sawAny() const { return FreshViolated || ConsistentViolated; }
+
+  /// Per-run flags (reset by beginRun; immune to the record-list cap).
+  bool runFreshViolation() const { return RunFresh; }
+  bool runConsistentViolation() const { return RunConsistent; }
+
+  const MonitorPlan &plan() const { return Plan; }
+
+private:
+  void record(ViolationRecord R);
+
+  MonitorPlan Plan;
+  /// Non-volatile bit vector: one position per static input operation
+  /// (§7.3: "Each sensor operation has a unique position in the bit
+  /// vector"). Present = bit set.
+  std::set<InstrRef> Bits;
+  /// Per consistent set: which members executed in the current activation.
+  std::vector<std::vector<bool>> MemberExecuted;
+  /// Formal per-set records: (setId, marker label) -> events.
+  std::map<std::pair<int, uint32_t>, std::vector<InputEvent>> SetRecords;
+  std::vector<ViolationRecord> Records;
+  bool FreshViolated = false;
+  bool ConsistentViolated = false;
+  bool RunFresh = false;
+  bool RunConsistent = false;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_VIOLATIONMONITOR_H

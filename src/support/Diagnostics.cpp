@@ -1,0 +1,34 @@
+//===- Diagnostics.cpp - Error/warning collection -------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace ocelot;
+
+std::string Diagnostic::str() const {
+  const char *Prefix = "error";
+  if (Kind == DiagKind::Warning)
+    Prefix = "warning";
+  else if (Kind == DiagKind::Note)
+    Prefix = "note";
+  return Loc.str() + ": " + Prefix + ": " + Message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool DiagnosticEngine::contains(const std::string &Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

@@ -1,0 +1,75 @@
+//===- Diagnostics.h - Error/warning collection -----------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never throws; it reports errors
+/// here and returns a failure indicator. Tools print the accumulated
+/// diagnostics, tests assert on their presence or absence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_SUPPORT_DIAGNOSTICS_H
+#define OCELOT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single diagnostic: severity, location and rendered message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced while compiling or checking a program.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Error, Loc, Msg});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Warning, Loc, Msg});
+  }
+  void note(SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back({DiagKind::Note, Loc, Msg});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line, for tool output and test
+  /// failure messages.
+  std::string str() const;
+
+  /// \returns true if any diagnostic message contains \p Needle. Used by
+  /// tests to assert on specific failures without depending on exact
+  /// wording of the whole message list.
+  bool contains(const std::string &Needle) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_SUPPORT_DIAGNOSTICS_H

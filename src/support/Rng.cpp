@@ -1,0 +1,54 @@
+//===- Rng.cpp - Deterministic pseudo-random numbers ----------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ocelot;
+
+uint64_t Rng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias for large bounds.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "invalid range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextGaussian() {
+  double U1 = nextDouble();
+  double U2 = nextDouble();
+  if (U1 <= 0.0)
+    U1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }

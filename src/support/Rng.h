@@ -1,0 +1,52 @@
+//===- Rng.h - Deterministic pseudo-random numbers --------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic splitmix64-based RNG. Every stochastic component of the
+/// simulator (recharge durations, sensor random walks, failure placement)
+/// takes an explicit seed so experiments and property tests are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_SUPPORT_RNG_H
+#define OCELOT_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace ocelot {
+
+/// Splitmix64 generator: tiny state, excellent mixing, fully deterministic
+/// across platforms (unlike std::mt19937 distributions).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Standard-normal sample (Box-Muller over splitmix streams).
+  double nextGaussian();
+
+  /// Derives an independent child generator; used to give each sensor or
+  /// subsystem its own stream from a single experiment seed.
+  Rng fork();
+
+private:
+  uint64_t State;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_SUPPORT_RNG_H

@@ -1,0 +1,46 @@
+//===- SourceLoc.h - Source locations for diagnostics ----------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source location used by the frontend and carried
+/// on IR instructions so analyses and the runtime can report positions in the
+/// original OCL program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_SUPPORT_SOURCELOC_H
+#define OCELOT_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ocelot {
+
+/// A (line, column) position in an OCL source buffer. Line and column are
+/// 1-based; a value of 0 means "unknown" (e.g. compiler-synthesized IR).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_SUPPORT_SOURCELOC_H

@@ -1,0 +1,205 @@
+//===- ocelotc.cpp - The Ocelot command-line compiler/runner ---------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end for the toolchain:
+///
+///   ocelotc FILE.ocl [options]
+///
+///   --model=jit|atomics|ocelot|check   execution model (default ocelot)
+///   --emit-ir                          print the compiled IR
+///   --emit-policies                    print derived policies and regions
+///   --run[=N]                          run N main() activations (default 1)
+///   --intermittent                     energy-driven power failures
+///   --monitor                          arm both violation detectors
+///   --seed=S                           simulation seed
+///
+/// Exit status: 0 on success; 1 on compile/check/run failure; for --monitor
+/// runs, 2 when any timing violation was detected.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ocelot;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ocelotc FILE.ocl [--model=jit|atomics|ocelot|check]\n"
+      "               [--emit-ir] [--emit-policies] [--run[=N]]\n"
+      "               [--intermittent] [--monitor] [--seed=S]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path;
+  ExecModel Model = ExecModel::Ocelot;
+  bool EmitIr = false, EmitPolicies = false, Intermittent = false,
+       Monitor = false;
+  int Runs = 0;
+  uint64_t Seed = 1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--emit-ir") {
+      EmitIr = true;
+    } else if (Arg == "--emit-policies") {
+      EmitPolicies = true;
+    } else if (Arg == "--run") {
+      Runs = 1;
+    } else if (Arg.rfind("--run=", 0) == 0) {
+      Runs = std::atoi(Arg.c_str() + 6);
+    } else if (Arg == "--intermittent") {
+      Intermittent = true;
+    } else if (Arg == "--monitor") {
+      Monitor = true;
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg.rfind("--model=", 0) == 0) {
+      std::string M = Arg.substr(8);
+      if (M == "jit")
+        Model = ExecModel::JitOnly;
+      else if (M == "atomics")
+        Model = ExecModel::AtomicsOnly;
+      else if (M == "ocelot")
+        Model = ExecModel::Ocelot;
+      else if (M == "check")
+        Model = ExecModel::CheckOnly;
+      else {
+        std::fprintf(stderr, "error: unknown model '%s'\n", M.c_str());
+        return 1;
+      }
+    } else if (!Arg.empty() && Arg[0] != '-' && Path.empty()) {
+      Path = Arg;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = Model;
+  CompileResult R = compileSource(Buf.str(), Opts, Diags);
+  // Warnings (including checker-mode findings) always print.
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
+  if (!R.Ok)
+    return 1;
+
+  std::printf("compiled %s under model '%s': %zu policies, %zu inferred "
+              "region(s)\n",
+              Path.c_str(), execModelName(Model), R.Policies.size(),
+              R.InferredRegions.size());
+  if (Model == ExecModel::CheckOnly) {
+    std::printf("placement %s\n", R.PlacementValid ? "VALID" : "INVALID");
+    if (!R.PlacementValid)
+      return 1;
+  }
+
+  if (EmitIr)
+    std::printf("\n%s", printProgram(*R.Prog).c_str());
+
+  if (EmitPolicies) {
+    for (const FreshPolicy &Pol : R.Policies.Fresh) {
+      std::printf("fresh policy #%d on '%s' in %s: %zu input(s), %zu "
+                  "use(s)\n",
+                  Pol.Id, Pol.VarName.c_str(),
+                  R.Prog->function(Pol.DeclFunc)->name().c_str(),
+                  Pol.Inputs.size(), Pol.Uses.size());
+      for (const ProvChain &C : Pol.Inputs)
+        std::printf("  input %s\n", chainToString(*R.Prog, C).c_str());
+    }
+    for (const ConsistentPolicy &Pol : R.Policies.Consistent) {
+      std::printf("consistent policy #%d (set %d): %zu member(s), %zu "
+                  "input(s)\n",
+                  Pol.Id, Pol.SetId, Pol.Decls.size(), Pol.Inputs.size());
+      for (const ProvChain &C : Pol.Inputs)
+        std::printf("  input %s\n", chainToString(*R.Prog, C).c_str());
+    }
+    for (const InferredRegion &Reg : R.InferredRegions)
+      std::printf("region r%d placed in %s\n", Reg.RegionId,
+                  R.Prog->function(Reg.Func)->name().c_str());
+    for (const RegionInfo &Info : R.Regions) {
+      std::printf("region r%d omega = {", Info.RegionId);
+      bool First = true;
+      for (int G : Info.Omega) {
+        std::printf("%s%s", First ? "" : ", ",
+                    R.Prog->global(G).Name.c_str());
+        First = false;
+      }
+      std::printf("}\n");
+    }
+  }
+
+  if (Runs <= 0)
+    return 0;
+
+  Environment Env; // Default: seeded noise per sensor.
+  RunConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.RecordTrace = true;
+  if (Intermittent)
+    Cfg.Plan = FailurePlan::energyDriven();
+  if (Monitor) {
+    Cfg.MonitorBitVector = true;
+    Cfg.MonitorFormal = true;
+  }
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  uint64_t Reboots = 0, Violations = 0;
+  for (int Run = 0; Run < Runs; ++Run) {
+    RunResult Res = I.runOnce();
+    if (!Res.Completed) {
+      std::fprintf(stderr, "run %d failed: %s\n", Run,
+                   Res.Starved ? "starved (region exceeds energy budget)"
+                               : Res.Trap.c_str());
+      return 1;
+    }
+    Reboots += Res.Reboots;
+    if (Res.ViolatedFresh || Res.ViolatedConsistent)
+      ++Violations;
+    for (const OutputEvent &E : Res.TraceData.Outputs) {
+      std::printf("[run %d @%llu] %s(", Run,
+                  static_cast<unsigned long long>(E.Tau),
+                  outputKindName(E.Kind));
+      for (size_t A = 0; A < E.Args.size(); ++A)
+        std::printf("%s%lld", A ? ", " : "",
+                    static_cast<long long>(E.Args[A]));
+      std::printf(")\n");
+    }
+  }
+  std::printf("%d run(s), %llu reboot(s)", Runs,
+              static_cast<unsigned long long>(Reboots));
+  if (Monitor)
+    std::printf(", %llu run(s) with timing violations",
+                static_cast<unsigned long long>(Violations));
+  std::printf("\n");
+  return Monitor && Violations ? 2 : 0;
+}

@@ -1,0 +1,354 @@
+//===- InterpreterTest.cpp - Execution model semantics ----------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantics tests for the JIT + Atomics execution model (Appendix H):
+/// arithmetic/control/calls/references/arrays, JIT resume without
+/// re-execution, atomic rollback with undo logging (idempotent
+/// re-execution), nested-region flattening, static-omega equivalence,
+/// logical-time advancement across reboots, traps, and starvation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ocelot;
+
+namespace {
+
+CompileResult compile(const std::string &Src,
+                      ExecModel Model = ExecModel::AtomicsOnly) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = Model;
+  CompileResult R = compileSource(Src, Opts, Diags);
+  EXPECT_TRUE(R.Ok) << Diags.str();
+  return R;
+}
+
+/// Runs continuously once and returns the Output events.
+std::vector<OutputEvent> outputsOf(const std::string &Src,
+                                   Environment &Env) {
+  CompileResult R = compile(Src);
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  EXPECT_TRUE(Res.Completed) << Res.Trap;
+  return Res.TraceData.Outputs;
+}
+
+TEST(Interp, ArithmeticAndComparison) {
+  Environment Env;
+  auto Out = outputsOf(
+      "fn main() { log(7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3); "
+      "log(1 << 4, 256 >> 2, 6 & 3, 6 | 3, 6 ^ 3); "
+      "let b = 3 < 4 && 4 <= 4 || false; if b { log(1); } }",
+      Env);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0].Args, (std::vector<int64_t>{10, 4, 21, 2, 1}));
+  EXPECT_EQ(Out[1].Args, (std::vector<int64_t>{16, 64, 2, 7, 5}));
+  EXPECT_EQ(Out[2].Args, (std::vector<int64_t>{1}));
+}
+
+TEST(Interp, UnaryOperators) {
+  Environment Env;
+  auto Out = outputsOf("fn main() { let x = 5; log(-x, ~x); "
+                       "let b = !(x > 9); if b { log(1); } }",
+                       Env);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Args, (std::vector<int64_t>{-5, -6}));
+}
+
+TEST(Interp, CallsReturnsAndRecursionFreeNesting) {
+  Environment Env;
+  auto Out = outputsOf("fn add(a: int, b: int) -> int { return a + b; }\n"
+                       "fn twice(x: int) -> int { return add(x, x); }\n"
+                       "fn main() { log(twice(add(2, 3))); }",
+                       Env);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Args[0], 10);
+}
+
+TEST(Interp, ReferencesWriteThrough) {
+  Environment Env;
+  auto Out = outputsOf("fn bump(r: &int) { *r = *r + 10; }\n"
+                       "fn main() { let c = 5; bump(&c); bump(&c); "
+                       "log(c); }",
+                       Env);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Args[0], 25);
+}
+
+TEST(Interp, ArraysAndLoops) {
+  Environment Env;
+  auto Out = outputsOf("fn main() { let a = [0; 6]; for i in 0..6 { "
+                       "a[i] = i * i; } let mut s = 0; for i in 0..6 { "
+                       "s = s + a[i]; } log(s); }",
+                       Env);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Args[0], 0 + 1 + 4 + 9 + 16 + 25);
+}
+
+TEST(Interp, StaticsPersistAcrossRuns) {
+  CompileResult R = compile("static n = 0;\nfn main() { n += 1; log(n); }");
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  for (int Run = 1; Run <= 3; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed);
+    EXPECT_EQ(Res.TraceData.Outputs[0].Args[0], Run);
+  }
+  I.resetNvm();
+  RunResult Res = I.runOnce();
+  EXPECT_EQ(Res.TraceData.Outputs[0].Args[0], 1);
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  CompileResult R = compile("fn main() { let z = 0; log(5 / z); }");
+  Environment Env;
+  RunConfig Cfg;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  EXPECT_FALSE(Res.Completed);
+  EXPECT_NE(Res.Trap.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, ArrayBoundsTrap) {
+  CompileResult R =
+      compile("static a: [int; 2];\nfn main() { let i = 5; a[i] = 1; }");
+  Environment Env;
+  RunConfig Cfg;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  EXPECT_FALSE(Res.Completed);
+  EXPECT_NE(Res.Trap.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, InputsSampleEnvironmentAtLogicalTime) {
+  CompileResult R = compile("io s;\nfn main() { log(s()); }");
+  Environment Env;
+  Env.setSignal(0, SensorSignal::ramp(100, 1, 10)); // +1 every 10 tau
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult A = I.runOnce();
+  RunResult B = I.runOnce();
+  ASSERT_TRUE(A.Completed && B.Completed);
+  // Logical time advanced between runs, so the ramp moved.
+  EXPECT_GT(B.TraceData.Outputs[0].Args[0], A.TraceData.Outputs[0].Args[0]);
+}
+
+// -- Intermittence ---------------------------------------------------------------
+
+TEST(Interp, JitResumeDoesNotReExecute) {
+  // JIT failures must not re-run code: statics advance exactly once per
+  // run regardless of how many reboots interrupt it.
+  CompileResult R = compile("static n = 0;\nfn main() { n += 1; log(n); }",
+                            ExecModel::JitOnly);
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Cfg.Plan = FailurePlan::periodic(400, 0.0);
+  Cfg.Plan.setOffTime(100, 100);
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  uint64_t Reboots = 0;
+  for (int Run = 1; Run <= 10; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed) << Res.Trap;
+    Reboots += Res.Reboots;
+    ASSERT_EQ(Res.TraceData.Outputs.size(), 1u);
+    EXPECT_EQ(Res.TraceData.Outputs[0].Args[0], Run);
+  }
+  EXPECT_GT(Reboots, 0u);
+}
+
+TEST(Interp, TauAdvancesAcrossReboots) {
+  CompileResult R = compile("fn main() { log(1); }", ExecModel::JitOnly);
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::periodic(400, 0.0);
+  Cfg.Plan.setOffTime(5000, 5000);
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  uint64_t Reboots = 0, Off = 0;
+  for (int Run = 0; Run < 20; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed);
+    Reboots += Res.Reboots;
+    Off += Res.OffCycles;
+  }
+  ASSERT_GE(Reboots, 1u);
+  EXPECT_GE(Off, 5000u * Reboots); // Each reboot waits the full off time.
+  EXPECT_GE(I.tau(), Off);         // tau includes off time.
+  EXPECT_EQ(I.epoch(), Reboots);
+}
+
+TEST(Interp, AtomicRollbackIsIdempotent) {
+  // WAR inside the region: n = n + 1 twice, plus a conditional write.
+  // Under arbitrary failures the committed effect must equal one
+  // continuous execution.
+  const char *Src = "static n = 0;\nstatic flag = 0;\n"
+                    "fn main() { atomic { n += 1; n += 1; "
+                    "if n > 1 { flag = n; } } log(n, flag); }";
+  Environment Env;
+  auto Continuous = outputsOf(Src, Env);
+
+  CompileResult R = compile(Src);
+  Environment Env2;
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Cfg.Plan = FailurePlan::random(0.03);
+  Cfg.Plan.setOffTime(50, 50);
+  Cfg.Seed = 17;
+  Interpreter I(*R.Prog, Env2, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  ASSERT_TRUE(Res.Completed) << Res.Trap;
+  EXPECT_GT(Res.AtomicAborts, 0u) << "failures must hit inside the region";
+  ASSERT_EQ(Res.TraceData.Outputs.size(), 1u);
+  EXPECT_EQ(Res.TraceData.Outputs[0].Args, Continuous[0].Args);
+  EXPECT_GT(Res.UndoLogEntries, 0u);
+}
+
+TEST(Interp, RolledBackOutputsDiscarded) {
+  CompileResult R = compile("static n = 0;\n"
+                            "fn main() { atomic { n += 1; log(n); } }");
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Cfg.Plan = FailurePlan::random(0.01);
+  Cfg.Plan.setOffTime(50, 50);
+  Cfg.Seed = 23;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  ASSERT_TRUE(Res.Completed) << Res.Trap;
+  // However many attempts aborted, exactly one log(1) commits.
+  ASSERT_EQ(Res.TraceData.Outputs.size(), 1u);
+  EXPECT_EQ(Res.TraceData.Outputs[0].Args[0], 1);
+}
+
+TEST(Interp, NestedRegionsFlattenToOutermost) {
+  CompileResult R = compile("static n = 0;\n"
+                            "fn main() { atomic { n += 1; atomic { n += 1; "
+                            "} n += 1; } log(n); }");
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.RecordTrace = true;
+  Cfg.Plan = FailurePlan::random(0.02);
+  Cfg.Plan.setOffTime(50, 50);
+  Cfg.Seed = 5;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  ASSERT_TRUE(Res.Completed) << Res.Trap;
+  // Inner commit must not make inner effects durable: a failure after the
+  // inner 'end' still rolls back to the outer start, so the final count is
+  // exactly 3 (never 4 or 5).
+  EXPECT_EQ(Res.TraceData.Outputs[0].Args[0], 3);
+}
+
+TEST(Interp, StaticOmegaMatchesDynamicLogging) {
+  const char *Src = "static a = 1;\nstatic b = 2;\n"
+                    "fn main() { atomic { let t = a; a = b; b = t; } "
+                    "log(a, b); }";
+  for (bool StaticOmega : {false, true}) {
+    CompileResult R = compile(Src);
+    Environment Env;
+    RunConfig Cfg;
+    Cfg.RecordTrace = true;
+    Cfg.StaticOmega = StaticOmega;
+    Cfg.Plan = FailurePlan::random(0.02);
+    Cfg.Plan.setOffTime(50, 50);
+    Cfg.Seed = 29;
+    Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed) << Res.Trap;
+    EXPECT_EQ(Res.TraceData.Outputs[0].Args, (std::vector<int64_t>{2, 1}))
+        << "StaticOmega=" << StaticOmega;
+  }
+}
+
+TEST(Interp, StarvationDetectedForOversizedRegion) {
+  CompileResult R = compile("static n = 0;\n"
+                            "fn main() { atomic { for i in 0..50 { n += 1; } "
+                            "} log(n); }");
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::periodic(20, 0.0); // Region needs > 20 cycles.
+  Cfg.Plan.setOffTime(50, 50);
+  Cfg.MaxAbortsPerRegion = 30;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  EXPECT_TRUE(Res.Starved);
+  EXPECT_FALSE(Res.Completed);
+}
+
+TEST(Interp, EnergyDrivenChargingAccounting) {
+  CompileResult R = compile("io s;\nfn main() { let x = s(); log(x); }",
+                            ExecModel::JitOnly);
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.Energy.CapacityCycles = 500;
+  Cfg.Energy.ReserveCycles = 250;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  uint64_t On = 0, Off = 0, Reboots = 0;
+  for (int Run = 0; Run < 50; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed) << Res.Trap;
+    On += Res.OnCycles;
+    Off += Res.OffCycles;
+    Reboots += Res.Reboots;
+  }
+  EXPECT_GT(Reboots, 10u);
+  EXPECT_GT(Off, On) << "charging must dominate on a weak harvester";
+}
+
+TEST(Interp, CheckpointCostsCounted) {
+  CompileResult R = compile("fn main() { log(1); }", ExecModel::JitOnly);
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::periodic(300, 0.0);
+  Cfg.Plan.setOffTime(10, 10);
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Environment Env2;
+  RunConfig Cfg2;
+  Interpreter I2(*R.Prog, Env2, Cfg2, &R.Monitor, &R.Regions);
+  uint64_t FailCycles = 0, CleanCycles = 0, Ckpts = 0;
+  for (int Run = 0; Run < 10; ++Run) {
+    RunResult A = I.runOnce();
+    RunResult B = I2.runOnce();
+    ASSERT_TRUE(A.Completed && B.Completed);
+    FailCycles += A.OnCycles;
+    CleanCycles += B.OnCycles;
+    Ckpts += A.Checkpoints;
+  }
+  ASSERT_GT(Ckpts, 0u);
+  EXPECT_GT(FailCycles, CleanCycles);
+}
+
+TEST(Interp, RandomFailurePlanCompletes) {
+  CompileResult R = compile("static n = 0;\n"
+                            "fn main() { atomic { n += 1; } log(n); }");
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::random(0.02);
+  Cfg.Plan.setOffTime(100, 1000);
+  Cfg.Seed = 3;
+  Cfg.RecordTrace = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  for (int Run = 1; Run <= 10; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed) << Res.Trap;
+    ASSERT_EQ(Res.TraceData.Outputs.size(), 1u);
+    EXPECT_EQ(Res.TraceData.Outputs[0].Args[0], Run);
+  }
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+//===- LoweringIrTest.cpp - Lowering and IR structure tests ---------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace ocelot;
+
+namespace {
+
+std::unique_ptr<Program> lower(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = Parser::parseSource(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(checkModule(*M, Diags)) << Diags.str();
+  auto P = lowerModule(*M, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  EXPECT_TRUE(verifyProgram(*P, Diags)) << Diags.str();
+  return P;
+}
+
+int countOps(const Program &P, const Function &F, Opcode Op) {
+  int N = 0;
+  for (int B = 0; B < F.numBlocks(); ++B)
+    for (const Instruction &I : F.block(B)->instructions())
+      if (I.Op == Op)
+        ++N;
+  (void)P;
+  return N;
+}
+
+TEST(Lowering, SingleExitLandingPad) {
+  // Every return must branch to one exit block (the "return landing pad"
+  // that keeps post-dominance well-behaved, §6.2).
+  auto P = lower("fn f(x: int) -> int { if x > 0 { return 1; } return 2; }\n"
+                 "fn main() { let v = f(3); }");
+  const Function *F = P->functionByName("f");
+  EXPECT_EQ(countOps(*P, *F, Opcode::Ret), 1);
+}
+
+TEST(Lowering, ForLoopsFullyUnrolled) {
+  auto P = lower("io s;\nfn main() { let mut acc = 0; for i in 0..5 { acc = "
+                 "acc + s(); } log(acc); }");
+  const Function *F = P->functionByName("main");
+  // One Input per unrolled iteration; no cycles in the CFG.
+  EXPECT_EQ(countOps(*P, *F, Opcode::Input), 5);
+  std::vector<int> Color(F->numBlocks(), 0);
+  std::function<bool(int)> HasCycle = [&](int B) {
+    Color[B] = 1;
+    for (int Succ : F->block(B)->successors()) {
+      if (Color[Succ] == 1)
+        return true;
+      if (Color[Succ] == 0 && HasCycle(Succ))
+        return true;
+    }
+    Color[B] = 2;
+    return false;
+  };
+  EXPECT_FALSE(HasCycle(0)) << "unrolled CFG must be acyclic";
+}
+
+TEST(Lowering, LocalArraysPromotedToGlobals) {
+  auto P = lower("fn main() { let a = [7; 3]; a[1] = 9; log(a[0]); }");
+  int G = P->findGlobal("main::a");
+  ASSERT_GE(G, 0);
+  EXPECT_EQ(P->global(G).Size, 3);
+  EXPECT_TRUE(P->global(G).IsPromotedLocal);
+  // Declaration re-initializes the array each activation.
+  EXPECT_EQ(countOps(*P, *P->functionByName("main"), Opcode::StoreA), 4);
+}
+
+TEST(Lowering, AddressTakenLocalsPromoted) {
+  auto P = lower("fn bump(r: &int) { *r += 1; }\n"
+                 "fn main() { let c = 0; bump(&c); log(c); }");
+  int G = P->findGlobal("main::c");
+  ASSERT_GE(G, 0);
+  EXPECT_TRUE(P->global(G).IsPromotedLocal);
+  // The call site carries the statically known ref target.
+  const Function *Main = P->functionByName("main");
+  bool FoundCall = false;
+  for (int B = 0; B < Main->numBlocks(); ++B)
+    for (const Instruction &I : Main->block(B)->instructions())
+      if (I.Op == Opcode::Call) {
+        FoundCall = true;
+        ASSERT_EQ(I.ArgRefGlobal.size(), 1u);
+        EXPECT_EQ(I.ArgRefGlobal[0], G);
+      }
+  EXPECT_TRUE(FoundCall);
+}
+
+TEST(Lowering, ShortCircuitBecomesControlFlow) {
+  auto P = lower("io s;\nfn main() { let a = s(); if a > 0 && a < 10 { "
+                 "log(a); } }");
+  const Function *F = P->functionByName("main");
+  // && lowers to an extra conditional branch.
+  EXPECT_GE(countOps(*P, *F, Opcode::CondBr), 2);
+}
+
+TEST(Lowering, AnnotationsBecomeMarkers) {
+  auto P = lower("io s;\nfn main() { let fresh x = s(); "
+                 "let consistent(3) y = s(); Consistent(x, 3); }");
+  const Function *F = P->functionByName("main");
+  EXPECT_EQ(countOps(*P, *F, Opcode::Fresh), 1);
+  EXPECT_EQ(countOps(*P, *F, Opcode::Consistent), 2);
+  for (int B = 0; B < F->numBlocks(); ++B)
+    for (const Instruction &I : F->block(B)->instructions())
+      if (I.Op == Opcode::Consistent)
+        EXPECT_EQ(I.SetId, 3);
+}
+
+TEST(Lowering, ManualAtomicBlocksBecomeRegions) {
+  auto P = lower("fn main() { atomic { log(1); atomic { log(2); } } }");
+  const Function *F = P->functionByName("main");
+  EXPECT_EQ(countOps(*P, *F, Opcode::AtomicStart), 2);
+  EXPECT_EQ(countOps(*P, *F, Opcode::AtomicEnd), 2);
+}
+
+TEST(Lowering, StaticInitializersCarried) {
+  auto P = lower("static x = 42;\nstatic buf: [int; 3];\nfn main() { }");
+  EXPECT_EQ(P->global(P->findGlobal("x")).Init[0], 42);
+  EXPECT_EQ(P->global(P->findGlobal("buf")).Size, 3);
+}
+
+TEST(Lowering, LabelsUniqueAndStable) {
+  auto P = lower("io s;\nfn main() { let a = s(); if a > 1 { log(a); } }");
+  const Function *F = P->functionByName("main");
+  std::set<uint32_t> Seen;
+  for (int B = 0; B < F->numBlocks(); ++B)
+    for (const Instruction &I : F->block(B)->instructions()) {
+      EXPECT_TRUE(Seen.insert(I.Label).second) << "duplicate label";
+      InstrPos Pos = F->findLabel(I.Label);
+      EXPECT_EQ(F->instrAt(Pos)->Label, I.Label);
+    }
+}
+
+TEST(Lowering, BreakAndContinueTargets) {
+  auto P = lower("io s;\nfn main() { let mut n = 0; for i in 0..3 { "
+                 "let v = s(); if v > 50 { break; } if v < 10 { continue; } "
+                 "n = n + 1; } log(n); }");
+  EXPECT_TRUE(P != nullptr);
+}
+
+// -- Verifier rejection cases (hand-built IR) ---------------------------------
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Program P;
+  Function *F = P.addFunction("main");
+  P.setMainFunction(F->id());
+  IRBuilder B(P);
+  B.setFunction(F);
+  B.setBlock(F->addBlock("entry"));
+  B.emitNop();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyProgram(P, Diags));
+  EXPECT_TRUE(Diags.contains("lacks a terminator"));
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Program P;
+  Function *F = P.addFunction("main");
+  P.setMainFunction(F->id());
+  IRBuilder B(P);
+  B.setFunction(F);
+  B.setBlock(F->addBlock("entry"));
+  B.emitBr(7);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyProgram(P, Diags));
+  EXPECT_TRUE(Diags.contains("branch target out of range"));
+}
+
+TEST(Verifier, RejectsUnbalancedRegions) {
+  Program P;
+  Function *F = P.addFunction("main");
+  P.setMainFunction(F->id());
+  IRBuilder B(P);
+  B.setFunction(F);
+  B.setBlock(F->addBlock("entry"));
+  B.emitAtomicStart(0);
+  B.emitRet(Operand::none());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyProgram(P, Diags));
+  EXPECT_TRUE(Diags.contains("return inside an open atomic region"));
+}
+
+TEST(Verifier, RejectsInconsistentRegionDepthAtJoin) {
+  Program P;
+  Function *F = P.addFunction("main");
+  P.setMainFunction(F->id());
+  IRBuilder B(P);
+  B.setFunction(F);
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Left = F->addBlock("left");
+  BasicBlock *Right = F->addBlock("right");
+  BasicBlock *Join = F->addBlock("join");
+  B.setBlock(Entry);
+  int C = B.emitConst(1);
+  B.emitCondBr(Operand::reg(C), Left->id(), Right->id());
+  B.setBlock(Left);
+  B.emitAtomicStart(0); // Region opened on one arm only.
+  B.emitBr(Join->id());
+  B.setBlock(Right);
+  B.emitBr(Join->id());
+  B.setBlock(Join);
+  B.emitAtomicEnd(0);
+  B.emitRet(Operand::none());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyProgram(P, Diags));
+  // Depending on traversal order the verifier reports either the depth
+  // mismatch at the join or the unmatched end along the bypassing path.
+  EXPECT_TRUE(Diags.contains("inconsistent atomic region depth") ||
+              Diags.contains("atomic_end without matching start"))
+      << Diags.str();
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Program P;
+  Function *Callee = P.addFunction("f");
+  Callee->addParam("x", false);
+  {
+    IRBuilder B(P);
+    B.setFunction(Callee);
+    B.setBlock(Callee->addBlock("entry"));
+    B.emitRet(Operand::none());
+  }
+  Function *Main = P.addFunction("main");
+  P.setMainFunction(Main->id());
+  IRBuilder B(P);
+  B.setFunction(Main);
+  B.setBlock(Main->addBlock("entry"));
+  B.emitCall(-1, Callee->id(), {}, {});
+  B.emitRet(Operand::none());
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifyProgram(P, Diags));
+  EXPECT_TRUE(Diags.contains("arity mismatch"));
+}
+
+TEST(Printer, RoundTripContainsStructure) {
+  auto P = lower("io s;\nstatic g = 1;\nfn main() { let x = s(); "
+                 "Fresh(x); if x > 5 { alarm(); } }");
+  std::string Text = printProgram(*P);
+  EXPECT_NE(Text.find("sensor s0 = s"), std::string::npos);
+  EXPECT_NE(Text.find("global g0 = g"), std::string::npos);
+  EXPECT_NE(Text.find("fn main()"), std::string::npos);
+  EXPECT_NE(Text.find("input s0"), std::string::npos);
+  EXPECT_NE(Text.find("fresh("), std::string::npos);
+  EXPECT_NE(Text.find("condbr"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- PropertyTest.cpp - Property sweeps over benchmarks and seeds ------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property sweeps (Theorem 1 at run time):
+///
+///  * Ocelot builds never violate freshness or temporal consistency under
+///    any failure plan or seed — detected both by the paper's bit vector
+///    and by the formal checker over taint-augmented traces;
+///  * under pathological placement, JIT builds violate in every run and
+///    both detectors agree;
+///  * committed intermittent traces refine a continuous execution
+///    (outputs and final non-volatile memory match a replay);
+///  * every inferred region is necessary: deleting any one breaks the
+///    placement check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "ocelot/RegionChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace ocelot;
+
+namespace {
+
+using Param = std::tuple<std::string, uint64_t>; // benchmark, seed
+
+class PropertySweep : public ::testing::TestWithParam<Param> {
+protected:
+  const BenchmarkDef &def() const {
+    return *findBenchmark(std::get<0>(GetParam()));
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+std::vector<FailurePlan> plansFor(const CompileResult &R) {
+  std::vector<FailurePlan> Plans;
+  Plans.push_back(FailurePlan::pathological(pathologicalPoints(R)));
+  Plans.push_back(FailurePlan::random(0.002));
+  Plans.push_back(FailurePlan::periodic(2500, 0.4));
+  Plans.push_back(FailurePlan::energyDriven());
+  for (FailurePlan &P : Plans)
+    P.setOffTime(5000, 120000);
+  return Plans;
+}
+
+TEST_P(PropertySweep, OcelotNeverViolatesUnderAnyPlan) {
+  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
+  for (FailurePlan &Plan : plansFor(CB.R)) {
+    Environment Env;
+    def().setupEnvironment(Env, seed());
+    RunConfig Cfg;
+    Cfg.Seed = seed();
+    Cfg.Plan = Plan;
+    Cfg.MonitorBitVector = true;
+    Cfg.MonitorFormal = true;
+    Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+    for (int Run = 0; Run < 15; ++Run) {
+      RunResult Res = I.runOnce();
+      ASSERT_TRUE(Res.Completed) << def().Name << ": " << Res.Trap;
+      EXPECT_FALSE(Res.ViolatedFresh)
+          << def().Name << " seed " << seed() << " run " << Run;
+      EXPECT_FALSE(Res.ViolatedConsistent)
+          << def().Name << " seed " << seed() << " run " << Run;
+    }
+  }
+}
+
+TEST_P(PropertySweep, JitPathologicalDetectorsAgree) {
+  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::JitOnly);
+  Environment Env;
+  def().setupEnvironment(Env, seed());
+  RunConfig Cfg;
+  Cfg.Seed = seed();
+  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(CB.R));
+  Cfg.Plan.setOffTime(20000, 200000);
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  for (int Run = 0; Run < 15; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed) << Res.Trap;
+    EXPECT_TRUE(Res.ViolatedFresh || Res.ViolatedConsistent)
+        << def().Name << " must violate in every pathological run";
+    // Both detectors must report: the bit vector (§7.3) and the formal
+    // checker (Definitions 2/3) observe the same split executions.
+    bool BitVec = false, Formal = false;
+    for (const ViolationRecord &V : Res.Violations) {
+      if (V.K == ViolationRecord::Kind::FreshBitVec ||
+          V.K == ViolationRecord::Kind::ConsistentBitVec)
+        BitVec = true;
+      else
+        Formal = true;
+    }
+    EXPECT_TRUE(BitVec) << def().Name;
+    EXPECT_TRUE(Formal) << def().Name;
+  }
+}
+
+TEST_P(PropertySweep, CommittedTracesRefineContinuous) {
+  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
+  Environment Env;
+  def().setupEnvironment(Env, seed());
+  RunConfig Cfg;
+  Cfg.Seed = seed();
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.RecordTrace = true;
+  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  constexpr int Runs = 6;
+  Trace Combined;
+  for (int Run = 0; Run < Runs; ++Run) {
+    RunResult Res = I.runOnce();
+    ASSERT_TRUE(Res.Completed) << Res.Trap;
+    Combined.Inputs.insert(Combined.Inputs.end(),
+                           Res.TraceData.Inputs.begin(),
+                           Res.TraceData.Inputs.end());
+    Combined.Outputs.insert(Combined.Outputs.end(),
+                            Res.TraceData.Outputs.begin(),
+                            Res.TraceData.Outputs.end());
+  }
+  std::string Why;
+  EXPECT_TRUE(replayRefines(*CB.R.Prog, &CB.R.Monitor, Combined, Runs,
+                            I.nvmSnapshot(), Why))
+      << def().Name << " seed " << seed() << ": " << Why;
+}
+
+TEST_P(PropertySweep, RegionsAreCollectivelyNecessary) {
+  // Deleting every inferred region must break the placement check: the
+  // annotations are not vacuous. (Deleting a single region may be masked
+  // by an overlapping or enclosing region — e.g. activity's fresh region
+  // in main legitimately covers the consistent set sampled in its callee.)
+  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
+  ASSERT_FALSE(CB.R.InferredRegions.empty());
+  for (int F = 0; F < CB.R.Prog->numFunctions(); ++F) {
+    Function *Fn = CB.R.Prog->function(F);
+    for (int B = 0; B < Fn->numBlocks(); ++B)
+      std::erase_if(Fn->block(B)->instructions(),
+                    [](const Instruction &I) { return I.isRegionBound(); });
+  }
+  CallGraph CG(*CB.R.Prog);
+  TaintAnalysis TA(*CB.R.Prog, CG);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(checkRegionPlacement(*CB.R.Prog, TA, CB.R.Policies, Diags));
+}
+
+TEST_P(PropertySweep, SoleRegionIsIndividuallyNecessary) {
+  // When inference produced exactly one region, deleting it must break the
+  // check (no masking possible).
+  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
+  if (CB.R.InferredRegions.size() != 1)
+    GTEST_SKIP() << "benchmark has overlapping regions";
+  int RegionId = CB.R.InferredRegions[0].RegionId;
+  for (int F = 0; F < CB.R.Prog->numFunctions(); ++F) {
+    Function *Fn = CB.R.Prog->function(F);
+    for (int B = 0; B < Fn->numBlocks(); ++B)
+      std::erase_if(Fn->block(B)->instructions(),
+                    [&](const Instruction &I) {
+                      return I.isRegionBound() && I.RegionId == RegionId;
+                    });
+  }
+  CallGraph CG(*CB.R.Prog);
+  TaintAnalysis TA(*CB.R.Prog, CG);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(checkRegionPlacement(*CB.R.Prog, TA, CB.R.Policies, Diags));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertySweep,
+    ::testing::Combine(::testing::Values("activity", "cem", "greenhouse",
+                                         "photo", "send_photo", "tire"),
+                       ::testing::Values(1u, 17u, 4242u)),
+    [](const ::testing::TestParamInfo<Param> &Info) {
+      return std::get<0>(Info.param) + "_seed" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+} // namespace

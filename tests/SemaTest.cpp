@@ -1,0 +1,260 @@
+//===- SemaTest.cpp - Semantic analysis tests ----------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accept/reject tests for Sema, including the restrictions the paper's
+/// formal system relies on: no recursion (§4.1), references created only at
+/// call sites (the ownership property §3.3 borrows from Rust), bounded
+/// loops, and structured control flow around atomic regions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace ocelot;
+
+namespace {
+
+/// Runs sema; returns the diagnostics text ("" when valid).
+std::string check(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = Parser::parseSource(Src, Diags);
+  if (Diags.hasErrors())
+    return "parse error: " + Diags.str();
+  checkModule(*M, Diags);
+  return Diags.hasErrors() ? Diags.str() : "";
+}
+
+#define EXPECT_VALID(Src)                                                     \
+  do {                                                                        \
+    std::string Err = check(Src);                                             \
+    EXPECT_TRUE(Err.empty()) << Err;                                          \
+  } while (0)
+
+#define EXPECT_REJECTED(Src, Needle)                                          \
+  do {                                                                        \
+    std::string Err = check(Src);                                             \
+    EXPECT_NE(Err.find(Needle), std::string::npos)                            \
+        << "expected error containing '" << Needle << "', got:\n"             \
+        << Err;                                                               \
+  } while (0)
+
+TEST(Sema, AcceptsWellFormedProgram) {
+  EXPECT_VALID("io s;\n"
+               "static total = 0;\n"
+               "fn helper(x: int) -> int { return x * 2; }\n"
+               "fn main() { let v = helper(s()); total += v; log(v); }");
+}
+
+TEST(Sema, RequiresMain) {
+  EXPECT_REJECTED("fn f() { }", "no 'main' function");
+}
+
+TEST(Sema, MainTakesNoParameters) {
+  EXPECT_REJECTED("fn main(x: int) { }", "'main' must take no parameters");
+}
+
+TEST(Sema, RejectsDirectRecursion) {
+  EXPECT_REJECTED("fn main() { main(); }", "recursion");
+}
+
+TEST(Sema, RejectsMutualRecursion) {
+  EXPECT_REJECTED("fn a() { b(); }\nfn b() { a(); }\nfn main() { a(); }",
+                  "recursion");
+}
+
+TEST(Sema, RejectsUndeclaredVariable) {
+  EXPECT_REJECTED("fn main() { let x = y; }", "undeclared variable 'y'");
+}
+
+TEST(Sema, RejectsShadowing) {
+  EXPECT_REJECTED("fn main() { let x = 1; if x > 0 { let x = 2; } }",
+                  "redeclaration of 'x'");
+}
+
+TEST(Sema, RejectsLocalShadowingStatic) {
+  EXPECT_REJECTED("static g = 0;\nfn main() { let g = 1; }",
+                  "shadows a static");
+}
+
+TEST(Sema, TypeChecksConditions) {
+  EXPECT_REJECTED("fn main() { if 1 { } }", "condition must be a bool");
+  EXPECT_VALID("fn main() { if 1 > 0 { } }");
+}
+
+TEST(Sema, TypeChecksLogicalOperators) {
+  EXPECT_REJECTED("fn main() { let b = 1 && 2; }",
+                  "logical operator requires bool");
+  EXPECT_VALID("fn main() { let b = 1 > 0 && 2 > 1; }");
+}
+
+TEST(Sema, TypeChecksArithmetic) {
+  EXPECT_REJECTED("fn main() { let x = true + 1; }",
+                  "arithmetic requires int");
+}
+
+TEST(Sema, TypeChecksEqualityOnSameTypes) {
+  EXPECT_REJECTED("fn main() { let b = true == 1; }", "mismatched types");
+}
+
+TEST(Sema, RejectsCallArityMismatch) {
+  EXPECT_REJECTED("fn f(x: int) { }\nfn main() { f(); }",
+                  "wrong number of arguments");
+}
+
+TEST(Sema, RejectsUnknownCall) {
+  EXPECT_REJECTED("fn main() { g(); }", "unknown function 'g'");
+}
+
+TEST(Sema, SensorsTakeNoArguments) {
+  EXPECT_REJECTED("io s;\nfn main() { let x = s(1); }",
+                  "takes no arguments");
+}
+
+TEST(Sema, RefParamRequiresAddrOfArgument) {
+  EXPECT_REJECTED("fn f(r: &int) { }\nfn main() { let y = 0; f(y); }",
+                  "expects a reference argument");
+}
+
+TEST(Sema, ValueParamRejectsAddrOf) {
+  EXPECT_REJECTED("fn f(x: int) { }\nfn main() { let y = 0; f(&y); }",
+                  "expects a value");
+}
+
+TEST(Sema, RejectsRefForwarding) {
+  // References may not be re-borrowed / forwarded: targets must be
+  // statically known at every call site (the ownership discipline).
+  EXPECT_REJECTED("fn g(r: &int) { }\n"
+                  "fn f(r: &int) { g(&r); }\n"
+                  "fn main() { let y = 0; f(&y); }",
+                  "re-borrow");
+  EXPECT_REJECTED("fn g(r: &int) { }\n"
+                  "fn f(r: &int) { g(r); }\n"
+                  "fn main() { let y = 0; f(&y); }",
+                  "expects a reference argument");
+}
+
+TEST(Sema, RejectsAddrOfParameter) {
+  EXPECT_REJECTED("fn g(r: &int) { }\n"
+                  "fn f(x: int) { g(&x); }\n"
+                  "fn main() { f(1); }",
+                  "address of parameter");
+}
+
+TEST(Sema, RejectsAddrOfLoopVariable) {
+  EXPECT_REJECTED("fn g(r: &int) { }\n"
+                  "fn main() { for i in 0..2 { g(&i); } }",
+                  "address of parameter or loop variable");
+}
+
+TEST(Sema, AddrOfOnlyAtCallSites) {
+  EXPECT_REJECTED("fn main() { let y = 0; let r = (&y); }",
+                  "may only appear directly as a call argument");
+}
+
+TEST(Sema, DerefRequiresRefParam) {
+  EXPECT_REJECTED("fn main() { let x = 1; let y = *x; }",
+                  "requires a reference");
+  EXPECT_VALID("fn f(r: &int) -> int { return *r + 1; }\n"
+               "static g = 0;\nfn main() { let v = f(&g); }");
+}
+
+TEST(Sema, DerefAssignRequiresRefParam) {
+  EXPECT_REJECTED("fn main() { let x = 1; *x = 2; }",
+                  "requires a reference parameter");
+}
+
+TEST(Sema, RejectsWholeArrayAssignment) {
+  EXPECT_REJECTED("static a: [int; 4];\nfn main() { a = 1; }",
+                  "cannot assign whole array");
+}
+
+TEST(Sema, RejectsScalarUseOfArray) {
+  EXPECT_REJECTED("static a: [int; 4];\nfn main() { let x = a + 1; }",
+                  "used as a scalar");
+}
+
+TEST(Sema, RejectsIndexingScalars) {
+  EXPECT_REJECTED("fn main() { let x = 1; let y = x[0]; }",
+                  "is not an array");
+}
+
+TEST(Sema, BoundsLoopIterationCount) {
+  EXPECT_REJECTED("fn main() { for i in 0..5000 { } }",
+                  "more than 4096 iterations");
+}
+
+TEST(Sema, RejectsInvertedLoopBounds) {
+  EXPECT_REJECTED("fn main() { for i in 5..2 { } }",
+                  "lower bound exceeds upper");
+}
+
+TEST(Sema, BreakOutsideLoop) {
+  EXPECT_REJECTED("fn main() { break; }", "outside of a loop");
+}
+
+TEST(Sema, MissingReturnOnSomePath) {
+  EXPECT_REJECTED("fn f() -> int { let x = 1; if x > 0 { return 1; } }\n"
+                  "fn main() { let v = f(); }",
+                  "fall off the end");
+  EXPECT_VALID("fn f() -> int { let x = 1; if x > 0 { return 1; } "
+               "return 0; }\nfn main() { let v = f(); }");
+}
+
+TEST(Sema, UnitFunctionCannotReturnValue) {
+  EXPECT_REJECTED("fn f() { return 3; }\nfn main() { f(); }",
+                  "unit function returns a value");
+}
+
+TEST(Sema, ReturnInsideAtomicRejected) {
+  // Regions must be entered and exited on every path (Appendix H's
+  // flattening counter requires balanced bounds).
+  EXPECT_REJECTED("fn f() -> int { atomic { return 1; } }\n"
+                  "fn main() { let v = f(); }",
+                  "return inside 'atomic");
+}
+
+TEST(Sema, BreakEscapingAtomicRejected) {
+  EXPECT_REJECTED("fn main() { for i in 0..2 { atomic { break; } } }",
+                  "break/continue outside of a loop");
+}
+
+TEST(Sema, LoopFullyInsideAtomicOk) {
+  EXPECT_VALID("fn main() { atomic { for i in 0..2 { if i > 0 { break; } "
+               "} } }");
+}
+
+TEST(Sema, AnnotationNamesDeclaredVariable) {
+  EXPECT_REJECTED("fn main() { Fresh(nope); }", "undeclared variable");
+}
+
+TEST(Sema, AnnotationOnArrayRejected) {
+  EXPECT_REJECTED("fn main() { let a = [0; 4]; Fresh(a); }",
+                  "scalar variables");
+}
+
+TEST(Sema, DuplicateTopLevelNames) {
+  EXPECT_REJECTED("io f;\nfn f() { }\nfn main() { }",
+                  "duplicate top-level name");
+  EXPECT_REJECTED("static x = 0;\nstatic x = 1;\nfn main() { }",
+                  "duplicate top-level name");
+  EXPECT_REJECTED("io s, s;\nfn main() { }", "duplicate io declaration");
+}
+
+TEST(Sema, ExpressionStatementMustBeCall) {
+  EXPECT_REJECTED("fn main() { let x = 1; x + 2; }",
+                  "must be a call");
+}
+
+TEST(Sema, BindingUnitResultRejected) {
+  EXPECT_REJECTED("fn f() { }\nfn main() { let x = f(); }",
+                  "unit function");
+}
+
+} // namespace

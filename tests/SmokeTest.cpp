@@ -1,0 +1,130 @@
+//===- SmokeTest.cpp - End-to-end pipeline smoke test --------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles and runs the paper's Fig. 2 weather program end to end: JIT
+/// builds must violate freshness/consistency under pathological failures,
+/// Ocelot builds must not.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ocelot/Compiler.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ocelot;
+
+namespace {
+
+const char *WeatherSrc = R"(
+io tmp, pres, hum;
+
+fn main() {
+  let x = tmp();
+  Fresh(x);
+  if x > 5 {
+    alarm();
+  }
+  let y = pres();
+  Consistent(y, 1);
+  let z = hum();
+  Consistent(z, 1);
+  log(y, z);
+}
+)";
+
+CompileResult compile(ExecModel Model) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = Model;
+  CompileResult R = compileSource(WeatherSrc, Opts, Diags);
+  EXPECT_TRUE(R.Ok) << Diags.str();
+  return R;
+}
+
+std::set<InstrRef> pathologicalPoints(const CompileResult &R) {
+  std::set<InstrRef> Points;
+  for (const auto &[Use, Sensors] : R.Monitor.UseChecks)
+    Points.insert(Use);
+  for (const ConsistentSetPlan &SP : R.Monitor.Sets)
+    for (size_t M = 1; M < SP.Members.size(); ++M)
+      Points.insert(SP.Members[M].back());
+  return Points;
+}
+
+TEST(Smoke, CompilesAllModels) {
+  for (ExecModel M : {ExecModel::JitOnly, ExecModel::AtomicsOnly,
+                      ExecModel::Ocelot}) {
+    CompileResult R = compile(M);
+    ASSERT_TRUE(R.Ok);
+    ASSERT_TRUE(R.Prog);
+  }
+}
+
+TEST(Smoke, OcelotInfersRegions) {
+  CompileResult R = compile(ExecModel::Ocelot);
+  // One region for the fresh policy, one for the consistent set (they may
+  // overlap; both exist).
+  EXPECT_EQ(R.InferredRegions.size(), 2u) << printProgram(*R.Prog);
+  EXPECT_EQ(R.Policies.Fresh.size(), 1u);
+  EXPECT_EQ(R.Policies.Consistent.size(), 1u);
+  EXPECT_TRUE(R.PlacementValid);
+}
+
+TEST(Smoke, JitViolatesUnderPathologicalFailures) {
+  CompileResult R = compile(ExecModel::JitOnly);
+  Environment Env;
+  Env.setSignal(0, SensorSignal::noise(0, 10, 50, 11));
+  Env.setSignal(1, SensorSignal::noise(900, 200, 50, 12));
+  Env.setSignal(2, SensorSignal::noise(30, 60, 50, 13));
+
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(R));
+  Cfg.Plan.setOffTime(10000, 50000);
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  EXPECT_TRUE(Res.Completed) << Res.Trap;
+  EXPECT_TRUE(Res.ViolatedFresh);
+  EXPECT_TRUE(Res.ViolatedConsistent);
+}
+
+TEST(Smoke, OcelotNeverViolates) {
+  CompileResult R = compile(ExecModel::Ocelot);
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(R));
+  Cfg.Plan.setOffTime(10000, 50000);
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  EXPECT_TRUE(Res.Completed) << Res.Trap;
+  EXPECT_FALSE(Res.ViolatedFresh) << printProgram(*R.Prog);
+  EXPECT_FALSE(Res.ViolatedConsistent);
+  EXPECT_GE(Res.AtomicAborts, 1u) << "failures should hit inside regions";
+}
+
+TEST(Smoke, IntermittentTraceRefinesContinuous) {
+  CompileResult R = compile(ExecModel::Ocelot);
+  Environment Env;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::periodic(300, 0.3);
+  Cfg.Plan.setOffTime(5000, 20000);
+  Cfg.RecordTrace = true;
+  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  RunResult Res = I.runOnce();
+  ASSERT_TRUE(Res.Completed) << Res.Trap;
+  std::string Why;
+  EXPECT_TRUE(replayRefines(*R.Prog, &R.Monitor, Res.TraceData, 1,
+                            I.nvmSnapshot(), Why))
+      << Why;
+}
+
+} // namespace
