@@ -169,6 +169,9 @@ private:
         }
       }
       for (int Succ : BB->successors()) {
+        // Out-of-range targets were already diagnosed by verifyInstr.
+        if (Succ < 0 || Succ >= F.numBlocks())
+          continue;
         if (DepthAt[Succ] == -1) {
           DepthAt[Succ] = Depth;
           Work.push_back(Succ);

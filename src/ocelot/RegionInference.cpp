@@ -50,7 +50,7 @@ std::vector<ProvChain> ocelot::policyItems(const FreshPolicy &Pol,
 }
 
 std::vector<ProvChain> ocelot::policyItems(const ConsistentPolicy &Pol,
-                                           const TaintAnalysis &TA) {
+                                           const TaintAnalysis & /*TA*/) {
   // Temporal consistency constrains the *inputs* only: the definitions of
   // the set's members need not execute atomically with them (paper §4.3,
   // Fig. 4(b)). The markers themselves are therefore not items.

@@ -239,7 +239,7 @@ void Interpreter::powerFail(RunResult &R) {
   }
 }
 
-bool Interpreter::checkEnergyAndPlan(uint64_t Cost, RunResult &R) {
+bool Interpreter::checkEnergyAndPlan(uint64_t Cost) {
   if (Energy) {
     if (Energy->consume(Cost))
       return true;
@@ -287,7 +287,7 @@ RunResult Interpreter::runOnce() {
       continue;
     }
     uint64_t Cost = Cfg.Costs.costOf(*I);
-    if (checkEnergyAndPlan(Cost, R)) {
+    if (checkEnergyAndPlan(Cost)) {
       ++ConsecutiveFailures;
       if (ConsecutiveFailures > Cfg.MaxAbortsPerRegion) {
         R.Starved = true;

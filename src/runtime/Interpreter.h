@@ -154,7 +154,7 @@ private:
   void writeGlobal(int G, int64_t Index, RtValue V, RunResult &R);
   ProvChain currentChain(uint32_t FinalLabel) const;
   const RegionInfo *regionInfo(int RegionId) const;
-  bool checkEnergyAndPlan(uint64_t Cost, RunResult &R);
+  bool checkEnergyAndPlan(uint64_t Cost);
 
   const Program &P;
   Environment &Env;

@@ -115,8 +115,9 @@ TEST(Lowering, AnnotationsBecomeMarkers) {
   EXPECT_EQ(countOps(*P, *F, Opcode::Consistent), 2);
   for (int B = 0; B < F->numBlocks(); ++B)
     for (const Instruction &I : F->block(B)->instructions())
-      if (I.Op == Opcode::Consistent)
+      if (I.Op == Opcode::Consistent) {
         EXPECT_EQ(I.SetId, 3);
+      }
 }
 
 TEST(Lowering, ManualAtomicBlocksBecomeRegions) {
