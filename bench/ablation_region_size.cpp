@@ -18,8 +18,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/TableFmt.h"
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <array>
 #include <cstdio>
@@ -83,17 +83,16 @@ struct Placement {
   ExecModel Model;
 };
 
-bool completesAt(const CompileResult &R, uint64_t Capacity) {
-  Environment Env;
-  Env.setSignal(0, SensorSignal::noise(100, 50, 300, 5));
-  RunConfig Cfg;
-  Cfg.Plan = FailurePlan::energyDriven();
-  Cfg.Energy.CapacityCycles = Capacity;
-  Cfg.Energy.ReserveCycles = Capacity / 20 + 150;
-  Cfg.MaxAbortsPerRegion = 50;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+bool completesAt(const CompiledArtifact &A, uint64_t Capacity) {
+  SimulationSpec Spec;
+  Spec.Env.setSignal(0, SensorSignal::noise(100, 50, 300, 5));
+  Spec.Config.Plan = FailurePlan::energyDriven();
+  Spec.Config.Energy.CapacityCycles = Capacity;
+  Spec.Config.Energy.ReserveCycles = Capacity / 20 + 150;
+  Spec.Config.MaxAbortsPerRegion = 50;
+  Simulation Sim(A, std::move(Spec));
   for (int Run = 0; Run < 5; ++Run) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     if (Res.Starved || !Res.Completed)
       return false;
   }
@@ -115,16 +114,16 @@ int main() {
   std::vector<uint64_t> Capacities = {400,  600,  800,  1200, 1600,
                                       2400, 3200, 4800, 6400};
   std::vector<std::array<bool, 2>> Results;
-  CompileResult Compiled[2];
+  CompiledArtifact Compiled[2];
   for (int PIdx = 0; PIdx < 2; ++PIdx) {
-    DiagnosticEngine Diags;
     CompileOptions Opts;
     Opts.Model = Placements[PIdx].Model;
-    Compiled[PIdx] = compileSource(Placements[PIdx].Src, Opts, Diags);
-    if (!Compiled[PIdx].Ok) {
-      std::fprintf(stderr, "compile failed: %s\n", Diags.str().c_str());
+    Compilation C = Toolchain().compile(Placements[PIdx].Src, Opts);
+    if (!C.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", C.status().str().c_str());
       return 1;
     }
+    Compiled[PIdx] = C.artifact();
   }
   uint64_t MinViable[2] = {0, 0};
   for (uint64_t Cap : Capacities) {

@@ -24,7 +24,7 @@ using namespace ocelot;
 int main() {
   std::printf("== Figure 7: Continuous-power runtime, normalized to "
               "JIT-only ==\n\n");
-  constexpr int Runs = 200;
+  const int Runs = benchSmokeMode() ? 20 : 200;
   constexpr uint64_t Seed = 1234;
 
   Table T({"benchmark", "JIT cycles/run", "Atomics-only", "Ocelot",

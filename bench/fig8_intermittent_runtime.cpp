@@ -23,7 +23,7 @@ int main() {
   std::printf("== Figure 8: Intermittent runtime, normalized to continuous "
               "JIT ==\n\n");
   constexpr uint64_t Seed = 77;
-  constexpr uint64_t TauBudget = 60'000'000;
+  const uint64_t TauBudget = benchSmokeMode() ? 4'000'000 : 60'000'000;
   EnergyConfig Energy; // Capybara-like defaults.
 
   Table Full({"benchmark", "model", "on/run", "off(charging)/run",
@@ -36,7 +36,8 @@ int main() {
   for (const BenchmarkDef &B : allBenchmarks()) {
     CompiledBenchmark Jit = compileBenchmark(B, ExecModel::JitOnly);
     double JitContinuous =
-        measureContinuous(Jit, B, 100, Seed).CyclesPerRun;
+        measureContinuous(Jit, B, benchSmokeMode() ? 10 : 100, Seed)
+            .CyclesPerRun;
 
     for (int M = 0; M < 3; ++M) {
       CompiledBenchmark CB = compileBenchmark(B, Models[M]);

@@ -14,8 +14,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Benchmarks.h"
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "harness/Experiment.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <benchmark/benchmark.h>
 
@@ -26,47 +27,36 @@ namespace {
 const BenchmarkDef &tire() { return *findBenchmark("tire"); }
 const BenchmarkDef &cem() { return *findBenchmark("cem"); }
 
-CompileResult compiled(const BenchmarkDef &B, ExecModel M) {
-  DiagnosticEngine Diags;
-  CompileOptions Opts;
-  Opts.Model = M;
-  CompileResult R = compileSource(B.AnnotatedSrc, Opts, Diags);
-  if (!R.Ok)
-    std::abort();
-  return R;
-}
-
 void BM_CompileOcelot(benchmark::State &State) {
+  Toolchain TC;
   for (auto _ : State) {
-    DiagnosticEngine Diags;
     CompileOptions Opts;
     Opts.Model = ExecModel::Ocelot;
-    CompileResult R = compileSource(tire().AnnotatedSrc, Opts, Diags);
-    benchmark::DoNotOptimize(R.Ok);
+    Compilation C = TC.compile(tire().AnnotatedSrc, Opts);
+    benchmark::DoNotOptimize(C.ok());
   }
 }
 BENCHMARK(BM_CompileOcelot);
 
 void BM_CompileJitOnly(benchmark::State &State) {
+  Toolchain TC;
   for (auto _ : State) {
-    DiagnosticEngine Diags;
     CompileOptions Opts;
     Opts.Model = ExecModel::JitOnly;
-    CompileResult R = compileSource(tire().AnnotatedSrc, Opts, Diags);
-    benchmark::DoNotOptimize(R.Ok);
+    Compilation C = TC.compile(tire().AnnotatedSrc, Opts);
+    benchmark::DoNotOptimize(C.ok());
   }
 }
 BENCHMARK(BM_CompileJitOnly);
 
 void BM_InterpretContinuous(benchmark::State &State) {
-  CompileResult R = compiled(tire(), ExecModel::Ocelot);
-  Environment Env;
-  tire().setupEnvironment(Env, 1);
-  RunConfig Cfg;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
+  SimulationSpec Spec;
+  tire().setupEnvironment(Spec.Env, 1);
+  Simulation Sim(A, std::move(Spec));
   uint64_t Cycles = 0;
   for (auto _ : State) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     Cycles += Res.OnCycles;
     benchmark::DoNotOptimize(Res.Completed);
   }
@@ -77,30 +67,28 @@ void BM_InterpretContinuous(benchmark::State &State) {
 BENCHMARK(BM_InterpretContinuous);
 
 void BM_InterpretWithTaint(benchmark::State &State) {
-  CompileResult R = compiled(tire(), ExecModel::Ocelot);
-  Environment Env;
-  tire().setupEnvironment(Env, 1);
-  RunConfig Cfg;
-  Cfg.TrackTaint = true;
-  Cfg.MonitorFormal = true;
-  Cfg.MonitorBitVector = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
+  SimulationSpec Spec;
+  tire().setupEnvironment(Spec.Env, 1);
+  Spec.Config.TrackTaint = true;
+  Spec.Config.MonitorFormal = true;
+  Spec.Config.MonitorBitVector = true;
+  Simulation Sim(A, std::move(Spec));
   for (auto _ : State) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     benchmark::DoNotOptimize(Res.Completed);
   }
 }
 BENCHMARK(BM_InterpretWithTaint);
 
 void BM_InterpretIntermittent(benchmark::State &State) {
-  CompileResult R = compiled(tire(), ExecModel::Ocelot);
-  Environment Env;
-  tire().setupEnvironment(Env, 1);
-  RunConfig Cfg;
-  Cfg.Plan = FailurePlan::energyDriven();
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
+  SimulationSpec Spec;
+  tire().setupEnvironment(Spec.Env, 1);
+  Spec.Config.Plan = FailurePlan::energyDriven();
+  Simulation Sim(A, std::move(Spec));
   for (auto _ : State) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     benchmark::DoNotOptimize(Res.Completed);
   }
 }
@@ -110,20 +98,15 @@ BENCHMARK(BM_InterpretIntermittent);
 /// first-write logging vs static omega backup at region entry (simulated
 /// cycle counts are the interesting output).
 void undoLogMode(benchmark::State &State, bool StaticOmega) {
-  DiagnosticEngine Diags;
-  CompileOptions Opts;
-  Opts.Model = ExecModel::AtomicsOnly;
-  CompileResult R = compileSource(cem().AtomicsSrc, Opts, Diags);
-  if (!R.Ok)
-    std::abort();
-  Environment Env;
-  cem().setupEnvironment(Env, 1);
-  RunConfig Cfg;
-  Cfg.StaticOmega = StaticOmega;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  CompiledArtifact A =
+      compileBenchmark(cem(), ExecModel::AtomicsOnly).Artifact;
+  SimulationSpec Spec;
+  cem().setupEnvironment(Spec.Env, 1);
+  Spec.Config.StaticOmega = StaticOmega;
+  Simulation Sim(A, std::move(Spec));
   uint64_t SimCycles = 0, LogEntries = 0;
   for (auto _ : State) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     SimCycles += Res.OnCycles;
     LogEntries += Res.UndoLogEntries;
   }
@@ -147,13 +130,15 @@ BENCHMARK(BM_UndoLogStaticOmega);
 void BM_RegionInference(benchmark::State &State) {
   // Inference cost isolated: parse+lower once per iteration is included in
   // BM_CompileOcelot; here the delta against JitOnly shows analysis cost.
+  Toolchain TC;
   for (auto _ : State) {
-    DiagnosticEngine Diags;
     CompileOptions Opts;
     Opts.Model = ExecModel::Ocelot;
     Opts.SelfCheck = true;
-    CompileResult R = compileSource(cem().AnnotatedSrc, Opts, Diags);
-    benchmark::DoNotOptimize(R.InferredRegions.size());
+    Compilation C = TC.compile(cem().AnnotatedSrc, Opts);
+    if (!C.ok())
+      std::abort();
+    benchmark::DoNotOptimize(C.artifact().inferredRegions().size());
   }
 }
 BENCHMARK(BM_RegionInference);

@@ -31,11 +31,12 @@ int main() {
         Sensors += ", ";
       Sensors += B.Sensors[I];
     }
-    T.addRow({B.Origin, B.Name, std::to_string(CB.R.Effort.SourceLines),
+    const CompiledArtifact &A = CB.Artifact;
+    T.addRow({B.Origin, B.Name, std::to_string(A.effort().SourceLines),
               Sensors, B.Constraints,
-              std::to_string(CB.R.Policies.Fresh.size()),
-              std::to_string(CB.R.Policies.Consistent.size()),
-              std::to_string(CB.R.InferredRegions.size())});
+              std::to_string(A.policies().Fresh.size()),
+              std::to_string(A.policies().Consistent.size()),
+              std::to_string(A.inferredRegions().size())});
   }
   std::printf("%s\n", T.str().c_str());
   std::printf("(*): all sensors are simulated, time-varying signals in this "

@@ -23,7 +23,7 @@ using namespace ocelot;
 int main() {
   std::printf("== Table 2(a): Violating %% with pathological power failure "
               "points ==\n\n");
-  constexpr int Runs = 100;
+  const int Runs = benchSmokeMode() ? 10 : 100;
   constexpr uint64_t Seed = 7;
 
   Table T({"Exec. Model", "Activity", "CEM", "Greenhouse", "Photo",

@@ -49,7 +49,7 @@ int main() {
   for (const BenchmarkDef &B : allBenchmarks()) {
     CompiledBenchmark Ann = compileBenchmark(B, ExecModel::Ocelot);
     CompiledBenchmark Man = compileBenchmark(B, ExecModel::AtomicsOnly);
-    EffortInputs In = effortInputs(Ann.R, Man.R);
+    EffortInputs In = effortInputs(Ann.Artifact, Man.Artifact);
     E.addRow({B.Name, std::to_string(In.Annotated.IoDeclNames),
               std::to_string(In.Annotated.FreshAnnots),
               std::to_string(In.Annotated.ConsistentAnnots),

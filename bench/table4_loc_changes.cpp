@@ -39,7 +39,7 @@ int main() {
   for (const BenchmarkDef &B : allBenchmarks()) {
     CompiledBenchmark Ann = compileBenchmark(B, ExecModel::Ocelot);
     CompiledBenchmark Man = compileBenchmark(B, ExecModel::AtomicsOnly);
-    EffortInputs In = effortInputs(Ann.R, Man.R);
+    EffortInputs In = effortInputs(Ann.Artifact, Man.Artifact);
     int O = ocelotLoc(In), A = atomicsLoc(In), Ti = ticsLoc(In),
         S = samoyedLoc(In);
     if (O > Ti || O > S || O > A)

@@ -12,7 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "ocelot/Compiler.h"
+#include "ocelot/Toolchain.h"
 
 #include <cstdio>
 
@@ -60,19 +60,19 @@ fn main() {
 )";
 
 bool checkPlacement(const char *Name, const char *Src) {
-  DiagnosticEngine Diags;
   CompileOptions Opts;
   Opts.Model = ExecModel::CheckOnly;
-  CompileResult R = compileSource(Src, Opts, Diags);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile failed:\n%s", Diags.str().c_str());
+  Compilation C = Toolchain().compile(Src, Opts);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compile failed:\n%s", C.status().str().c_str());
     return false;
   }
+  bool Valid = C.artifact().placementValid();
   std::printf("%-16s -> %s\n", Name,
-              R.PlacementValid ? "ACCEPTED: regions enforce all annotations"
-                               : "REJECTED:");
-  if (!R.PlacementValid)
-    for (const Diagnostic &D : Diags.diagnostics())
+              Valid ? "ACCEPTED: regions enforce all annotations"
+                    : "REJECTED:");
+  if (!Valid)
+    for (const Diagnostic &D : C.status().diagnostics())
       std::printf("    %s\n", D.Message.c_str());
   return true;
 }

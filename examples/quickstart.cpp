@@ -12,8 +12,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/IRPrinter.h"
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <cstdio>
 
@@ -37,42 +37,44 @@ fn main() {
 
   // 2. Compile under the Ocelot execution model: JIT checkpoints
   //    everywhere, plus inferred atomic regions enforcing the annotations.
-  DiagnosticEngine Diags;
+  //    Toolchain::compile returns a structured Status and an immutable,
+  //    shareable CompiledArtifact.
   CompileOptions Opts;
   Opts.Model = ExecModel::Ocelot;
-  CompileResult R = compileSource(Source, Opts, Diags);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compilation failed:\n%s", Diags.str().c_str());
+  Compilation C = Toolchain().compile(Source, Opts);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compilation failed:\n%s", C.status().str().c_str());
     return 1;
   }
+  const CompiledArtifact &A = C.artifact();
 
   std::printf("== Compiled IR (with the inferred atomic region) ==\n\n%s\n",
-              printProgram(*R.Prog).c_str());
+              printProgram(A.program()).c_str());
   std::printf("Policies: %zu fresh, %zu consistent; inferred regions: %zu\n",
-              R.Policies.Fresh.size(), R.Policies.Consistent.size(),
-              R.InferredRegions.size());
-  for (const FreshPolicy &Pol : R.Policies.Fresh) {
+              A.policies().Fresh.size(), A.policies().Consistent.size(),
+              A.inferredRegions().size());
+  for (const FreshPolicy &Pol : A.policies().Fresh) {
     std::printf("  Fresh(%s): %zu input chain(s), %zu use site(s)\n",
                 Pol.VarName.c_str(), Pol.Inputs.size(), Pol.Uses.size());
-    for (const ProvChain &C : Pol.Inputs)
-      std::printf("    input: %s\n", chainToString(*R.Prog, C).c_str());
+    for (const ProvChain &Ch : Pol.Inputs)
+      std::printf("    input: %s\n", chainToString(A.program(), Ch).c_str());
   }
 
   // 3. Run on intermittent power (Capybara-like capacitor + harvester)
-  //    with both violation detectors armed.
-  Environment Env;
-  Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42)); // varying weather
-  RunConfig Cfg;
-  Cfg.Plan = FailurePlan::energyDriven();
-  Cfg.MonitorBitVector = true;
-  Cfg.MonitorFormal = true;
-  Cfg.RecordTrace = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  //    with both violation detectors armed. The Simulation owns all mutable
+  //    run state; the artifact stays shared and read-only.
+  SimulationSpec Spec;
+  Spec.Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42)); // weather
+  Spec.Config.Plan = FailurePlan::energyDriven();
+  Spec.Config.MonitorBitVector = true;
+  Spec.Config.MonitorFormal = true;
+  Spec.Config.RecordTrace = true;
+  Simulation Sim(A, std::move(Spec));
 
   int Violations = 0;
   uint64_t Reboots = 0;
   for (int Run = 0; Run < 200; ++Run) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     if (!Res.Completed) {
       std::fprintf(stderr, "run failed: %s\n", Res.Trap.c_str());
       return 1;

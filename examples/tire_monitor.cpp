@@ -16,6 +16,7 @@
 
 #include "harness/Experiment.h"
 #include "ir/IRPrinter.h"
+#include "runtime/Simulation.h"
 
 #include <cstdio>
 
@@ -25,19 +26,20 @@ int main() {
   const BenchmarkDef &Tire = *findBenchmark("tire");
 
   CompiledBenchmark Oce = compileBenchmark(Tire, ExecModel::Ocelot);
+  const CompiledArtifact &OceA = Oce.Artifact;
   std::printf("== Tire monitor: inferred regions ==\n\n");
-  for (const InferredRegion &R : Oce.R.InferredRegions) {
+  for (const InferredRegion &R : OceA.inferredRegions()) {
     const RegionInfo *Info = nullptr;
-    for (const RegionInfo &Candidate : Oce.R.Regions)
+    for (const RegionInfo &Candidate : OceA.regions())
       if (Candidate.RegionId == R.RegionId)
         Info = &Candidate;
     std::printf("  region r%d in %s: omega = {", R.RegionId,
-                Oce.R.Prog->function(R.Func)->name().c_str());
+                OceA.program().function(R.Func)->name().c_str());
     if (Info) {
       bool First = true;
       for (int G : Info->Omega) {
         std::printf("%s%s", First ? "" : ", ",
-                    Oce.R.Prog->global(G).Name.c_str());
+                    OceA.program().global(G).Name.c_str());
         First = false;
       }
     }
@@ -47,16 +49,15 @@ int main() {
   std::printf("\n== 100 simulated seconds of harvested operation ==\n\n");
   for (ExecModel Model : {ExecModel::JitOnly, ExecModel::Ocelot}) {
     CompiledBenchmark CB = compileBenchmark(Tire, Model);
-    Environment Env;
-    Tire.setupEnvironment(Env, 2026);
-    RunConfig Cfg;
-    Cfg.Plan = FailurePlan::energyDriven();
-    Cfg.MonitorBitVector = true;
-    Cfg.MonitorFormal = true;
-    Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+    SimulationSpec Spec;
+    Tire.setupEnvironment(Spec.Env, 2026);
+    Spec.Config.Plan = FailurePlan::energyDriven();
+    Spec.Config.MonitorBitVector = true;
+    Spec.Config.MonitorFormal = true;
+    Simulation Sim(CB.Artifact, std::move(Spec));
     uint64_t Runs = 0, Violating = 0, Reboots = 0;
-    while (I.tau() < 80'000'000) {
-      RunResult Res = I.runOnce();
+    while (Sim.tau() < 80'000'000) {
+      RunResult Res = Sim.runOnce();
       if (!Res.Completed) {
         std::fprintf(stderr, "run failed: %s\n", Res.Trap.c_str());
         return 1;
@@ -67,9 +68,9 @@ int main() {
         ++Violating;
     }
     // Warning counters live in NVM.
-    int UrgentIdx = CB.R.Prog->findGlobal("urgent_warnings");
-    int WarnIdx = CB.R.Prog->findGlobal("warnings");
-    auto Snap = I.nvmSnapshot();
+    int UrgentIdx = CB.Artifact.program().findGlobal("urgent_warnings");
+    int WarnIdx = CB.Artifact.program().findGlobal("warnings");
+    auto Snap = Sim.nvmSnapshot();
     std::printf("%-8s completed runs: %5llu  reboots: %5llu  runs with "
                 "timing violations: %llu\n         urgent warnings: %lld, "
                 "regular warnings: %lld\n",

@@ -15,7 +15,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <cstdio>
 
@@ -47,34 +48,34 @@ fn main() {
 } // namespace
 
 int main() {
-  DiagnosticEngine Diags;
+  Toolchain TC;
   CompileOptions Opts;
 
   Opts.Model = ExecModel::JitOnly;
-  CompileResult Jit = compileSource(WeatherSrc, Opts, Diags);
+  Compilation Jit = TC.compile(WeatherSrc, Opts);
   Opts.Model = ExecModel::Ocelot;
-  CompileResult Oce = compileSource(WeatherSrc, Opts, Diags);
-  if (!Jit.Ok || !Oce.Ok) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+  Compilation Oce = TC.compile(WeatherSrc, Opts);
+  if (!Jit.ok() || !Oce.ok()) {
+    std::fprintf(stderr, "%s%s", Jit.status().str().c_str(),
+                 Oce.status().str().c_str());
     return 1;
   }
 
-  auto RunCampaign = [](CompileResult &R, const char *Name) {
-    Environment Env;
+  auto RunCampaign = [](const CompiledArtifact &A, const char *Name) {
+    SimulationSpec Spec;
     // A front is passing: temperature falls, pressure drops, humidity
     // climbs — piecewise-random signals over logical time.
-    Env.setSignal(0, SensorSignal::noise(15, 25, 3000, 101)); // tmp
-    Env.setSignal(1, SensorSignal::noise(950, 80, 5000, 202)); // pres
-    Env.setSignal(2, SensorSignal::noise(40, 55, 4000, 303));  // hum
-    RunConfig Cfg;
-    Cfg.Plan = FailurePlan::energyDriven();
-    Cfg.MonitorBitVector = true;
-    Cfg.MonitorFormal = true;
-    Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+    Spec.Env.setSignal(0, SensorSignal::noise(15, 25, 3000, 101)); // tmp
+    Spec.Env.setSignal(1, SensorSignal::noise(950, 80, 5000, 202)); // pres
+    Spec.Env.setSignal(2, SensorSignal::noise(40, 55, 4000, 303));  // hum
+    Spec.Config.Plan = FailurePlan::energyDriven();
+    Spec.Config.MonitorBitVector = true;
+    Spec.Config.MonitorFormal = true;
+    Simulation Sim(A, std::move(Spec));
     int StaleAlarmRuns = 0, SplitPairRuns = 0, Runs = 600;
     uint64_t Reboots = 0;
     for (int Run = 0; Run < Runs; ++Run) {
-      RunResult Res = I.runOnce();
+      RunResult Res = Sim.runOnce();
       if (!Res.Completed) {
         std::fprintf(stderr, "%s run failed: %s\n", Name, Res.Trap.c_str());
         std::abort();
@@ -93,8 +94,8 @@ int main() {
 
   std::printf("== Weather station (paper Fig. 2) on intermittent power "
               "==\n\n");
-  RunCampaign(Jit, "JIT");
-  RunCampaign(Oce, "Ocelot");
+  RunCampaign(Jit.artifact(), "JIT");
+  RunCampaign(Oce.artifact(), "Ocelot");
   std::printf("\nJIT resumes mid-program after charging delays: it raises "
               "alarms on old\ntemperatures and logs pressure/humidity pairs "
               "sampled through a power failure.\nOcelot's inferred regions "

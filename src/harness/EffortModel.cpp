@@ -8,15 +8,16 @@
 
 using namespace ocelot;
 
-EffortInputs ocelot::effortInputs(const CompileResult &Annotated,
-                                  const CompileResult &AtomicsBuild) {
+EffortInputs ocelot::effortInputs(const CompiledArtifact &Annotated,
+                                  const CompiledArtifact &AtomicsBuild) {
   EffortInputs E;
-  E.Annotated = Annotated.Effort;
-  E.Atomics = AtomicsBuild.Effort;
-  E.FreshPolicies = static_cast<int>(Annotated.Policies.Fresh.size());
-  E.ConsistentSets = static_cast<int>(Annotated.Policies.Consistent.size());
-  E.ConsistentVars = Annotated.Effort.ConsistentAnnots +
-                     Annotated.Effort.FreshConsistentAnnots;
+  E.Annotated = Annotated.effort();
+  E.Atomics = AtomicsBuild.effort();
+  E.FreshPolicies = static_cast<int>(Annotated.policies().Fresh.size());
+  E.ConsistentSets =
+      static_cast<int>(Annotated.policies().Consistent.size());
+  E.ConsistentVars = Annotated.effort().ConsistentAnnots +
+                     Annotated.effort().FreshConsistentAnnots;
   return E;
 }
 

@@ -23,7 +23,7 @@
 #ifndef OCELOT_HARNESS_EFFORTMODEL_H
 #define OCELOT_HARNESS_EFFORTMODEL_H
 
-#include "ocelot/Compiler.h"
+#include "ocelot/Toolchain.h"
 
 namespace ocelot {
 
@@ -38,8 +38,8 @@ struct EffortInputs {
   int ConsistentVars = 0; ///< Source-level consistent annotations.
 };
 
-EffortInputs effortInputs(const CompileResult &Annotated,
-                          const CompileResult &AtomicsBuild);
+EffortInputs effortInputs(const CompiledArtifact &Annotated,
+                          const CompiledArtifact &AtomicsBuild);
 
 int ocelotLoc(const EffortInputs &E);
 int atomicsLoc(const EffortInputs &E);

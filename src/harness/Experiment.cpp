@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 using namespace ocelot;
 
@@ -16,7 +17,6 @@ CompiledBenchmark ocelot::compileBenchmark(const BenchmarkDef &B,
   CompiledBenchmark CB;
   CB.Name = B.Name;
   CB.Model = Model;
-  DiagnosticEngine Diags;
   CompileOptions Opts;
   Opts.Model = Model;
   // Checker mode (§8) validates manual placement, so it gets the manually
@@ -24,20 +24,22 @@ CompiledBenchmark ocelot::compileBenchmark(const BenchmarkDef &B,
   bool WantManualRegions =
       Model == ExecModel::AtomicsOnly || Model == ExecModel::CheckOnly;
   const char *Src = WantManualRegions ? B.AtomicsSrc : B.AnnotatedSrc;
-  CB.R = compileSource(Src, Opts, Diags);
-  if (!CB.R.Ok) {
+  Compilation C = Toolchain().compile(Src, Opts);
+  if (!C.ok()) {
     std::fprintf(stderr, "failed to compile benchmark %s under %s:\n%s\n",
-                 B.Name.c_str(), execModelName(Model), Diags.str().c_str());
+                 B.Name.c_str(), execModelName(Model),
+                 C.status().str().c_str());
     std::abort();
   }
+  CB.Artifact = C.artifact();
   return CB;
 }
 
-std::set<InstrRef> ocelot::pathologicalPoints(const CompileResult &R) {
+std::set<InstrRef> ocelot::pathologicalPoints(const CompiledArtifact &A) {
   std::set<InstrRef> Points;
-  for (const auto &[Use, Sensors] : R.Monitor.UseChecks)
+  for (const auto &[Use, Sensors] : A.monitorPlan().UseChecks)
     Points.insert(Use);
-  for (const ConsistentSetPlan &SP : R.Monitor.Sets)
+  for (const ConsistentSetPlan &SP : A.monitorPlan().Sets)
     for (size_t M = 1; M < SP.Members.size(); ++M)
       Points.insert(SP.Members[M].back());
   return Points;
@@ -46,16 +48,15 @@ std::set<InstrRef> ocelot::pathologicalPoints(const CompileResult &R) {
 ContinuousMetrics ocelot::measureContinuous(const CompiledBenchmark &CB,
                                             const BenchmarkDef &B, int Runs,
                                             uint64_t Seed) {
-  Environment Env;
-  B.setupEnvironment(Env, Seed);
-  RunConfig Cfg;
-  Cfg.Seed = Seed;
-  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  SimulationSpec Spec;
+  B.setupEnvironment(Spec.Env, Seed);
+  Spec.Config.Seed = Seed;
+  Simulation Sim(CB.Artifact, std::move(Spec));
 
   ContinuousMetrics M;
   uint64_t Total = 0;
   for (int Run = 0; Run < Runs; ++Run) {
-    RunResult R = I.runOnce();
+    RunResult R = Sim.runOnce();
     if (!R.Completed) {
       std::fprintf(stderr, "continuous run of %s failed: %s\n",
                    CB.Name.c_str(), R.Trap.c_str());
@@ -74,20 +75,19 @@ IntermittentMetrics ocelot::measureIntermittent(const CompiledBenchmark &CB,
                                                 const EnergyConfig &Energy,
                                                 uint64_t TauBudget,
                                                 uint64_t Seed, bool Monitors) {
-  Environment Env;
-  B.setupEnvironment(Env, Seed);
-  RunConfig Cfg;
-  Cfg.Seed = Seed;
-  Cfg.Plan = FailurePlan::energyDriven();
-  Cfg.Energy = Energy;
-  Cfg.MonitorBitVector = Monitors;
-  Cfg.MonitorFormal = Monitors;
-  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  SimulationSpec Spec;
+  B.setupEnvironment(Spec.Env, Seed);
+  Spec.Config.Seed = Seed;
+  Spec.Config.Plan = FailurePlan::energyDriven();
+  Spec.Config.Energy = Energy;
+  Spec.Config.MonitorBitVector = Monitors;
+  Spec.Config.MonitorFormal = Monitors;
+  Simulation Sim(CB.Artifact, std::move(Spec));
 
   IntermittentMetrics M;
   uint64_t On = 0, Off = 0, Reboots = 0;
-  while (I.tau() < TauBudget) {
-    RunResult R = I.runOnce();
+  while (Sim.tau() < TauBudget) {
+    RunResult R = Sim.runOnce();
     if (R.Starved) {
       M.Starved = true;
       break;
@@ -116,21 +116,21 @@ IntermittentMetrics ocelot::measureIntermittent(const CompiledBenchmark &CB,
 double ocelot::pathologicalViolationPct(const CompiledBenchmark &CB,
                                         const BenchmarkDef &B, int Runs,
                                         uint64_t Seed) {
-  Environment Env;
-  B.setupEnvironment(Env, Seed);
-  RunConfig Cfg;
-  Cfg.Seed = Seed;
-  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(CB.R));
+  SimulationSpec Spec;
+  B.setupEnvironment(Spec.Env, Seed);
+  Spec.Config.Seed = Seed;
+  Spec.Config.Plan =
+      FailurePlan::pathological(pathologicalPoints(CB.Artifact));
   // Long, environment-shifting off times so staleness is observable.
-  Cfg.Plan.setOffTime(20000, 200000);
-  Cfg.MonitorBitVector = true;
-  Cfg.MonitorFormal = true;
-  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  Spec.Config.Plan.setOffTime(20000, 200000);
+  Spec.Config.MonitorBitVector = true;
+  Spec.Config.MonitorFormal = true;
+  Simulation Sim(CB.Artifact, std::move(Spec));
 
   int Violating = 0;
   int Completed = 0;
   for (int Run = 0; Run < Runs; ++Run) {
-    RunResult R = I.runOnce();
+    RunResult R = Sim.runOnce();
     if (!R.Completed) {
       std::fprintf(stderr, "pathological run of %s failed: %s\n",
                    CB.Name.c_str(), R.Trap.c_str());
@@ -140,7 +140,15 @@ double ocelot::pathologicalViolationPct(const CompiledBenchmark &CB,
     if (R.ViolatedFresh || R.ViolatedConsistent)
       ++Violating;
   }
-  return Completed ? static_cast<double>(Violating) /
+  return Completed ? 100.0 * static_cast<double>(Violating) /
                          static_cast<double>(Completed)
                    : 0.0;
+}
+
+bool ocelot::benchSmokeMode() {
+  const char *V = std::getenv("OCELOT_BENCH_SMOKE");
+  if (!V || !*V)
+    return false;
+  // Conventional opt-out spellings still mean "off".
+  return std::string_view(V) != "0" && std::string_view(V) != "false";
 }

@@ -6,9 +6,11 @@
 ///
 /// \file
 /// Shared machinery for the paper's evaluation (§7): compile a benchmark
-/// under an execution model, run it continuously or intermittently, and
-/// aggregate runtime / correctness metrics. Each bench/ binary regenerates
-/// one table or figure on top of this.
+/// under an execution model into an immutable `CompiledArtifact`, run it
+/// continuously or intermittently in a `Simulation`, and aggregate runtime /
+/// correctness metrics. Each bench/ binary regenerates one table or figure
+/// on top of this; `SweepRunner` fans whole grids of these measurements
+/// across worker threads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,19 +18,21 @@
 #define OCELOT_HARNESS_EXPERIMENT_H
 
 #include "apps/Benchmarks.h"
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <set>
 #include <string>
 
 namespace ocelot {
 
-/// A benchmark compiled under one execution model.
+/// A benchmark compiled under one execution model. The artifact is an
+/// immutable shared handle: one CompiledBenchmark can back any number of
+/// concurrent measurements.
 struct CompiledBenchmark {
   std::string Name;
   ExecModel Model = ExecModel::Ocelot;
-  CompileResult R;
+  CompiledArtifact Artifact;
 };
 
 /// Compiles \p B under \p Model (the Atomics-only model uses the manually
@@ -38,7 +42,7 @@ CompiledBenchmark compileBenchmark(const BenchmarkDef &B, ExecModel Model);
 
 /// The §7.3 pathological failure points of a compiled benchmark: every use
 /// of a fresh variable and every non-first member of each consistent set.
-std::set<InstrRef> pathologicalPoints(const CompileResult &R);
+std::set<InstrRef> pathologicalPoints(const CompiledArtifact &A);
 
 /// Average cycles per completed run on continuous power.
 struct ContinuousMetrics {
@@ -58,10 +62,11 @@ struct IntermittentMetrics {
   uint64_t ViolatingRuns = 0; ///< Completed runs containing any violation.
   bool Starved = false;
 
+  /// Percentage (0–100) of completed runs containing a violation.
   double violationPct() const {
     return CompletedRuns == 0
                ? 0.0
-               : static_cast<double>(ViolatingRuns) /
+               : 100.0 * static_cast<double>(ViolatingRuns) /
                      static_cast<double>(CompletedRuns);
   }
 };
@@ -71,11 +76,17 @@ IntermittentMetrics measureIntermittent(const CompiledBenchmark &CB,
                                         uint64_t TauBudget, uint64_t Seed,
                                         bool Monitors);
 
-/// Table 2(a): fraction of runs violating any policy under pathological
-/// failure injection.
+/// Table 2(a): percentage (0–100) of runs violating any policy under
+/// pathological failure injection.
 double pathologicalViolationPct(const CompiledBenchmark &CB,
                                 const BenchmarkDef &B, int Runs,
                                 uint64_t Seed);
+
+/// True when OCELOT_BENCH_SMOKE is set in the environment (to anything but
+/// "", "0" or "false"): bench binaries shrink their iteration counts /
+/// simulated-time budgets so the ctest `bench` label can exercise every
+/// experiment driver on each PR.
+bool benchSmokeMode();
 
 } // namespace ocelot
 

@@ -1,0 +1,96 @@
+//===- SweepRunner.cpp - Parallel evaluation-grid driver --------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/SweepRunner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace ocelot;
+
+namespace {
+
+/// Runs copies of \p Body on min(Workers, Items) threads; with one worker
+/// it runs inline, so a single-worker sweep really is the sequential path.
+template <typename Fn> void runOnPool(unsigned Workers, size_t Items, Fn Body) {
+  size_t NThreads = std::min<size_t>(Workers, Items);
+  if (NThreads <= 1) {
+    Body();
+    return;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(NThreads);
+  for (size_t T = 0; T < NThreads; ++T)
+    Pool.emplace_back(Body);
+  for (std::thread &Th : Pool)
+    Th.join();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned Workers) : Workers(Workers) {
+  if (this->Workers == 0) {
+    unsigned HW = std::thread::hardware_concurrency();
+    this->Workers = HW ? HW : 1;
+  }
+}
+
+std::vector<SweepCellResult> SweepRunner::run(const SweepSpec &Spec) const {
+  const size_t NB = Spec.Benchmarks.size();
+  const size_t N = Spec.cellCount();
+  std::vector<SweepCellResult> Results(N);
+  if (N == 0)
+    return Results;
+  if (Spec.TauBudget == 0) {
+    // A zero budget would "succeed" with all-zero metrics in every cell —
+    // reject the spec loudly instead (harness style: misuse aborts).
+    std::fprintf(stderr, "SweepRunner: SweepSpec::TauBudget is 0; every "
+                         "cell would complete zero runs\n");
+    std::abort();
+  }
+
+  // Compile each (model, benchmark) pair exactly once. The artifacts are
+  // immutable, so every cell that shares a pair shares the compilation.
+  std::vector<CompiledBenchmark> Artifacts(Spec.Models.size() * NB);
+  {
+    std::atomic<size_t> Next{0};
+    auto CompileWorker = [&] {
+      for (size_t I = Next.fetch_add(1); I < Artifacts.size();
+           I = Next.fetch_add(1))
+        Artifacts[I] = compileBenchmark(*Spec.Benchmarks[I % NB],
+                                        Spec.Models[I / NB]);
+    };
+    runOnPool(Workers, Artifacts.size(), CompileWorker);
+  }
+
+  // Evaluate the cells. Each cell's Simulation is seeded purely from the
+  // spec, and each worker writes only its own pre-sized slot, so the result
+  // does not depend on scheduling.
+  {
+    std::atomic<size_t> Next{0};
+    auto CellWorker = [&] {
+      for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1)) {
+        SweepCellResult &R = Results[I];
+        SweepSpec::CellCoords C = Spec.cellAt(I);
+        R.Model = C.Model;
+        R.Bench = C.Bench;
+        R.Energy = C.Energy;
+        R.Seed = C.Seed;
+        const CompiledBenchmark &CB = Artifacts[R.Model * NB + R.Bench];
+        R.Metrics = measureIntermittent(
+            CB, *Spec.Benchmarks[R.Bench], Spec.Energies[R.Energy],
+            Spec.TauBudget, Spec.Seeds[R.Seed], Spec.Monitors);
+      }
+    };
+    runOnPool(Workers, N, CellWorker);
+  }
+
+  return Results;
+}

@@ -1,0 +1,100 @@
+//===- SweepRunner.h - Parallel evaluation-grid driver ----------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation (§7) is a grid of
+/// (benchmark × exec model × energy config × seed) intermittent
+/// simulations. `SweepRunner` compiles each (benchmark, model) pair once
+/// into an immutable `CompiledArtifact`, then fans the grid cells across a
+/// worker pool. Every cell builds its own `Simulation` seeded purely from
+/// the spec (never from scheduling), and results are aggregated in a fixed
+/// grid order — so a parallel sweep is bitwise identical to a sequential
+/// one, only faster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_HARNESS_SWEEPRUNNER_H
+#define OCELOT_HARNESS_SWEEPRUNNER_H
+
+#include "harness/Experiment.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace ocelot {
+
+/// The grid to sweep. Cells are enumerated model-major:
+/// for each model, for each benchmark, for each energy, for each seed.
+struct SweepSpec {
+  std::vector<const BenchmarkDef *> Benchmarks;
+  std::vector<ExecModel> Models;
+  std::vector<EnergyConfig> Energies;
+  std::vector<uint64_t> Seeds;
+  /// Simulated-time budget per cell. Must be set: run() aborts on a
+  /// zero budget (it would yield all-zero metrics in every cell).
+  uint64_t TauBudget = 0;
+  bool Monitors = true;   ///< Arm both violation detectors.
+
+  size_t cellCount() const {
+    return Models.size() * Benchmarks.size() * Energies.size() *
+           Seeds.size();
+  }
+
+  /// Flat index of cell (model M, benchmark B, energy E, seed S) in the
+  /// result vector. The inverse is cellAt(); keep the two in sync.
+  size_t cellIndex(size_t M, size_t B, size_t E, size_t S) const {
+    return ((M * Benchmarks.size() + B) * Energies.size() + E) *
+               Seeds.size() +
+           S;
+  }
+
+  /// Decodes a flat index back into (Model, Bench, Energy, Seed) — the
+  /// inverse of cellIndex().
+  struct CellCoords {
+    size_t Model, Bench, Energy, Seed;
+  };
+  CellCoords cellAt(size_t I) const {
+    CellCoords C{};
+    C.Seed = I % Seeds.size();
+    I /= Seeds.size();
+    C.Energy = I % Energies.size();
+    I /= Energies.size();
+    C.Bench = I % Benchmarks.size();
+    C.Model = I / Benchmarks.size();
+    return C;
+  }
+};
+
+/// One evaluated grid cell: the spec indices it came from plus its metrics.
+struct SweepCellResult {
+  size_t Model = 0;  ///< Index into SweepSpec::Models.
+  size_t Bench = 0;  ///< Index into SweepSpec::Benchmarks.
+  size_t Energy = 0; ///< Index into SweepSpec::Energies.
+  size_t Seed = 0;   ///< Index into SweepSpec::Seeds.
+  IntermittentMetrics Metrics;
+};
+
+/// Fans a SweepSpec across a worker pool. Stateless between run() calls;
+/// one runner can be reused for any number of sweeps.
+class SweepRunner {
+public:
+  /// \p Workers = 0 picks the hardware concurrency (at least 1).
+  explicit SweepRunner(unsigned Workers = 0);
+
+  unsigned workers() const { return Workers; }
+
+  /// Evaluates every cell of \p Spec with measureIntermittent. The returned
+  /// vector is in SweepSpec::cellIndex order and — for a fixed spec —
+  /// identical for any worker count, including 1 (sequential).
+  std::vector<SweepCellResult> run(const SweepSpec &Spec) const;
+
+private:
+  unsigned Workers;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_HARNESS_SWEEPRUNNER_H

@@ -54,8 +54,8 @@ std::string ocelot::fmt(double V, int Precision) {
   return Buf;
 }
 
-std::string ocelot::fmtPct(double Fraction, int Precision) {
-  return fmt(Fraction * 100.0, Precision) + "%";
+std::string ocelot::fmtPct(double Pct, int Precision) {
+  return fmt(Pct, Precision) + "%";
 }
 
 double ocelot::geomean(const std::vector<double> &Values) {

@@ -29,7 +29,11 @@ private:
 
 /// Formats a double with \p Precision fractional digits.
 std::string fmt(double V, int Precision = 2);
-std::string fmtPct(double Fraction, int Precision = 0);
+
+/// Formats an already-scaled percentage (0–100) as "N%". Metrics such as
+/// IntermittentMetrics::violationPct() return percentages directly; do not
+/// pass 0–1 fractions.
+std::string fmtPct(double Pct, int Precision = 0);
 
 /// Geometric mean of a non-empty vector of positive ratios.
 double geomean(const std::vector<double> &Values);

@@ -163,9 +163,9 @@ MonitorPlan buildMonitorPlan(const Program &P, const TaintAnalysis &TA,
 
 } // namespace
 
-CompileResult ocelot::compileSource(const std::string &Source,
-                                    const CompileOptions &Opts,
-                                    DiagnosticEngine &Diags) {
+CompileResult ocelot::detail::runCompilePipeline(const std::string &Source,
+                                                 const CompileOptions &Opts,
+                                                 DiagnosticEngine &Diags) {
   CompileResult R;
 
   std::unique_ptr<Module> M = Parser::parseSource(Source, Diags);
@@ -227,3 +227,14 @@ CompileResult ocelot::compileSource(const std::string &Source,
   R.Ok = true;
   return R;
 }
+
+// Deprecated shim (see Compiler.h); suppress our own deprecation warning on
+// the out-of-line definition.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+CompileResult ocelot::compileSource(const std::string &Source,
+                                    const CompileOptions &Opts,
+                                    DiagnosticEngine &Diags) {
+  return detail::runCompilePipeline(Source, Opts, Diags);
+}
+#pragma GCC diagnostic pop

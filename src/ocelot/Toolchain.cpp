@@ -1,0 +1,60 @@
+//===- Toolchain.cpp - Thread-safe compilation API --------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/Toolchain.h"
+
+using namespace ocelot;
+
+std::string Status::summary() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::Error)
+      return D.Message;
+  return "";
+}
+
+std::string Status::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += D.str() + "\n";
+  return Out;
+}
+
+bool Status::contains(std::string_view Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+Compilation Toolchain::compile(const SourceRef &Src,
+                               const CompileOptions &Opts) const {
+  // The pipeline itself has no shared state: every invocation works on its
+  // own DiagnosticEngine and freshly built IR, which is what makes this
+  // entry point safe to call from many threads at once.
+  DiagnosticEngine Diags;
+  CompileResult R = detail::runCompilePipeline(std::string(Src.Text), Opts,
+                                               Diags);
+  Compilation C;
+  if (!R.Ok) {
+    C.S = Status::failure(Diags.diagnostics());
+    return C;
+  }
+
+  auto State = std::make_shared<CompiledArtifact::State>();
+  State->Prog = std::move(R.Prog);
+  State->Policies = std::move(R.Policies);
+  State->InferredRegions = std::move(R.InferredRegions);
+  State->Regions = std::move(R.Regions);
+  State->Monitor = std::move(R.Monitor);
+  State->Effort = R.Effort;
+  State->Model = Opts.Model;
+  State->PlacementValid = R.PlacementValid;
+
+  C.S = Status::success(Diags.diagnostics());
+  C.A = CompiledArtifact(
+      std::shared_ptr<const CompiledArtifact::State>(std::move(State)));
+  return C;
+}

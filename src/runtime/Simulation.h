@@ -1,0 +1,92 @@
+//===- Simulation.h - One simulated device over an artifact -----*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `Simulation` is one simulated intermittent device executing an
+/// immutable `CompiledArtifact`. It owns *all* mutable state of a run — the
+/// sensor environment, the interpreter's NVM / logical time / energy store /
+/// RNG — while sharing the artifact's program, region metadata and monitor
+/// plan read-only. Because nothing in the artifact is written, one artifact
+/// can back any number of Simulations running on different threads at once;
+/// two Simulations built from the same (artifact, spec) produce bitwise
+/// identical results regardless of what else runs concurrently.
+///
+/// This is the only supported way to execute a compiled program outside
+/// `src/runtime/`; constructing an `Interpreter` directly is reserved for
+/// the runtime itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_SIMULATION_H
+#define OCELOT_RUNTIME_SIMULATION_H
+
+#include "ocelot/Toolchain.h"
+#include "runtime/Interpreter.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ocelot {
+
+/// Everything that varies per simulated device: the sensor environment and
+/// the run configuration (cost model, failure plan, energy config, seed,
+/// monitor toggles). Copied into the Simulation, so a spec can be reused —
+/// and tweaked per cell — when fanning one artifact across a sweep.
+struct SimulationSpec {
+  Environment Env;
+  RunConfig Config;
+};
+
+/// One simulated device. Movable, not copyable (a device's NVM history is
+/// not a value). Thread-compatible: use one Simulation per thread.
+class Simulation {
+public:
+  Simulation(CompiledArtifact Artifact, SimulationSpec Spec)
+      : A(std::move(Artifact)),
+        Env(std::make_unique<Environment>(std::move(Spec.Env))),
+        Interp(std::make_unique<Interpreter>(A.program(), *Env,
+                                             std::move(Spec.Config),
+                                             &A.monitorPlan(), &A.regions())) {
+  }
+
+  /// Executes one activation of main() to completion (or abort). NVM, tau,
+  /// the reboot epoch and the energy store persist across calls, as on a
+  /// real device.
+  RunResult runOnce() { return Interp->runOnce(); }
+
+  /// Re-initializes NVM from the program's initializers (fresh device).
+  void resetNvm() { Interp->resetNvm(); }
+
+  /// Feeds inputs from \p Events instead of the environment (in order);
+  /// used by the refinement replay. Pass std::nullopt to return to the
+  /// environment.
+  void setReplayInputs(std::optional<std::vector<InputEvent>> Events) {
+    Interp->setReplayInputs(std::move(Events));
+  }
+  size_t replayRemaining() const { return Interp->replayRemaining(); }
+
+  /// Plain-value NVM snapshot for refinement comparison.
+  std::vector<std::vector<int64_t>> nvmSnapshot() const {
+    return Interp->nvmSnapshot();
+  }
+
+  uint64_t tau() const { return Interp->tau(); }
+  uint64_t epoch() const { return Interp->epoch(); }
+  const ViolationMonitor &monitor() const { return Interp->monitor(); }
+
+  const CompiledArtifact &artifact() const { return A; }
+
+private:
+  CompiledArtifact A; ///< Shared, read-only; keeps the program alive.
+  std::unique_ptr<Environment> Env; ///< Stable address for the interpreter.
+  std::unique_ptr<Interpreter> Interp;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_SIMULATION_H

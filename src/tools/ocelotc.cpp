@@ -17,14 +17,15 @@
 ///   --monitor                          arm both violation detectors
 ///   --seed=S                           simulation seed
 ///
-/// Exit status: 0 on success; 1 on compile/check/run failure; for --monitor
-/// runs, 2 when any timing violation was detected.
+/// Exit status: 0 on success; 1 on compile/check/run failure (including an
+/// unknown --model= value); for --monitor runs, 2 when any timing violation
+/// was detected.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/IRPrinter.h"
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <cstdio>
 #include <cstring>
@@ -35,6 +36,18 @@
 using namespace ocelot;
 
 namespace {
+
+struct ModelName {
+  const char *Name;
+  ExecModel Model;
+};
+
+constexpr ModelName ModelNames[] = {
+    {"jit", ExecModel::JitOnly},
+    {"atomics", ExecModel::AtomicsOnly},
+    {"ocelot", ExecModel::Ocelot},
+    {"check", ExecModel::CheckOnly},
+};
 
 void usage() {
   std::fprintf(
@@ -72,16 +85,22 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     } else if (Arg.rfind("--model=", 0) == 0) {
       std::string M = Arg.substr(8);
-      if (M == "jit")
-        Model = ExecModel::JitOnly;
-      else if (M == "atomics")
-        Model = ExecModel::AtomicsOnly;
-      else if (M == "ocelot")
-        Model = ExecModel::Ocelot;
-      else if (M == "check")
-        Model = ExecModel::CheckOnly;
-      else {
-        std::fprintf(stderr, "error: unknown model '%s'\n", M.c_str());
+      bool Known = false;
+      for (const ModelName &MN : ModelNames)
+        if (M == MN.Name) {
+          Model = MN.Model;
+          Known = true;
+          break;
+        }
+      if (!Known) {
+        std::string Valid;
+        for (const ModelName &MN : ModelNames) {
+          if (!Valid.empty())
+            Valid += ", ";
+          Valid += MN.Name;
+        }
+        std::fprintf(stderr, "error: unknown model '%s' (valid models: %s)\n",
+                     M.c_str(), Valid.c_str());
         return 1;
       }
     } else if (!Arg.empty() && Arg[0] != '-' && Path.empty()) {
@@ -103,56 +122,57 @@ int main(int argc, char **argv) {
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
+  std::string Source = Buf.str();
 
-  DiagnosticEngine Diags;
   CompileOptions Opts;
   Opts.Model = Model;
-  CompileResult R = compileSource(Buf.str(), Opts, Diags);
+  Compilation C = Toolchain().compile(Source, Opts);
   // Warnings (including checker-mode findings) always print.
-  for (const Diagnostic &D : Diags.diagnostics())
+  for (const Diagnostic &D : C.status().diagnostics())
     std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
-  if (!R.Ok)
+  if (!C.ok())
     return 1;
+  const CompiledArtifact &A = C.artifact();
 
   std::printf("compiled %s under model '%s': %zu policies, %zu inferred "
               "region(s)\n",
-              Path.c_str(), execModelName(Model), R.Policies.size(),
-              R.InferredRegions.size());
+              Path.c_str(), execModelName(Model), A.policies().size(),
+              A.inferredRegions().size());
   if (Model == ExecModel::CheckOnly) {
-    std::printf("placement %s\n", R.PlacementValid ? "VALID" : "INVALID");
-    if (!R.PlacementValid)
+    std::printf("placement %s\n", A.placementValid() ? "VALID" : "INVALID");
+    if (!A.placementValid())
       return 1;
   }
 
   if (EmitIr)
-    std::printf("\n%s", printProgram(*R.Prog).c_str());
+    std::printf("\n%s", printProgram(A.program()).c_str());
 
   if (EmitPolicies) {
-    for (const FreshPolicy &Pol : R.Policies.Fresh) {
+    for (const FreshPolicy &Pol : A.policies().Fresh) {
       std::printf("fresh policy #%d on '%s' in %s: %zu input(s), %zu "
                   "use(s)\n",
                   Pol.Id, Pol.VarName.c_str(),
-                  R.Prog->function(Pol.DeclFunc)->name().c_str(),
+                  A.program().function(Pol.DeclFunc)->name().c_str(),
                   Pol.Inputs.size(), Pol.Uses.size());
-      for (const ProvChain &C : Pol.Inputs)
-        std::printf("  input %s\n", chainToString(*R.Prog, C).c_str());
+      for (const ProvChain &Ch : Pol.Inputs)
+        std::printf("  input %s\n", chainToString(A.program(), Ch).c_str());
     }
-    for (const ConsistentPolicy &Pol : R.Policies.Consistent) {
+    for (const ConsistentPolicy &Pol : A.policies().Consistent) {
       std::printf("consistent policy #%d (set %d): %zu member(s), %zu "
                   "input(s)\n",
                   Pol.Id, Pol.SetId, Pol.Decls.size(), Pol.Inputs.size());
-      for (const ProvChain &C : Pol.Inputs)
-        std::printf("  input %s\n", chainToString(*R.Prog, C).c_str());
+      for (const ProvChain &Ch : Pol.Inputs)
+        std::printf("  input %s\n", chainToString(A.program(), Ch).c_str());
     }
-    for (const InferredRegion &Reg : R.InferredRegions)
+    for (const InferredRegion &Reg : A.inferredRegions())
       std::printf("region r%d placed in %s\n", Reg.RegionId,
-                  R.Prog->function(Reg.Func)->name().c_str());
-    for (const RegionInfo &Info : R.Regions) {
+                  A.program().function(Reg.Func)->name().c_str());
+    for (const RegionInfo &Info : A.regions()) {
       std::printf("region r%d omega = {", Info.RegionId);
       bool First = true;
       for (int G : Info.Omega) {
         std::printf("%s%s", First ? "" : ", ",
-                    R.Prog->global(G).Name.c_str());
+                    A.program().global(G).Name.c_str());
         First = false;
       }
       std::printf("}\n");
@@ -162,20 +182,19 @@ int main(int argc, char **argv) {
   if (Runs <= 0)
     return 0;
 
-  Environment Env; // Default: seeded noise per sensor.
-  RunConfig Cfg;
-  Cfg.Seed = Seed;
-  Cfg.RecordTrace = true;
+  SimulationSpec Spec; // Default environment: seeded noise per sensor.
+  Spec.Config.Seed = Seed;
+  Spec.Config.RecordTrace = true;
   if (Intermittent)
-    Cfg.Plan = FailurePlan::energyDriven();
+    Spec.Config.Plan = FailurePlan::energyDriven();
   if (Monitor) {
-    Cfg.MonitorBitVector = true;
-    Cfg.MonitorFormal = true;
+    Spec.Config.MonitorBitVector = true;
+    Spec.Config.MonitorFormal = true;
   }
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation Sim(A, std::move(Spec));
   uint64_t Reboots = 0, Violations = 0;
   for (int Run = 0; Run < Runs; ++Run) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     if (!Res.Completed) {
       std::fprintf(stderr, "run %d failed: %s\n", Run,
                    Res.Starved ? "starved (region exceeds energy budget)"
@@ -189,9 +208,9 @@ int main(int argc, char **argv) {
       std::printf("[run %d @%llu] %s(", Run,
                   static_cast<unsigned long long>(E.Tau),
                   outputKindName(E.Kind));
-      for (size_t A = 0; A < E.Args.size(); ++A)
-        std::printf("%s%lld", A ? ", " : "",
-                    static_cast<long long>(E.Args[A]));
+      for (size_t Arg = 0; Arg < E.Args.size(); ++Arg)
+        std::printf("%s%lld", Arg ? ", " : "",
+                    static_cast<long long>(E.Args[Arg]));
       std::printf(")\n");
     }
   }

@@ -15,6 +15,7 @@
 
 #include "harness/Experiment.h"
 #include "ir/IRPrinter.h"
+#include "runtime/Simulation.h"
 
 #include <gtest/gtest.h>
 
@@ -31,17 +32,18 @@ TEST_P(BenchmarkSuite, CompilesUnderAllModels) {
   for (ExecModel M : {ExecModel::JitOnly, ExecModel::AtomicsOnly,
                       ExecModel::Ocelot, ExecModel::CheckOnly}) {
     CompiledBenchmark CB = compileBenchmark(def(), M);
-    ASSERT_TRUE(CB.R.Ok);
-    ASSERT_TRUE(CB.R.Prog);
-    EXPECT_FALSE(CB.R.Policies.empty())
+    ASSERT_TRUE(static_cast<bool>(CB.Artifact));
+    EXPECT_EQ(CB.Artifact.model(), M);
+    EXPECT_FALSE(CB.Artifact.policies().empty())
         << def().Name << " must carry timing policies";
   }
 }
 
 TEST_P(BenchmarkSuite, OcelotInfersAtLeastOneRegion) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
-  EXPECT_FALSE(CB.R.InferredRegions.empty()) << printProgram(*CB.R.Prog);
-  EXPECT_TRUE(CB.R.PlacementValid);
+  EXPECT_FALSE(CB.Artifact.inferredRegions().empty())
+      << printProgram(CB.Artifact.program());
+  EXPECT_TRUE(CB.Artifact.placementValid());
 }
 
 TEST_P(BenchmarkSuite, RunsContinuously) {
@@ -61,7 +63,7 @@ TEST_P(BenchmarkSuite, Table2aOcelotNeverViolates) {
 
 TEST_P(BenchmarkSuite, Table2aJitAlwaysViolates) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::JitOnly);
-  EXPECT_EQ(pathologicalViolationPct(CB, def(), 50, 7), 1.0);
+  EXPECT_EQ(pathologicalViolationPct(CB, def(), 50, 7), 100.0);
 }
 
 TEST_P(BenchmarkSuite, Table2aAtomicsManualPlacementHolds) {
@@ -73,7 +75,7 @@ TEST_P(BenchmarkSuite, Table2aAtomicsManualPlacementHolds) {
 
 TEST_P(BenchmarkSuite, CheckerAcceptsManualPlacement) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::CheckOnly);
-  EXPECT_TRUE(CB.R.PlacementValid)
+  EXPECT_TRUE(CB.Artifact.placementValid())
       << def().Name << ": manual regions should enforce the annotations";
 }
 
@@ -91,19 +93,18 @@ TEST_P(BenchmarkSuite, IntermittentOcelotCleanAndCharging) {
 
 TEST_P(BenchmarkSuite, IntermittentTraceRefinesContinuous) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
-  Environment Env;
-  def().setupEnvironment(Env, 23);
-  RunConfig Cfg;
+  SimulationSpec Spec;
+  def().setupEnvironment(Spec.Env, 23);
   // The period must exceed the largest atomic region or no region can ever
   // commit (§5.3's satisfiability constraint).
-  Cfg.Plan = FailurePlan::periodic(1600, 0.3);
-  Cfg.Plan.setOffTime(3000, 30000);
-  Cfg.RecordTrace = true;
-  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  Spec.Config.Plan = FailurePlan::periodic(1600, 0.3);
+  Spec.Config.Plan.setOffTime(3000, 30000);
+  Spec.Config.RecordTrace = true;
+  Simulation Sim(CB.Artifact, std::move(Spec));
   constexpr int Runs = 4;
   Trace Combined;
   for (int Run = 0; Run < Runs; ++Run) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;
     Combined.Inputs.insert(Combined.Inputs.end(),
                            Res.TraceData.Inputs.begin(),
@@ -114,8 +115,8 @@ TEST_P(BenchmarkSuite, IntermittentTraceRefinesContinuous) {
     Combined.Reboots += Res.TraceData.Reboots;
   }
   std::string Why;
-  EXPECT_TRUE(replayRefines(*CB.R.Prog, &CB.R.Monitor, Combined, Runs,
-                            I.nvmSnapshot(), Why))
+  EXPECT_TRUE(replayRefines(CB.Artifact.program(), &CB.Artifact.monitorPlan(),
+                            Combined, Runs, Sim.nvmSnapshot(), Why))
       << Why;
 }
 

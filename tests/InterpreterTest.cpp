@@ -13,8 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <gtest/gtest.h>
 
@@ -22,23 +22,22 @@ using namespace ocelot;
 
 namespace {
 
-CompileResult compile(const std::string &Src,
-                      ExecModel Model = ExecModel::AtomicsOnly) {
-  DiagnosticEngine Diags;
+CompiledArtifact compile(const std::string &Src,
+                         ExecModel Model = ExecModel::AtomicsOnly) {
   CompileOptions Opts;
   Opts.Model = Model;
-  CompileResult R = compileSource(Src, Opts, Diags);
-  EXPECT_TRUE(R.Ok) << Diags.str();
-  return R;
+  Compilation C = Toolchain().compile(Src, Opts);
+  EXPECT_TRUE(C.ok()) << C.status().str();
+  return C.artifact();
 }
 
 /// Runs continuously once and returns the Output events.
 std::vector<OutputEvent> outputsOf(const std::string &Src,
                                    Environment &Env) {
-  CompileResult R = compile(Src);
+  CompiledArtifact A = compile(Src);
   RunConfig Cfg;
   Cfg.RecordTrace = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   RunResult Res = I.runOnce();
   EXPECT_TRUE(Res.Completed) << Res.Trap;
   return Res.TraceData.Outputs;
@@ -97,11 +96,11 @@ TEST(Interp, ArraysAndLoops) {
 }
 
 TEST(Interp, StaticsPersistAcrossRuns) {
-  CompileResult R = compile("static n = 0;\nfn main() { n += 1; log(n); }");
+  CompiledArtifact A = compile("static n = 0;\nfn main() { n += 1; log(n); }");
   Environment Env;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   for (int Run = 1; Run <= 3; ++Run) {
     RunResult Res = I.runOnce();
     ASSERT_TRUE(Res.Completed);
@@ -113,38 +112,39 @@ TEST(Interp, StaticsPersistAcrossRuns) {
 }
 
 TEST(Interp, DivisionByZeroTraps) {
-  CompileResult R = compile("fn main() { let z = 0; log(5 / z); }");
+  CompiledArtifact A = compile("fn main() { let z = 0; log(5 / z); }");
   Environment Env;
   RunConfig Cfg;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   RunResult Res = I.runOnce();
   EXPECT_FALSE(Res.Completed);
   EXPECT_NE(Res.Trap.find("division by zero"), std::string::npos);
 }
 
 TEST(Interp, ArrayBoundsTrap) {
-  CompileResult R =
+  CompiledArtifact A =
       compile("static a: [int; 2];\nfn main() { let i = 5; a[i] = 1; }");
   Environment Env;
   RunConfig Cfg;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   RunResult Res = I.runOnce();
   EXPECT_FALSE(Res.Completed);
   EXPECT_NE(Res.Trap.find("out of bounds"), std::string::npos);
 }
 
 TEST(Interp, InputsSampleEnvironmentAtLogicalTime) {
-  CompileResult R = compile("io s;\nfn main() { log(s()); }");
+  CompiledArtifact A = compile("io s;\nfn main() { log(s()); }");
   Environment Env;
   Env.setSignal(0, SensorSignal::ramp(100, 1, 10)); // +1 every 10 tau
   RunConfig Cfg;
   Cfg.RecordTrace = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
-  RunResult A = I.runOnce();
-  RunResult B = I.runOnce();
-  ASSERT_TRUE(A.Completed && B.Completed);
+  Simulation I(A, {Env, Cfg});
+  RunResult First = I.runOnce();
+  RunResult Second = I.runOnce();
+  ASSERT_TRUE(First.Completed && Second.Completed);
   // Logical time advanced between runs, so the ramp moved.
-  EXPECT_GT(B.TraceData.Outputs[0].Args[0], A.TraceData.Outputs[0].Args[0]);
+  EXPECT_GT(Second.TraceData.Outputs[0].Args[0],
+            First.TraceData.Outputs[0].Args[0]);
 }
 
 // -- Intermittence ---------------------------------------------------------------
@@ -152,14 +152,14 @@ TEST(Interp, InputsSampleEnvironmentAtLogicalTime) {
 TEST(Interp, JitResumeDoesNotReExecute) {
   // JIT failures must not re-run code: statics advance exactly once per
   // run regardless of how many reboots interrupt it.
-  CompileResult R = compile("static n = 0;\nfn main() { n += 1; log(n); }",
+  CompiledArtifact A = compile("static n = 0;\nfn main() { n += 1; log(n); }",
                             ExecModel::JitOnly);
   Environment Env;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
   Cfg.Plan = FailurePlan::periodic(400, 0.0);
   Cfg.Plan.setOffTime(100, 100);
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   uint64_t Reboots = 0;
   for (int Run = 1; Run <= 10; ++Run) {
     RunResult Res = I.runOnce();
@@ -172,12 +172,12 @@ TEST(Interp, JitResumeDoesNotReExecute) {
 }
 
 TEST(Interp, TauAdvancesAcrossReboots) {
-  CompileResult R = compile("fn main() { log(1); }", ExecModel::JitOnly);
+  CompiledArtifact A = compile("fn main() { log(1); }", ExecModel::JitOnly);
   Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::periodic(400, 0.0);
   Cfg.Plan.setOffTime(5000, 5000);
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   uint64_t Reboots = 0, Off = 0;
   for (int Run = 0; Run < 20; ++Run) {
     RunResult Res = I.runOnce();
@@ -201,14 +201,14 @@ TEST(Interp, AtomicRollbackIsIdempotent) {
   Environment Env;
   auto Continuous = outputsOf(Src, Env);
 
-  CompileResult R = compile(Src);
+  CompiledArtifact A = compile(Src);
   Environment Env2;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
   Cfg.Plan = FailurePlan::random(0.03);
   Cfg.Plan.setOffTime(50, 50);
   Cfg.Seed = 17;
-  Interpreter I(*R.Prog, Env2, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env2, Cfg});
   RunResult Res = I.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   EXPECT_GT(Res.AtomicAborts, 0u) << "failures must hit inside the region";
@@ -218,7 +218,7 @@ TEST(Interp, AtomicRollbackIsIdempotent) {
 }
 
 TEST(Interp, RolledBackOutputsDiscarded) {
-  CompileResult R = compile("static n = 0;\n"
+  CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { n += 1; log(n); } }");
   Environment Env;
   RunConfig Cfg;
@@ -226,7 +226,7 @@ TEST(Interp, RolledBackOutputsDiscarded) {
   Cfg.Plan = FailurePlan::random(0.01);
   Cfg.Plan.setOffTime(50, 50);
   Cfg.Seed = 23;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   RunResult Res = I.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   // However many attempts aborted, exactly one log(1) commits.
@@ -235,7 +235,7 @@ TEST(Interp, RolledBackOutputsDiscarded) {
 }
 
 TEST(Interp, NestedRegionsFlattenToOutermost) {
-  CompileResult R = compile("static n = 0;\n"
+  CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { n += 1; atomic { n += 1; "
                             "} n += 1; } log(n); }");
   Environment Env;
@@ -244,7 +244,7 @@ TEST(Interp, NestedRegionsFlattenToOutermost) {
   Cfg.Plan = FailurePlan::random(0.02);
   Cfg.Plan.setOffTime(50, 50);
   Cfg.Seed = 5;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   RunResult Res = I.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   // Inner commit must not make inner effects durable: a failure after the
@@ -258,7 +258,7 @@ TEST(Interp, StaticOmegaMatchesDynamicLogging) {
                     "fn main() { atomic { let t = a; a = b; b = t; } "
                     "log(a, b); }";
   for (bool StaticOmega : {false, true}) {
-    CompileResult R = compile(Src);
+    CompiledArtifact A = compile(Src);
     Environment Env;
     RunConfig Cfg;
     Cfg.RecordTrace = true;
@@ -266,7 +266,7 @@ TEST(Interp, StaticOmegaMatchesDynamicLogging) {
     Cfg.Plan = FailurePlan::random(0.02);
     Cfg.Plan.setOffTime(50, 50);
     Cfg.Seed = 29;
-    Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+    Simulation I(A, {Env, Cfg});
     RunResult Res = I.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;
     EXPECT_EQ(Res.TraceData.Outputs[0].Args, (std::vector<int64_t>{2, 1}))
@@ -275,7 +275,7 @@ TEST(Interp, StaticOmegaMatchesDynamicLogging) {
 }
 
 TEST(Interp, StarvationDetectedForOversizedRegion) {
-  CompileResult R = compile("static n = 0;\n"
+  CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { for i in 0..50 { n += 1; } "
                             "} log(n); }");
   Environment Env;
@@ -283,21 +283,21 @@ TEST(Interp, StarvationDetectedForOversizedRegion) {
   Cfg.Plan = FailurePlan::periodic(20, 0.0); // Region needs > 20 cycles.
   Cfg.Plan.setOffTime(50, 50);
   Cfg.MaxAbortsPerRegion = 30;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   RunResult Res = I.runOnce();
   EXPECT_TRUE(Res.Starved);
   EXPECT_FALSE(Res.Completed);
 }
 
 TEST(Interp, EnergyDrivenChargingAccounting) {
-  CompileResult R = compile("io s;\nfn main() { let x = s(); log(x); }",
+  CompiledArtifact A = compile("io s;\nfn main() { let x = s(); log(x); }",
                             ExecModel::JitOnly);
   Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::energyDriven();
   Cfg.Energy.CapacityCycles = 500;
   Cfg.Energy.ReserveCycles = 250;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   uint64_t On = 0, Off = 0, Reboots = 0;
   for (int Run = 0; Run < 50; ++Run) {
     RunResult Res = I.runOnce();
@@ -311,30 +311,30 @@ TEST(Interp, EnergyDrivenChargingAccounting) {
 }
 
 TEST(Interp, CheckpointCostsCounted) {
-  CompileResult R = compile("fn main() { log(1); }", ExecModel::JitOnly);
+  CompiledArtifact A = compile("fn main() { log(1); }", ExecModel::JitOnly);
   Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::periodic(300, 0.0);
   Cfg.Plan.setOffTime(10, 10);
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   Environment Env2;
   RunConfig Cfg2;
-  Interpreter I2(*R.Prog, Env2, Cfg2, &R.Monitor, &R.Regions);
+  Simulation I2(A, {Env2, Cfg2});
   uint64_t FailCycles = 0, CleanCycles = 0, Ckpts = 0;
   for (int Run = 0; Run < 10; ++Run) {
-    RunResult A = I.runOnce();
-    RunResult B = I2.runOnce();
-    ASSERT_TRUE(A.Completed && B.Completed);
-    FailCycles += A.OnCycles;
-    CleanCycles += B.OnCycles;
-    Ckpts += A.Checkpoints;
+    RunResult Failing = I.runOnce();
+    RunResult Clean = I2.runOnce();
+    ASSERT_TRUE(Failing.Completed && Clean.Completed);
+    FailCycles += Failing.OnCycles;
+    CleanCycles += Clean.OnCycles;
+    Ckpts += Failing.Checkpoints;
   }
   ASSERT_GT(Ckpts, 0u);
   EXPECT_GT(FailCycles, CleanCycles);
 }
 
 TEST(Interp, RandomFailurePlanCompletes) {
-  CompileResult R = compile("static n = 0;\n"
+  CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { n += 1; } log(n); }");
   Environment Env;
   RunConfig Cfg;
@@ -342,7 +342,7 @@ TEST(Interp, RandomFailurePlanCompletes) {
   Cfg.Plan.setOffTime(100, 1000);
   Cfg.Seed = 3;
   Cfg.RecordTrace = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
+  Simulation I(A, {Env, Cfg});
   for (int Run = 1; Run <= 10; ++Run) {
     RunResult Res = I.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;

@@ -24,12 +24,15 @@ using namespace ocelot;
 
 namespace {
 
+/// These are white-box tests over the pipeline's raw (mutable) output —
+/// several of them perform program surgery — so they use the internal
+/// entry point rather than the public immutable-artifact Toolchain API.
 CompileResult compile(const std::string &Src,
                       ExecModel Model = ExecModel::Ocelot) {
   DiagnosticEngine Diags;
   CompileOptions Opts;
   Opts.Model = Model;
-  CompileResult R = compileSource(Src, Opts, Diags);
+  CompileResult R = detail::runCompilePipeline(Src, Opts, Diags);
   EXPECT_TRUE(R.Ok) << Diags.str();
   return R;
 }
@@ -223,8 +226,8 @@ TEST(RegionInference, RegionIsMinimalAtFront) {
 TEST(PolicyBuilder, FreshWithoutInputsWarnsAndDrops) {
   DiagnosticEngine Diags;
   CompileOptions Opts;
-  CompileResult R =
-      compileSource("fn main() { let x = 1 + 2; Fresh(x); }", Opts, Diags);
+  CompileResult R = detail::runCompilePipeline(
+      "fn main() { let x = 1 + 2; Fresh(x); }", Opts, Diags);
   ASSERT_TRUE(R.Ok);
   EXPECT_TRUE(R.Policies.Fresh.empty());
   EXPECT_TRUE(Diags.contains("depends on no input operations"));

@@ -21,6 +21,7 @@
 
 #include "harness/Experiment.h"
 #include "ocelot/RegionChecker.h"
+#include "runtime/Simulation.h"
 
 #include <gtest/gtest.h>
 
@@ -38,9 +39,22 @@ protected:
   uint64_t seed() const { return std::get<1>(GetParam()); }
 };
 
-std::vector<FailurePlan> plansFor(const CompileResult &R) {
+/// The region-necessity tests delete region bounds from the compiled IR,
+/// which needs a privately owned *mutable* Program — something the public
+/// immutable-artifact API deliberately does not hand out. White-box: go
+/// through the internal pipeline.
+CompileResult compileMutableOcelot(const BenchmarkDef &B) {
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = ExecModel::Ocelot;
+  CompileResult R = detail::runCompilePipeline(B.AnnotatedSrc, Opts, Diags);
+  EXPECT_TRUE(R.Ok) << Diags.str();
+  return R;
+}
+
+std::vector<FailurePlan> plansFor(const CompiledArtifact &A) {
   std::vector<FailurePlan> Plans;
-  Plans.push_back(FailurePlan::pathological(pathologicalPoints(R)));
+  Plans.push_back(FailurePlan::pathological(pathologicalPoints(A)));
   Plans.push_back(FailurePlan::random(0.002));
   Plans.push_back(FailurePlan::periodic(2500, 0.4));
   Plans.push_back(FailurePlan::energyDriven());
@@ -51,17 +65,16 @@ std::vector<FailurePlan> plansFor(const CompileResult &R) {
 
 TEST_P(PropertySweep, OcelotNeverViolatesUnderAnyPlan) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
-  for (FailurePlan &Plan : plansFor(CB.R)) {
-    Environment Env;
-    def().setupEnvironment(Env, seed());
-    RunConfig Cfg;
-    Cfg.Seed = seed();
-    Cfg.Plan = Plan;
-    Cfg.MonitorBitVector = true;
-    Cfg.MonitorFormal = true;
-    Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  for (FailurePlan &Plan : plansFor(CB.Artifact)) {
+    SimulationSpec Spec;
+    def().setupEnvironment(Spec.Env, seed());
+    Spec.Config.Seed = seed();
+    Spec.Config.Plan = Plan;
+    Spec.Config.MonitorBitVector = true;
+    Spec.Config.MonitorFormal = true;
+    Simulation Sim(CB.Artifact, std::move(Spec));
     for (int Run = 0; Run < 15; ++Run) {
-      RunResult Res = I.runOnce();
+      RunResult Res = Sim.runOnce();
       ASSERT_TRUE(Res.Completed) << def().Name << ": " << Res.Trap;
       EXPECT_FALSE(Res.ViolatedFresh)
           << def().Name << " seed " << seed() << " run " << Run;
@@ -73,17 +86,17 @@ TEST_P(PropertySweep, OcelotNeverViolatesUnderAnyPlan) {
 
 TEST_P(PropertySweep, JitPathologicalDetectorsAgree) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::JitOnly);
-  Environment Env;
-  def().setupEnvironment(Env, seed());
-  RunConfig Cfg;
-  Cfg.Seed = seed();
-  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(CB.R));
-  Cfg.Plan.setOffTime(20000, 200000);
-  Cfg.MonitorBitVector = true;
-  Cfg.MonitorFormal = true;
-  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  SimulationSpec Spec;
+  def().setupEnvironment(Spec.Env, seed());
+  Spec.Config.Seed = seed();
+  Spec.Config.Plan =
+      FailurePlan::pathological(pathologicalPoints(CB.Artifact));
+  Spec.Config.Plan.setOffTime(20000, 200000);
+  Spec.Config.MonitorBitVector = true;
+  Spec.Config.MonitorFormal = true;
+  Simulation Sim(CB.Artifact, std::move(Spec));
   for (int Run = 0; Run < 15; ++Run) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;
     EXPECT_TRUE(Res.ViolatedFresh || Res.ViolatedConsistent)
         << def().Name << " must violate in every pathological run";
@@ -104,17 +117,16 @@ TEST_P(PropertySweep, JitPathologicalDetectorsAgree) {
 
 TEST_P(PropertySweep, CommittedTracesRefineContinuous) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
-  Environment Env;
-  def().setupEnvironment(Env, seed());
-  RunConfig Cfg;
-  Cfg.Seed = seed();
-  Cfg.Plan = FailurePlan::energyDriven();
-  Cfg.RecordTrace = true;
-  Interpreter I(*CB.R.Prog, Env, Cfg, &CB.R.Monitor, &CB.R.Regions);
+  SimulationSpec Spec;
+  def().setupEnvironment(Spec.Env, seed());
+  Spec.Config.Seed = seed();
+  Spec.Config.Plan = FailurePlan::energyDriven();
+  Spec.Config.RecordTrace = true;
+  Simulation Sim(CB.Artifact, std::move(Spec));
   constexpr int Runs = 6;
   Trace Combined;
   for (int Run = 0; Run < Runs; ++Run) {
-    RunResult Res = I.runOnce();
+    RunResult Res = Sim.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;
     Combined.Inputs.insert(Combined.Inputs.end(),
                            Res.TraceData.Inputs.begin(),
@@ -124,8 +136,8 @@ TEST_P(PropertySweep, CommittedTracesRefineContinuous) {
                             Res.TraceData.Outputs.end());
   }
   std::string Why;
-  EXPECT_TRUE(replayRefines(*CB.R.Prog, &CB.R.Monitor, Combined, Runs,
-                            I.nvmSnapshot(), Why))
+  EXPECT_TRUE(replayRefines(CB.Artifact.program(), &CB.Artifact.monitorPlan(),
+                            Combined, Runs, Sim.nvmSnapshot(), Why))
       << def().Name << " seed " << seed() << ": " << Why;
 }
 
@@ -134,39 +146,39 @@ TEST_P(PropertySweep, RegionsAreCollectivelyNecessary) {
   // annotations are not vacuous. (Deleting a single region may be masked
   // by an overlapping or enclosing region — e.g. activity's fresh region
   // in main legitimately covers the consistent set sampled in its callee.)
-  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
-  ASSERT_FALSE(CB.R.InferredRegions.empty());
-  for (int F = 0; F < CB.R.Prog->numFunctions(); ++F) {
-    Function *Fn = CB.R.Prog->function(F);
+  CompileResult CR = compileMutableOcelot(def());
+  ASSERT_FALSE(CR.InferredRegions.empty());
+  for (int F = 0; F < CR.Prog->numFunctions(); ++F) {
+    Function *Fn = CR.Prog->function(F);
     for (int B = 0; B < Fn->numBlocks(); ++B)
       std::erase_if(Fn->block(B)->instructions(),
                     [](const Instruction &I) { return I.isRegionBound(); });
   }
-  CallGraph CG(*CB.R.Prog);
-  TaintAnalysis TA(*CB.R.Prog, CG);
+  CallGraph CG(*CR.Prog);
+  TaintAnalysis TA(*CR.Prog, CG);
   DiagnosticEngine Diags;
-  EXPECT_FALSE(checkRegionPlacement(*CB.R.Prog, TA, CB.R.Policies, Diags));
+  EXPECT_FALSE(checkRegionPlacement(*CR.Prog, TA, CR.Policies, Diags));
 }
 
 TEST_P(PropertySweep, SoleRegionIsIndividuallyNecessary) {
   // When inference produced exactly one region, deleting it must break the
   // check (no masking possible).
-  CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
-  if (CB.R.InferredRegions.size() != 1)
+  CompileResult CR = compileMutableOcelot(def());
+  if (CR.InferredRegions.size() != 1)
     GTEST_SKIP() << "benchmark has overlapping regions";
-  int RegionId = CB.R.InferredRegions[0].RegionId;
-  for (int F = 0; F < CB.R.Prog->numFunctions(); ++F) {
-    Function *Fn = CB.R.Prog->function(F);
+  int RegionId = CR.InferredRegions[0].RegionId;
+  for (int F = 0; F < CR.Prog->numFunctions(); ++F) {
+    Function *Fn = CR.Prog->function(F);
     for (int B = 0; B < Fn->numBlocks(); ++B)
       std::erase_if(Fn->block(B)->instructions(),
                     [&](const Instruction &I) {
                       return I.isRegionBound() && I.RegionId == RegionId;
                     });
   }
-  CallGraph CG(*CB.R.Prog);
-  TaintAnalysis TA(*CB.R.Prog, CG);
+  CallGraph CG(*CR.Prog);
+  TaintAnalysis TA(*CR.Prog, CG);
   DiagnosticEngine Diags;
-  EXPECT_FALSE(checkRegionPlacement(*CB.R.Prog, TA, CB.R.Policies, Diags));
+  EXPECT_FALSE(checkRegionPlacement(*CR.Prog, TA, CR.Policies, Diags));
 }
 
 INSTANTIATE_TEST_SUITE_P(

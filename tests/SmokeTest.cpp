@@ -11,9 +11,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "harness/Experiment.h"
 #include "ir/IRPrinter.h"
-#include "ocelot/Compiler.h"
-#include "runtime/Interpreter.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
 
 #include <gtest/gtest.h>
 
@@ -38,92 +39,78 @@ fn main() {
 }
 )";
 
-CompileResult compile(ExecModel Model) {
-  DiagnosticEngine Diags;
+CompiledArtifact compile(ExecModel Model) {
   CompileOptions Opts;
   Opts.Model = Model;
-  CompileResult R = compileSource(WeatherSrc, Opts, Diags);
-  EXPECT_TRUE(R.Ok) << Diags.str();
-  return R;
-}
-
-std::set<InstrRef> pathologicalPoints(const CompileResult &R) {
-  std::set<InstrRef> Points;
-  for (const auto &[Use, Sensors] : R.Monitor.UseChecks)
-    Points.insert(Use);
-  for (const ConsistentSetPlan &SP : R.Monitor.Sets)
-    for (size_t M = 1; M < SP.Members.size(); ++M)
-      Points.insert(SP.Members[M].back());
-  return Points;
+  Compilation C = Toolchain().compile(WeatherSrc, Opts);
+  EXPECT_TRUE(C.ok()) << C.status().str();
+  return C.artifact();
 }
 
 TEST(Smoke, CompilesAllModels) {
   for (ExecModel M : {ExecModel::JitOnly, ExecModel::AtomicsOnly,
                       ExecModel::Ocelot}) {
-    CompileResult R = compile(M);
-    ASSERT_TRUE(R.Ok);
-    ASSERT_TRUE(R.Prog);
+    CompiledArtifact A = compile(M);
+    ASSERT_TRUE(static_cast<bool>(A));
+    EXPECT_EQ(A.model(), M);
   }
 }
 
 TEST(Smoke, OcelotInfersRegions) {
-  CompileResult R = compile(ExecModel::Ocelot);
+  CompiledArtifact A = compile(ExecModel::Ocelot);
   // One region for the fresh policy, one for the consistent set (they may
   // overlap; both exist).
-  EXPECT_EQ(R.InferredRegions.size(), 2u) << printProgram(*R.Prog);
-  EXPECT_EQ(R.Policies.Fresh.size(), 1u);
-  EXPECT_EQ(R.Policies.Consistent.size(), 1u);
-  EXPECT_TRUE(R.PlacementValid);
+  EXPECT_EQ(A.inferredRegions().size(), 2u) << printProgram(A.program());
+  EXPECT_EQ(A.policies().Fresh.size(), 1u);
+  EXPECT_EQ(A.policies().Consistent.size(), 1u);
+  EXPECT_TRUE(A.placementValid());
 }
 
 TEST(Smoke, JitViolatesUnderPathologicalFailures) {
-  CompileResult R = compile(ExecModel::JitOnly);
-  Environment Env;
-  Env.setSignal(0, SensorSignal::noise(0, 10, 50, 11));
-  Env.setSignal(1, SensorSignal::noise(900, 200, 50, 12));
-  Env.setSignal(2, SensorSignal::noise(30, 60, 50, 13));
+  CompiledArtifact A = compile(ExecModel::JitOnly);
+  SimulationSpec Spec;
+  Spec.Env.setSignal(0, SensorSignal::noise(0, 10, 50, 11));
+  Spec.Env.setSignal(1, SensorSignal::noise(900, 200, 50, 12));
+  Spec.Env.setSignal(2, SensorSignal::noise(30, 60, 50, 13));
 
-  RunConfig Cfg;
-  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(R));
-  Cfg.Plan.setOffTime(10000, 50000);
-  Cfg.MonitorBitVector = true;
-  Cfg.MonitorFormal = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
-  RunResult Res = I.runOnce();
+  Spec.Config.Plan = FailurePlan::pathological(pathologicalPoints(A));
+  Spec.Config.Plan.setOffTime(10000, 50000);
+  Spec.Config.MonitorBitVector = true;
+  Spec.Config.MonitorFormal = true;
+  Simulation Sim(A, std::move(Spec));
+  RunResult Res = Sim.runOnce();
   EXPECT_TRUE(Res.Completed) << Res.Trap;
   EXPECT_TRUE(Res.ViolatedFresh);
   EXPECT_TRUE(Res.ViolatedConsistent);
 }
 
 TEST(Smoke, OcelotNeverViolates) {
-  CompileResult R = compile(ExecModel::Ocelot);
-  Environment Env;
-  RunConfig Cfg;
-  Cfg.Plan = FailurePlan::pathological(pathologicalPoints(R));
-  Cfg.Plan.setOffTime(10000, 50000);
-  Cfg.MonitorBitVector = true;
-  Cfg.MonitorFormal = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
-  RunResult Res = I.runOnce();
+  CompiledArtifact A = compile(ExecModel::Ocelot);
+  SimulationSpec Spec;
+  Spec.Config.Plan = FailurePlan::pathological(pathologicalPoints(A));
+  Spec.Config.Plan.setOffTime(10000, 50000);
+  Spec.Config.MonitorBitVector = true;
+  Spec.Config.MonitorFormal = true;
+  Simulation Sim(A, std::move(Spec));
+  RunResult Res = Sim.runOnce();
   EXPECT_TRUE(Res.Completed) << Res.Trap;
-  EXPECT_FALSE(Res.ViolatedFresh) << printProgram(*R.Prog);
+  EXPECT_FALSE(Res.ViolatedFresh) << printProgram(A.program());
   EXPECT_FALSE(Res.ViolatedConsistent);
   EXPECT_GE(Res.AtomicAborts, 1u) << "failures should hit inside regions";
 }
 
 TEST(Smoke, IntermittentTraceRefinesContinuous) {
-  CompileResult R = compile(ExecModel::Ocelot);
-  Environment Env;
-  RunConfig Cfg;
-  Cfg.Plan = FailurePlan::periodic(300, 0.3);
-  Cfg.Plan.setOffTime(5000, 20000);
-  Cfg.RecordTrace = true;
-  Interpreter I(*R.Prog, Env, Cfg, &R.Monitor, &R.Regions);
-  RunResult Res = I.runOnce();
+  CompiledArtifact A = compile(ExecModel::Ocelot);
+  SimulationSpec Spec;
+  Spec.Config.Plan = FailurePlan::periodic(300, 0.3);
+  Spec.Config.Plan.setOffTime(5000, 20000);
+  Spec.Config.RecordTrace = true;
+  Simulation Sim(A, std::move(Spec));
+  RunResult Res = Sim.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   std::string Why;
-  EXPECT_TRUE(replayRefines(*R.Prog, &R.Monitor, Res.TraceData, 1,
-                            I.nvmSnapshot(), Why))
+  EXPECT_TRUE(replayRefines(A.program(), &A.monitorPlan(), Res.TraceData, 1,
+                            Sim.nvmSnapshot(), Why))
       << Why;
 }
 

@@ -238,14 +238,15 @@ TEST(TableFmt, AlignsColumns) {
 TEST(TableFmt, GeomeanAndFormat) {
   EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
   EXPECT_EQ(fmt(1.23456, 2), "1.23");
-  EXPECT_EQ(fmtPct(0.5), "50%");
+  EXPECT_EQ(fmtPct(50.0), "50%");
+  EXPECT_EQ(fmtPct(12.5, 1), "12.5%");
 }
 
 TEST(EffortModel, OcelotFewestOnEveryBenchmark) {
   for (const BenchmarkDef &B : allBenchmarks()) {
     CompiledBenchmark Ann = compileBenchmark(B, ExecModel::Ocelot);
     CompiledBenchmark Man = compileBenchmark(B, ExecModel::AtomicsOnly);
-    EffortInputs In = effortInputs(Ann.R, Man.R);
+    EffortInputs In = effortInputs(Ann.Artifact, Man.Artifact);
     int O = ocelotLoc(In);
     EXPECT_GT(O, 0) << B.Name;
     EXPECT_LE(O, ticsLoc(In)) << B.Name;
@@ -259,7 +260,7 @@ TEST(EffortModel, CemMatchesPaperFormulaShape) {
   const BenchmarkDef &B = *findBenchmark("cem");
   CompiledBenchmark Ann = compileBenchmark(B, ExecModel::Ocelot);
   CompiledBenchmark Man = compileBenchmark(B, ExecModel::AtomicsOnly);
-  EffortInputs In = effortInputs(Ann.R, Man.R);
+  EffortInputs In = effortInputs(Ann.Artifact, Man.Artifact);
   EXPECT_EQ(ticsLoc(In), 8);
   EXPECT_EQ(ocelotLoc(In), 2); // one io decl + one annotation
 }

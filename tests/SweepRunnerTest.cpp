@@ -1,0 +1,120 @@
+//===- SweepRunnerTest.cpp - Parallel sweep determinism -------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SweepRunner contract: a sweep's result depends only on the spec,
+/// never on the worker count or scheduling. A parallel run must match the
+/// sequential run bitwise, and both must match what a hand-rolled loop over
+/// measureIntermittent produces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/SweepRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace ocelot;
+
+namespace {
+
+SweepSpec smallGrid() {
+  SweepSpec Spec;
+  Spec.Benchmarks = {findBenchmark("greenhouse"), findBenchmark("cem")};
+  Spec.Models = {ExecModel::Ocelot, ExecModel::JitOnly};
+  EnergyConfig Small;
+  Small.CapacityCycles = 1400;
+  Small.ReserveCycles = 350;
+  Spec.Energies = {EnergyConfig{}, Small};
+  Spec.Seeds = {1, 4242};
+  Spec.TauBudget = 2'000'000;
+  Spec.Monitors = true;
+  return Spec;
+}
+
+/// Bitwise comparison of every metric field, including the doubles: the
+/// per-cell arithmetic is identical on every path, so even the floating
+/// point results must match exactly.
+void expectIdentical(const std::vector<SweepCellResult> &A,
+                     const std::vector<SweepCellResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Model, B[I].Model) << "cell " << I;
+    EXPECT_EQ(A[I].Bench, B[I].Bench) << "cell " << I;
+    EXPECT_EQ(A[I].Energy, B[I].Energy) << "cell " << I;
+    EXPECT_EQ(A[I].Seed, B[I].Seed) << "cell " << I;
+    const IntermittentMetrics &M = A[I].Metrics, &N = B[I].Metrics;
+    EXPECT_EQ(M.CompletedRuns, N.CompletedRuns) << "cell " << I;
+    EXPECT_EQ(M.ViolatingRuns, N.ViolatingRuns) << "cell " << I;
+    EXPECT_EQ(M.Starved, N.Starved) << "cell " << I;
+    EXPECT_EQ(M.OnCyclesPerRun, N.OnCyclesPerRun) << "cell " << I;
+    EXPECT_EQ(M.OffCyclesPerRun, N.OffCyclesPerRun) << "cell " << I;
+    EXPECT_EQ(M.RebootsPerRun, N.RebootsPerRun) << "cell " << I;
+  }
+}
+
+TEST(SweepRunner, ParallelMatchesSequentialBitwise) {
+  SweepSpec Spec = smallGrid();
+  std::vector<SweepCellResult> Sequential = SweepRunner(1).run(Spec);
+  std::vector<SweepCellResult> Parallel = SweepRunner(4).run(Spec);
+  expectIdentical(Sequential, Parallel);
+  // And re-running in parallel is just as deterministic.
+  expectIdentical(Parallel, SweepRunner(4).run(Spec));
+}
+
+TEST(SweepRunner, MatchesHandRolledSequentialLoop) {
+  SweepSpec Spec = smallGrid();
+  std::vector<SweepCellResult> Swept = SweepRunner(4).run(Spec);
+  ASSERT_EQ(Swept.size(), Spec.cellCount());
+  for (size_t M = 0; M < Spec.Models.size(); ++M)
+    for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
+      CompiledBenchmark CB =
+          compileBenchmark(*Spec.Benchmarks[B], Spec.Models[M]);
+      for (size_t E = 0; E < Spec.Energies.size(); ++E)
+        for (size_t S = 0; S < Spec.Seeds.size(); ++S) {
+          IntermittentMetrics Want = measureIntermittent(
+              CB, *Spec.Benchmarks[B], Spec.Energies[E], Spec.TauBudget,
+              Spec.Seeds[S], Spec.Monitors);
+          const SweepCellResult &Got = Swept[Spec.cellIndex(M, B, E, S)];
+          EXPECT_EQ(Got.Model, M);
+          EXPECT_EQ(Got.Bench, B);
+          EXPECT_EQ(Got.Energy, E);
+          EXPECT_EQ(Got.Seed, S);
+          EXPECT_EQ(Got.Metrics.CompletedRuns, Want.CompletedRuns);
+          EXPECT_EQ(Got.Metrics.ViolatingRuns, Want.ViolatingRuns);
+          EXPECT_EQ(Got.Metrics.OnCyclesPerRun, Want.OnCyclesPerRun);
+          EXPECT_EQ(Got.Metrics.OffCyclesPerRun, Want.OffCyclesPerRun);
+          EXPECT_EQ(Got.Metrics.RebootsPerRun, Want.RebootsPerRun);
+          EXPECT_EQ(Got.Metrics.Starved, Want.Starved);
+        }
+    }
+}
+
+TEST(SweepRunner, DefaultsToHardwareConcurrency) {
+  EXPECT_GE(SweepRunner().workers(), 1u);
+  EXPECT_EQ(SweepRunner(3).workers(), 3u);
+}
+
+TEST(SweepRunner, EmptySpecYieldsNoCells) {
+  SweepSpec Spec;
+  EXPECT_EQ(Spec.cellCount(), 0u);
+  EXPECT_TRUE(SweepRunner(4).run(Spec).empty());
+}
+
+TEST(SweepRunner, OneArtifactBacksManyCells) {
+  // More workers than cells and more cells than artifacts: the shared
+  // immutable artifacts must serve all cells without interference — every
+  // seed's cells agree across models' compilations of the same benchmark.
+  SweepSpec Spec = smallGrid();
+  std::vector<SweepCellResult> R = SweepRunner(16).run(Spec);
+  // Ocelot never violates; JIT-only cells are free to (Table 2(b)).
+  for (size_t B = 0; B < Spec.Benchmarks.size(); ++B)
+    for (size_t E = 0; E < Spec.Energies.size(); ++E)
+      for (size_t S = 0; S < Spec.Seeds.size(); ++S)
+        EXPECT_EQ(R[Spec.cellIndex(0, B, E, S)].Metrics.ViolatingRuns, 0u)
+            << Spec.Benchmarks[B]->Name;
+}
+
+} // namespace

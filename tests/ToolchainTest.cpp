@@ -1,0 +1,164 @@
+//===- ToolchainTest.cpp - The public compilation API ----------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract tests for the Toolchain / CompiledArtifact / Status API:
+/// structured error reporting, artifact immutability and sharing, and the
+/// thread-safety guarantee — concurrent compiles on one Toolchain and
+/// concurrent Simulations over one artifact produce identical results.
+/// Also pins the behavior of the deprecated compileSource shim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ocelot;
+
+namespace {
+
+const char *GoodSrc = R"(
+io tmp;
+
+fn main() {
+  let x = tmp();
+  Fresh(x);
+  if x > 30 {
+    alarm();
+  }
+  log(x);
+}
+)";
+
+TEST(Toolchain, SuccessCarriesArtifactAndOkStatus) {
+  Compilation C = Toolchain().compile(GoodSrc);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  EXPECT_TRUE(static_cast<bool>(C.status()));
+  EXPECT_EQ(C.status().summary(), "");
+  ASSERT_TRUE(static_cast<bool>(C.artifact()));
+  EXPECT_EQ(C.artifact().model(), ExecModel::Ocelot);
+  EXPECT_EQ(C.artifact().policies().Fresh.size(), 1u);
+  EXPECT_FALSE(C.artifact().inferredRegions().empty());
+  EXPECT_TRUE(C.artifact().placementValid());
+}
+
+TEST(Toolchain, FailureCarriesDiagnosticsNotArtifact) {
+  Compilation C = Toolchain().compile("fn main() { let x = ; }");
+  EXPECT_FALSE(C.ok());
+  EXPECT_FALSE(static_cast<bool>(C.artifact()));
+  EXPECT_FALSE(C.status().diagnostics().empty());
+  EXPECT_NE(C.status().summary(), "");
+  EXPECT_NE(C.status().str(), "");
+}
+
+TEST(Toolchain, WarningsSurviveOnSuccess) {
+  // A Fresh annotation on input-free data compiles with a warning; the
+  // Status must carry it even though the compile succeeded.
+  Compilation C =
+      Toolchain().compile("fn main() { let x = 1 + 2; Fresh(x); }");
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  EXPECT_TRUE(C.status().contains("depends on no input operations"));
+  EXPECT_EQ(C.status().summary(), "") << "warnings are not errors";
+}
+
+TEST(Toolchain, DefaultOptionsAreApplied) {
+  CompileOptions Opts;
+  Opts.Model = ExecModel::JitOnly;
+  Toolchain TC(Opts);
+  Compilation C = TC.compile(GoodSrc);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(C.artifact().model(), ExecModel::JitOnly);
+  EXPECT_TRUE(C.artifact().inferredRegions().empty());
+}
+
+TEST(Toolchain, ArtifactCopiesShareState) {
+  Compilation C = Toolchain().compile(GoodSrc);
+  ASSERT_TRUE(C.ok());
+  CompiledArtifact A = C.artifact();
+  CompiledArtifact B = A; // Cheap handle copy.
+  EXPECT_EQ(&A.program(), &B.program());
+  EXPECT_EQ(&A.monitorPlan(), &B.monitorPlan());
+}
+
+TEST(Toolchain, ConcurrentCompilesAgree) {
+  Toolchain TC;
+  constexpr int NThreads = 4;
+  std::vector<Compilation> Results(NThreads);
+  {
+    std::vector<std::thread> Pool;
+    for (int T = 0; T < NThreads; ++T)
+      Pool.emplace_back(
+          [&TC, &Results, T] { Results[T] = TC.compile(GoodSrc); });
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+  for (const Compilation &C : Results) {
+    ASSERT_TRUE(C.ok()) << C.status().str();
+    EXPECT_EQ(C.artifact().policies().Fresh.size(), 1u);
+    EXPECT_EQ(C.artifact().inferredRegions().size(),
+              Results[0].artifact().inferredRegions().size());
+  }
+}
+
+TEST(Toolchain, OneArtifactBacksConcurrentSimulations) {
+  Compilation C = Toolchain().compile(GoodSrc);
+  ASSERT_TRUE(C.ok());
+  const CompiledArtifact &A = C.artifact();
+
+  auto Campaign = [&A](uint64_t Seed) {
+    SimulationSpec Spec;
+    Spec.Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42));
+    Spec.Config.Seed = Seed;
+    Spec.Config.Plan = FailurePlan::energyDriven();
+    Spec.Config.MonitorBitVector = true;
+    Spec.Config.MonitorFormal = true;
+    Simulation Sim(A, std::move(Spec));
+    uint64_t OnCycles = 0;
+    for (int Run = 0; Run < 40; ++Run) {
+      RunResult Res = Sim.runOnce();
+      EXPECT_TRUE(Res.Completed) << Res.Trap;
+      EXPECT_FALSE(Res.ViolatedFresh);
+      OnCycles += Res.OnCycles;
+    }
+    return OnCycles;
+  };
+
+  // Reference results, computed alone.
+  uint64_t Want1 = Campaign(1), Want2 = Campaign(2);
+  // The same campaigns, racing on one shared artifact.
+  uint64_t Got1 = 0, Got2 = 0, Got1b = 0;
+  {
+    std::thread T1([&] { Got1 = Campaign(1); });
+    std::thread T2([&] { Got2 = Campaign(2); });
+    std::thread T3([&] { Got1b = Campaign(1); });
+    T1.join();
+    T2.join();
+    T3.join();
+  }
+  EXPECT_EQ(Got1, Want1);
+  EXPECT_EQ(Got2, Want2);
+  EXPECT_EQ(Got1b, Want1);
+}
+
+TEST(Toolchain, DeprecatedShimStillCompiles) {
+  // The one-release compileSource shim must keep its legacy contract.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  CompileResult R = compileSource(GoodSrc, Opts, Diags);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(R.Ok) << Diags.str();
+  ASSERT_TRUE(R.Prog);
+  EXPECT_EQ(R.Policies.Fresh.size(), 1u);
+}
+
+} // namespace
