@@ -26,7 +26,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -37,14 +36,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--workers=", 0) == 0) {
-      char *End = nullptr;
-      long V = std::strtol(Arg.c_str() + 10, &End, 10);
-      if (*End != '\0' || V < 1) {
-        std::fprintf(stderr, "error: bad worker count '%s' (want >= 1)\n",
-                     Arg.c_str() + 10);
+      if (!parseWorkersFlag(Arg.c_str() + 10, Workers))
         return 1;
-      }
-      Workers = static_cast<unsigned>(V);
     } else {
       std::fprintf(stderr, "usage: table2b_intermittent [--workers=N]\n");
       return 1;
@@ -99,9 +92,7 @@ int main(int argc, char **argv) {
   }
   std::printf("%s\n", T.str().c_str());
   std::printf("%s\n", Detail.str().c_str());
-  // Timing goes to stderr so stdout is diff-identical for any --workers=N.
-  std::fprintf(stderr, "[sweep: %zu cells on %u worker(s) in %.2fs]\n",
-               Cells.size(), Runner.workers(), Secs);
+  printSweepTiming(Cells.size(), Runner.workers(), Secs);
   std::printf("Paper: Ocelot 0%% everywhere; JIT {50, 0, 24, 77, 50, 3}%% — "
               "wide constraint\nwindows violate often, CEM's tiny window "
               "almost never.\n");

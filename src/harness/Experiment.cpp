@@ -70,16 +70,16 @@ ContinuousMetrics ocelot::measureContinuous(const CompiledBenchmark &CB,
   return M;
 }
 
-IntermittentMetrics ocelot::measureIntermittent(const CompiledBenchmark &CB,
-                                                const BenchmarkDef &B,
-                                                const EnergyConfig &Energy,
-                                                uint64_t TauBudget,
-                                                uint64_t Seed, bool Monitors) {
+IntermittentMetrics ocelot::measureIntermittent(
+    const CompiledBenchmark &CB, const BenchmarkDef &B,
+    const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
+    bool Monitors, std::shared_ptr<const PowerSource> Power) {
   SimulationSpec Spec;
   B.setupEnvironment(Spec.Env, Seed);
   Spec.Config.Seed = Seed;
   Spec.Config.Plan = FailurePlan::energyDriven();
   Spec.Config.Energy = Energy;
+  Spec.Config.Power = std::move(Power);
   Spec.Config.MonitorBitVector = Monitors;
   Spec.Config.MonitorFormal = Monitors;
   Simulation Sim(CB.Artifact, std::move(Spec));

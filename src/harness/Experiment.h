@@ -70,11 +70,12 @@ struct IntermittentMetrics {
                      static_cast<double>(CompletedRuns);
   }
 };
-IntermittentMetrics measureIntermittent(const CompiledBenchmark &CB,
-                                        const BenchmarkDef &B,
-                                        const EnergyConfig &Energy,
-                                        uint64_t TauBudget, uint64_t Seed,
-                                        bool Monitors);
+/// \p Power selects the harvesting environment (src/power/); null keeps
+/// the legacy-jitter recharge behavior.
+IntermittentMetrics measureIntermittent(
+    const CompiledBenchmark &CB, const BenchmarkDef &B,
+    const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
+    bool Monitors, std::shared_ptr<const PowerSource> Power = nullptr);
 
 /// Table 2(a): percentage (0–100) of runs violating any policy under
 /// pathological failure injection.

@@ -35,6 +35,23 @@ template <typename Fn> void runOnPool(unsigned Workers, size_t Items, Fn Body) {
 
 } // namespace
 
+bool ocelot::parseWorkersFlag(const char *Value, unsigned &Workers) {
+  char *End = nullptr;
+  long V = std::strtol(Value, &End, 10);
+  if (*End != '\0' || V < 1) {
+    std::fprintf(stderr, "error: bad worker count '%s' (want >= 1)\n", Value);
+    return false;
+  }
+  Workers = static_cast<unsigned>(V);
+  return true;
+}
+
+void ocelot::printSweepTiming(size_t Cells, unsigned Workers,
+                              double Seconds) {
+  std::fprintf(stderr, "[sweep: %zu cells on %u worker(s) in %.2fs]\n",
+               Cells, Workers, Seconds);
+}
+
 SweepRunner::SweepRunner(unsigned Workers) : Workers(Workers) {
   if (this->Workers == 0) {
     unsigned HW = std::thread::hardware_concurrency();
@@ -82,11 +99,13 @@ std::vector<SweepCellResult> SweepRunner::run(const SweepSpec &Spec) const {
         R.Model = C.Model;
         R.Bench = C.Bench;
         R.Energy = C.Energy;
+        R.Power = C.Power;
         R.Seed = C.Seed;
         const CompiledBenchmark &CB = Artifacts[R.Model * NB + R.Bench];
         R.Metrics = measureIntermittent(
             CB, *Spec.Benchmarks[R.Bench], Spec.Energies[R.Energy],
-            Spec.TauBudget, Spec.Seeds[R.Seed], Spec.Monitors);
+            Spec.TauBudget, Spec.Seeds[R.Seed], Spec.Monitors,
+            Spec.Powers.empty() ? nullptr : Spec.Powers[R.Power]);
       }
     };
     runOnPool(Workers, N, CellWorker);

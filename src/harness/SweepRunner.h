@@ -22,44 +22,63 @@
 #include "harness/Experiment.h"
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace ocelot {
 
-/// The grid to sweep. Cells are enumerated model-major:
-/// for each model, for each benchmark, for each energy, for each seed.
+/// The grid to sweep. Cells are enumerated model-major: for each model,
+/// for each benchmark, for each energy, for each power profile, for each
+/// seed.
 struct SweepSpec {
   std::vector<const BenchmarkDef *> Benchmarks;
   std::vector<ExecModel> Models;
   std::vector<EnergyConfig> Energies;
+  /// Harvesting environments (src/power/). Leave empty for the default
+  /// single legacy-jitter cell per (model, benchmark, energy, seed) —
+  /// existing sweeps keep their shape and results. Entries may repeat a
+  /// source or be nullptr (nullptr = legacy-jitter).
+  std::vector<std::shared_ptr<const PowerSource>> Powers;
   std::vector<uint64_t> Seeds;
   /// Simulated-time budget per cell. Must be set: run() aborts on a
   /// zero budget (it would yield all-zero metrics in every cell).
   uint64_t TauBudget = 0;
   bool Monitors = true;   ///< Arm both violation detectors.
 
+  /// Size of the power dimension (an empty Powers vector still spans one
+  /// implicit legacy-jitter column).
+  size_t powerCount() const { return Powers.empty() ? 1 : Powers.size(); }
+
   size_t cellCount() const {
     return Models.size() * Benchmarks.size() * Energies.size() *
-           Seeds.size();
+           powerCount() * Seeds.size();
   }
 
-  /// Flat index of cell (model M, benchmark B, energy E, seed S) in the
-  /// result vector. The inverse is cellAt(); keep the two in sync.
-  size_t cellIndex(size_t M, size_t B, size_t E, size_t S) const {
-    return ((M * Benchmarks.size() + B) * Energies.size() + E) *
+  /// Flat index of cell (model M, benchmark B, energy E, power P, seed S)
+  /// in the result vector. The inverse is cellAt(); keep the two in sync.
+  size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t S) const {
+    return (((M * Benchmarks.size() + B) * Energies.size() + E) *
+                powerCount() +
+            P) *
                Seeds.size() +
            S;
   }
+  /// Convenience for sweeps without a power dimension.
+  size_t cellIndex(size_t M, size_t B, size_t E, size_t S) const {
+    return cellIndex(M, B, E, 0, S);
+  }
 
-  /// Decodes a flat index back into (Model, Bench, Energy, Seed) — the
-  /// inverse of cellIndex().
+  /// Decodes a flat index back into (Model, Bench, Energy, Power, Seed) —
+  /// the inverse of cellIndex().
   struct CellCoords {
-    size_t Model, Bench, Energy, Seed;
+    size_t Model, Bench, Energy, Power, Seed;
   };
   CellCoords cellAt(size_t I) const {
     CellCoords C{};
     C.Seed = I % Seeds.size();
     I /= Seeds.size();
+    C.Power = I % powerCount();
+    I /= powerCount();
     C.Energy = I % Energies.size();
     I /= Energies.size();
     C.Bench = I % Benchmarks.size();
@@ -73,6 +92,7 @@ struct SweepCellResult {
   size_t Model = 0;  ///< Index into SweepSpec::Models.
   size_t Bench = 0;  ///< Index into SweepSpec::Benchmarks.
   size_t Energy = 0; ///< Index into SweepSpec::Energies.
+  size_t Power = 0;  ///< Index into SweepSpec::Powers (0 when empty).
   size_t Seed = 0;   ///< Index into SweepSpec::Seeds.
   IntermittentMetrics Metrics;
 };
@@ -94,6 +114,15 @@ public:
 private:
   unsigned Workers;
 };
+
+/// Parses the value of a `--workers=N` flag (the text after the '=') for
+/// the sweep-driven bench binaries. On success stores N in \p Workers and
+/// returns true; otherwise prints an error to stderr and returns false.
+bool parseWorkersFlag(const char *Value, unsigned &Workers);
+
+/// Prints the standard `[sweep: N cells on W worker(s) in Xs]` footer —
+/// to stderr, so bench stdout stays diff-stable for any worker count.
+void printSweepTiming(size_t Cells, unsigned Workers, double Seconds);
 
 } // namespace ocelot
 

@@ -227,14 +227,3 @@ CompileResult ocelot::detail::runCompilePipeline(const std::string &Source,
   R.Ok = true;
   return R;
 }
-
-// Deprecated shim (see Compiler.h); suppress our own deprecation warning on
-// the out-of-line definition.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-CompileResult ocelot::compileSource(const std::string &Source,
-                                    const CompileOptions &Opts,
-                                    DiagnosticEngine &Diags) {
-  return detail::runCompilePipeline(Source, Opts, Diags);
-}
-#pragma GCC diagnostic pop

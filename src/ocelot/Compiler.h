@@ -74,27 +74,13 @@ struct CompileResult {
 };
 
 namespace detail {
-/// The raw Fig. 3 pipeline shared by `Toolchain::compile` and the
-/// deprecated `compileSource` shim. Not part of the public API: it hands
-/// out a mutable Program, which the immutable-artifact design deliberately
-/// hides.
+/// The raw Fig. 3 pipeline behind `Toolchain::compile`. Not part of the
+/// public API: it hands out a mutable Program, which the immutable-artifact
+/// design deliberately hides (white-box tests use it for program surgery).
 CompileResult runCompilePipeline(const std::string &Source,
                                  const CompileOptions &Opts,
                                  DiagnosticEngine &Diags);
 } // namespace detail
-
-/// Compiles OCL source under the given options. Inspect \p Diags on
-/// failure (Result.Ok == false).
-///
-/// Deprecated shim kept for one release: the result is mutable and owns
-/// its program, so it cannot be shared across threads. New code should use
-/// `Toolchain::compile` (ocelot/Toolchain.h), which returns an immutable
-/// `CompiledArtifact` plus a structured `Status`.
-[[deprecated("use ocelot::Toolchain::compile, which returns an immutable "
-             "CompiledArtifact")]]
-CompileResult compileSource(const std::string &Source,
-                            const CompileOptions &Opts,
-                            DiagnosticEngine &Diags);
 
 } // namespace ocelot
 

@@ -17,9 +17,6 @@
 /// number of concurrent `Simulation`s (src/runtime/Simulation.h) or
 /// parallel sweep cells (src/harness/SweepRunner.h).
 ///
-/// The legacy `compileSource` free function (Compiler.h) remains as a
-/// deprecated shim for one release.
-///
 //===----------------------------------------------------------------------===//
 
 #ifndef OCELOT_OCELOT_TOOLCHAIN_H

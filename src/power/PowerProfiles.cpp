@@ -1,0 +1,99 @@
+//===- PowerProfiles.cpp - Named harvesting-environment presets ------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/PowerProfiles.h"
+
+#include "power/PowerTrace.h"
+
+using namespace ocelot;
+
+PowerProfileRegistry &PowerProfileRegistry::global() {
+  static PowerProfileRegistry *R = [] {
+    auto *Reg = new PowerProfileRegistry();
+    Reg->registerProfile(
+        "legacy-jitter",
+        "uniform-jitter capacitor refill (pre-subsystem default)",
+        [] { return legacyJitterSource(); });
+    Reg->registerProfile("bench-constant",
+                         "ideal constant bench supply at the nominal rate",
+                         [] { return constantSource(1.0); });
+    Reg->registerProfile(
+        "solar-outdoor",
+        "diurnal solar: sin^2 day bump, night trickle, cloud fading",
+        [] { return diurnalSolarSource(); });
+    Reg->registerProfile(
+        "rf-office",
+        "duty-cycled RF charger with unsynchronized wake-up phase",
+        [] { return burstyRfSource(); });
+    Reg->registerProfile(
+        "kinetic-walker",
+        "discrete motion-harvest impulses with exponential gaps",
+        [] { return kineticImpulseSource(); });
+    return Reg;
+  }();
+  return *R;
+}
+
+void PowerProfileRegistry::registerProfile(const std::string &Name,
+                                           const std::string &Description,
+                                           Factory F) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries[Name] = Entry{Description, std::move(F)};
+}
+
+std::shared_ptr<const PowerSource>
+PowerProfileRegistry::create(const std::string &Name) const {
+  Factory F;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Name);
+    if (It == Entries.end())
+      return nullptr;
+    F = It->second.Make;
+  }
+  return F();
+}
+
+std::string PowerProfileRegistry::describe(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? std::string() : It->second.Description;
+}
+
+std::vector<std::string> PowerProfileRegistry::names() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Name, E] : Entries)
+    Out.push_back(Name); // std::map iterates sorted.
+  return Out;
+}
+
+bool PowerProfileRegistry::contains(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.count(Name) != 0;
+}
+
+std::shared_ptr<const PowerSource>
+ocelot::resolvePowerSource(const std::string &Spec, std::string &Error) {
+  bool LooksLikePath = Spec.find('/') != std::string::npos ||
+                       (Spec.size() > 4 &&
+                        Spec.compare(Spec.size() - 4, 4, ".csv") == 0);
+  if (LooksLikePath) {
+    std::shared_ptr<const PowerTrace> T = PowerTrace::loadCsv(Spec, Error);
+    if (!T)
+      return nullptr;
+    return traceSource(std::move(T));
+  }
+  if (std::shared_ptr<const PowerSource> S =
+          PowerProfileRegistry::global().create(Spec))
+    return S;
+  Error = "unknown power profile '" + Spec + "' (valid profiles:";
+  for (const std::string &N : PowerProfileRegistry::global().names())
+    Error += " " + N;
+  Error += "; or a path to a power-trace CSV)";
+  return nullptr;
+}

@@ -1,0 +1,86 @@
+//===- PowerProfiles.h - Named harvesting-environment presets ---*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String-addressable presets over the `PowerSource` zoo, so every layer —
+/// `ocelotc --power=...`, `SweepSpec::Powers`, bench drivers, user code —
+/// names harvesting environments the same way. The registry ships with:
+///
+///   legacy-jitter   the pre-subsystem recharge math (the default)
+///   bench-constant  ideal constant bench supply
+///   solar-outdoor   diurnal solar with cloud fading
+///   rf-office       duty-cycled RF charging, unsynchronized phase
+///   kinetic-walker  discrete motion-harvest impulses
+///
+/// `resolvePowerSource` additionally accepts a path to a `PowerTrace` CSV
+/// (anything containing a path separator or ending in ".csv"), covering
+/// the `--power=<profile|file.csv>` CLI contract in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_POWER_POWERPROFILES_H
+#define OCELOT_POWER_POWERPROFILES_H
+
+#include "power/PowerSource.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Thread-safe name -> PowerSource factory map. The global() instance is
+/// pre-populated with the built-in profiles above; tests and applications
+/// may register more (re-registering a name replaces it).
+class PowerProfileRegistry {
+public:
+  using Factory = std::function<std::shared_ptr<const PowerSource>()>;
+
+  /// The process-wide registry with the built-in profiles.
+  static PowerProfileRegistry &global();
+
+  /// Registers (or replaces) \p Name.
+  void registerProfile(const std::string &Name,
+                       const std::string &Description, Factory F);
+
+  /// \returns the source for \p Name, or nullptr if unknown.
+  std::shared_ptr<const PowerSource> create(const std::string &Name) const;
+
+  /// One-line description of \p Name (empty if unknown).
+  std::string describe(const std::string &Name) const;
+
+  /// All registered names, sorted, e.g. for error messages and --help.
+  std::vector<std::string> names() const;
+
+  bool contains(const std::string &Name) const;
+
+  PowerProfileRegistry() = default;
+  PowerProfileRegistry(const PowerProfileRegistry &) = delete;
+  PowerProfileRegistry &operator=(const PowerProfileRegistry &) = delete;
+
+private:
+  struct Entry {
+    std::string Description;
+    Factory Make;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries;
+};
+
+/// Resolves a `--power=` spec: a registered profile name, or a path to a
+/// power-trace CSV (recognized by a '/' in the spec or a ".csv" suffix).
+/// On failure returns nullptr and sets \p Error to a message listing the
+/// valid profile names (or the trace loader's complaint).
+std::shared_ptr<const PowerSource>
+resolvePowerSource(const std::string &Spec, std::string &Error);
+
+} // namespace ocelot
+
+#endif // OCELOT_POWER_POWERPROFILES_H

@@ -1,0 +1,268 @@
+//===- PowerSource.cpp - Pluggable energy-harvesting sources ---------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/PowerSource.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ocelot;
+
+namespace {
+
+/// Minimum effective harvest rate (cycles per tau). Nonpositive configured
+/// rates — constantSource(0), EnergyConfig::ChargeRate = 0 — clamp here so
+/// planning always terminates with a finite (if astronomical) off-time
+/// instead of dividing by zero or spinning forever.
+constexpr double MinHarvestRate = 1e-9;
+
+/// Refill target with the configured harvesting-variability shortfall —
+/// the same draw the legacy model makes, shared by the synthetic sources
+/// so `EnergyConfig::RefillJitter` keeps meaning one thing everywhere.
+uint64_t drawRefillTarget(const EnergyConfig &Cfg, Rng &R) {
+  uint64_t Target = Cfg.CapacityCycles;
+  if (Cfg.RefillJitter > 0.0) {
+    double Short = Cfg.RefillJitter * R.nextDouble();
+    Target -= static_cast<uint64_t>(Short *
+                                    static_cast<double>(Cfg.CapacityCycles));
+    if (Target <= Cfg.ReserveCycles)
+      Target = Cfg.ReserveCycles + 1;
+  }
+  return Target;
+}
+
+/// Marches logical time forward from \p StartTau in \p StepTau chunks,
+/// harvesting `Rate(t)` (clamped up to \p FloorRate so progress is always
+/// positive) until \p Deficit cycles have accumulated. \returns the
+/// elapsed off-time. The final partial step is resolved at the step's own
+/// rate, so constant-rate profiles integrate exactly. The march is capped
+/// at a generous step budget — far beyond any realistic recharge — after
+/// which the remainder is settled at the floor rate in closed form, so a
+/// degenerate environment (everything clamped to MinHarvestRate) yields
+/// an astronomical-but-finite off-time instead of an unbounded loop.
+template <typename RateFn>
+uint64_t integrateOffTime(uint64_t StartTau, double Deficit, double StepTau,
+                          double FloorRate, RateFn Rate) {
+  if (Deficit <= 0.0)
+    return 1;
+  constexpr int MaxSteps = 100'000;
+  double Need = Deficit;
+  double Elapsed = 0.0;
+  for (int Steps = 0; Steps < MaxSteps; ++Steps) {
+    double Rt = std::max(Rate(StartTau + static_cast<uint64_t>(Elapsed)),
+                         FloorRate);
+    double Gain = Rt * StepTau;
+    if (Gain >= Need) {
+      Elapsed += Need / Rt;
+      Need = 0.0;
+      break;
+    }
+    Need -= Gain;
+    Elapsed += StepTau;
+  }
+  if (Need > 0.0)
+    Elapsed += Need / FloorRate;
+  uint64_t T = static_cast<uint64_t>(std::ceil(Elapsed));
+  return T == 0 ? 1 : T;
+}
+
+//===----------------------------------------------------------------------===//
+// legacy-jitter
+//===----------------------------------------------------------------------===//
+
+/// The pre-subsystem recharge math, preserved exactly: one nextDouble()
+/// for the refill shortfall (when RefillJitter > 0), one for the duration
+/// jitter (when ChargeJitter > 0), same arithmetic and rounding. The
+/// default tables (table2a/2b, fig8) reproduce bit-for-bit through this.
+class LegacyJitterSource final : public PowerSource {
+public:
+  const char *name() const override { return "legacy-jitter"; }
+
+  RechargePlan planRecharge(uint64_t, uint64_t StoredEnergy,
+                            const EnergyConfig &Cfg, Rng &R) const override {
+    uint64_t Target = drawRefillTarget(Cfg, R);
+    uint64_t Deficit = Target > StoredEnergy ? Target - StoredEnergy : 0;
+    double Time = static_cast<double>(Deficit) / Cfg.ChargeRate;
+    if (Cfg.ChargeJitter > 0.0) {
+      double Factor = 1.0 + Cfg.ChargeJitter * (2.0 * R.nextDouble() - 1.0);
+      Time *= Factor;
+    }
+    uint64_t T = static_cast<uint64_t>(Time);
+    return {Target, T == 0 ? 1 : T};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// constant
+//===----------------------------------------------------------------------===//
+
+class ConstantSource final : public PowerSource {
+public:
+  explicit ConstantSource(double Scale) : Scale(Scale) {}
+
+  const char *name() const override { return "constant"; }
+
+  RechargePlan planRecharge(uint64_t, uint64_t StoredEnergy,
+                            const EnergyConfig &Cfg, Rng &) const override {
+    uint64_t Target = Cfg.CapacityCycles;
+    double Deficit =
+        static_cast<double>(Target > StoredEnergy ? Target - StoredEnergy : 0);
+    double Rate = std::max(Scale * Cfg.ChargeRate, MinHarvestRate);
+    uint64_t T = static_cast<uint64_t>(std::ceil(Deficit / Rate));
+    return {Target, T == 0 ? 1 : T};
+  }
+
+private:
+  double Scale;
+};
+
+//===----------------------------------------------------------------------===//
+// solar
+//===----------------------------------------------------------------------===//
+
+class DiurnalSolarSource final : public PowerSource {
+public:
+  explicit DiurnalSolarSource(SolarParams P) : P(P) {
+    if (this->P.PeriodTau == 0) // Zero period would divide by zero below.
+      this->P.PeriodTau = 1;
+  }
+
+  const char *name() const override { return "solar"; }
+
+  RechargePlan planRecharge(uint64_t Tau, uint64_t StoredEnergy,
+                            const EnergyConfig &Cfg, Rng &R) const override {
+    uint64_t Target = drawRefillTarget(Cfg, R);
+    // One cloud factor per recharge: the sky during this charge window.
+    double Cloud = 0.55 + 0.45 * R.nextDouble();
+    double Peak = P.PeakScale * Cfg.ChargeRate * Cloud;
+    double Night = P.NightScale * Cfg.ChargeRate;
+    double Deficit =
+        static_cast<double>(Target > StoredEnergy ? Target - StoredEnergy : 0);
+    double Step = static_cast<double>(P.PeriodTau) / 400.0;
+    auto Rate = [&](uint64_t T) {
+      double Phase = static_cast<double>(T % P.PeriodTau) /
+                     static_cast<double>(P.PeriodTau);
+      if (Phase >= P.DayFraction)
+        return Night;
+      double S = std::sin(3.141592653589793 * Phase / P.DayFraction);
+      return std::max(Night, Peak * S * S);
+    };
+    uint64_t Off = integrateOffTime(
+        Tau, Deficit, Step, std::max(0.005 * Cfg.ChargeRate, MinHarvestRate),
+        Rate);
+    return {Target, Off};
+  }
+
+private:
+  SolarParams P;
+};
+
+//===----------------------------------------------------------------------===//
+// rf-burst
+//===----------------------------------------------------------------------===//
+
+class BurstyRfSource final : public PowerSource {
+public:
+  explicit BurstyRfSource(RfParams P) : P(P) {
+    if (this->P.BurstPeriodTau == 0) // Zero period: modulo/nextBelow UB.
+      this->P.BurstPeriodTau = 1;
+  }
+
+  const char *name() const override { return "rf-burst"; }
+
+  RechargePlan planRecharge(uint64_t Tau, uint64_t StoredEnergy,
+                            const EnergyConfig &Cfg, Rng &R) const override {
+    uint64_t Target = drawRefillTarget(Cfg, R);
+    // The receiver's reboot is not synchronized to the transmitter's duty
+    // cycle: each recharge sees the burst train at a fresh phase.
+    uint64_t Phase = R.nextBelow(P.BurstPeriodTau);
+    double Burst = P.BurstScale * Cfg.ChargeRate;
+    double Idle = P.IdleScale * Cfg.ChargeRate;
+    double Deficit =
+        static_cast<double>(Target > StoredEnergy ? Target - StoredEnergy : 0);
+    double Step = static_cast<double>(P.BurstPeriodTau) / 80.0;
+    auto Rate = [&](uint64_t T) {
+      double X = static_cast<double>((T + Phase) % P.BurstPeriodTau) /
+                 static_cast<double>(P.BurstPeriodTau);
+      return X < P.DutyCycle ? Burst : Idle;
+    };
+    uint64_t Off = integrateOffTime(
+        Tau, Deficit, Step, std::max(0.01 * Cfg.ChargeRate, MinHarvestRate),
+        Rate);
+    return {Target, Off};
+  }
+
+private:
+  RfParams P;
+};
+
+//===----------------------------------------------------------------------===//
+// kinetic
+//===----------------------------------------------------------------------===//
+
+class KineticImpulseSource final : public PowerSource {
+public:
+  explicit KineticImpulseSource(KineticParams P) : P(P) {}
+
+  const char *name() const override { return "kinetic"; }
+
+  RechargePlan planRecharge(uint64_t, uint64_t StoredEnergy,
+                            const EnergyConfig &Cfg, Rng &R) const override {
+    uint64_t Target = drawRefillTarget(Cfg, R);
+    double Deficit =
+        static_cast<double>(Target > StoredEnergy ? Target - StoredEnergy : 0);
+    double Elapsed = 0.0;
+    // Impulses arrive with exponential gaps (truncated so one tail draw
+    // cannot dwarf the whole simulation) and jittered energies. Like
+    // integrateOffTime, the walk is step-capped and the remainder settled
+    // in closed form, so degenerate parameters (nonpositive impulse
+    // energy) yield a huge-but-finite off-time instead of an unbounded
+    // loop of RNG draws.
+    constexpr int MaxImpulses = 100'000;
+    double Impulse = std::max(P.ImpulseEnergyCycles, MinHarvestRate);
+    double MeanGap = std::max(1.0, P.MeanImpulseGapTau);
+    for (int N = 0; Deficit > 0.0 && N < MaxImpulses; ++N) {
+      double U = R.nextDouble();
+      double Gap = -std::log(1.0 - U) * P.MeanImpulseGapTau;
+      Gap = std::min(Gap, 8.0 * P.MeanImpulseGapTau);
+      Elapsed += std::max(1.0, Gap);
+      Deficit -= (0.5 + R.nextDouble()) * Impulse;
+    }
+    if (Deficit > 0.0)
+      Elapsed += (Deficit / Impulse) * MeanGap;
+    uint64_t T = static_cast<uint64_t>(std::ceil(Elapsed));
+    return {Target, T == 0 ? 1 : T};
+  }
+
+private:
+  KineticParams P;
+};
+
+} // namespace
+
+std::shared_ptr<const PowerSource> ocelot::legacyJitterSource() {
+  static const std::shared_ptr<const PowerSource> S =
+      std::make_shared<const LegacyJitterSource>();
+  return S;
+}
+
+std::shared_ptr<const PowerSource> ocelot::constantSource(double Scale) {
+  return std::make_shared<const ConstantSource>(Scale);
+}
+
+std::shared_ptr<const PowerSource>
+ocelot::diurnalSolarSource(SolarParams P) {
+  return std::make_shared<const DiurnalSolarSource>(P);
+}
+
+std::shared_ptr<const PowerSource> ocelot::burstyRfSource(RfParams P) {
+  return std::make_shared<const BurstyRfSource>(P);
+}
+
+std::shared_ptr<const PowerSource>
+ocelot::kineticImpulseSource(KineticParams P) {
+  return std::make_shared<const KineticImpulseSource>(P);
+}

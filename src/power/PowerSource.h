@@ -1,0 +1,115 @@
+//===- PowerSource.h - Pluggable energy-harvesting sources ------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The harvesting side of the energy front end. The paper's off-times are
+/// "dictated by the physical environment"; a `PowerSource` is that
+/// environment: given the logical time a reboot begins and the capacitor's
+/// state, it decides how full the refill gets and how long the device stays
+/// dark harvesting it. Sources are immutable after construction — all
+/// per-recharge randomness flows through the caller's `Rng` — so one source
+/// instance can back any number of concurrent `Simulation`s, exactly like a
+/// `CompiledArtifact`.
+///
+/// Concrete sources:
+///  * `legacyJitterSource`  — the original `EnergyModel` recharge math
+///    (uniform refill shortfall + multiplicative duration jitter),
+///    bit-for-bit. The default when `RunConfig::Power` is unset.
+///  * `constantSource`      — ideal bench supply; fully deterministic.
+///  * `diurnalSolarSource`  — sinusoidal day/night cycle with cloud fading.
+///  * `burstyRfSource`      — duty-cycled RF charger with unsynchronized
+///    wake-up phase (the paper's PowerCast testbed, roughly).
+///  * `kineticImpulseSource`— discrete harvest impulses (footsteps,
+///    vibration) with exponential inter-arrival times.
+///  * `traceSource`         — replays a `PowerTrace` time series
+///    (PowerTrace.h); named presets live in `PowerProfileRegistry`
+///    (PowerProfiles.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_POWER_POWERSOURCE_H
+#define OCELOT_POWER_POWERSOURCE_H
+
+#include "runtime/EnergyModel.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace ocelot {
+
+/// One planned reboot-recharge: where the capacitor ends up and how long
+/// the harvest took. `EnergyModel::recharge` clamps `TargetEnergy` into
+/// (ReserveCycles, CapacityCycles] and raises `OffTime` to at least 1, so
+/// sources may return raw values.
+struct RechargePlan {
+  uint64_t TargetEnergy = 0; ///< Capacitor level after the refill (cycles).
+  uint64_t OffTime = 0;      ///< Harvest duration (tau units).
+};
+
+/// A harvesting environment. Implementations must be immutable after
+/// construction and draw all randomness from the passed `Rng` (which is the
+/// owning `EnergyModel`'s private, seed-derived stream): two sources of the
+/// same configuration given the same Rng state plan identical recharges,
+/// which is what makes whole-simulation determinism hold per seed.
+class PowerSource {
+public:
+  virtual ~PowerSource() = default;
+
+  /// Short stable identifier ("legacy-jitter", "solar", "trace", ...).
+  virtual const char *name() const = 0;
+
+  /// Plans the recharge for a reboot that begins at logical time \p Tau
+  /// with \p StoredEnergy cycles left in the capacitor. \p Cfg supplies the
+  /// capacitor geometry and the nominal harvest rate that synthetic
+  /// sources scale.
+  virtual RechargePlan planRecharge(uint64_t Tau, uint64_t StoredEnergy,
+                                    const EnergyConfig &Cfg,
+                                    Rng &R) const = 0;
+};
+
+/// The pre-subsystem `EnergyModel` recharge behavior, preserved exactly:
+/// same RNG draw sequence, same arithmetic, same results. Stateless; the
+/// returned instance is shared.
+std::shared_ptr<const PowerSource> legacyJitterSource();
+
+/// Ideal bench supply harvesting at `Scale * Cfg.ChargeRate`, always
+/// refilling to capacity. Draws no randomness at all.
+std::shared_ptr<const PowerSource> constantSource(double Scale = 1.0);
+
+/// Diurnal solar harvesting: a sin^2 irradiance bump over the day fraction
+/// of each period, a trickle at night, and a per-recharge cloud factor.
+struct SolarParams {
+  uint64_t PeriodTau = 1'500'000; ///< One simulated "day".
+  double DayFraction = 0.55;      ///< Fraction of the period with sun.
+  double PeakScale = 5.0;         ///< Peak rate, in units of Cfg.ChargeRate.
+  double NightScale = 0.02;       ///< Night trickle, same units.
+};
+std::shared_ptr<const PowerSource> diurnalSolarSource(SolarParams P = {});
+
+/// Duty-cycled RF charging: a transmitter bursts for `DutyCycle` of each
+/// period; the receiver's reboot is not synchronized to the burst, so each
+/// recharge draws a uniform phase offset.
+struct RfParams {
+  uint64_t BurstPeriodTau = 40'000;
+  double DutyCycle = 0.3;
+  double BurstScale = 3.0; ///< In-burst rate, units of Cfg.ChargeRate.
+  double IdleScale = 0.05; ///< Between-burst trickle, same units.
+};
+std::shared_ptr<const PowerSource> burstyRfSource(RfParams P = {});
+
+/// Kinetic/vibration harvesting: energy arrives as discrete impulses with
+/// exponential inter-arrival gaps; the device wakes when enough impulses
+/// have accumulated.
+struct KineticParams {
+  double MeanImpulseGapTau = 9'000;  ///< Mean gap between impulses.
+  double ImpulseEnergyCycles = 400;  ///< Mean energy per impulse.
+};
+std::shared_ptr<const PowerSource> kineticImpulseSource(KineticParams P = {});
+
+} // namespace ocelot
+
+#endif // OCELOT_POWER_POWERSOURCE_H

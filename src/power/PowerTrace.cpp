@@ -1,0 +1,263 @@
+//===- PowerTrace.cpp - Recorded harvest-rate time series ------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "power/PowerTrace.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace ocelot;
+
+PowerTrace::PowerTrace(std::vector<Segment> Segs) : Segs(std::move(Segs)) {
+  for (const Segment &S : this->Segs) {
+    TotalTau += S.DurationTau;
+    CycleEnergy += S.Rate * static_cast<double>(S.DurationTau);
+  }
+}
+
+namespace {
+
+/// Shared validation for Builder::build and parseCsv. \returns an empty
+/// string when the segments form a valid trace; otherwise the problem
+/// (\p Where prefixes per-segment complaints, e.g. "line 4" or
+/// "segment 2").
+std::string validateSegments(const std::vector<PowerTrace::Segment> &Segs,
+                             const std::vector<std::string> &Where) {
+  if (Segs.empty())
+    return "trace has no segments";
+  double CycleEnergy = 0.0;
+  uint64_t TotalTau = 0;
+  for (size_t I = 0; I < Segs.size(); ++I) {
+    if (Segs[I].DurationTau == 0)
+      return Where[I] + ": segment duration must be > 0";
+    if (!(Segs[I].Rate >= 0.0) || !std::isfinite(Segs[I].Rate))
+      return Where[I] + ": charge rate must be finite and >= 0";
+    if (TotalTau + Segs[I].DurationTau < TotalTau)
+      return Where[I] + ": total trace duration overflows 64 bits";
+    TotalTau += Segs[I].DurationTau;
+    CycleEnergy += Segs[I].Rate * static_cast<double>(Segs[I].DurationTau);
+  }
+  if (CycleEnergy <= 0.0)
+    return "trace harvests no energy (all rates are 0)";
+  return "";
+}
+
+} // namespace
+
+std::shared_ptr<const PowerTrace>
+PowerTrace::Builder::build(std::string &Error) const {
+  std::vector<std::string> Where;
+  Where.reserve(Segs.size());
+  for (size_t I = 0; I < Segs.size(); ++I)
+    Where.push_back("segment " + std::to_string(I));
+  Error = validateSegments(Segs, Where);
+  if (!Error.empty())
+    return nullptr;
+  return std::shared_ptr<const PowerTrace>(new PowerTrace(Segs));
+}
+
+double PowerTrace::rateAt(uint64_t Tau) const {
+  uint64_t T = Tau % TotalTau;
+  for (const Segment &S : Segs) {
+    if (T < S.DurationTau)
+      return S.Rate;
+    T -= S.DurationTau;
+  }
+  return Segs.back().Rate; // Unreachable for a valid trace.
+}
+
+std::string PowerTrace::toCsv() const {
+  std::string Out = "# ocelot power trace v1\n# duration_tau,charge_rate\n";
+  char Buf[64];
+  for (const Segment &S : Segs) {
+    // %.17g round-trips any double exactly, so save -> load -> save is the
+    // identity on the text as well as the segments.
+    std::snprintf(Buf, sizeof(Buf), "%llu,%.17g\n",
+                  static_cast<unsigned long long>(S.DurationTau), S.Rate);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::shared_ptr<const PowerTrace> PowerTrace::parseCsv(std::string_view Text,
+                                                       std::string &Error) {
+  std::vector<Segment> Segs;
+  std::vector<std::string> Where;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string_view Line = Text.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    Pos = Eol == std::string_view::npos ? Text.size() + 1 : Eol + 1;
+    ++LineNo;
+    // Trim whitespace; skip blanks and # comments.
+    while (!Line.empty() && (Line.front() == ' ' || Line.front() == '\t' ||
+                             Line.front() == '\r'))
+      Line.remove_prefix(1);
+    while (!Line.empty() && (Line.back() == ' ' || Line.back() == '\t' ||
+                             Line.back() == '\r'))
+      Line.remove_suffix(1);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+
+    // Parse strictly: an unsigned decimal duration (no sign — sscanf %llu
+    // would silently wrap "-100" to ~2^64), a comma, a finite double rate,
+    // and nothing else.
+    std::string Ln(Line);
+    std::string BadLine = "line " + std::to_string(LineNo) +
+                          ": expected 'duration_tau,charge_rate', got '" +
+                          Ln + "'";
+    const char *C = Ln.c_str();
+    if (!std::isdigit(static_cast<unsigned char>(*C))) {
+      Error = BadLine;
+      return nullptr;
+    }
+    char *End = nullptr;
+    errno = 0;
+    unsigned long long Dur = std::strtoull(C, &End, 10);
+    if (errno == ERANGE) {
+      Error = "line " + std::to_string(LineNo) +
+              ": segment duration exceeds 64 bits";
+      return nullptr;
+    }
+    if (*End != ',') {
+      Error = BadLine;
+      return nullptr;
+    }
+    Segment S;
+    const char *RateStart = End + 1;
+    S.Rate = std::strtod(RateStart, &End);
+    if (End == RateStart || *End != '\0') {
+      Error = BadLine;
+      return nullptr;
+    }
+    S.DurationTau = Dur;
+    Segs.push_back(S);
+    Where.push_back("line " + std::to_string(LineNo));
+  }
+  Error = validateSegments(Segs, Where);
+  if (!Error.empty())
+    return nullptr;
+  return std::shared_ptr<const PowerTrace>(new PowerTrace(std::move(Segs)));
+}
+
+std::shared_ptr<const PowerTrace>
+PowerTrace::loadCsv(const std::string &Path, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open power trace '" + Path + "'";
+    return nullptr;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::shared_ptr<const PowerTrace> T = parseCsv(Buf.str(), Error);
+  if (!T)
+    Error = Path + ": " + Error;
+  return T;
+}
+
+bool PowerTrace::saveCsv(const std::string &Path, std::string &Error) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot write power trace '" + Path + "'";
+    return false;
+  }
+  Out << toCsv();
+  Out.flush();
+  if (!Out) {
+    Error = "error writing power trace '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Replays a PowerTrace cyclically against absolute logical time. Fully
+/// deterministic: refills to capacity, off-time integrated exactly over
+/// the trace's piecewise-constant segments.
+class TracePowerSource final : public PowerSource {
+public:
+  explicit TracePowerSource(std::shared_ptr<const PowerTrace> Trace)
+      : Trace(std::move(Trace)) {}
+
+  const char *name() const override { return "trace"; }
+
+  RechargePlan planRecharge(uint64_t Tau, uint64_t StoredEnergy,
+                            const EnergyConfig &Cfg, Rng &) const override {
+    uint64_t Target = Cfg.CapacityCycles;
+    double Deficit =
+        static_cast<double>(Target > StoredEnergy ? Target - StoredEnergy : 0);
+    if (Deficit <= 0.0)
+      return {Target, 1};
+
+    // Off-times saturate here: a valid trace may still harvest almost
+    // nothing per cycle (e.g. one tau at rate 1e-30), and the refill would
+    // need astronomically many cycles — far past any simulation budget and
+    // past what a float->uint64 cast can express. ~30k saturated reboots
+    // still fit in uint64 tau, so the device reads as "effectively dead"
+    // instead of hanging the planner.
+    constexpr double MaxOffTau = 1e15;
+    double EnergyPerCycle = Trace->energyPerCycle();
+    double TotalTau = static_cast<double>(Trace->totalDurationTau());
+
+    // Walk whole trace cycles first, then finish segment by segment.
+    double WholeCycles = std::floor(Deficit / EnergyPerCycle);
+    if (WholeCycles * TotalTau >= MaxOffTau)
+      return {Target, static_cast<uint64_t>(MaxOffTau)};
+    double Elapsed = WholeCycles * TotalTau;
+    Deficit -= WholeCycles * EnergyPerCycle;
+
+    uint64_t Offset = Tau % Trace->totalDurationTau();
+    // Locate the segment containing Offset, then march. One full cycle's
+    // gain exceeds the remaining deficit, so the march ends within about
+    // one lap; the lap cap only guards float rounding at the extremes.
+    size_t Idx = 0;
+    uint64_t Into = Offset;
+    while (Into >= Trace->segments()[Idx].DurationTau) {
+      Into -= Trace->segments()[Idx].DurationTau;
+      Idx = (Idx + 1) % Trace->segments().size();
+    }
+    size_t MaxSegs = 4 * Trace->segments().size();
+    for (size_t N = 0; Deficit > 0.0 && N < MaxSegs; ++N) {
+      const PowerTrace::Segment &S = Trace->segments()[Idx];
+      double Span = static_cast<double>(S.DurationTau - Into);
+      double Gain = S.Rate * Span;
+      if (S.Rate > 0.0 && Gain >= Deficit) {
+        Elapsed += Deficit / S.Rate;
+        Deficit = 0.0;
+        break;
+      }
+      Deficit -= Gain;
+      Elapsed += Span;
+      Into = 0;
+      Idx = (Idx + 1) % Trace->segments().size();
+    }
+    if (Deficit > 0.0) // Rounding leftovers: settle at the average rate.
+      Elapsed += Deficit / (EnergyPerCycle / TotalTau);
+    if (Elapsed >= MaxOffTau)
+      Elapsed = MaxOffTau;
+    uint64_t T = static_cast<uint64_t>(std::ceil(Elapsed));
+    return {Target, T == 0 ? 1 : T};
+  }
+
+private:
+  std::shared_ptr<const PowerTrace> Trace;
+};
+
+} // namespace
+
+std::shared_ptr<const PowerSource>
+ocelot::traceSource(std::shared_ptr<const PowerTrace> Trace) {
+  return std::make_shared<const TracePowerSource>(std::move(Trace));
+}

@@ -1,0 +1,110 @@
+//===- PowerTrace.h - Recorded harvest-rate time series ---------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `PowerTrace` is a piecewise-constant charge-rate time series: an
+/// ordered list of segments, each holding a rate (cycles of energy per tau
+/// unit, absolute — not scaled by `EnergyConfig::ChargeRate`) for a
+/// duration. Traces come from the in-memory `Builder` or from CSV:
+///
+/// ```csv
+/// # ocelot power trace v1
+/// # duration_tau,charge_rate
+/// 50000,0.40
+/// 150000,0.02
+/// ```
+///
+/// Comment lines start with `#`; each data line is one segment. A valid
+/// trace has at least one segment, every duration > 0, every rate >= 0 and
+/// finite, and a positive total harvest (an all-zero trace would never
+/// recharge anything). Loading reports the first problem with its line
+/// number. Traces are immutable once built, so one trace can back any
+/// number of concurrent simulations; `traceSource` wraps one as a
+/// `PowerSource` that replays it cyclically against absolute logical time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_POWER_POWERTRACE_H
+#define OCELOT_POWER_POWERTRACE_H
+
+#include "power/PowerSource.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocelot {
+
+class PowerTrace {
+public:
+  struct Segment {
+    uint64_t DurationTau = 0; ///< How long this rate holds.
+    double Rate = 0.0;        ///< Cycles of energy per tau unit.
+  };
+
+  /// Accumulates segments, then validates and freezes them into a trace.
+  class Builder {
+  public:
+    /// Appends one segment; returns *this for chaining.
+    Builder &segment(uint64_t DurationTau, double Rate) {
+      Segs.push_back({DurationTau, Rate});
+      return *this;
+    }
+
+    /// Validates and builds. On failure returns nullptr and sets \p Error.
+    std::shared_ptr<const PowerTrace> build(std::string &Error) const;
+
+  private:
+    std::vector<Segment> Segs;
+  };
+
+  const std::vector<Segment> &segments() const { return Segs; }
+  /// Sum of all segment durations (> 0 for a valid trace).
+  uint64_t totalDurationTau() const { return TotalTau; }
+  /// Total energy harvested over one full cycle of the trace (> 0).
+  double energyPerCycle() const { return CycleEnergy; }
+
+  /// The charge rate in effect at absolute time \p Tau (the trace repeats
+  /// with period totalDurationTau()).
+  double rateAt(uint64_t Tau) const;
+
+  /// Renders the trace as CSV text (the same format parseCsv reads; a
+  /// parse of the output yields identical segments).
+  std::string toCsv() const;
+
+  /// Parses CSV text. On failure returns nullptr and sets \p Error to a
+  /// message naming the offending line.
+  static std::shared_ptr<const PowerTrace> parseCsv(std::string_view Text,
+                                                    std::string &Error);
+
+  /// Reads and parses \p Path. On failure returns nullptr and sets
+  /// \p Error (file errors and parse errors alike).
+  static std::shared_ptr<const PowerTrace> loadCsv(const std::string &Path,
+                                                   std::string &Error);
+
+  /// Writes toCsv() to \p Path; returns false and sets \p Error on I/O
+  /// failure.
+  bool saveCsv(const std::string &Path, std::string &Error) const;
+
+private:
+  explicit PowerTrace(std::vector<Segment> Segs);
+
+  std::vector<Segment> Segs;
+  uint64_t TotalTau = 0;
+  double CycleEnergy = 0.0;
+};
+
+/// Wraps an immutable trace as a `PowerSource` ("trace"). The source is
+/// fully deterministic: it refills to capacity and derives the off-time
+/// purely from the trace's rates starting at the reboot's absolute time.
+std::shared_ptr<const PowerSource>
+traceSource(std::shared_ptr<const PowerTrace> Trace);
+
+} // namespace ocelot
+
+#endif // OCELOT_POWER_POWERTRACE_H

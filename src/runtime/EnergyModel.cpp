@@ -1,0 +1,31 @@
+//===- EnergyModel.cpp - Capacitor + harvester energy model ----------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/EnergyModel.h"
+
+#include "power/PowerSource.h"
+
+using namespace ocelot;
+
+EnergyModel::EnergyModel(const EnergyConfig &Cfg, uint64_t Seed,
+                         std::shared_ptr<const PowerSource> Source)
+    : Cfg(Cfg), Rand(Seed), Energy(Cfg.CapacityCycles),
+      Source(Source ? std::move(Source) : legacyJitterSource()) {}
+
+uint64_t EnergyModel::recharge(uint64_t Tau) {
+  RechargePlan Plan = Source->planRecharge(Tau, Energy, Cfg, Rand);
+  // Enforce the capacitor invariants centrally so every source — including
+  // user-supplied traces — leaves the device able to make progress: the
+  // level ends strictly above the comparator reserve and never above
+  // capacity, and the device is dark for at least one tau unit.
+  uint64_t Target = Plan.TargetEnergy;
+  if (Target > Cfg.CapacityCycles)
+    Target = Cfg.CapacityCycles;
+  if (Target <= Cfg.ReserveCycles)
+    Target = Cfg.ReserveCycles + 1;
+  Energy = Target;
+  return Plan.OffTime == 0 ? 1 : Plan.OffTime;
+}

@@ -6,11 +6,14 @@
 ///
 /// \file
 /// A Capybara-style energy front end (§6.3): a capacitor measured in cycle
-/// units, a voltage-comparator low-power trigger whose threshold is raised
-/// so a JIT checkpoint always fits in the remaining reserve, and a
-/// harvester that recharges at a configurable rate while the device is off
-/// (the paper harvests from a PowerCast RF transmitter; off-times are
-/// "dictated by the physical environment", which the jitter models here).
+/// units and a voltage-comparator low-power trigger whose threshold is
+/// raised so a JIT checkpoint always fits in the remaining reserve. The
+/// harvesting side — how full each refill gets and how long the device
+/// stays off collecting it — is delegated to a pluggable `PowerSource`
+/// (src/power/PowerSource.h): the paper's off-times are "dictated by the
+/// physical environment", and the source *is* that environment. With no
+/// source configured the model uses `legacyJitterSource()`, the original
+/// uniform-jitter recharge math, bit-for-bit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +23,11 @@
 #include "support/Rng.h"
 
 #include <cstdint>
+#include <memory>
 
 namespace ocelot {
+
+class PowerSource;
 
 struct EnergyConfig {
   /// Usable energy per charge cycle, in instruction-cycle units. The
@@ -33,9 +39,12 @@ struct EnergyConfig {
   /// Reserve kept for the JIT checkpoint ISR (raised comparator trigger,
   /// §6.3); must cover the checkpoint of the deepest volatile context.
   uint64_t ReserveCycles = 350;
-  /// Energy harvested per off-time unit (cycles of energy per tau unit).
+  /// Nominal energy harvested per off-time unit (cycles of energy per tau
+  /// unit). Synthetic power sources scale this; trace-driven sources carry
+  /// their own absolute rates.
   double ChargeRate = 0.1;
   /// Multiplicative jitter on each recharge duration (0 = deterministic).
+  /// Used by the legacy-jitter source.
   double ChargeJitter = 0.25;
   /// Fraction of capacity by which each refill may fall short (harvesting
   /// variability). Without this, failures are phase-locked to fixed points
@@ -48,8 +57,12 @@ struct EnergyConfig {
 /// fires (PowerLow) and the runtime must stop within the reserve budget.
 class EnergyModel {
 public:
-  EnergyModel(const EnergyConfig &Cfg, uint64_t Seed)
-      : Cfg(Cfg), Rand(Seed), Energy(Cfg.CapacityCycles) {}
+  /// \p Source decides refill targets and off-times; null selects the
+  /// legacy uniform-jitter behavior. The source must be immutable (it is
+  /// shared); per-recharge randomness comes from this model's private
+  /// seed-derived Rng.
+  EnergyModel(const EnergyConfig &Cfg, uint64_t Seed,
+              std::shared_ptr<const PowerSource> Source = nullptr);
 
   /// Consumes \p Cycles of energy. \returns true if the comparator fired
   /// (energy at or below the reserve).
@@ -61,28 +74,13 @@ public:
   bool low() const { return Energy <= Cfg.ReserveCycles; }
   uint64_t remaining() const { return Energy; }
 
-  /// Recharges (to capacity minus harvesting-variability shortfall) and
-  /// \returns the off-time (tau units) it took — the paper's arbitrary
-  /// "pick(n)" at reboot, here tied to harvest physics.
-  uint64_t recharge() {
-    uint64_t Target = Cfg.CapacityCycles;
-    if (Cfg.RefillJitter > 0.0) {
-      double Short = Cfg.RefillJitter * Rand.nextDouble();
-      Target -= static_cast<uint64_t>(
-          Short * static_cast<double>(Cfg.CapacityCycles));
-      if (Target <= Cfg.ReserveCycles)
-        Target = Cfg.ReserveCycles + 1;
-    }
-    uint64_t Deficit = Target > Energy ? Target - Energy : 0;
-    double Time = static_cast<double>(Deficit) / Cfg.ChargeRate;
-    if (Cfg.ChargeJitter > 0.0) {
-      double Factor = 1.0 + Cfg.ChargeJitter * (2.0 * Rand.nextDouble() - 1.0);
-      Time *= Factor;
-    }
-    Energy = Target;
-    uint64_t T = static_cast<uint64_t>(Time);
-    return T == 0 ? 1 : T;
-  }
+  /// Recharges from the power source and \returns the off-time (tau units)
+  /// it took — the paper's arbitrary "pick(n)" at reboot, here tied to
+  /// harvest physics. \p Tau is the absolute logical time the reboot
+  /// begins at; time-varying sources (solar, traces) phase against it.
+  /// Whatever the source plans, the resulting level is clamped into
+  /// (ReserveCycles, CapacityCycles] and the off-time is at least 1.
+  uint64_t recharge(uint64_t Tau = 0);
 
   const EnergyConfig &config() const { return Cfg; }
 
@@ -90,6 +88,7 @@ private:
   EnergyConfig Cfg;
   Rng Rand;
   uint64_t Energy;
+  std::shared_ptr<const PowerSource> Source;
 };
 
 } // namespace ocelot

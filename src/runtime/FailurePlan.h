@@ -47,8 +47,9 @@ public:
     OffHi = Hi < Lo ? Lo : Hi;
   }
   uint64_t drawOffTime(Rng &R) const {
-    return static_cast<uint64_t>(
-        R.nextInRange(static_cast<int64_t>(OffLo), static_cast<int64_t>(OffHi)));
+    // nextInRangeU64 handles the full uint64_t range; the old cast through
+    // nextInRange(int64_t) silently narrowed bounds above INT64_MAX.
+    return R.nextInRangeU64(OffLo, OffHi);
   }
 
   /// Called at the start of each program run (main invocation): re-arms

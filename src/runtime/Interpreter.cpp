@@ -41,8 +41,8 @@ Interpreter::Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
   Monitor = std::make_unique<ViolationMonitor>(Plan ? *Plan : EmptyPlan,
                                                P.numSensors());
   if (this->Cfg.Plan.isEnergyDriven())
-    Energy = std::make_unique<EnergyModel>(this->Cfg.Energy,
-                                           this->Cfg.Seed ^ 0xe4e4f00dULL);
+    Energy = std::make_unique<EnergyModel>(
+        this->Cfg.Energy, this->Cfg.Seed ^ 0xe4e4f00dULL, this->Cfg.Power);
   if (this->Cfg.MonitorFormal)
     this->Cfg.TrackTaint = true;
   resetNvm();
@@ -205,7 +205,7 @@ void Interpreter::powerFail(RunResult &R) {
   }
   // Atom-LowPower: shut down immediately; nothing saved.
 
-  uint64_t Off = Energy ? Energy->recharge() : Cfg.Plan.drawOffTime(Rand);
+  uint64_t Off = Energy ? Energy->recharge(Tau) : Cfg.Plan.drawOffTime(Rand);
   Tau += Off;
   R.OffCycles += Off;
   Monitor->onPowerFailure();

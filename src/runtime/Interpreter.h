@@ -41,6 +41,8 @@
 
 namespace ocelot {
 
+class PowerSource;
+
 /// Cycle costs per operation class. Values are abstract cycles; the
 /// evaluation reports ratios, which depend only on relative magnitudes
 /// (sensor reads and radio/UART output are expensive relative to ALU work,
@@ -71,6 +73,12 @@ struct RunConfig {
   CostModel Costs;
   FailurePlan Plan = FailurePlan::none();
   EnergyConfig Energy;
+  /// Harvesting environment for energy-driven plans (src/power/): decides
+  /// refill targets and off-times at each reboot. Null selects the
+  /// legacy-jitter behavior, preserving the pre-subsystem recharge
+  /// sequence bit-for-bit. Sources are immutable, so one instance may be
+  /// shared by any number of concurrent simulations.
+  std::shared_ptr<const PowerSource> Power;
   uint64_t Seed = 1;
   bool TrackTaint = false;
   bool MonitorBitVector = false;

@@ -38,6 +38,14 @@ int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
   return Lo + static_cast<int64_t>(nextBelow(Span));
 }
 
+uint64_t Rng::nextInRangeU64(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "invalid range");
+  uint64_t Span = Hi - Lo + 1;
+  if (Span == 0) // Full 64-bit range.
+    return next();
+  return Lo + nextBelow(Span);
+}
+
 double Rng::nextDouble() {
   // 53 high-quality bits into [0, 1).
   return static_cast<double>(next() >> 11) * 0x1.0p-53;

@@ -33,6 +33,12 @@ public:
   /// Uniform integer in [Lo, Hi] inclusive. Requires Lo <= Hi.
   int64_t nextInRange(int64_t Lo, int64_t Hi);
 
+  /// Uniform integer in [Lo, Hi] inclusive over the full unsigned range.
+  /// Requires Lo <= Hi. For ranges that fit in int64_t this consumes the
+  /// same draws as nextInRange (both reduce to one nextBelow call on the
+  /// same span), so switching call sites preserves RNG sequences.
+  uint64_t nextInRangeU64(uint64_t Lo, uint64_t Hi);
+
   /// Uniform double in [0, 1).
   double nextDouble();
 

@@ -14,6 +14,10 @@
 ///   --emit-policies                    print derived policies and regions
 ///   --run[=N]                          run N main() activations (default 1)
 ///   --intermittent                     energy-driven power failures
+///   --power=P                          harvesting environment: a profile
+///                                      name (see src/power/PowerProfiles.h)
+///                                      or a power-trace CSV path; implies
+///                                      --intermittent
 ///   --monitor                          arm both violation detectors
 ///   --seed=S                           simulation seed
 ///
@@ -25,6 +29,7 @@
 
 #include "ir/IRPrinter.h"
 #include "ocelot/Toolchain.h"
+#include "power/PowerProfiles.h"
 #include "runtime/Simulation.h"
 
 #include <cstdio>
@@ -54,7 +59,8 @@ void usage() {
       stderr,
       "usage: ocelotc FILE.ocl [--model=jit|atomics|ocelot|check]\n"
       "               [--emit-ir] [--emit-policies] [--run[=N]]\n"
-      "               [--intermittent] [--monitor] [--seed=S]\n");
+      "               [--intermittent] [--power=profile|trace.csv]\n"
+      "               [--monitor] [--seed=S]\n");
 }
 
 } // namespace
@@ -64,6 +70,7 @@ int main(int argc, char **argv) {
   ExecModel Model = ExecModel::Ocelot;
   bool EmitIr = false, EmitPolicies = false, Intermittent = false,
        Monitor = false;
+  std::shared_ptr<const PowerSource> Power;
   int Runs = 0;
   uint64_t Seed = 1;
 
@@ -79,6 +86,14 @@ int main(int argc, char **argv) {
       Runs = std::atoi(Arg.c_str() + 6);
     } else if (Arg == "--intermittent") {
       Intermittent = true;
+    } else if (Arg.rfind("--power=", 0) == 0) {
+      std::string Error;
+      Power = resolvePowerSource(Arg.substr(8), Error);
+      if (!Power) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      Intermittent = true; // A harvesting environment implies failures.
     } else if (Arg == "--monitor") {
       Monitor = true;
     } else if (Arg.rfind("--seed=", 0) == 0) {
@@ -185,8 +200,10 @@ int main(int argc, char **argv) {
   SimulationSpec Spec; // Default environment: seeded noise per sensor.
   Spec.Config.Seed = Seed;
   Spec.Config.RecordTrace = true;
-  if (Intermittent)
+  if (Intermittent) {
     Spec.Config.Plan = FailurePlan::energyDriven();
+    Spec.Config.Power = Power; // Null = legacy-jitter default.
+  }
   if (Monitor) {
     Spec.Config.MonitorBitVector = true;
     Spec.Config.MonitorFormal = true;

@@ -1,0 +1,368 @@
+//===- PowerSourceTest.cpp - The trace-driven power subsystem --------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract tests for src/power/: PowerTrace CSV round-trips (including
+/// the fixtures shipped under bench/traces/), each synthetic generator's
+/// shape at known phases, the registry/resolver error paths, and —
+/// critically — bit-compatibility of the `legacy-jitter` source with the
+/// pre-subsystem `EnergyModel` recharge sequence, which is what keeps the
+/// default tables (table2a/2b, fig8) byte-identical across the refactor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "power/PowerProfiles.h"
+#include "power/PowerSource.h"
+#include "power/PowerTrace.h"
+#include "runtime/EnergyModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace ocelot;
+
+namespace {
+
+// -- PowerTrace format -----------------------------------------------------------
+
+TEST(PowerTrace, BuilderValidatesAndComputesTotals) {
+  std::string Error;
+  auto T = PowerTrace::Builder()
+               .segment(100, 0.5)
+               .segment(300, 0.0)
+               .segment(100, 1.5)
+               .build(Error);
+  ASSERT_TRUE(T) << Error;
+  EXPECT_EQ(T->segments().size(), 3u);
+  EXPECT_EQ(T->totalDurationTau(), 500u);
+  EXPECT_DOUBLE_EQ(T->energyPerCycle(), 100 * 0.5 + 100 * 1.5);
+  EXPECT_DOUBLE_EQ(T->rateAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(T->rateAt(99), 0.5);
+  EXPECT_DOUBLE_EQ(T->rateAt(100), 0.0);
+  EXPECT_DOUBLE_EQ(T->rateAt(400), 1.5);
+  EXPECT_DOUBLE_EQ(T->rateAt(500), 0.5) << "trace repeats cyclically";
+  EXPECT_DOUBLE_EQ(T->rateAt(1100), 0.0);
+}
+
+TEST(PowerTrace, CsvRoundTripIsIdentity) {
+  std::string Error;
+  auto T = PowerTrace::Builder()
+               .segment(12000, 0.35)
+               .segment(8000, 1.0 / 3.0) // Needs full double round-trip.
+               .segment(20000, 0.0)
+               .build(Error);
+  ASSERT_TRUE(T) << Error;
+  std::string Csv = T->toCsv();
+  auto U = PowerTrace::parseCsv(Csv, Error);
+  ASSERT_TRUE(U) << Error;
+  ASSERT_EQ(U->segments().size(), T->segments().size());
+  for (size_t I = 0; I < T->segments().size(); ++I) {
+    EXPECT_EQ(U->segments()[I].DurationTau, T->segments()[I].DurationTau);
+    EXPECT_EQ(U->segments()[I].Rate, T->segments()[I].Rate) << "segment " << I;
+  }
+  // load(save(load(x))) is textually the identity too.
+  EXPECT_EQ(U->toCsv(), Csv);
+}
+
+TEST(PowerTrace, ParseSkipsCommentsAndBlanks) {
+  std::string Error;
+  auto T = PowerTrace::parseCsv(
+      "# header\n\n  \t\n100,0.5\n# mid comment\r\n200,0.25\r\n", Error);
+  ASSERT_TRUE(T) << Error;
+  EXPECT_EQ(T->totalDurationTau(), 300u);
+}
+
+TEST(PowerTrace, MalformedInputsAreRejectedWithLineNumbers) {
+  std::string Error;
+  EXPECT_FALSE(PowerTrace::parseCsv("", Error));
+  EXPECT_NE(Error.find("no segments"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("100,0.5\nbogus line\n", Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("100,0.5\n0,0.2\n", Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("duration"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("100,-0.5\n", Error));
+  EXPECT_NE(Error.find(">= 0"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("100,nan\n", Error));
+  EXPECT_NE(Error.find("finite"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("100,0\n200,0.0\n", Error));
+  EXPECT_NE(Error.find("no energy"), std::string::npos) << Error;
+
+  // Negative durations must not wrap through an unsigned parse (this once
+  // overflowed totalDurationTau to 0 and crashed the trace source).
+  EXPECT_FALSE(PowerTrace::parseCsv("-100,0.5\n100,0.5\n", Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("99999999999999999999999,0.5\n", Error));
+  EXPECT_NE(Error.find("exceeds 64 bits"), std::string::npos) << Error;
+
+  // Two in-range durations whose sum wraps 2^64.
+  EXPECT_FALSE(PowerTrace::parseCsv(
+      "18446744073709551615,0.5\n100,0.5\n", Error));
+  EXPECT_NE(Error.find("overflows"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::parseCsv("100,0.5,junk\n", Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+
+  EXPECT_FALSE(PowerTrace::loadCsv("/nonexistent/trace.csv", Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos) << Error;
+}
+
+TEST(PowerTrace, ShippedFixturesLoadAndRoundTrip) {
+  // OCELOT_TRACE_DIR points at bench/traces/ (set by tests/CMakeLists.txt).
+  const std::string Dir = OCELOT_TRACE_DIR;
+  for (const char *Name : {"rf-lab-bursty.csv", "solar-cloudy-day.csv"}) {
+    std::string Error;
+    auto T = PowerTrace::loadCsv(Dir + "/" + Name, Error);
+    ASSERT_TRUE(T) << Error;
+    EXPECT_GT(T->totalDurationTau(), 0u);
+    EXPECT_GT(T->energyPerCycle(), 0.0);
+    auto U = PowerTrace::parseCsv(T->toCsv(), Error);
+    ASSERT_TRUE(U) << Error;
+    EXPECT_EQ(U->toCsv(), T->toCsv()) << Name;
+  }
+}
+
+// -- Synthetic generator shapes --------------------------------------------------
+
+EnergyConfig plainConfig() {
+  EnergyConfig Cfg;
+  Cfg.RefillJitter = 0.0; // Isolate the off-time shape.
+  Cfg.ChargeJitter = 0.0;
+  return Cfg;
+}
+
+uint64_t offTimeAt(const PowerSource &S, uint64_t Tau, uint64_t Seed = 5) {
+  EnergyConfig Cfg = plainConfig();
+  Rng R(Seed);
+  RechargePlan P = S.planRecharge(Tau, 0, Cfg, R);
+  return P.OffTime;
+}
+
+TEST(PowerSource, ConstantIsExactAndDrawsNoRandomness) {
+  auto S = constantSource(2.0);
+  EnergyConfig Cfg = plainConfig(); // Capacity 2200, rate 0.1.
+  Rng R1(1), R2(999);
+  RechargePlan A = S->planRecharge(0, 200, Cfg, R1);
+  RechargePlan B = S->planRecharge(12345, 200, Cfg, R2);
+  // 2000 deficit at 0.2 cycles/tau = 10000 tau, any seed, any phase.
+  EXPECT_EQ(A.OffTime, 10000u);
+  EXPECT_EQ(B.OffTime, A.OffTime);
+  EXPECT_EQ(A.TargetEnergy, Cfg.CapacityCycles);
+}
+
+TEST(PowerSource, SolarChargesFasterAtNoonThanAtNight) {
+  SolarParams P; // Period 1.5M tau, day fraction 0.55.
+  auto S = diurnalSolarSource(P);
+  uint64_t Noon = static_cast<uint64_t>(
+      P.DayFraction * 0.5 * static_cast<double>(P.PeriodTau));
+  uint64_t Midnight = static_cast<uint64_t>(
+      (P.DayFraction + (1.0 - P.DayFraction) * 0.5) *
+      static_cast<double>(P.PeriodTau));
+  uint64_t NoonOff = offTimeAt(*S, Noon);
+  uint64_t NightOff = offTimeAt(*S, Midnight);
+  EXPECT_LT(NoonOff * 4, NightOff)
+      << "noon=" << NoonOff << " night=" << NightOff;
+}
+
+TEST(PowerSource, RfBurstOffTimesBeatTheIdleTrickleAlone) {
+  RfParams P;
+  auto S = burstyRfSource(P);
+  EnergyConfig Cfg = plainConfig();
+  // If only the idle trickle existed, a full refill would take
+  // capacity / (IdleScale * rate) tau. Bursts must do much better.
+  double IdleOnly = static_cast<double>(Cfg.CapacityCycles) /
+                    (P.IdleScale * Cfg.ChargeRate);
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+    EXPECT_LT(offTimeAt(*S, 0, Seed), IdleOnly / 2.0);
+}
+
+TEST(PowerSource, KineticOffTimeScalesWithImpulseRate) {
+  KineticParams Sparse;
+  Sparse.MeanImpulseGapTau = 20'000;
+  KineticParams Dense;
+  Dense.MeanImpulseGapTau = 2'000;
+  auto A = kineticImpulseSource(Sparse);
+  auto B = kineticImpulseSource(Dense);
+  // Averaged over seeds, sparser impulses mean longer harvests.
+  uint64_t SumSparse = 0, SumDense = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SumSparse += offTimeAt(*A, 0, Seed);
+    SumDense += offTimeAt(*B, 0, Seed);
+  }
+  EXPECT_GT(SumSparse, 4 * SumDense);
+}
+
+TEST(PowerSource, TraceSourceIntegratesSegmentsExactly) {
+  std::string Error;
+  auto T = PowerTrace::Builder()
+               .segment(1000, 0.0) // Dead air first.
+               .segment(1000, 1.0)
+               .build(Error);
+  ASSERT_TRUE(T) << Error;
+  auto S = traceSource(T);
+  EnergyConfig Cfg = plainConfig();
+  Cfg.CapacityCycles = 500;
+  Cfg.ReserveCycles = 50;
+  Rng R(1);
+  // Reboot at tau 0: wait out 1000 dead tau, then 500 cycles at rate 1.
+  RechargePlan A = S->planRecharge(0, 0, Cfg, R);
+  EXPECT_EQ(A.OffTime, 1500u);
+  // Reboot mid-burst at tau 1000: 500 tau of harvest, no waiting.
+  RechargePlan B = S->planRecharge(1000, 0, Cfg, R);
+  EXPECT_EQ(B.OffTime, 500u);
+  // Cyclic: tau 2000 is the dead segment again.
+  RechargePlan C = S->planRecharge(2000, 0, Cfg, R);
+  EXPECT_EQ(C.OffTime, 1500u);
+  // Multi-cycle deficits walk whole trace periods (1000 cycles/period).
+  Cfg.CapacityCycles = 2500;
+  RechargePlan D = S->planRecharge(1000, 0, Cfg, R);
+  EXPECT_EQ(D.OffTime, 2000u * 2 + 500u);
+}
+
+TEST(PowerSource, NearlyDeadTraceSaturatesInsteadOfHanging) {
+  // Regression: a valid trace harvesting ~nothing per cycle once made the
+  // whole-cycles fast-forward overflow its float->uint64 cast and the
+  // segment march walk ~1e33 iterations. It must return promptly with a
+  // huge-but-finite off-time.
+  std::string Error;
+  auto T = PowerTrace::Builder().segment(1, 1e-30).build(Error);
+  ASSERT_TRUE(T) << Error;
+  auto S = traceSource(T);
+  EnergyConfig Cfg = plainConfig();
+  Rng R(1);
+  RechargePlan P = S->planRecharge(0, 0, Cfg, R);
+  EXPECT_EQ(P.OffTime, static_cast<uint64_t>(1e15));
+}
+
+// -- Registry and resolver -------------------------------------------------------
+
+TEST(PowerProfiles, RegistryServesAllBuiltins) {
+  auto &Reg = PowerProfileRegistry::global();
+  for (const char *Name : {"legacy-jitter", "bench-constant", "solar-outdoor",
+                           "rf-office", "kinetic-walker"}) {
+    EXPECT_TRUE(Reg.contains(Name)) << Name;
+    EXPECT_TRUE(Reg.create(Name)) << Name;
+    EXPECT_FALSE(Reg.describe(Name).empty()) << Name;
+  }
+  EXPECT_GE(Reg.names().size(), 5u);
+  EXPECT_FALSE(Reg.create("no-such-profile"));
+  EXPECT_EQ(Reg.describe("no-such-profile"), "");
+}
+
+TEST(PowerProfiles, ResolverHandlesProfilesTracesAndErrors) {
+  std::string Error;
+  EXPECT_TRUE(resolvePowerSource("solar-outdoor", Error));
+
+  EXPECT_FALSE(resolvePowerSource("definitely-unknown", Error));
+  EXPECT_NE(Error.find("unknown power profile"), std::string::npos);
+  EXPECT_NE(Error.find("legacy-jitter"), std::string::npos)
+      << "error must list the valid names: " << Error;
+
+  auto S = resolvePowerSource(std::string(OCELOT_TRACE_DIR) +
+                                  "/rf-lab-bursty.csv",
+                              Error);
+  ASSERT_TRUE(S) << Error;
+  EXPECT_STREQ(S->name(), "trace");
+
+  EXPECT_FALSE(resolvePowerSource("missing.csv", Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos) << Error;
+}
+
+// -- legacy-jitter bit-compatibility --------------------------------------------
+
+/// The pre-subsystem EnergyModel recharge, verbatim (capacity-initialized
+/// store, private Rng, shortfall draw then duration draw). The
+/// legacy-jitter source driving today's EnergyModel must reproduce this
+/// sequence exactly for any seed and consumption pattern.
+class PrePrEnergyModel {
+public:
+  PrePrEnergyModel(const EnergyConfig &Cfg, uint64_t Seed)
+      : Cfg(Cfg), Rand(Seed), Energy(Cfg.CapacityCycles) {}
+
+  bool consume(uint64_t Cycles) {
+    Energy = Cycles >= Energy ? 0 : Energy - Cycles;
+    return Energy <= Cfg.ReserveCycles;
+  }
+  uint64_t remaining() const { return Energy; }
+
+  uint64_t recharge() {
+    uint64_t Target = Cfg.CapacityCycles;
+    if (Cfg.RefillJitter > 0.0) {
+      double Short = Cfg.RefillJitter * Rand.nextDouble();
+      Target -= static_cast<uint64_t>(
+          Short * static_cast<double>(Cfg.CapacityCycles));
+      if (Target <= Cfg.ReserveCycles)
+        Target = Cfg.ReserveCycles + 1;
+    }
+    uint64_t Deficit = Target > Energy ? Target - Energy : 0;
+    double Time = static_cast<double>(Deficit) / Cfg.ChargeRate;
+    if (Cfg.ChargeJitter > 0.0) {
+      double Factor = 1.0 + Cfg.ChargeJitter * (2.0 * Rand.nextDouble() - 1.0);
+      Time *= Factor;
+    }
+    Energy = Target;
+    uint64_t T = static_cast<uint64_t>(Time);
+    return T == 0 ? 1 : T;
+  }
+
+private:
+  EnergyConfig Cfg;
+  Rng Rand;
+  uint64_t Energy;
+};
+
+TEST(PowerProfiles, LegacyJitterMatchesPrePrRechargeSequenceBitForBit) {
+  for (uint64_t Seed : {1ULL, 99ULL ^ 0xe4e4f00dULL, 0xdeadbeefULL}) {
+    EnergyConfig Cfg; // The defaults every bench uses.
+    PrePrEnergyModel Old(Cfg, Seed);
+    EnergyModel New(Cfg, Seed); // Null source = legacy-jitter.
+    EnergyModel Named(Cfg, Seed,
+                      PowerProfileRegistry::global().create("legacy-jitter"));
+    Rng Consume(Seed * 31 + 7); // Shared irregular consumption pattern.
+    uint64_t Tau = 0;
+    for (int I = 0; I < 500; ++I) {
+      uint64_t Burn = Consume.nextBelow(Cfg.CapacityCycles + 200);
+      Old.consume(Burn);
+      New.consume(Burn);
+      Named.consume(Burn);
+      uint64_t WantOff = Old.recharge();
+      uint64_t GotOff = New.recharge(Tau);
+      uint64_t NamedOff = Named.recharge(Tau);
+      ASSERT_EQ(GotOff, WantOff) << "off-time diverged at step " << I;
+      ASSERT_EQ(NamedOff, WantOff) << "registry source diverged at " << I;
+      ASSERT_EQ(New.remaining(), Old.remaining())
+          << "refill level diverged at step " << I;
+      ASSERT_EQ(Named.remaining(), Old.remaining());
+      Tau += GotOff;
+    }
+  }
+}
+
+// -- FailurePlan off-time boundary (satellite regression) ------------------------
+
+TEST(Rng, NextInRangeU64HandlesBoundsAboveInt64Max) {
+  Rng R(11);
+  const uint64_t Lo = UINT64_MAX - 5;
+  for (int I = 0; I < 200; ++I) {
+    uint64_t V = R.nextInRangeU64(Lo, UINT64_MAX);
+    EXPECT_GE(V, Lo);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(R.nextInRangeU64(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  // Full range does not hang or narrow.
+  (void)R.nextInRangeU64(0, UINT64_MAX);
+}
+
+} // namespace

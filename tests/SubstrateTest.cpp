@@ -23,6 +23,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 using namespace ocelot;
 
 namespace {
@@ -193,6 +195,22 @@ TEST(FailurePlan, OffTimeWithinConfiguredRange) {
     uint64_t T = P.drawOffTime(R);
     EXPECT_GE(T, 100u);
     EXPECT_LE(T, 200u);
+  }
+}
+
+TEST(FailurePlan, OffTimeBoundsAboveInt64MaxDoNotNarrow) {
+  // Regression: drawOffTime used to route uint64_t bounds through
+  // Rng::nextInRange(int64_t), silently narrowing anything above
+  // INT64_MAX. The draw must respect the full unsigned range.
+  FailurePlan P = FailurePlan::none();
+  const uint64_t Lo = static_cast<uint64_t>(INT64_MAX); // The old boundary.
+  const uint64_t Hi = Lo + 1000;
+  P.setOffTime(Lo, Hi);
+  Rng R(17);
+  for (int I = 0; I < 200; ++I) {
+    uint64_t T = P.drawOffTime(R);
+    ASSERT_GE(T, Lo);
+    ASSERT_LE(T, Hi);
   }
 }
 

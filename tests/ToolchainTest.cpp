@@ -9,7 +9,6 @@
 /// structured error reporting, artifact immutability and sharing, and the
 /// thread-safety guarantee — concurrent compiles on one Toolchain and
 /// concurrent Simulations over one artifact produce identical results.
-/// Also pins the behavior of the deprecated compileSource shim.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -146,19 +145,6 @@ TEST(Toolchain, OneArtifactBacksConcurrentSimulations) {
   EXPECT_EQ(Got1, Want1);
   EXPECT_EQ(Got2, Want2);
   EXPECT_EQ(Got1b, Want1);
-}
-
-TEST(Toolchain, DeprecatedShimStillCompiles) {
-  // The one-release compileSource shim must keep its legacy contract.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  DiagnosticEngine Diags;
-  CompileOptions Opts;
-  CompileResult R = compileSource(GoodSrc, Opts, Diags);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(R.Ok) << Diags.str();
-  ASSERT_TRUE(R.Prog);
-  EXPECT_EQ(R.Policies.Fresh.size(), 1u);
 }
 
 } // namespace
