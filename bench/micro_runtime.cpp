@@ -5,11 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// google-benchmark micro-suite for the simulator's mechanisms: interpreter
-/// throughput, taint-tracking overhead, undo-log modes (dynamic first-write
-/// vs static omega backup), compilation and region-inference cost. These
-/// support Figures 7/8 by showing where simulated cycles come from and what
-/// the host-side costs of the toolchain are.
+/// Runtime micro-benchmarks in two parts:
+///
+///  * `--json=PATH` — the interpreter throughput report: steps-per-second
+///    of the flat PC-indexed engine vs the tree-walking baseline for every
+///    benchmark x execution model, written as JSON so CI can record the
+///    perf trajectory per PR. Needs no external library.
+///
+///  * Google-Benchmark micro-suite (when the library is available) for the
+///    simulator's mechanisms: interpreter throughput, taint-tracking
+///    overhead, undo-log modes (dynamic first-write vs static omega
+///    backup), compilation and region-inference cost. These support
+///    Figures 7/8 by showing where simulated cycles come from and what
+///    the host-side costs of the toolchain are.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,9 +26,131 @@
 #include "ocelot/Toolchain.h"
 #include "runtime/Simulation.h"
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef OCELOT_HAVE_GBENCH
 #include <benchmark/benchmark.h>
+#endif
 
 using namespace ocelot;
+
+namespace {
+
+// -- Interpreter throughput report (--json) --------------------------------
+
+struct Throughput {
+  double StepsPerSec = 0;
+  uint64_t StepsPerRun = 0;
+};
+
+/// Runs complete continuous activations under \p Engine until at least
+/// \p MinSeconds of wall clock elapsed; reports executed instructions per
+/// second. Continuous power isolates the dispatch loop itself: no failure
+/// injection, no monitors — fetch, cost charging and opcode execution.
+Throughput measureThroughput(const CompiledBenchmark &CB,
+                             const BenchmarkDef &B, DispatchEngine Engine,
+                             double MinSeconds) {
+  SimulationSpec Spec;
+  B.setupEnvironment(Spec.Env, 1);
+  Spec.Config.Seed = 1;
+  Spec.Config.Dispatch = Engine;
+  Simulation Sim(CB.Artifact, std::move(Spec));
+
+  // Warm-up activation (cold caches, first-touch allocation).
+  RunResult Warm = Sim.runOnce();
+  if (!Warm.Completed) {
+    std::fprintf(stderr, "throughput run of %s failed: %s\n",
+                 CB.Name.c_str(), Warm.Trap.c_str());
+    std::abort();
+  }
+
+  uint64_t Steps = 0;
+  uint64_t Runs = 0;
+  auto Start = std::chrono::steady_clock::now();
+  double Elapsed = 0;
+  do {
+    RunResult R = Sim.runOnce();
+    if (!R.Completed) {
+      std::fprintf(stderr, "throughput run of %s failed: %s\n",
+                   CB.Name.c_str(), R.Trap.c_str());
+      std::abort();
+    }
+    Steps += R.Steps;
+    ++Runs;
+    Elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  } while (Elapsed < MinSeconds);
+
+  Throughput T;
+  T.StepsPerSec = static_cast<double>(Steps) / Elapsed;
+  T.StepsPerRun = Steps / Runs;
+  return T;
+}
+
+int runInterpReport(const std::string &Path) {
+  const bool Smoke = benchSmokeMode();
+  // Long enough for stable numbers in a full run; bench-smoke keeps every
+  // binary fast enough to run on each PR.
+  const double MinSeconds = Smoke ? 0.02 : 0.25;
+  const ExecModel Models[] = {ExecModel::Ocelot, ExecModel::JitOnly,
+                              ExecModel::AtomicsOnly};
+
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"report\": \"interpreter steps per second\",\n"
+                    "  \"mode\": \"%s\",\n  \"rows\": [\n",
+               Smoke ? "smoke" : "full");
+
+  double LogSum = 0;
+  int RowCount = 0;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    for (ExecModel Model : Models) {
+      CompiledBenchmark CB = compileBenchmark(B, Model);
+      Throughput Tree =
+          measureThroughput(CB, B, DispatchEngine::Tree, MinSeconds);
+      Throughput Flat =
+          measureThroughput(CB, B, DispatchEngine::Flat, MinSeconds);
+      double Speedup = Tree.StepsPerSec > 0
+                           ? Flat.StepsPerSec / Tree.StepsPerSec
+                           : 0;
+      LogSum += std::log(Speedup);
+      std::fprintf(Out,
+                   "%s    {\"benchmark\": \"%s\", \"model\": \"%s\", "
+                   "\"steps_per_run\": %llu, "
+                   "\"tree_steps_per_sec\": %.0f, "
+                   "\"flat_steps_per_sec\": %.0f, "
+                   "\"speedup\": %.3f}",
+                   RowCount ? ",\n" : "", B.Name.c_str(),
+                   execModelName(Model),
+                   static_cast<unsigned long long>(Flat.StepsPerRun),
+                   Tree.StepsPerSec, Flat.StepsPerSec, Speedup);
+      std::fprintf(stderr, "%-12s %-8s tree %10.0f steps/s   flat %10.0f "
+                           "steps/s   x%.2f\n",
+                   B.Name.c_str(), execModelName(Model), Tree.StepsPerSec,
+                   Flat.StepsPerSec, Speedup);
+      ++RowCount;
+    }
+  }
+  double Geomean = std::exp(LogSum / RowCount);
+  std::fprintf(Out, "\n  ],\n  \"geomean_speedup\": %.3f\n}\n", Geomean);
+  std::fclose(Out);
+  std::fprintf(stderr, "geomean flat/tree speedup: x%.2f (%s)\n", Geomean,
+               Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+#ifdef OCELOT_HAVE_GBENCH
 
 namespace {
 
@@ -49,22 +179,37 @@ void BM_CompileJitOnly(benchmark::State &State) {
 }
 BENCHMARK(BM_CompileJitOnly);
 
-void BM_InterpretContinuous(benchmark::State &State) {
+/// Interpreter throughput under both dispatch engines; the ratio is what
+/// the --json report records per PR.
+void interpretContinuous(benchmark::State &State, DispatchEngine Engine) {
   CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
   SimulationSpec Spec;
   tire().setupEnvironment(Spec.Env, 1);
+  Spec.Config.Dispatch = Engine;
   Simulation Sim(A, std::move(Spec));
-  uint64_t Cycles = 0;
+  uint64_t Cycles = 0, Steps = 0;
   for (auto _ : State) {
     RunResult Res = Sim.runOnce();
     Cycles += Res.OnCycles;
+    Steps += Res.Steps;
     benchmark::DoNotOptimize(Res.Completed);
   }
   State.counters["sim_cycles/run"] =
       benchmark::Counter(static_cast<double>(Cycles) /
                          static_cast<double>(State.iterations()));
+  State.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpretContinuous);
+
+void BM_InterpretContinuousFlat(benchmark::State &State) {
+  interpretContinuous(State, DispatchEngine::Flat);
+}
+BENCHMARK(BM_InterpretContinuousFlat);
+
+void BM_InterpretContinuousTree(benchmark::State &State) {
+  interpretContinuous(State, DispatchEngine::Tree);
+}
+BENCHMARK(BM_InterpretContinuousTree);
 
 void BM_InterpretWithTaint(benchmark::State &State) {
   CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
@@ -145,4 +290,24 @@ BENCHMARK(BM_RegionInference);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#endif // OCELOT_HAVE_GBENCH
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      return runInterpReport(argv[I] + 7);
+#ifdef OCELOT_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "micro_runtime was built without Google Benchmark; only the "
+               "interpreter throughput report is available:\n"
+               "  micro_runtime --json=BENCH_interp.json\n");
+  return 1;
+#endif
+}

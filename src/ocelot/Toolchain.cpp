@@ -49,6 +49,10 @@ Compilation Toolchain::compile(const SourceRef &Src,
   State->InferredRegions = std::move(R.InferredRegions);
   State->Regions = std::move(R.Regions);
   State->Monitor = std::move(R.Monitor);
+  // Precompute the flat execution form once; every Simulation built from
+  // this artifact shares it read-only.
+  State->Image =
+      ExecutableImage::build(*State->Prog, &State->Regions, &State->Monitor);
   State->Effort = R.Effort;
   State->Model = Opts.Model;
   State->PlacementValid = R.PlacementValid;

@@ -23,6 +23,7 @@
 #define OCELOT_OCELOT_TOOLCHAIN_H
 
 #include "ocelot/Compiler.h"
+#include "runtime/ExecutableImage.h"
 
 #include <cassert>
 #include <memory>
@@ -103,6 +104,13 @@ public:
   /// All regions with WAR/EMW/omega sets.
   const std::vector<RegionInfo> &regions() const { return state().Regions; }
   const MonitorPlan &monitorPlan() const { return state().Monitor; }
+  /// The flat, precomputed execution form (linearized code, resolved
+  /// targets, folded costs, monitor/region side tables). Built once at
+  /// compile time; every Simulation of this artifact shares it.
+  const ExecutableImage &image() const { return *state().Image; }
+  std::shared_ptr<const ExecutableImage> imagePtr() const {
+    return state().Image;
+  }
   const EffortStats &effort() const { return state().Effort; }
   ExecModel model() const { return state().Model; }
   /// CheckOnly (and self-checked Ocelot) builds: whether the regions
@@ -123,6 +131,7 @@ private:
     std::vector<InferredRegion> InferredRegions;
     std::vector<RegionInfo> Regions;
     MonitorPlan Monitor;
+    std::shared_ptr<const ExecutableImage> Image;
     EffortStats Effort;
     ExecModel Model = ExecModel::Ocelot;
     bool PlacementValid = false;

@@ -1,0 +1,304 @@
+//===- ExecutableImage.cpp - Flat, precomputed execution form --------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecutableImage.h"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+
+using namespace ocelot;
+
+std::shared_ptr<const ExecutableImage>
+ExecutableImage::build(const Program &P,
+                       const std::vector<RegionInfo> *Regions,
+                       const MonitorPlan *Plan) {
+  auto Img = std::shared_ptr<ExecutableImage>(new ExecutableImage());
+
+  // Pass 1: layout. Blocks are laid out in id order, so every PC is known
+  // before any target is resolved. An empty block's PC coincides with the
+  // next block's start (verified IR has no empty blocks).
+  std::vector<std::vector<uint32_t>> BlockPc(
+      static_cast<size_t>(P.numFunctions()));
+  uint32_t Pc = 0;
+  Img->Funcs.resize(static_cast<size_t>(P.numFunctions()));
+  for (int F = 0; F < P.numFunctions(); ++F) {
+    const Function *Fn = P.function(F);
+    FuncLayout &L = Img->Funcs[static_cast<size_t>(F)];
+    L.EntryPc = Pc;
+    L.NumRegs = static_cast<uint32_t>(Fn->numRegs());
+    BlockPc[static_cast<size_t>(F)].resize(
+        static_cast<size_t>(Fn->numBlocks()));
+    for (int B = 0; B < Fn->numBlocks(); ++B) {
+      BlockPc[static_cast<size_t>(F)][static_cast<size_t>(B)] = Pc;
+      Pc += static_cast<uint32_t>(Fn->block(B)->size());
+    }
+    L.EndPc = Pc;
+  }
+
+  std::map<int, const RegionInfo *> RegionById;
+  if (Regions)
+    for (const RegionInfo &R : *Regions)
+      RegionById[R.RegionId] = &R;
+
+  // Pass 2: emit, resolving targets and flattening the side tables.
+  Img->Code.reserve(Pc);
+  for (int F = 0; F < P.numFunctions(); ++F) {
+    const Function *Fn = P.function(F);
+    for (int B = 0; B < Fn->numBlocks(); ++B) {
+      for (const Instruction &I : Fn->block(B)->instructions()) {
+        FlatInst FI;
+        FI.Op = I.Op;
+        FI.Label = I.Label;
+        FI.Func = F;
+        FI.Block = B;
+        FI.Dst = I.Dst;
+        FI.A = I.A;
+        FI.B = I.B;
+        FI.BinKind = I.BinKind;
+        FI.UnKind = I.UnKind;
+        FI.GlobalId = I.GlobalId;
+        FI.SensorId = I.SensorId;
+        FI.SetId = I.SetId;
+        FI.RegionId = I.RegionId;
+        FI.OutKind = I.OutKind;
+
+        if (!I.Args.empty()) {
+          FI.ArgsBegin = static_cast<uint32_t>(Img->ArgPool.size());
+          FI.ArgsCount = static_cast<uint32_t>(I.Args.size());
+          Img->ArgPool.insert(Img->ArgPool.end(), I.Args.begin(),
+                              I.Args.end());
+        }
+
+        if (I.Op == Opcode::Call && I.Callee >= 0) {
+          FI.Callee = I.Callee;
+          FI.CalleeEntryPc = Img->Funcs[static_cast<size_t>(I.Callee)].EntryPc;
+          FI.CalleeNumRegs = Img->Funcs[static_cast<size_t>(I.Callee)].NumRegs;
+        }
+        if (I.Op == Opcode::Br || I.Op == Opcode::CondBr) {
+          assert(I.Target >= 0 && I.Target < Fn->numBlocks() &&
+                 "unresolved branch target");
+          FI.Target =
+              BlockPc[static_cast<size_t>(F)][static_cast<size_t>(I.Target)];
+        }
+        if (I.Op == Opcode::CondBr) {
+          assert(I.Target2 >= 0 && I.Target2 < Fn->numBlocks() &&
+                 "unresolved branch target");
+          FI.Target2 =
+              BlockPc[static_cast<size_t>(F)][static_cast<size_t>(I.Target2)];
+        }
+
+        // Static-omega backup set, flattened next to the region start in
+        // the ascending order RegionInfo::Omega (a std::set) yields — the
+        // tree engine's iteration order, so undo-log sequences match.
+        if (I.Op == Opcode::AtomicStart) {
+          auto It = RegionById.find(I.RegionId);
+          if (It != RegionById.end() && !It->second->Omega.empty()) {
+            FI.OmegaBegin = static_cast<uint32_t>(Img->OmegaPool.size());
+            FI.OmegaCount = static_cast<uint32_t>(It->second->Omega.size());
+            for (int G : It->second->Omega)
+              Img->OmegaPool.push_back(G);
+          }
+        }
+
+        // Monitor side tables: what would otherwise be one or two map
+        // lookups per executed instruction becomes a flag and a span.
+        if (Plan) {
+          InstrRef Site(F, I.Label);
+          FI.HasUseCheck = Plan->UseChecks.count(Site) != 0;
+          auto UR = Plan->UseRegs.find(Site);
+          if (UR != Plan->UseRegs.end() && !UR->second.empty()) {
+            FI.UseRegsBegin = static_cast<uint32_t>(Img->UseRegPool.size());
+            FI.UseRegsCount = static_cast<uint16_t>(UR->second.size());
+            for (int Reg : UR->second)
+              Img->UseRegPool.push_back(Reg);
+          }
+        }
+
+        Img->Code.push_back(FI);
+      }
+    }
+  }
+  assert(Img->Code.size() == Pc && "layout / emission length mismatch");
+
+  // NVM layout: every global gets a base offset in one flat cell array.
+  Img->Globals.resize(static_cast<size_t>(P.numGlobals()));
+  uint32_t Cell = 0;
+  for (int G = 0; G < P.numGlobals(); ++G) {
+    GlobalSlot &S = Img->Globals[static_cast<size_t>(G)];
+    S.Base = Cell;
+    S.Size = static_cast<uint32_t>(P.global(G).Size);
+    Cell += S.Size;
+  }
+  Img->NvmCellCount = Cell;
+
+  if (P.mainFunction() >= 0) {
+    Img->MainEntry = Img->Funcs[static_cast<size_t>(P.mainFunction())].EntryPc;
+    Img->MainRegs = Img->Funcs[static_cast<size_t>(P.mainFunction())].NumRegs;
+  }
+
+  Img->DefaultCosts = Img->costTableFor(CostModel());
+  return Img;
+}
+
+std::vector<uint64_t>
+ExecutableImage::costTableFor(const CostModel &Costs) const {
+  std::vector<uint64_t> Table;
+  Table.reserve(Code.size());
+  for (const FlatInst &FI : Code)
+    Table.push_back(Costs.costOfOp(FI.Op));
+  return Table;
+}
+
+namespace {
+
+std::string regName(int32_t R) { return "%" + std::to_string(R); }
+
+/// Operand list "(a, b, c)" from a pool span.
+std::string argList(const Operand *Args, uint32_t Count) {
+  std::string Out = "(";
+  for (uint32_t A = 0; A < Count; ++A) {
+    if (A)
+      Out += ", ";
+    Out += Args[A].str();
+  }
+  return Out + ")";
+}
+
+} // namespace
+
+std::string ExecutableImage::disassemble(const Program &P) const {
+  std::string Out;
+  Out += "; executable image: " + std::to_string(Code.size()) +
+         " instruction(s), " + std::to_string(Funcs.size()) +
+         " function(s), " + std::to_string(Globals.size()) +
+         " global(s) in " + std::to_string(NvmCellCount) + " NVM cell(s)\n";
+  CostModel Default;
+  for (int F = 0; F < numFunctions(); ++F) {
+    const FuncLayout &L = func(F);
+    Out += "\nfn " + P.function(F)->name() + " (f" + std::to_string(F) +
+           ") entry=" + std::to_string(L.EntryPc) +
+           " end=" + std::to_string(L.EndPc) +
+           " regs=" + std::to_string(L.NumRegs) + "\n";
+    int LastBlock = -1;
+    for (uint32_t Pc = L.EntryPc; Pc < L.EndPc; ++Pc) {
+      const FlatInst &FI = Code[Pc];
+      if (FI.Block != LastBlock) {
+        Out += "  b" + std::to_string(FI.Block) + ":\n";
+        LastBlock = FI.Block;
+      }
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "    %5u  ", Pc);
+      Out += Buf;
+      std::string Body = opcodeName(FI.Op);
+      switch (FI.Op) {
+      case Opcode::Const:
+        Body += " " + regName(FI.Dst) + ", " + std::to_string(FI.A.Imm);
+        break;
+      case Opcode::Mov:
+        Body += " " + regName(FI.Dst) + ", " + FI.A.str();
+        break;
+      case Opcode::Un:
+        Body += " " + regName(FI.Dst) + ", " +
+                std::string(unOpName(FI.UnKind)) + FI.A.str();
+        break;
+      case Opcode::Bin:
+        Body += " " + regName(FI.Dst) + ", " + FI.A.str() + " " +
+                binOpName(FI.BinKind) + " " + FI.B.str();
+        break;
+      case Opcode::LoadG:
+        Body += " " + regName(FI.Dst) + ", @" + P.global(FI.GlobalId).Name +
+                " [nvm+" + std::to_string(globalBase(FI.GlobalId)) + "]";
+        break;
+      case Opcode::StoreG:
+        Body += " @" + P.global(FI.GlobalId).Name + " [nvm+" +
+                std::to_string(globalBase(FI.GlobalId)) + "], " + FI.A.str();
+        break;
+      case Opcode::LoadA:
+        Body += " " + regName(FI.Dst) + ", @" + P.global(FI.GlobalId).Name +
+                "[" + FI.A.str() + "] [nvm+" +
+                std::to_string(globalBase(FI.GlobalId)) + "+i]";
+        break;
+      case Opcode::StoreA:
+        Body += " @" + P.global(FI.GlobalId).Name + "[" + FI.A.str() +
+                "] [nvm+" + std::to_string(globalBase(FI.GlobalId)) +
+                "+i], " + FI.B.str();
+        break;
+      case Opcode::LoadInd:
+        Body += " " + regName(FI.Dst) + ", *" + FI.A.str();
+        break;
+      case Opcode::StoreInd:
+        Body += " *" + FI.A.str() + ", " + FI.B.str();
+        break;
+      case Opcode::Input:
+        Body += " " + regName(FI.Dst) + ", sensor " +
+                P.sensor(FI.SensorId).Name;
+        break;
+      case Opcode::Call:
+        Body += " " + P.function(FI.Callee)->name() + " -> pc " +
+                std::to_string(FI.CalleeEntryPc) +
+                argList(args(FI), FI.ArgsCount);
+        if (FI.Dst >= 0)
+          Body += " dst=" + regName(FI.Dst);
+        break;
+      case Opcode::Ret:
+        if (!FI.A.isNone())
+          Body += " " + FI.A.str();
+        break;
+      case Opcode::Br:
+        Body += " -> pc " + std::to_string(FI.Target);
+        break;
+      case Opcode::CondBr:
+        Body += " " + FI.A.str() + " ? pc " + std::to_string(FI.Target) +
+                " : pc " + std::to_string(FI.Target2);
+        break;
+      case Opcode::Fresh:
+        Body += " " + FI.A.str();
+        break;
+      case Opcode::Consistent:
+        Body += " " + FI.A.str() + ", set " + std::to_string(FI.SetId);
+        break;
+      case Opcode::AtomicStart:
+      case Opcode::AtomicEnd:
+        Body += " region r" + std::to_string(FI.RegionId);
+        break;
+      case Opcode::Output:
+        Body += " " + std::string(outputKindName(FI.OutKind)) +
+                argList(args(FI), FI.ArgsCount);
+        break;
+      case Opcode::Nop:
+        break;
+      }
+      if (Body.size() < 44)
+        Body.resize(44, ' ');
+      Out += Body + " ; cost=" + std::to_string(Default.costOfOp(FI.Op));
+      if (FI.Op == Opcode::AtomicStart && FI.OmegaCount) {
+        Out += " omega={";
+        const int32_t *Omega = omegaGlobals(FI);
+        for (uint32_t G = 0; G < FI.OmegaCount; ++G) {
+          if (G)
+            Out += ", ";
+          Out += P.global(Omega[G]).Name;
+        }
+        Out += "}";
+      }
+      if (FI.HasUseCheck)
+        Out += " monitor=fresh-use";
+      if (FI.UseRegsCount) {
+        Out += " monitor-regs=[";
+        const int32_t *Regs = useRegs(FI);
+        for (uint32_t R = 0; R < FI.UseRegsCount; ++R) {
+          if (R)
+            Out += ", ";
+          Out += regName(Regs[R]);
+        }
+        Out += "]";
+      }
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,174 @@
+//===- ExecutableImage.h - Flat, precomputed execution form -----*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `ExecutableImage` is an immutable, flat execution form of a compiled
+/// program, built once per `CompiledArtifact` and shared read-only by every
+/// `Simulation` that executes it. It exists purely for interpreter speed:
+///
+///  * All functions are linearized into one contiguous instruction array;
+///    a program counter replaces the `{Func, Block, Idx}` triple, so fetch
+///    is a single indexed load instead of three pointer hops.
+///  * Branch, call and fall-through targets are pre-resolved to absolute
+///    PCs at build time.
+///  * The per-instruction cycle cost (`CostModel::costOf`'s switch) is
+///    folded into a PC-indexed table.
+///  * Dense side tables map each PC to its monitor actions (bit-vector
+///    fresh-use checks, formal-checker use registers) and each
+///    `AtomicStart` to its region's flattened omega set, replacing the
+///    per-step `MonitorPlan` map lookups and `RegionInfo` linear scans.
+///  * A global-variable layout table assigns every non-volatile global a
+///    base offset in one flat NVM array.
+///
+/// The image is a *pure acceleration structure*: it adds no semantics. The
+/// interpreter's retained tree-walking engine executes the original
+/// `Program` directly, and differential tests pin the two engines to
+/// bitwise-identical results (see tests/ExecImageTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_RUNTIME_EXECUTABLEIMAGE_H
+#define OCELOT_RUNTIME_EXECUTABLEIMAGE_H
+
+#include "analysis/WarAnalysis.h"
+#include "ir/Program.h"
+#include "runtime/CostModel.h"
+#include "runtime/MonitorPlan.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// One linearized instruction. A trimmed, fixed-size mirror of
+/// `Instruction` with every target resolved to an absolute PC and the
+/// variable-length payloads (call/output arguments, omega sets, monitored
+/// registers) moved into shared pools indexed by [begin, begin+count)
+/// spans. No strings, no vectors: stepping touches only this struct and
+/// the pools, both contiguous.
+struct FlatInst {
+  Opcode Op = Opcode::Nop;
+  bool HasUseCheck = false;  ///< Site is in MonitorPlan::UseChecks.
+  uint16_t UseRegsCount = 0; ///< Formal-checker registers at this site.
+  uint32_t Label = 0;        ///< Stable label (the paper's l in (f, l)).
+  int32_t Func = -1;         ///< Enclosing function id (the paper's f).
+  int32_t Block = -1;        ///< Source basic-block id (for disassembly).
+
+  int32_t Dst = -1;
+  Operand A, B;
+  BinOp BinKind = BinOp::Add;
+  UnOp UnKind = UnOp::Neg;
+
+  int32_t GlobalId = -1;
+  int32_t SensorId = -1;
+
+  int32_t Callee = -1;         ///< Call target function id.
+  uint32_t CalleeEntryPc = 0;  ///< Resolved entry PC of the callee.
+  uint32_t CalleeNumRegs = 0;  ///< Callee register-file size.
+
+  uint32_t Target = 0;  ///< Resolved PC: Br target / CondBr true target.
+  uint32_t Target2 = 0; ///< Resolved PC: CondBr false target.
+
+  int32_t SetId = -1;
+  int32_t RegionId = -1;
+  OutputKind OutKind = OutputKind::Log;
+
+  uint32_t ArgsBegin = 0, ArgsCount = 0;   ///< Call/Output args span.
+  uint32_t OmegaBegin = 0, OmegaCount = 0; ///< AtomicStart omega span.
+  uint32_t UseRegsBegin = 0;               ///< Formal use-regs span.
+};
+
+/// Layout of one non-volatile global in the flat NVM array.
+struct GlobalSlot {
+  uint32_t Base = 0; ///< First cell index.
+  uint32_t Size = 0; ///< Cell count (1 for scalars).
+};
+
+/// Per-function layout of the linearized code.
+struct FuncLayout {
+  uint32_t EntryPc = 0; ///< PC of the entry block's first instruction.
+  uint32_t EndPc = 0;   ///< One past the function's last instruction.
+  uint32_t NumRegs = 0; ///< Virtual register-file size.
+};
+
+class ExecutableImage {
+public:
+  /// Builds the image for \p P. \p Regions supplies the omega sets
+  /// flattened next to each AtomicStart and \p Plan the monitor side
+  /// tables; either may be null for programs without annotations.
+  static std::shared_ptr<const ExecutableImage>
+  build(const Program &P, const std::vector<RegionInfo> *Regions,
+        const MonitorPlan *Plan);
+
+  // -- Code --------------------------------------------------------------
+  const std::vector<FlatInst> &code() const { return Code; }
+  uint32_t size() const { return static_cast<uint32_t>(Code.size()); }
+  const FuncLayout &func(int F) const {
+    return Funcs[static_cast<size_t>(F)];
+  }
+  int numFunctions() const { return static_cast<int>(Funcs.size()); }
+  uint32_t entryPc(int F) const { return func(F).EntryPc; }
+  uint32_t mainEntryPc() const { return MainEntry; }
+  uint32_t mainNumRegs() const { return MainRegs; }
+
+  // -- Pools -------------------------------------------------------------
+  const Operand *args(const FlatInst &I) const {
+    return ArgPool.data() + I.ArgsBegin;
+  }
+  /// Globals of an AtomicStart's omega set, in ascending id order (the
+  /// same order the tree engine reads out of RegionInfo::Omega).
+  const int32_t *omegaGlobals(const FlatInst &I) const {
+    return OmegaPool.data() + I.OmegaBegin;
+  }
+  /// Formal-checker registers at a fresh-use site, ascending (the same
+  /// order as MonitorPlan::UseRegs' std::set).
+  const int32_t *useRegs(const FlatInst &I) const {
+    return UseRegPool.data() + I.UseRegsBegin;
+  }
+
+  // -- NVM layout --------------------------------------------------------
+  const std::vector<GlobalSlot> &globals() const { return Globals; }
+  uint32_t globalBase(int G) const {
+    return Globals[static_cast<size_t>(G)].Base;
+  }
+  uint32_t globalSize(int G) const {
+    return Globals[static_cast<size_t>(G)].Size;
+  }
+  /// Total NVM cells across all globals.
+  uint32_t nvmCells() const { return NvmCellCount; }
+
+  // -- Costs -------------------------------------------------------------
+  /// PC-indexed cycle costs under the default CostModel. Interpreters
+  /// running a non-default model materialize their own table with
+  /// costTableFor.
+  const std::vector<uint64_t> &defaultCosts() const { return DefaultCosts; }
+  std::vector<uint64_t> costTableFor(const CostModel &Costs) const;
+
+  /// Human-readable dump of the whole image: PC, opcode, resolved
+  /// targets, cost, region/monitor annotations (ocelotc --disasm).
+  /// \p P must be the program this image was built from (names only).
+  std::string disassemble(const Program &P) const;
+
+private:
+  ExecutableImage() = default;
+
+  std::vector<FlatInst> Code;
+  std::vector<FuncLayout> Funcs;
+  std::vector<Operand> ArgPool;
+  std::vector<int32_t> OmegaPool;
+  std::vector<int32_t> UseRegPool;
+  std::vector<GlobalSlot> Globals;
+  std::vector<uint64_t> DefaultCosts;
+  uint32_t NvmCellCount = 0;
+  uint32_t MainEntry = 0;
+  uint32_t MainRegs = 0;
+};
+
+} // namespace ocelot
+
+#endif // OCELOT_RUNTIME_EXECUTABLEIMAGE_H

@@ -3,6 +3,13 @@
 // Part of the Ocelot reproduction, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine-independent interpreter state plus the tree-walking reference
+/// engine. The flat PC-indexed engine lives in InterpreterFlat.cpp; the two
+/// must stay observationally identical (ExecImageTest pins this).
+///
+//===----------------------------------------------------------------------===//
 
 #include "runtime/Interpreter.h"
 
@@ -10,8 +17,8 @@
 
 using namespace ocelot;
 
-uint64_t CostModel::costOf(const Instruction &I) const {
-  switch (I.Op) {
+uint64_t CostModel::costOfOp(Opcode Op) const {
+  switch (Op) {
   case Opcode::Input:
     return InputCost;
   case Opcode::Output:
@@ -34,8 +41,11 @@ uint64_t CostModel::costOf(const Instruction &I) const {
 
 Interpreter::Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
                          const MonitorPlan *Plan,
-                         const std::vector<RegionInfo> *Regions)
+                         const std::vector<RegionInfo> *Regions,
+                         std::shared_ptr<const ExecutableImage> Image)
     : P(P), Env(Env), Cfg(std::move(Cfg)), Regions(Regions),
+      Img(Image ? std::move(Image)
+                : ExecutableImage::build(P, Regions, Plan)),
       Rand(this->Cfg.Seed) {
   static const MonitorPlan EmptyPlan;
   Monitor = std::make_unique<ViolationMonitor>(Plan ? *Plan : EmptyPlan,
@@ -45,18 +55,24 @@ Interpreter::Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
         this->Cfg.Energy, this->Cfg.Seed ^ 0xe4e4f00dULL, this->Cfg.Power);
   if (this->Cfg.MonitorFormal)
     this->Cfg.TrackTaint = true;
+  // Fold the cost switch once: a PC-indexed table replaces per-step
+  // CostModel::costOf calls. The default model reuses the image's table.
+  if (this->Cfg.Costs == CostModel()) {
+    CostTable = Img->defaultCosts().data();
+  } else {
+    OwnCosts = Img->costTableFor(this->Cfg.Costs);
+    CostTable = OwnCosts.data();
+  }
   resetNvm();
 }
 
 void Interpreter::resetNvm() {
-  Nvm.clear();
-  Nvm.resize(static_cast<size_t>(P.numGlobals()));
+  // One flat cell array laid out by the image's global table.
+  Nvm.assign(Img->nvmCells(), RtValue());
   for (int G = 0; G < P.numGlobals(); ++G) {
     const GlobalVar &GV = P.global(G);
-    auto &Cells = Nvm[static_cast<size_t>(G)];
-    Cells.resize(static_cast<size_t>(GV.Size));
     for (int I = 0; I < GV.Size; ++I)
-      Cells[static_cast<size_t>(I)] =
+      nvmCell(G, I) =
           RtValue(I < static_cast<int>(GV.Init.size())
                       ? GV.Init[static_cast<size_t>(I)]
                       : 0);
@@ -70,11 +86,13 @@ void Interpreter::setReplayInputs(
 }
 
 std::vector<std::vector<int64_t>> Interpreter::nvmSnapshot() const {
-  std::vector<std::vector<int64_t>> Snap(Nvm.size());
-  for (size_t G = 0; G < Nvm.size(); ++G) {
-    Snap[G].reserve(Nvm[G].size());
-    for (const RtValue &V : Nvm[G])
-      Snap[G].push_back(V.V);
+  std::vector<std::vector<int64_t>> Snap(
+      static_cast<size_t>(P.numGlobals()));
+  for (int G = 0; G < P.numGlobals(); ++G) {
+    uint32_t Size = Img->globalSize(G);
+    Snap[static_cast<size_t>(G)].reserve(Size);
+    for (uint32_t I = 0; I < Size; ++I)
+      Snap[static_cast<size_t>(G)].push_back(nvmCell(G, I).V);
   }
   return Snap;
 }
@@ -88,12 +106,20 @@ const Instruction *Interpreter::fetch() const {
   return &BB->instructions()[static_cast<size_t>(F.Idx)];
 }
 
+RtValue Interpreter::evalKindless() const {
+  assert(false && "evaluated an operand without a kind (lowering bug)");
+  // Release builds: surface the lowering bug as a structured trap from the
+  // step loop instead of silently yielding 0.
+  SawKindlessOperand = true;
+  return RtValue(0);
+}
+
 RtValue Interpreter::eval(Operand O) const {
   if (O.isImm())
     return RtValue(O.Imm);
   if (O.isReg())
     return Frames.back().Regs[static_cast<size_t>(O.Reg)];
-  return RtValue(0);
+  return evalKindless();
 }
 
 ProvChain Interpreter::currentChain(uint32_t FinalLabel) const {
@@ -114,10 +140,10 @@ const RegionInfo *Interpreter::regionInfo(int RegionId) const {
 }
 
 void Interpreter::writeGlobal(int G, int64_t Index, RtValue V, RunResult &R) {
-  auto &Cells = Nvm[static_cast<size_t>(G)];
-  assert(Index >= 0 && Index < static_cast<int64_t>(Cells.size()));
+  assert(Index >= 0 &&
+         Index < static_cast<int64_t>(Img->globalSize(G)));
   if (ExecMode == Mode::Atomic) {
-    if (Undo.logIfFirst(G, Index, Cells[static_cast<size_t>(Index)])) {
+    if (Undo.logIfFirst(G, Index, nvmCell(G, Index))) {
       ++R.UndoLogEntries;
       R.OnCycles += Cfg.Costs.UndoLogEntryCost;
       LifetimeOn += Cfg.Costs.UndoLogEntryCost;
@@ -126,7 +152,7 @@ void Interpreter::writeGlobal(int G, int64_t Index, RtValue V, RunResult &R) {
   }
   if (!Cfg.TrackTaint)
     V.Taint.clear();
-  Cells[static_cast<size_t>(Index)] = std::move(V);
+  nvmCell(G, Index) = std::move(V);
 }
 
 void Interpreter::enterAtomic(const Instruction &I, RunResult &R) {
@@ -151,9 +177,10 @@ void Interpreter::enterAtomic(const Instruction &I, RunResult &R) {
   if (Cfg.StaticOmega) {
     if (const RegionInfo *Info = regionInfo(I.RegionId)) {
       for (int G : Info->Omega) {
-        const auto &Cells = Nvm[static_cast<size_t>(G)];
-        for (size_t Idx = 0; Idx < Cells.size(); ++Idx) {
-          if (Undo.logIfFirst(G, static_cast<int64_t>(Idx), Cells[Idx])) {
+        uint32_t Size = Img->globalSize(G);
+        for (uint32_t Idx = 0; Idx < Size; ++Idx) {
+          if (Undo.logIfFirst(G, static_cast<int64_t>(Idx),
+                              nvmCell(G, Idx))) {
             ++R.UndoLogEntries;
             R.OnCycles += Cfg.Costs.AtomicOmegaPerCell;
             LifetimeOn += Cfg.Costs.AtomicOmegaPerCell;
@@ -184,14 +211,10 @@ void Interpreter::commitAtomic(RunResult &R) {
   ++R.AtomicCommits;
 }
 
-void Interpreter::powerFail(RunResult &R) {
+void Interpreter::rebootCommon(RunResult &R, uint64_t TotalRegs) {
   ++R.Reboots;
   ++Epoch;
   ++Committed.Reboots;
-
-  uint64_t TotalRegs = 0;
-  for (const Frame &F : Frames)
-    TotalRegs += F.Regs.size();
 
   if (ExecMode == Mode::Jit) {
     // JIT-LowPower: the ISR checkpoints volatile state into NVM within the
@@ -209,11 +232,18 @@ void Interpreter::powerFail(RunResult &R) {
   Tau += Off;
   R.OffCycles += Off;
   Monitor->onPowerFailure();
+}
+
+void Interpreter::powerFail(RunResult &R) {
+  uint64_t TotalRegs = 0;
+  for (const Frame &F : Frames)
+    TotalRegs += F.Regs.size();
+  rebootCommon(R, TotalRegs);
 
   if (ExecMode == Mode::Atomic) {
     // Atom-Reboot: apply the undo log, restore the region-entry context.
     Undo.restore([&](int G, int64_t Index, const RtValue &Old) {
-      Nvm[static_cast<size_t>(G)][static_cast<size_t>(Index)] = Old;
+      nvmCell(G, Index) = Old;
     });
     // In static mode the log *is* the region's backup and is retained for
     // the next attempt; dynamic mode re-logs on first write.
@@ -251,6 +281,11 @@ bool Interpreter::checkEnergyAndPlan(uint64_t Cost) {
 }
 
 RunResult Interpreter::runOnce() {
+  return Cfg.Dispatch == DispatchEngine::Tree ? runOnceTree()
+                                              : runOnceFlat();
+}
+
+RunResult Interpreter::runOnceTree() {
   RunResult R;
   Cfg.Plan.resetRun();
   Monitor->beginRun();
@@ -300,6 +335,7 @@ RunResult Interpreter::runOnce() {
     R.OnCycles += Cost;
     LifetimeOn += Cost;
     Tau += Cost;
+    ++R.Steps;
 
     // Freshness checks fire when a use of a fresh variable executes.
     if (Cfg.MonitorBitVector)
@@ -423,27 +459,27 @@ RunResult Interpreter::runOnce() {
     }
     case Opcode::LoadG:
       Frames.back().Regs[static_cast<size_t>(I->Dst)] =
-          Nvm[static_cast<size_t>(I->GlobalId)][0];
+          nvmCell(I->GlobalId, 0);
       break;
     case Opcode::StoreG:
       writeGlobal(I->GlobalId, 0, eval(I->A), R);
       break;
     case Opcode::LoadA: {
       int64_t Idx = eval(I->A).V;
-      const auto &Cells = Nvm[static_cast<size_t>(I->GlobalId)];
-      if (Idx < 0 || Idx >= static_cast<int64_t>(Cells.size())) {
+      if (Idx < 0 ||
+          Idx >= static_cast<int64_t>(Img->globalSize(I->GlobalId))) {
         R.Trap = "array index out of bounds in " +
                  P.function(Site.Func)->name();
         break;
       }
       Frames.back().Regs[static_cast<size_t>(I->Dst)] =
-          Cells[static_cast<size_t>(Idx)];
+          nvmCell(I->GlobalId, Idx);
       break;
     }
     case Opcode::StoreA: {
       int64_t Idx = eval(I->A).V;
-      const auto &Cells = Nvm[static_cast<size_t>(I->GlobalId)];
-      if (Idx < 0 || Idx >= static_cast<int64_t>(Cells.size())) {
+      if (Idx < 0 ||
+          Idx >= static_cast<int64_t>(Img->globalSize(I->GlobalId))) {
         R.Trap = "array index out of bounds in " +
                  P.function(Site.Func)->name();
         break;
@@ -455,7 +491,7 @@ RunResult Interpreter::runOnce() {
       int64_t G = eval(I->A).V;
       assert(G >= 0 && G < P.numGlobals() && "bad reference value");
       Frames.back().Regs[static_cast<size_t>(I->Dst)] =
-          Nvm[static_cast<size_t>(G)][0];
+          nvmCell(static_cast<int>(G), 0);
       break;
     }
     case Opcode::StoreInd: {
@@ -558,6 +594,14 @@ RunResult Interpreter::runOnce() {
     }
     case Opcode::Nop:
       break;
+    }
+
+    if (SawKindlessOperand) {
+      SawKindlessOperand = false;
+      if (R.Trap.empty())
+        R.Trap = "operand without a kind at " +
+                 P.function(Site.Func)->name() + "@" +
+                 std::to_string(Site.Label) + " (lowering bug)";
     }
   }
 

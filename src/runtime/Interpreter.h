@@ -21,6 +21,19 @@
 ///  * Optional dynamic taint (Appendix B) feeds the formal violation
 ///    checker; the bit-vector detector (§7.3) runs independently.
 ///
+/// Two dispatch engines implement these semantics and are pinned to
+/// bitwise-identical results by differential tests (ExecImageTest):
+///
+///  * Flat (the default) — PC-indexed dispatch over the artifact's
+///    `ExecutableImage`: one contiguous instruction array, pre-resolved
+///    branch/call targets, a folded cost table, and dense monitor/region
+///    side tables. Frames shrink to {ReturnPc, RegBase} over one shared
+///    register stack.
+///  * Tree — the original tree-walking engine chasing
+///    Program→Function→Block→Instruction pointers. Retained as the
+///    reference semantics for differential tests and as the baseline for
+///    the steps-per-second report (bench/micro_runtime --json).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OCELOT_RUNTIME_INTERPRETER_H
@@ -28,8 +41,10 @@
 
 #include "analysis/WarAnalysis.h"
 #include "ir/Program.h"
+#include "runtime/CostModel.h"
 #include "runtime/EnergyModel.h"
 #include "runtime/Environment.h"
+#include "runtime/ExecutableImage.h"
 #include "runtime/FailurePlan.h"
 #include "runtime/MonitorPlan.h"
 #include "runtime/Trace.h"
@@ -43,30 +58,11 @@ namespace ocelot {
 
 class PowerSource;
 
-/// Cycle costs per operation class. Values are abstract cycles; the
-/// evaluation reports ratios, which depend only on relative magnitudes
-/// (sensor reads and radio/UART output are expensive relative to ALU work,
-/// checkpoints scale with saved state — as on the paper's MSP430 target).
-struct CostModel {
-  uint64_t Default = 1;
-  uint64_t InputCost = 80;
-  uint64_t OutputCost = 200;
-  uint64_t CallCost = 2;
-  uint64_t CheckpointBase = 120;
-  uint64_t CheckpointPerReg = 1;
-  uint64_t RestoreBase = 60;
-  uint64_t RestorePerReg = 1;
-  uint64_t AtomicStartCost = 10;
-  /// Entering an (outermost) atomic region checkpoints the volatile
-  /// execution context like a JIT checkpoint does (§6.3). Charged per
-  /// active stack frame: virtual-register counts are inflated by loop
-  /// unrolling, while a real MSP430 frame is a handful of words.
-  uint64_t RegionEntryPerFrame = 8;
-  uint64_t AtomicOmegaPerCell = 2; ///< Static-omega backup per cell.
-  uint64_t UndoLogEntryCost = 3;
-  uint64_t AtomicCommitCost = 6;
-
-  uint64_t costOf(const Instruction &I) const;
+/// Which dispatch loop executes the program. Both engines implement the
+/// same semantics; Flat is strictly an acceleration.
+enum class DispatchEngine {
+  Flat, ///< PC-indexed dispatch over the ExecutableImage (default).
+  Tree, ///< Original pointer-chasing walk of the Program (reference).
 };
 
 struct RunConfig {
@@ -80,6 +76,7 @@ struct RunConfig {
   /// shared by any number of concurrent simulations.
   std::shared_ptr<const PowerSource> Power;
   uint64_t Seed = 1;
+  DispatchEngine Dispatch = DispatchEngine::Flat;
   bool TrackTaint = false;
   bool MonitorBitVector = false;
   bool MonitorFormal = false; ///< Implies TrackTaint.
@@ -98,6 +95,7 @@ struct RunResult {
   std::string Trap;     ///< Non-empty on runtime error (bounds, div by 0).
   uint64_t OnCycles = 0;
   uint64_t OffCycles = 0;
+  uint64_t Steps = 0; ///< Instructions executed (throughput accounting).
   uint64_t Reboots = 0;
   uint64_t Checkpoints = 0;
   uint64_t UndoLogEntries = 0;
@@ -115,9 +113,15 @@ public:
   /// \p Plan and \p Regions may be null/empty for programs without
   /// annotations. NVM, tau, the reboot epoch and the energy store persist
   /// across runOnce() calls, as on a real device.
+  ///
+  /// \p Image is the precomputed execution form; pass the artifact's so N
+  /// simulations share one image. When null, the interpreter builds its
+  /// own (callers that only have a raw Program, e.g. the refinement
+  /// replay).
   Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
               const MonitorPlan *Plan = nullptr,
-              const std::vector<RegionInfo> *Regions = nullptr);
+              const std::vector<RegionInfo> *Regions = nullptr,
+              std::shared_ptr<const ExecutableImage> Image = nullptr);
 
   /// Executes one activation of main() to completion (or abort).
   RunResult runOnce();
@@ -141,8 +145,10 @@ public:
   uint64_t tau() const { return Tau; }
   uint64_t epoch() const { return Epoch; }
   const ViolationMonitor &monitor() const { return *Monitor; }
+  const ExecutableImage &image() const { return *Img; }
 
 private:
+  // -- Tree engine (reference semantics) ---------------------------------
   struct Frame {
     int Func = -1;
     int Block = 0;
@@ -152,25 +158,82 @@ private:
     uint32_t CallSiteLabel = 0; ///< Label of the call in the caller.
   };
 
+  // -- Flat engine (PC-indexed dispatch) ---------------------------------
+  /// A call frame under flat dispatch: where to resume in the caller and
+  /// where this frame's registers start on the shared register stack.
+  /// Everything else (function id, call-site label, return destination) is
+  /// recomputed from the image: the call instruction sits at ReturnPc - 1.
+  struct FlatFrame {
+    uint32_t ReturnPc = 0;
+    uint32_t RegBase = 0;
+  };
+  /// Region-entry snapshot of the flat engine's volatile state.
+  struct FlatSnapshot {
+    std::vector<FlatFrame> Frames;
+    std::vector<RtValue> Regs;
+    uint32_t Pc = 0;
+  };
+
   enum class Mode { Jit, Atomic };
 
+  RunResult runOnceTree();
+  RunResult runOnceFlat();
+  /// The flat dispatch loop, specialized on taint tracking: the taint-off
+  /// instantiation (the default hot path) moves raw int64 payloads with no
+  /// RtValue temporaries — legal because with TrackTaint off every taint
+  /// vector in registers and NVM is empty by construction.
+  template <bool TaintOn> RunResult runFlatLoop();
+
   const Instruction *fetch() const;
-  RtValue eval(Operand O) const;
+  RtValue eval(Operand O) const;     ///< Tree engine operand read.
+  RtValue evalFlat(Operand O) const; ///< Flat engine operand read.
+  /// Both engines: a kind-less operand reaching eval is a lowering bug —
+  /// assert in debug; in release the step loop turns it into a trap
+  /// instead of silently yielding 0.
+  RtValue evalKindless() const;
   void powerFail(RunResult &R);
+  void powerFailFlat(RunResult &R);
+  /// Engine-independent reboot core: charges the JIT checkpoint, draws the
+  /// off time (folded into R.OffCycles and tau), clears the monitor bit
+  /// vector.
+  void rebootCommon(RunResult &R, uint64_t TotalRegs);
   void enterAtomic(const Instruction &I, RunResult &R);
+  void enterAtomicFlat(const FlatInst &I, RunResult &R);
   void commitAtomic(RunResult &R);
   void writeGlobal(int G, int64_t Index, RtValue V, RunResult &R);
+  /// Taint-off fast path: identical to writeGlobal for a taint-free value
+  /// (same undo-log sequence and cost charging) without materializing an
+  /// RtValue.
+  void writeGlobalRaw(int G, int64_t Index, int64_t V, RunResult &R);
   ProvChain currentChain(uint32_t FinalLabel) const;
+  ProvChain currentChainFlat(int Func, uint32_t FinalLabel) const;
   const RegionInfo *regionInfo(int RegionId) const;
   bool checkEnergyAndPlan(uint64_t Cost);
+
+  /// Flat NVM addressing: cell \p Index of global \p G via the image's
+  /// layout table.
+  RtValue &nvmCell(int G, int64_t Index) {
+    return Nvm[Img->globalBase(G) + static_cast<size_t>(Index)];
+  }
+  const RtValue &nvmCell(int G, int64_t Index) const {
+    return Nvm[Img->globalBase(G) + static_cast<size_t>(Index)];
+  }
 
   const Program &P;
   Environment &Env;
   RunConfig Cfg;
   const std::vector<RegionInfo> *Regions;
+  std::shared_ptr<const ExecutableImage> Img;
+  /// PC-indexed cycle costs under Cfg.Costs. Points at the image's
+  /// default-model table when Cfg.Costs is the default; otherwise at
+  /// OwnCosts.
+  const uint64_t *CostTable = nullptr;
+  std::vector<uint64_t> OwnCosts;
 
-  // Non-volatile state (persists across runs and failures).
-  std::vector<std::vector<RtValue>> Nvm;
+  // Non-volatile state (persists across runs and failures). One flat cell
+  // array laid out by the image's global table; both engines address it
+  // through nvmCell().
+  std::vector<RtValue> Nvm;
   uint64_t Tau = 0;
   uint64_t Epoch = 0;
   /// Cumulative on-cycles across the device lifetime (periodic failure
@@ -180,15 +243,24 @@ private:
   std::unique_ptr<EnergyModel> Energy;
   Rng Rand;
 
-  // Volatile execution state.
+  // Volatile execution state (tree engine).
   std::vector<Frame> Frames;
-  Mode ExecMode = Mode::Jit;
-  // Atomic context (kappa_atom): snapshot + undo log + nesting counter.
   std::vector<Frame> AtomicSnapshot;
+  // Volatile execution state (flat engine).
+  std::vector<FlatFrame> FFrames;
+  std::vector<RtValue> RegStack;
+  uint32_t Pc = 0;
+  FlatSnapshot FlatAtomicSnapshot;
+
+  Mode ExecMode = Mode::Jit;
+  // Atomic context (kappa_atom): undo log + nesting counter.
   UndoLog Undo;
   int Natom = 0;
   int CurrentRegion = -1;
   uint64_t AbortsThisRegion = 0;
+  /// Set by eval/evalFlat on a kind-less operand (release builds); the
+  /// step loops convert it into a structured trap.
+  mutable bool SawKindlessOperand = false;
 
   // Trace buffering: committed vs pending (inside an open region).
   Trace Committed;

@@ -1,0 +1,595 @@
+//===- InterpreterFlat.cpp - PC-indexed dispatch over the ExecutableImage --------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat dispatch engine: the hot loop the whole evaluation runs on.
+/// Fetch is one indexed load from the image's contiguous code array, cycle
+/// costs come from a PC-indexed table, branch/call targets are pre-resolved
+/// absolute PCs, and the monitor/region side tables replace the per-step
+/// map lookups and linear scans of the tree engine (Interpreter.cpp). The
+/// loop is specialized on taint tracking: with taint off (the default),
+/// values move as raw int64 payloads with no RtValue temporaries.
+///
+/// Every rule here must mirror the tree engine exactly — same cost
+/// charging, same RNG draw sequence, same monitor callbacks, same trap
+/// strings — so that the two engines stay bitwise-identical on every
+/// benchmark x model x plan x seed cell (pinned by ExecImageTest).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include <cassert>
+
+using namespace ocelot;
+
+RtValue Interpreter::evalFlat(Operand O) const {
+  if (O.isImm())
+    return RtValue(O.Imm);
+  if (O.isReg())
+    return RegStack[FFrames.back().RegBase + static_cast<size_t>(O.Reg)];
+  return evalKindless();
+}
+
+ProvChain Interpreter::currentChainFlat(int Func, uint32_t FinalLabel) const {
+  // Frame I was created by the call instruction at FFrames[I].ReturnPc - 1;
+  // that instruction's Func field is the caller, mirroring the tree
+  // engine's (Frames[I-1].Func, Frames[I].CallSiteLabel) pairs.
+  ProvChain C;
+  const FlatInst *Code = Img->code().data();
+  for (size_t I = 1; I < FFrames.size(); ++I) {
+    const FlatInst &CallI = Code[FFrames[I].ReturnPc - 1];
+    C.push_back(InstrRef(CallI.Func, CallI.Label));
+  }
+  C.push_back(InstrRef(Func, FinalLabel));
+  return C;
+}
+
+void Interpreter::writeGlobalRaw(int G, int64_t Index, int64_t V,
+                                 RunResult &R) {
+  assert(Index >= 0 && Index < static_cast<int64_t>(Img->globalSize(G)));
+  if (ExecMode == Mode::Atomic) {
+    if (Undo.logIfFirst(G, Index, nvmCell(G, Index))) {
+      ++R.UndoLogEntries;
+      R.OnCycles += Cfg.Costs.UndoLogEntryCost;
+      LifetimeOn += Cfg.Costs.UndoLogEntryCost;
+      Tau += Cfg.Costs.UndoLogEntryCost;
+    }
+  }
+  // Taint is empty everywhere by the !TrackTaint invariant, so only the
+  // payload moves (writeGlobal would clear-and-assign the same state).
+  nvmCell(G, Index).V = V;
+}
+
+void Interpreter::enterAtomicFlat(const FlatInst &I, RunResult &R) {
+  if (ExecMode == Mode::Atomic) {
+    ++Natom; // Atom-Start-Inner: flattening counter only.
+    return;
+  }
+  // Atom-Start-Outer: snapshot volatile state positioned after the start
+  // (Pc has already advanced past the AtomicStart, like the tree engine's
+  // Idx). Saving the volatile context costs like a JIT checkpoint (§6.3).
+  uint64_t SaveCost = Cfg.Costs.RegionEntryPerFrame * FFrames.size();
+  R.OnCycles += SaveCost;
+  LifetimeOn += SaveCost;
+  Tau += SaveCost;
+  if (Energy)
+    Energy->consume(SaveCost);
+  ExecMode = Mode::Atomic;
+  CurrentRegion = I.RegionId;
+  Natom = 0;
+  AbortsThisRegion = 0;
+  FlatAtomicSnapshot.Frames = FFrames;
+  FlatAtomicSnapshot.Regs = RegStack;
+  FlatAtomicSnapshot.Pc = Pc;
+  Undo.clear();
+  if (Cfg.StaticOmega && I.OmegaCount) {
+    // The omega set was flattened next to the region start at image build
+    // time, in the same ascending order the tree engine reads out of
+    // RegionInfo::Omega — identical undo-log entry sequence.
+    const int32_t *Omega = Img->omegaGlobals(I);
+    for (uint32_t OI = 0; OI < I.OmegaCount; ++OI) {
+      int G = Omega[OI];
+      uint32_t Size = Img->globalSize(G);
+      for (uint32_t Idx = 0; Idx < Size; ++Idx) {
+        if (Undo.logIfFirst(G, static_cast<int64_t>(Idx), nvmCell(G, Idx))) {
+          ++R.UndoLogEntries;
+          R.OnCycles += Cfg.Costs.AtomicOmegaPerCell;
+          LifetimeOn += Cfg.Costs.AtomicOmegaPerCell;
+          Tau += Cfg.Costs.AtomicOmegaPerCell;
+        }
+      }
+    }
+  }
+}
+
+void Interpreter::powerFailFlat(RunResult &R) {
+  // The register stack holds exactly every live frame's register file, so
+  // its size equals the tree engine's per-frame sum.
+  uint64_t TotalRegs = RegStack.size();
+  rebootCommon(R, TotalRegs);
+
+  if (ExecMode == Mode::Atomic) {
+    // Atom-Reboot: apply the undo log, restore the region-entry context.
+    Undo.restore([&](int G, int64_t Index, const RtValue &Old) {
+      nvmCell(G, Index) = Old;
+    });
+    // In static mode the log *is* the region's backup and is retained for
+    // the next attempt; dynamic mode re-logs on first write.
+    if (!Cfg.StaticOmega)
+      Undo.clear();
+    FFrames = FlatAtomicSnapshot.Frames;
+    RegStack = FlatAtomicSnapshot.Regs;
+    Pc = FlatAtomicSnapshot.Pc;
+    Natom = 0;
+    PendingInputs.clear();
+    PendingOutputs.clear();
+    ++R.AtomicAborts;
+    ++AbortsThisRegion;
+    if (AbortsThisRegion > Cfg.MaxAbortsPerRegion) {
+      R.Starved = true;
+      FFrames.clear();
+      RegStack.clear();
+    }
+  } else {
+    // JIT-Reboot: restore volatile state (identity here; costed). Pc is
+    // untouched: execution resumes at the interrupted instruction.
+    uint64_t RestCost =
+        Cfg.Costs.RestoreBase + Cfg.Costs.RestorePerReg * TotalRegs;
+    R.OnCycles += RestCost;
+    LifetimeOn += RestCost;
+    Tau += RestCost;
+  }
+}
+
+RunResult Interpreter::runOnceFlat() {
+  // TrackTaint is fixed at construction (MonitorFormal forces it on), so
+  // each interpreter always runs one instantiation.
+  return Cfg.TrackTaint ? runFlatLoop<true>() : runFlatLoop<false>();
+}
+
+template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
+  RunResult R;
+  Cfg.Plan.resetRun();
+  Monitor->beginRun();
+  size_t ViolationsBefore = Monitor->violations().size();
+
+  FFrames.clear();
+  FFrames.push_back(FlatFrame{/*ReturnPc=*/0, /*RegBase=*/0});
+  RegStack.assign(Img->mainNumRegs(), RtValue());
+  Pc = Img->mainEntryPc();
+  ExecMode = Mode::Jit;
+  Natom = 0;
+  Undo.clear();
+  PendingInputs.clear();
+  PendingOutputs.clear();
+  Committed.clear();
+  AbortsThisRegion = 0;
+  CurrentRegion = -1;
+  uint64_t ConsecutiveFailures = 0;
+
+  const FlatInst *Code = Img->code().data();
+  const uint64_t *Costs = CostTable;
+  // Per-run constants, hoisted out of the hot loop. Skipping a call is
+  // legal only when it neither returns true nor mutates state (RNG draws,
+  // periodic-plan re-arming, energy consumption).
+  const FailurePlan::Kind PlanKind = Cfg.Plan.kind();
+  const bool PlanMayFireBefore = PlanKind == FailurePlan::Kind::Pathological ||
+                                 PlanKind == FailurePlan::Kind::Random;
+  const bool NeedEnergyCheck =
+      Energy != nullptr || PlanKind == FailurePlan::Kind::Periodic;
+  const bool BitVector = Cfg.MonitorBitVector;
+  const bool Formal = Cfg.MonitorFormal;
+  assert((TaintOn || !Formal) && "MonitorFormal implies TrackTaint");
+
+  // Raw operand payload — the taint-off fast path touches no RtValue.
+  auto RawVal = [&](const Operand &O) -> int64_t {
+    if (O.isImm())
+      return O.Imm;
+    if (O.isReg())
+      return RegStack[FFrames.back().RegBase + static_cast<size_t>(O.Reg)]
+          .V;
+    return evalKindless().V;
+  };
+
+  while (!FFrames.empty() && !R.Starved && R.Trap.empty()) {
+    if (R.OnCycles > Cfg.MaxOnCyclesPerRun) {
+      R.Trap = "on-cycle budget exceeded";
+      break;
+    }
+    const FlatInst &FI = Code[Pc];
+    InstrRef Site(FI.Func, FI.Label);
+
+    // Failure injection before the instruction (pathological / random).
+    if (PlanMayFireBefore && Cfg.Plan.firesBefore(Site, Rand)) {
+      powerFailFlat(R);
+      continue;
+    }
+    uint64_t Cost = Costs[Pc];
+    if (NeedEnergyCheck && checkEnergyAndPlan(Cost)) {
+      ++ConsecutiveFailures;
+      if (ConsecutiveFailures > Cfg.MaxAbortsPerRegion) {
+        R.Starved = true;
+        break;
+      }
+      powerFailFlat(R);
+      continue;
+    }
+    ConsecutiveFailures = 0;
+    R.OnCycles += Cost;
+    LifetimeOn += Cost;
+    Tau += Cost;
+    ++R.Steps;
+
+    const uint32_t RegBase = FFrames.back().RegBase;
+
+    // Freshness checks fire when a use of a fresh variable executes. The
+    // side tables make the common case (no check at this PC) two flag
+    // tests instead of two map lookups.
+    if (BitVector && FI.HasUseCheck)
+      Monitor->onFreshUse(Site, Tau);
+    if constexpr (TaintOn) {
+      if (Formal && FI.UseRegsCount) {
+        const int32_t *Regs = Img->useRegs(FI);
+        for (uint16_t RI = 0; RI < FI.UseRegsCount; ++RI)
+          Monitor->onFreshUseFormal(
+              Site,
+              RegStack[RegBase + static_cast<size_t>(Regs[RI])].Taint,
+              Epoch, Tau);
+      }
+    }
+
+    ++Pc; // Advance before executing (branches overwrite).
+
+    switch (FI.Op) {
+    case Opcode::Const:
+      if constexpr (TaintOn)
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] = RtValue(FI.A.Imm);
+      else
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V = FI.A.Imm;
+      break;
+    case Opcode::Mov:
+      if constexpr (TaintOn)
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] = evalFlat(FI.A);
+      else
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V = RawVal(FI.A);
+      break;
+    case Opcode::Un: {
+      int64_t AV;
+      RtValue A;
+      if constexpr (TaintOn) {
+        A = evalFlat(FI.A);
+        AV = A.V;
+      } else {
+        AV = RawVal(FI.A);
+      }
+      int64_t V = 0;
+      switch (FI.UnKind) {
+      case UnOp::Neg:
+        V = -AV;
+        break;
+      case UnOp::Not:
+        V = ~AV;
+        break;
+      case UnOp::LNot:
+        V = AV == 0 ? 1 : 0;
+        break;
+      }
+      if constexpr (TaintOn) {
+        RtValue Out(V);
+        Out.Taint = std::move(A.Taint);
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] = std::move(Out);
+      } else {
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V = V;
+      }
+      break;
+    }
+    case Opcode::Bin: {
+      int64_t AV, BV;
+      RtValue A, B;
+      if constexpr (TaintOn) {
+        A = evalFlat(FI.A);
+        B = evalFlat(FI.B);
+        AV = A.V;
+        BV = B.V;
+      } else {
+        AV = RawVal(FI.A);
+        BV = RawVal(FI.B);
+      }
+      int64_t V = 0;
+      bool Ok = true;
+      switch (FI.BinKind) {
+      case BinOp::Add:
+        V = AV + BV;
+        break;
+      case BinOp::Sub:
+        V = AV - BV;
+        break;
+      case BinOp::Mul:
+        V = AV * BV;
+        break;
+      case BinOp::Div:
+        if (BV == 0)
+          Ok = false;
+        else
+          V = AV / BV;
+        break;
+      case BinOp::Mod:
+        if (BV == 0)
+          Ok = false;
+        else
+          V = AV % BV;
+        break;
+      case BinOp::And:
+        V = AV & BV;
+        break;
+      case BinOp::Or:
+        V = AV | BV;
+        break;
+      case BinOp::Xor:
+        V = AV ^ BV;
+        break;
+      case BinOp::Shl:
+        V = AV << (BV & 63);
+        break;
+      case BinOp::Shr:
+        V = AV >> (BV & 63);
+        break;
+      case BinOp::Eq:
+        V = AV == BV;
+        break;
+      case BinOp::Ne:
+        V = AV != BV;
+        break;
+      case BinOp::Lt:
+        V = AV < BV;
+        break;
+      case BinOp::Le:
+        V = AV <= BV;
+        break;
+      case BinOp::Gt:
+        V = AV > BV;
+        break;
+      case BinOp::Ge:
+        V = AV >= BV;
+        break;
+      case BinOp::LAnd:
+        V = (AV != 0) && (BV != 0);
+        break;
+      case BinOp::LOr:
+        V = (AV != 0) || (BV != 0);
+        break;
+      }
+      if (!Ok) {
+        R.Trap = "division by zero at " + P.function(Site.Func)->name() +
+                 "@" + std::to_string(Site.Label);
+        break;
+      }
+      if constexpr (TaintOn) {
+        RtValue Out(V);
+        Out.Taint = A.Taint;
+        Out.mergeTaint(B);
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] = std::move(Out);
+      } else {
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V = V;
+      }
+      break;
+    }
+    case Opcode::LoadG:
+      if constexpr (TaintOn)
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] =
+            nvmCell(FI.GlobalId, 0);
+      else
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V =
+            nvmCell(FI.GlobalId, 0).V;
+      break;
+    case Opcode::StoreG:
+      if constexpr (TaintOn)
+        writeGlobal(FI.GlobalId, 0, evalFlat(FI.A), R);
+      else
+        writeGlobalRaw(FI.GlobalId, 0, RawVal(FI.A), R);
+      break;
+    case Opcode::LoadA: {
+      int64_t Idx = TaintOn ? evalFlat(FI.A).V : RawVal(FI.A);
+      if (Idx < 0 ||
+          Idx >= static_cast<int64_t>(Img->globalSize(FI.GlobalId))) {
+        R.Trap = "array index out of bounds in " +
+                 P.function(Site.Func)->name();
+        break;
+      }
+      if constexpr (TaintOn)
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] =
+            nvmCell(FI.GlobalId, Idx);
+      else
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V =
+            nvmCell(FI.GlobalId, Idx).V;
+      break;
+    }
+    case Opcode::StoreA: {
+      int64_t Idx = TaintOn ? evalFlat(FI.A).V : RawVal(FI.A);
+      if (Idx < 0 ||
+          Idx >= static_cast<int64_t>(Img->globalSize(FI.GlobalId))) {
+        R.Trap = "array index out of bounds in " +
+                 P.function(Site.Func)->name();
+        break;
+      }
+      if constexpr (TaintOn)
+        writeGlobal(FI.GlobalId, Idx, evalFlat(FI.B), R);
+      else
+        writeGlobalRaw(FI.GlobalId, Idx, RawVal(FI.B), R);
+      break;
+    }
+    case Opcode::LoadInd: {
+      int64_t G = TaintOn ? evalFlat(FI.A).V : RawVal(FI.A);
+      assert(G >= 0 && G < P.numGlobals() && "bad reference value");
+      if constexpr (TaintOn)
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] =
+            nvmCell(static_cast<int>(G), 0);
+      else
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V =
+            nvmCell(static_cast<int>(G), 0).V;
+      break;
+    }
+    case Opcode::StoreInd: {
+      int64_t G = TaintOn ? evalFlat(FI.A).V : RawVal(FI.A);
+      assert(G >= 0 && G < P.numGlobals() && "bad reference value");
+      if constexpr (TaintOn)
+        writeGlobal(static_cast<int>(G), 0, evalFlat(FI.B), R);
+      else
+        writeGlobalRaw(static_cast<int>(G), 0, RawVal(FI.B), R);
+      break;
+    }
+    case Opcode::Input: {
+      int64_t V;
+      if (Replay) {
+        if (ReplayIdx >= Replay->size()) {
+          R.Trap = "replay input queue exhausted";
+          break;
+        }
+        const InputEvent &E = (*Replay)[ReplayIdx++];
+        if (E.Sensor != FI.SensorId) {
+          R.Trap = "replay sensor mismatch";
+          break;
+        }
+        V = E.Value;
+      } else {
+        V = Env.sample(FI.SensorId, Tau);
+      }
+      InputEvent E;
+      E.Sensor = FI.SensorId;
+      E.Tau = Tau;
+      E.Epoch = Epoch;
+      E.Value = V;
+      if constexpr (TaintOn) {
+        RtValue Out(V);
+        Out.Taint.push_back(E);
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)] = std::move(Out);
+      } else {
+        RegStack[RegBase + static_cast<size_t>(FI.Dst)].V = V;
+      }
+      if (BitVector)
+        Monitor->onInput(Site, currentChainFlat(FI.Func, FI.Label),
+                         FI.SensorId, Tau);
+      if (Cfg.RecordTrace) {
+        if (ExecMode == Mode::Atomic)
+          PendingInputs.push_back(E);
+        else
+          Committed.Inputs.push_back(E);
+      }
+      break;
+    }
+    case Opcode::Call: {
+      // Pc already points at the fall-through instruction: that is the
+      // return address, and Code[ReturnPc - 1] recovers this call (its
+      // Dst / Label) when the frame returns or a chain is materialized.
+      const uint32_t NewBase = static_cast<uint32_t>(RegStack.size());
+      RegStack.resize(NewBase + FI.CalleeNumRegs);
+      const Operand *Args = Img->args(FI);
+      for (uint32_t A = 0; A < FI.ArgsCount; ++A) {
+        if constexpr (TaintOn)
+          RegStack[NewBase + A] = evalFlat(Args[A]);
+        else
+          RegStack[NewBase + A].V = RawVal(Args[A]);
+      }
+      FFrames.push_back(FlatFrame{/*ReturnPc=*/Pc, /*RegBase=*/NewBase});
+      Pc = FI.CalleeEntryPc;
+      break;
+    }
+    case Opcode::Ret: {
+      FlatFrame F = FFrames.back();
+      if constexpr (TaintOn) {
+        RtValue V = FI.A.isNone() ? RtValue(0) : evalFlat(FI.A);
+        FFrames.pop_back();
+        RegStack.resize(F.RegBase);
+        if (!FFrames.empty()) {
+          Pc = F.ReturnPc;
+          const FlatInst &CallI = Code[F.ReturnPc - 1];
+          if (CallI.Dst >= 0 && !FI.A.isNone())
+            RegStack[FFrames.back().RegBase +
+                     static_cast<size_t>(CallI.Dst)] = std::move(V);
+        }
+      } else {
+        int64_t V = FI.A.isNone() ? 0 : RawVal(FI.A);
+        FFrames.pop_back();
+        RegStack.resize(F.RegBase);
+        if (!FFrames.empty()) {
+          Pc = F.ReturnPc;
+          const FlatInst &CallI = Code[F.ReturnPc - 1];
+          if (CallI.Dst >= 0 && !FI.A.isNone())
+            RegStack[FFrames.back().RegBase +
+                     static_cast<size_t>(CallI.Dst)]
+                .V = V;
+        }
+      }
+      break;
+    }
+    case Opcode::Br:
+      Pc = FI.Target;
+      break;
+    case Opcode::CondBr: {
+      int64_t V = TaintOn ? evalFlat(FI.A).V : RawVal(FI.A);
+      Pc = V != 0 ? FI.Target : FI.Target2;
+      break;
+    }
+    case Opcode::Fresh:
+      break; // Checked at uses.
+    case Opcode::Consistent:
+      if constexpr (TaintOn) {
+        if (Formal)
+          Monitor->onConsistentMarker(FI.SetId, FI.Label,
+                                      evalFlat(FI.A).Taint, Epoch, Tau);
+      }
+      break;
+    case Opcode::AtomicStart:
+      enterAtomicFlat(FI, R);
+      break;
+    case Opcode::AtomicEnd:
+      commitAtomic(R);
+      break;
+    case Opcode::Output: {
+      OutputEvent E;
+      E.Kind = FI.OutKind;
+      E.Tau = Tau;
+      const Operand *Args = Img->args(FI);
+      E.Args.reserve(FI.ArgsCount);
+      for (uint32_t A = 0; A < FI.ArgsCount; ++A)
+        E.Args.push_back(TaintOn ? evalFlat(Args[A]).V : RawVal(Args[A]));
+      if (Cfg.RecordTrace) {
+        if (ExecMode == Mode::Atomic)
+          PendingOutputs.push_back(E);
+        else
+          Committed.Outputs.push_back(std::move(E));
+      }
+      break;
+    }
+    case Opcode::Nop:
+      break;
+    }
+
+    if (SawKindlessOperand) {
+      SawKindlessOperand = false;
+      if (R.Trap.empty())
+        R.Trap = "operand without a kind at " +
+                 P.function(Site.Func)->name() + "@" +
+                 std::to_string(Site.Label) + " (lowering bug)";
+    }
+  }
+
+  R.Completed = FFrames.empty() && R.Trap.empty() && !R.Starved;
+  R.TraceData = std::move(Committed);
+  Committed.clear();
+  R.FinalTau = Tau;
+
+  R.ViolatedFresh = Monitor->runFreshViolation();
+  R.ViolatedConsistent = Monitor->runConsistentViolation();
+  const auto &AllViolations = Monitor->violations();
+  for (size_t I = ViolationsBefore; I < AllViolations.size(); ++I)
+    R.Violations.push_back(AllViolations[I]);
+  return R;
+}
+
+template RunResult Interpreter::runFlatLoop<true>();
+template RunResult Interpreter::runFlatLoop<false>();

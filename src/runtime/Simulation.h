@@ -49,10 +49,9 @@ public:
   Simulation(CompiledArtifact Artifact, SimulationSpec Spec)
       : A(std::move(Artifact)),
         Env(std::make_unique<Environment>(std::move(Spec.Env))),
-        Interp(std::make_unique<Interpreter>(A.program(), *Env,
-                                             std::move(Spec.Config),
-                                             &A.monitorPlan(), &A.regions())) {
-  }
+        Interp(std::make_unique<Interpreter>(
+            A.program(), *Env, std::move(Spec.Config), &A.monitorPlan(),
+            &A.regions(), A.imagePtr())) {}
 
   /// Executes one activation of main() to completion (or abort). NVM, tau,
   /// the reboot epoch and the energy store persist across calls, as on a

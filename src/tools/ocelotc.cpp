@@ -11,6 +11,9 @@
 ///
 ///   --model=jit|atomics|ocelot|check   execution model (default ocelot)
 ///   --emit-ir                          print the compiled IR
+///   --disasm                           print the flat executable image
+///                                      (PC, opcode, resolved targets,
+///                                      cost, region/monitor annotations)
 ///   --emit-policies                    print derived policies and regions
 ///   --run[=N]                          run N main() activations (default 1)
 ///   --intermittent                     energy-driven power failures
@@ -58,7 +61,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: ocelotc FILE.ocl [--model=jit|atomics|ocelot|check]\n"
-      "               [--emit-ir] [--emit-policies] [--run[=N]]\n"
+      "               [--emit-ir] [--disasm] [--emit-policies] [--run[=N]]\n"
       "               [--intermittent] [--power=profile|trace.csv]\n"
       "               [--monitor] [--seed=S]\n");
 }
@@ -68,8 +71,8 @@ void usage() {
 int main(int argc, char **argv) {
   std::string Path;
   ExecModel Model = ExecModel::Ocelot;
-  bool EmitIr = false, EmitPolicies = false, Intermittent = false,
-       Monitor = false;
+  bool EmitIr = false, Disasm = false, EmitPolicies = false,
+       Intermittent = false, Monitor = false;
   std::shared_ptr<const PowerSource> Power;
   int Runs = 0;
   uint64_t Seed = 1;
@@ -78,6 +81,8 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "--emit-ir") {
       EmitIr = true;
+    } else if (Arg == "--disasm") {
+      Disasm = true;
     } else if (Arg == "--emit-policies") {
       EmitPolicies = true;
     } else if (Arg == "--run") {
@@ -161,6 +166,9 @@ int main(int argc, char **argv) {
 
   if (EmitIr)
     std::printf("\n%s", printProgram(A.program()).c_str());
+
+  if (Disasm)
+    std::printf("\n%s", A.image().disassemble(A.program()).c_str());
 
   if (EmitPolicies) {
     for (const FreshPolicy &Pol : A.policies().Fresh) {

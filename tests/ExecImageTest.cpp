@@ -1,0 +1,391 @@
+//===- ExecImageTest.cpp - ExecutableImage construction + differential execution --===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the flat PC-indexed dispatch engine to the tree-walking reference
+/// semantics, and unit-tests the ExecutableImage construction itself:
+///
+///  * Differential sweep — every benchmark x {Ocelot, JIT-only,
+///    Atomics-only} x 3 seeds runs under energy-driven failures with both
+///    engines; RunResult (traps, outputs, violation records, all
+///    intermittent counters) and final device state must match exactly.
+///    Focused differentials cover the pathological, random (+static
+///    omega) and periodic failure paths.
+///
+///  * Image construction — linearization order, branch/call target
+///    resolution, cost-table folding, monitor/omega side-table density
+///    and the NVM layout table are checked against the source Program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/Simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace ocelot;
+
+namespace {
+
+// -- Differential execution ------------------------------------------------
+
+/// Everything observable about one activation must match across engines.
+void expectSameResult(const RunResult &Flat, const RunResult &Tree,
+                      const std::string &What) {
+  EXPECT_EQ(Flat.Completed, Tree.Completed) << What;
+  EXPECT_EQ(Flat.Starved, Tree.Starved) << What;
+  EXPECT_EQ(Flat.Trap, Tree.Trap) << What;
+  EXPECT_EQ(Flat.OnCycles, Tree.OnCycles) << What;
+  EXPECT_EQ(Flat.OffCycles, Tree.OffCycles) << What;
+  EXPECT_EQ(Flat.Steps, Tree.Steps) << What;
+  EXPECT_EQ(Flat.Reboots, Tree.Reboots) << What;
+  EXPECT_EQ(Flat.Checkpoints, Tree.Checkpoints) << What;
+  EXPECT_EQ(Flat.UndoLogEntries, Tree.UndoLogEntries) << What;
+  EXPECT_EQ(Flat.AtomicCommits, Tree.AtomicCommits) << What;
+  EXPECT_EQ(Flat.AtomicAborts, Tree.AtomicAborts) << What;
+  EXPECT_EQ(Flat.ViolatedFresh, Tree.ViolatedFresh) << What;
+  EXPECT_EQ(Flat.ViolatedConsistent, Tree.ViolatedConsistent) << What;
+  EXPECT_EQ(Flat.FinalTau, Tree.FinalTau) << What;
+
+  ASSERT_EQ(Flat.Violations.size(), Tree.Violations.size()) << What;
+  for (size_t V = 0; V < Flat.Violations.size(); ++V) {
+    const ViolationRecord &FV = Flat.Violations[V];
+    const ViolationRecord &TV = Tree.Violations[V];
+    EXPECT_EQ(FV.K, TV.K) << What << " violation " << V;
+    EXPECT_TRUE(FV.Site == TV.Site) << What << " violation " << V;
+    EXPECT_EQ(FV.SetId, TV.SetId) << What << " violation " << V;
+    EXPECT_EQ(FV.Tau, TV.Tau) << What << " violation " << V;
+    EXPECT_EQ(FV.Detail, TV.Detail) << What << " violation " << V;
+  }
+
+  ASSERT_EQ(Flat.TraceData.Inputs.size(), Tree.TraceData.Inputs.size())
+      << What;
+  for (size_t I = 0; I < Flat.TraceData.Inputs.size(); ++I)
+    EXPECT_TRUE(Flat.TraceData.Inputs[I] == Tree.TraceData.Inputs[I])
+        << What << " input " << I;
+  ASSERT_EQ(Flat.TraceData.Outputs.size(), Tree.TraceData.Outputs.size())
+      << What;
+  for (size_t O = 0; O < Flat.TraceData.Outputs.size(); ++O) {
+    EXPECT_TRUE(Flat.TraceData.Outputs[O].sameContent(
+        Tree.TraceData.Outputs[O]))
+        << What << " output " << O;
+    EXPECT_EQ(Flat.TraceData.Outputs[O].Tau, Tree.TraceData.Outputs[O].Tau)
+        << What << " output " << O;
+  }
+  EXPECT_EQ(Flat.TraceData.Reboots, Tree.TraceData.Reboots) << What;
+}
+
+/// Runs \p Runs activations under both engines with otherwise identical
+/// specs and compares every activation plus the final device state.
+void runDifferential(const BenchmarkDef &B, ExecModel Model, uint64_t Seed,
+                     const RunConfig &Base, int Runs) {
+  CompiledBenchmark CB = compileBenchmark(B, Model);
+
+  SimulationSpec FlatSpec;
+  B.setupEnvironment(FlatSpec.Env, Seed);
+  FlatSpec.Config = Base;
+  FlatSpec.Config.Seed = Seed;
+  FlatSpec.Config.Dispatch = DispatchEngine::Flat;
+  Simulation Flat(CB.Artifact, std::move(FlatSpec));
+
+  SimulationSpec TreeSpec;
+  B.setupEnvironment(TreeSpec.Env, Seed);
+  TreeSpec.Config = Base;
+  TreeSpec.Config.Seed = Seed;
+  TreeSpec.Config.Dispatch = DispatchEngine::Tree;
+  Simulation Tree(CB.Artifact, std::move(TreeSpec));
+
+  std::string What = B.Name + "/" + execModelName(Model) + "/seed" +
+                     std::to_string(Seed);
+  for (int Run = 0; Run < Runs; ++Run) {
+    RunResult FR = Flat.runOnce();
+    RunResult TR = Tree.runOnce();
+    expectSameResult(FR, TR, What + "/run" + std::to_string(Run));
+    if (FR.Starved && TR.Starved)
+      break; // Device state after starvation is equal but final.
+  }
+  EXPECT_EQ(Flat.tau(), Tree.tau()) << What;
+  EXPECT_EQ(Flat.epoch(), Tree.epoch()) << What;
+  EXPECT_EQ(Flat.nvmSnapshot(), Tree.nvmSnapshot()) << What;
+}
+
+using Cell = std::tuple<std::string, ExecModel, uint64_t>;
+
+class ExecImageDifferential : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(ExecImageDifferential, EnergyDrivenWithMonitors) {
+  const auto &[Name, Model, Seed] = GetParam();
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Cfg.RecordTrace = true;
+  runDifferential(*findBenchmark(Name), Model, Seed, Cfg, /*Runs=*/5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecImageDifferential,
+    ::testing::Combine(::testing::Values("activity", "cem", "greenhouse",
+                                         "photo", "send_photo", "tire"),
+                       ::testing::Values(ExecModel::Ocelot,
+                                         ExecModel::JitOnly,
+                                         ExecModel::AtomicsOnly),
+                       ::testing::Values(1u, 17u, 4242u)),
+    [](const ::testing::TestParamInfo<Cell> &Info) {
+      std::string M = execModelName(std::get<1>(Info.param));
+      for (char &C : M)
+        if (C == '-')
+          C = '_';
+      return std::get<0>(Info.param) + "_" + M + "_seed" +
+             std::to_string(std::get<2>(Info.param));
+    });
+
+TEST(ExecImageDifferentialFocused, PathologicalPlan) {
+  // Exercises the firesBefore path (per-site injection, once per run).
+  for (const char *Name : {"tire", "activity"}) {
+    const BenchmarkDef &B = *findBenchmark(Name);
+    CompiledBenchmark CB = compileBenchmark(B, ExecModel::JitOnly);
+    RunConfig Cfg;
+    Cfg.Plan = FailurePlan::pathological(pathologicalPoints(CB.Artifact));
+    Cfg.Plan.setOffTime(20000, 200000);
+    Cfg.MonitorBitVector = true;
+    Cfg.MonitorFormal = true;
+    Cfg.RecordTrace = true;
+    runDifferential(B, ExecModel::JitOnly, 7, Cfg, /*Runs=*/6);
+  }
+}
+
+TEST(ExecImageDifferentialFocused, RandomPlanWithStaticOmega) {
+  // Exercises the omega side table (region-entry backup) under rollback.
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::random(0.01);
+  Cfg.Plan.setOffTime(50, 500);
+  Cfg.StaticOmega = true;
+  Cfg.RecordTrace = true;
+  runDifferential(*findBenchmark("cem"), ExecModel::AtomicsOnly, 29, Cfg,
+                  /*Runs=*/6);
+}
+
+TEST(ExecImageDifferentialFocused, PeriodicPlan) {
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::periodic(700, 0.3);
+  Cfg.Plan.setOffTime(100, 100);
+  Cfg.RecordTrace = true;
+  runDifferential(*findBenchmark("greenhouse"), ExecModel::Ocelot, 3, Cfg,
+                  /*Runs=*/8);
+}
+
+TEST(ExecImageDifferentialFocused, TrapsMatch) {
+  CompileOptions Opts;
+  Opts.Model = ExecModel::AtomicsOnly;
+  Compilation C = Toolchain().compile(
+      "static a: [int; 2];\nfn main() { let i = 5; a[i] = 1; }", Opts);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree}) {
+    SimulationSpec Spec;
+    Spec.Config.Dispatch = E;
+    Simulation Sim(C.artifact(), std::move(Spec));
+    RunResult R = Sim.runOnce();
+    EXPECT_FALSE(R.Completed);
+    EXPECT_NE(R.Trap.find("out of bounds"), std::string::npos) << R.Trap;
+  }
+}
+
+// -- Image construction ----------------------------------------------------
+
+/// Walks the program in layout order next to the image, checking the
+/// linearization, target resolution, folded costs and side tables.
+void checkImageAgainstProgram(const CompiledArtifact &A) {
+  const Program &P = A.program();
+  const ExecutableImage &Img = A.image();
+  const MonitorPlan &Plan = A.monitorPlan();
+
+  size_t Expected = P.countInstructions();
+  ASSERT_EQ(Img.size(), Expected);
+  ASSERT_EQ(Img.defaultCosts().size(), Expected);
+
+  CostModel Default;
+  CostModel Custom;
+  Custom.InputCost = 7;
+  Custom.OutputCost = 13;
+  Custom.Default = 3;
+  std::vector<uint64_t> CustomTable = Img.costTableFor(Custom);
+  ASSERT_EQ(CustomTable.size(), Expected);
+
+  uint32_t Pc = 0;
+  for (int F = 0; F < P.numFunctions(); ++F) {
+    const Function *Fn = P.function(F);
+    EXPECT_EQ(Img.entryPc(F), Pc) << Fn->name();
+    EXPECT_EQ(Img.func(F).NumRegs, static_cast<uint32_t>(Fn->numRegs()));
+    for (int B = 0; B < Fn->numBlocks(); ++B) {
+      for (const Instruction &I : Fn->block(B)->instructions()) {
+        const FlatInst &FI = Img.code()[Pc];
+        ASSERT_EQ(FI.Op, I.Op) << "pc " << Pc;
+        EXPECT_EQ(FI.Label, I.Label) << "pc " << Pc;
+        EXPECT_EQ(FI.Func, F) << "pc " << Pc;
+        EXPECT_EQ(FI.Block, B) << "pc " << Pc;
+
+        // Cost folding matches the original switch, per model.
+        EXPECT_EQ(Img.defaultCosts()[Pc], Default.costOf(I)) << "pc " << Pc;
+        EXPECT_EQ(CustomTable[Pc], Custom.costOf(I)) << "pc " << Pc;
+
+        // Branch targets resolve to the first instruction of the named
+        // block in the same function.
+        if (I.Op == Opcode::Br || I.Op == Opcode::CondBr) {
+          ASSERT_LT(FI.Target, Img.size());
+          const FlatInst &T = Img.code()[FI.Target];
+          EXPECT_EQ(T.Func, F) << "pc " << Pc;
+          EXPECT_EQ(T.Block, I.Target) << "pc " << Pc;
+          EXPECT_TRUE(FI.Target == Img.func(F).EntryPc ||
+                      Img.code()[FI.Target - 1].Block != T.Block ||
+                      Img.code()[FI.Target - 1].Func != F)
+              << "target is not a block leader, pc " << Pc;
+        }
+        if (I.Op == Opcode::CondBr) {
+          ASSERT_LT(FI.Target2, Img.size());
+          EXPECT_EQ(Img.code()[FI.Target2].Block, I.Target2) << "pc " << Pc;
+        }
+        // Calls resolve to the callee's entry with its register count.
+        if (I.Op == Opcode::Call) {
+          EXPECT_EQ(FI.Callee, I.Callee);
+          EXPECT_EQ(FI.CalleeEntryPc, Img.entryPc(I.Callee));
+          EXPECT_EQ(FI.CalleeNumRegs,
+                    static_cast<uint32_t>(
+                        P.function(I.Callee)->numRegs()));
+        }
+        // Argument spans preserve the operand list.
+        if (I.Op == Opcode::Call || I.Op == Opcode::Output) {
+          ASSERT_EQ(FI.ArgsCount, static_cast<uint32_t>(I.Args.size()));
+          const Operand *Args = Img.args(FI);
+          for (size_t AI = 0; AI < I.Args.size(); ++AI)
+            EXPECT_TRUE(Args[AI] == I.Args[AI]) << "pc " << Pc;
+        }
+
+        // Monitor side tables are exactly as dense as the plan's maps.
+        InstrRef Site(F, I.Label);
+        EXPECT_EQ(FI.HasUseCheck, Plan.UseChecks.count(Site) != 0)
+            << "pc " << Pc;
+        auto UR = Plan.UseRegs.find(Site);
+        size_t WantRegs = UR == Plan.UseRegs.end() ? 0 : UR->second.size();
+        ASSERT_EQ(FI.UseRegsCount, WantRegs) << "pc " << Pc;
+        if (WantRegs) {
+          const int32_t *Regs = Img.useRegs(FI);
+          size_t RI = 0;
+          for (int Reg : UR->second)
+            EXPECT_EQ(Regs[RI++], Reg) << "pc " << Pc;
+        }
+
+        // AtomicStart carries its region's omega set, in set order.
+        if (I.Op == Opcode::AtomicStart) {
+          const RegionInfo *Info = nullptr;
+          for (const RegionInfo &Reg : A.regions())
+            if (Reg.RegionId == I.RegionId)
+              Info = &Reg;
+          size_t WantOmega = Info ? Info->Omega.size() : 0;
+          ASSERT_EQ(FI.OmegaCount, WantOmega) << "pc " << Pc;
+          if (Info) {
+            const int32_t *Omega = Img.omegaGlobals(FI);
+            size_t OI = 0;
+            for (int G : Info->Omega)
+              EXPECT_EQ(Omega[OI++], G) << "pc " << Pc;
+          }
+        }
+        ++Pc;
+      }
+    }
+    EXPECT_EQ(Img.func(F).EndPc, Pc) << Fn->name();
+  }
+
+  // NVM layout: contiguous, in declaration order, sizes preserved.
+  uint32_t Cell = 0;
+  for (int G = 0; G < P.numGlobals(); ++G) {
+    EXPECT_EQ(Img.globalBase(G), Cell);
+    EXPECT_EQ(Img.globalSize(G), static_cast<uint32_t>(P.global(G).Size));
+    Cell += Img.globalSize(G);
+  }
+  EXPECT_EQ(Img.nvmCells(), Cell);
+}
+
+TEST(ExecImage, ConstructionMatchesProgramAcrossBenchmarks) {
+  for (const BenchmarkDef &B : allBenchmarks())
+    for (ExecModel Model :
+         {ExecModel::Ocelot, ExecModel::JitOnly, ExecModel::AtomicsOnly}) {
+      SCOPED_TRACE(B.Name + "/" + execModelName(Model));
+      checkImageAgainstProgram(compileBenchmark(B, Model).Artifact);
+    }
+}
+
+TEST(ExecImage, MainEntryAndDisassembly) {
+  CompileOptions Opts;
+  Opts.Model = ExecModel::Ocelot;
+  Compilation C = Toolchain().compile(
+      "io s;\nstatic n = 0;\n"
+      "fn add(a: int, b: int) -> int { return a + b; }\n"
+      "fn main() { let fresh x = s(); n = add(n, 1); if x > 0 { log(x); } }",
+      Opts);
+  ASSERT_TRUE(C.ok()) << C.status().str();
+  const CompiledArtifact &A = C.artifact();
+  const ExecutableImage &Img = A.image();
+
+  EXPECT_EQ(Img.mainEntryPc(), Img.entryPc(A.program().mainFunction()));
+  EXPECT_EQ(Img.mainNumRegs(),
+            static_cast<uint32_t>(
+                A.program().function(A.program().mainFunction())->numRegs()));
+
+  std::string Dis = Img.disassemble(A.program());
+  EXPECT_NE(Dis.find("fn main"), std::string::npos);
+  EXPECT_NE(Dis.find("fn add"), std::string::npos);
+  EXPECT_NE(Dis.find("sensor s"), std::string::npos);
+  EXPECT_NE(Dis.find("cost=80"), std::string::npos);  // input cost folded
+  EXPECT_NE(Dis.find("-> pc"), std::string::npos);    // resolved targets
+  EXPECT_NE(Dis.find("monitor=fresh-use"), std::string::npos);
+}
+
+// -- Kind-less operand handling (lowering-bug detector) --------------------
+
+#ifdef NDEBUG
+TEST(ExecImage, KindlessOperandTrapsInsteadOfYieldingZero) {
+  // Lowering never emits a kind-less operand in an evaluated position;
+  // surgically create one to pin the release-mode behavior: a structured
+  // trap, not a silent RtValue(0). (Debug builds assert instead.)
+  DiagnosticEngine Diags;
+  CompileOptions Opts;
+  Opts.Model = ExecModel::JitOnly;
+  CompileResult CR = detail::runCompilePipeline(
+      "static n = 0;\nfn main() { let x = 1; n = x; log(n); }", Opts, Diags);
+  ASSERT_TRUE(CR.Ok) << Diags.str();
+
+  bool Mutated = false;
+  Function *Main = CR.Prog->function(CR.Prog->mainFunction());
+  for (int B = 0; B < Main->numBlocks() && !Mutated; ++B)
+    for (Instruction &I : Main->block(B)->instructions())
+      if (I.Op == Opcode::Mov) {
+        I.A = Operand::none();
+        Mutated = true;
+        break;
+      }
+  ASSERT_TRUE(Mutated) << "no mov to corrupt";
+
+  // White-box: a surgically corrupted Program has no artifact, so this
+  // test constructs the Interpreter directly (the runtime-internal path).
+  for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree}) {
+    Environment Env;
+    RunConfig Cfg;
+    Cfg.Dispatch = E;
+    Interpreter I(*CR.Prog, Env, Cfg, &CR.Monitor, &CR.Regions);
+    RunResult R = I.runOnce();
+    EXPECT_FALSE(R.Completed);
+    EXPECT_NE(R.Trap.find("operand without a kind"), std::string::npos)
+        << R.Trap;
+    EXPECT_NE(R.Trap.find("lowering bug"), std::string::npos) << R.Trap;
+  }
+}
+#endif // NDEBUG
+
+} // namespace
