@@ -85,7 +85,9 @@ struct Placement {
 
 bool completesAt(const CompiledArtifact &A, uint64_t Capacity) {
   SimulationSpec Spec;
-  Spec.Env.setSignal(0, SensorSignal::noise(100, 50, 300, 5));
+  Spec.Config.Sensors = SensorScenario::Builder()
+                            .channel(0, noiseChannel(100, 50, 300, 5))
+                            .build();
   Spec.Config.Plan = FailurePlan::energyDriven();
   Spec.Config.Energy.CapacityCycles = Capacity;
   Spec.Config.Energy.ReserveCycles = Capacity / 20 + 150;

@@ -43,6 +43,10 @@ int main() {
       CompiledBenchmark CB = compileBenchmark(B, Models[M]);
       IntermittentMetrics I = measureIntermittent(CB, B, Energy, TauBudget,
                                                   Seed, /*Monitors=*/false);
+      if (I.Trapped) {
+        Full.addRow({B.Name, Names[M], "trap", "-", "-", "-"});
+        continue;
+      }
       if (I.Starved || I.CompletedRuns == 0) {
         Full.addRow({B.Name, Names[M], "starved", "-", "-", "-"});
         continue;

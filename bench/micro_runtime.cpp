@@ -56,7 +56,7 @@ Throughput measureThroughput(const CompiledBenchmark &CB,
                              const BenchmarkDef &B, DispatchEngine Engine,
                              double MinSeconds) {
   SimulationSpec Spec;
-  B.setupEnvironment(Spec.Env, 1);
+  Spec.Config.Sensors = B.scenario(1);
   Spec.Config.Seed = 1;
   Spec.Config.Dispatch = Engine;
   Simulation Sim(CB.Artifact, std::move(Spec));
@@ -184,7 +184,7 @@ BENCHMARK(BM_CompileJitOnly);
 void interpretContinuous(benchmark::State &State, DispatchEngine Engine) {
   CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
   SimulationSpec Spec;
-  tire().setupEnvironment(Spec.Env, 1);
+  Spec.Config.Sensors = tire().scenario(1);
   Spec.Config.Dispatch = Engine;
   Simulation Sim(A, std::move(Spec));
   uint64_t Cycles = 0, Steps = 0;
@@ -214,7 +214,7 @@ BENCHMARK(BM_InterpretContinuousTree);
 void BM_InterpretWithTaint(benchmark::State &State) {
   CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
   SimulationSpec Spec;
-  tire().setupEnvironment(Spec.Env, 1);
+  Spec.Config.Sensors = tire().scenario(1);
   Spec.Config.TrackTaint = true;
   Spec.Config.MonitorFormal = true;
   Spec.Config.MonitorBitVector = true;
@@ -229,7 +229,7 @@ BENCHMARK(BM_InterpretWithTaint);
 void BM_InterpretIntermittent(benchmark::State &State) {
   CompiledArtifact A = compileBenchmark(tire(), ExecModel::Ocelot).Artifact;
   SimulationSpec Spec;
-  tire().setupEnvironment(Spec.Env, 1);
+  Spec.Config.Sensors = tire().scenario(1);
   Spec.Config.Plan = FailurePlan::energyDriven();
   Simulation Sim(A, std::move(Spec));
   for (auto _ : State) {
@@ -246,7 +246,7 @@ void undoLogMode(benchmark::State &State, bool StaticOmega) {
   CompiledArtifact A =
       compileBenchmark(cem(), ExecModel::AtomicsOnly).Artifact;
   SimulationSpec Spec;
-  cem().setupEnvironment(Spec.Env, 1);
+  Spec.Config.Sensors = cem().scenario(1);
   Spec.Config.StaticOmega = StaticOmega;
   Simulation Sim(A, std::move(Spec));
   uint64_t SimCycles = 0, LogEntries = 0;

@@ -83,7 +83,9 @@ int main(int argc, char **argv) {
     for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
       const IntermittentMetrics &I =
           Cells[Spec.cellIndex(M, B, 0, 0)].Metrics;
-      Row.push_back(fmtPct(I.violationPct()));
+      // Never fires under the benchmarks' own scenarios; guards against
+      // reading a truncated sample as a clean one (trap stops the cell).
+      Row.push_back(I.Trapped ? "trap" : fmtPct(I.violationPct()));
       Detail.addRow({Order[B], Label, std::to_string(I.CompletedRuns),
                      std::to_string(I.ViolatingRuns),
                      fmt(I.RebootsPerRun, 2)});

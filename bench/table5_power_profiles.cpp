@@ -108,6 +108,11 @@ int main(int argc, char **argv) {
       for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
         const IntermittentMetrics &I =
             Cells[Spec.cellIndex(M, B, 0, P, 0)].Metrics;
+        if (I.Trapped) {
+          VRow.push_back("trap");
+          CRow.push_back("-");
+          continue;
+        }
         if (I.Starved || I.CompletedRuns == 0) {
           VRow.push_back("starved");
           CRow.push_back("-");

@@ -64,7 +64,9 @@ fn main() {
   //    with both violation detectors armed. The Simulation owns all mutable
   //    run state; the artifact stays shared and read-only.
   SimulationSpec Spec;
-  Spec.Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42)); // weather
+  Spec.Config.Sensors = SensorScenario::Builder()
+                            .channel(0, noiseChannel(10, 40, 400, 42))
+                            .build(); // weather
   Spec.Config.Plan = FailurePlan::energyDriven();
   Spec.Config.MonitorBitVector = true;
   Spec.Config.MonitorFormal = true;

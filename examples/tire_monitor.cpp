@@ -50,7 +50,7 @@ int main() {
   for (ExecModel Model : {ExecModel::JitOnly, ExecModel::Ocelot}) {
     CompiledBenchmark CB = compileBenchmark(Tire, Model);
     SimulationSpec Spec;
-    Tire.setupEnvironment(Spec.Env, 2026);
+    Spec.Config.Sensors = Tire.scenario(2026);
     Spec.Config.Plan = FailurePlan::energyDriven();
     Spec.Config.MonitorBitVector = true;
     Spec.Config.MonitorFormal = true;

@@ -64,10 +64,13 @@ int main() {
   auto RunCampaign = [](const CompiledArtifact &A, const char *Name) {
     SimulationSpec Spec;
     // A front is passing: temperature falls, pressure drops, humidity
-    // climbs — piecewise-random signals over logical time.
-    Spec.Env.setSignal(0, SensorSignal::noise(15, 25, 3000, 101)); // tmp
-    Spec.Env.setSignal(1, SensorSignal::noise(950, 80, 5000, 202)); // pres
-    Spec.Env.setSignal(2, SensorSignal::noise(40, 55, 4000, 303));  // hum
+    // climbs — piecewise-random channels over logical time.
+    Spec.Config.Sensors =
+        SensorScenario::Builder()
+            .channel(0, noiseChannel(15, 25, 3000, 101))  // tmp
+            .channel(1, noiseChannel(950, 80, 5000, 202)) // pres
+            .channel(2, noiseChannel(40, 55, 4000, 303))  // hum
+            .build();
     Spec.Config.Plan = FailurePlan::energyDriven();
     Spec.Config.MonitorBitVector = true;
     Spec.Config.MonitorFormal = true;

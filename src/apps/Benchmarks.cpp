@@ -619,24 +619,27 @@ fn main() {
 }
 )";
 
-void BenchmarkDef::setupEnvironment(Environment &Env, uint64_t Seed) const {
+std::shared_ptr<const SensorScenario>
+BenchmarkDef::scenario(uint64_t Seed) const {
   auto S = [&](uint64_t Salt) { return Seed * 0x9e3779b9ULL + Salt; };
+  SensorScenario::Builder B;
   if (Name == "activity") {
-    Env.setSignal(0, SensorSignal::noise(-60, 120, 200, S(1)));
-    Env.setSignal(1, SensorSignal::noise(-60, 120, 230, S(2)));
-    Env.setSignal(2, SensorSignal::noise(-60, 120, 260, S(3)));
+    B.channel(0, noiseChannel(-60, 120, 200, S(1)));
+    B.channel(1, noiseChannel(-60, 120, 230, S(2)));
+    B.channel(2, noiseChannel(-60, 120, 260, S(3)));
   } else if (Name == "greenhouse") {
-    Env.setSignal(0, SensorSignal::noise(20, 60, 400, S(4)));   // humidity
-    Env.setSignal(1, SensorSignal::noise(30, 30, 600, S(5)));   // temperature
+    B.channel(0, noiseChannel(20, 60, 400, S(4)));   // humidity
+    B.channel(1, noiseChannel(30, 30, 600, S(5)));   // temperature
   } else if (Name == "photo" || Name == "send_photo") {
-    Env.setSignal(0, SensorSignal::noise(50, 200, 300, S(6)));
+    B.channel(0, noiseChannel(50, 200, 300, S(6)));
   } else if (Name == "cem") {
-    Env.setSignal(0, SensorSignal::noise(0, 120, 500, S(7)));
+    B.channel(0, noiseChannel(0, 120, 500, S(7)));
   } else if (Name == "tire") {
-    Env.setSignal(0, SensorSignal::noise(350, 150, 350, S(8))); // pressure
-    Env.setSignal(1, SensorSignal::noise(10, 40, 500, S(9)));   // temp
-    Env.setSignal(2, SensorSignal::noise(-40, 80, 150, S(10))); // accel
+    B.channel(0, noiseChannel(350, 150, 350, S(8))); // pressure
+    B.channel(1, noiseChannel(10, 40, 500, S(9)));   // temp
+    B.channel(2, noiseChannel(-40, 80, 150, S(10))); // accel
   }
+  return B.build();
 }
 
 const std::vector<BenchmarkDef> &ocelot::allBenchmarks() {

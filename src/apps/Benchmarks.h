@@ -25,8 +25,9 @@
 #ifndef OCELOT_APPS_BENCHMARKS_H
 #define OCELOT_APPS_BENCHMARKS_H
 
-#include "runtime/Environment.h"
+#include "sensors/SensorScenario.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,9 +41,11 @@ struct BenchmarkDef {
   std::vector<std::string> Sensors;
   std::string Constraints;  ///< Table 1's constraint column.
 
-  /// Configures the benchmark's sensor environment (time-varying signals
-  /// seeded from \p Seed).
-  void setupEnvironment(Environment &Env, uint64_t Seed) const;
+  /// The benchmark's default sensor world (time-varying noise channels
+  /// seeded from \p Seed) — what every measurement uses when no explicit
+  /// `SensorScenario` is requested. Samples bit-for-bit like the
+  /// pre-scenario `setupEnvironment`.
+  std::shared_ptr<const SensorScenario> scenario(uint64_t Seed) const;
 };
 
 /// All six benchmarks in the paper's presentation order.

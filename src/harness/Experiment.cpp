@@ -49,7 +49,7 @@ ContinuousMetrics ocelot::measureContinuous(const CompiledBenchmark &CB,
                                             const BenchmarkDef &B, int Runs,
                                             uint64_t Seed) {
   SimulationSpec Spec;
-  B.setupEnvironment(Spec.Env, Seed);
+  Spec.Config.Sensors = B.scenario(Seed);
   Spec.Config.Seed = Seed;
   Simulation Sim(CB.Artifact, std::move(Spec));
 
@@ -73,9 +73,10 @@ ContinuousMetrics ocelot::measureContinuous(const CompiledBenchmark &CB,
 IntermittentMetrics ocelot::measureIntermittent(
     const CompiledBenchmark &CB, const BenchmarkDef &B,
     const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
-    bool Monitors, std::shared_ptr<const PowerSource> Power) {
+    bool Monitors, std::shared_ptr<const PowerSource> Power,
+    std::shared_ptr<const SensorScenario> Sensors) {
   SimulationSpec Spec;
-  B.setupEnvironment(Spec.Env, Seed);
+  Spec.Config.Sensors = Sensors ? std::move(Sensors) : B.scenario(Seed);
   Spec.Config.Seed = Seed;
   Spec.Config.Plan = FailurePlan::energyDriven();
   Spec.Config.Energy = Energy;
@@ -93,9 +94,14 @@ IntermittentMetrics ocelot::measureIntermittent(
       break;
     }
     if (!R.Completed) {
-      std::fprintf(stderr, "intermittent run of %s failed: %s\n",
+      // Under a swept scenario a trap is data the sweep reports (the
+      // device wedged on an input its firmware never expected), not a
+      // harness error worth killing the whole grid for.
+      std::fprintf(stderr, "intermittent run of %s trapped: %s\n",
                    CB.Name.c_str(), R.Trap.c_str());
-      std::abort();
+      M.Trapped = true;
+      M.Trap = R.Trap;
+      break;
     }
     On += R.OnCycles;
     Off += R.OffCycles;
@@ -117,7 +123,7 @@ double ocelot::pathologicalViolationPct(const CompiledBenchmark &CB,
                                         const BenchmarkDef &B, int Runs,
                                         uint64_t Seed) {
   SimulationSpec Spec;
-  B.setupEnvironment(Spec.Env, Seed);
+  Spec.Config.Sensors = B.scenario(Seed);
   Spec.Config.Seed = Seed;
   Spec.Config.Plan =
       FailurePlan::pathological(pathologicalPoints(CB.Artifact));

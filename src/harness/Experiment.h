@@ -61,6 +61,13 @@ struct IntermittentMetrics {
   uint64_t CompletedRuns = 0;
   uint64_t ViolatingRuns = 0; ///< Completed runs containing any violation.
   bool Starved = false;
+  /// A run trapped and the simulated device wedged (metrics cover the
+  /// runs before the crash). Never happens under the benchmarks' own
+  /// scenarios — it surfaces when a swept `SensorScenario` feeds values
+  /// outside the range the firmware was written to trust, which is itself
+  /// an input-robustness observation worth a table cell.
+  bool Trapped = false;
+  std::string Trap; ///< The trap message when Trapped.
 
   /// Percentage (0–100) of completed runs containing a violation.
   double violationPct() const {
@@ -71,11 +78,14 @@ struct IntermittentMetrics {
   }
 };
 /// \p Power selects the harvesting environment (src/power/); null keeps
-/// the legacy-jitter recharge behavior.
+/// the legacy-jitter recharge behavior. \p Sensors selects the sensed
+/// world (src/sensors/); null keeps the benchmark's own seeded-noise
+/// scenario (`B.scenario(Seed)`).
 IntermittentMetrics measureIntermittent(
     const CompiledBenchmark &CB, const BenchmarkDef &B,
     const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
-    bool Monitors, std::shared_ptr<const PowerSource> Power = nullptr);
+    bool Monitors, std::shared_ptr<const PowerSource> Power = nullptr,
+    std::shared_ptr<const SensorScenario> Sensors = nullptr);
 
 /// Table 2(a): percentage (0–100) of runs violating any policy under
 /// pathological failure injection.

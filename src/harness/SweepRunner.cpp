@@ -100,12 +100,14 @@ std::vector<SweepCellResult> SweepRunner::run(const SweepSpec &Spec) const {
         R.Bench = C.Bench;
         R.Energy = C.Energy;
         R.Power = C.Power;
+        R.Scenario = C.Scenario;
         R.Seed = C.Seed;
         const CompiledBenchmark &CB = Artifacts[R.Model * NB + R.Bench];
         R.Metrics = measureIntermittent(
             CB, *Spec.Benchmarks[R.Bench], Spec.Energies[R.Energy],
             Spec.TauBudget, Spec.Seeds[R.Seed], Spec.Monitors,
-            Spec.Powers.empty() ? nullptr : Spec.Powers[R.Power]);
+            Spec.Powers.empty() ? nullptr : Spec.Powers[R.Power],
+            Spec.Scenarios.empty() ? nullptr : Spec.Scenarios[R.Scenario]);
       }
     };
     runOnPool(Workers, N, CellWorker);

@@ -6,13 +6,13 @@
 ///
 /// \file
 /// The paper's evaluation (§7) is a grid of
-/// (benchmark × exec model × energy config × seed) intermittent
-/// simulations. `SweepRunner` compiles each (benchmark, model) pair once
-/// into an immutable `CompiledArtifact`, then fans the grid cells across a
-/// worker pool. Every cell builds its own `Simulation` seeded purely from
-/// the spec (never from scheduling), and results are aggregated in a fixed
-/// grid order — so a parallel sweep is bitwise identical to a sequential
-/// one, only faster.
+/// (benchmark × exec model × energy config × power × sensor scenario ×
+/// seed) intermittent simulations. `SweepRunner` compiles each
+/// (benchmark, model) pair once into an immutable `CompiledArtifact`,
+/// then fans the grid cells across a worker pool. Every cell builds its
+/// own `Simulation` seeded purely from the spec (never from scheduling),
+/// and results are aggregated in a fixed grid order — so a parallel sweep
+/// is bitwise identical to a sequential one, only faster.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +29,7 @@ namespace ocelot {
 
 /// The grid to sweep. Cells are enumerated model-major: for each model,
 /// for each benchmark, for each energy, for each power profile, for each
-/// seed.
+/// sensor scenario, for each seed.
 struct SweepSpec {
   std::vector<const BenchmarkDef *> Benchmarks;
   std::vector<ExecModel> Models;
@@ -39,6 +39,12 @@ struct SweepSpec {
   /// existing sweeps keep their shape and results. Entries may repeat a
   /// source or be nullptr (nullptr = legacy-jitter).
   std::vector<std::shared_ptr<const PowerSource>> Powers;
+  /// Sensed worlds (src/sensors/). Leave empty for the default single
+  /// benchmark-scenario cell per (model, benchmark, energy, power, seed)
+  /// — existing sweeps keep their shape and results. Entries may repeat
+  /// a scenario or be nullptr (nullptr = the benchmark's own seeded
+  /// noise).
+  std::vector<std::shared_ptr<const SensorScenario>> Scenarios;
   std::vector<uint64_t> Seeds;
   /// Simulated-time budget per cell. Must be set: run() aborts on a
   /// zero budget (it would yield all-zero metrics in every cell).
@@ -49,34 +55,50 @@ struct SweepSpec {
   /// implicit legacy-jitter column).
   size_t powerCount() const { return Powers.empty() ? 1 : Powers.size(); }
 
-  size_t cellCount() const {
-    return Models.size() * Benchmarks.size() * Energies.size() *
-           powerCount() * Seeds.size();
+  /// Size of the scenario dimension (an empty Scenarios vector still
+  /// spans one implicit benchmark-default column).
+  size_t scenarioCount() const {
+    return Scenarios.empty() ? 1 : Scenarios.size();
   }
 
-  /// Flat index of cell (model M, benchmark B, energy E, power P, seed S)
-  /// in the result vector. The inverse is cellAt(); keep the two in sync.
-  size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t S) const {
-    return (((M * Benchmarks.size() + B) * Energies.size() + E) *
-                powerCount() +
-            P) *
+  size_t cellCount() const {
+    return Models.size() * Benchmarks.size() * Energies.size() *
+           powerCount() * scenarioCount() * Seeds.size();
+  }
+
+  /// Flat index of cell (model M, benchmark B, energy E, power P,
+  /// scenario Sc, seed S) in the result vector. The inverse is cellAt();
+  /// keep the two in sync.
+  size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t Sc,
+                   size_t S) const {
+    return ((((M * Benchmarks.size() + B) * Energies.size() + E) *
+                 powerCount() +
+             P) *
+                scenarioCount() +
+            Sc) *
                Seeds.size() +
            S;
   }
-  /// Convenience for sweeps without a power dimension.
+  /// Convenience for sweeps without a scenario dimension.
+  size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t S) const {
+    return cellIndex(M, B, E, P, 0, S);
+  }
+  /// Convenience for sweeps without power or scenario dimensions.
   size_t cellIndex(size_t M, size_t B, size_t E, size_t S) const {
-    return cellIndex(M, B, E, 0, S);
+    return cellIndex(M, B, E, 0, 0, S);
   }
 
-  /// Decodes a flat index back into (Model, Bench, Energy, Power, Seed) —
-  /// the inverse of cellIndex().
+  /// Decodes a flat index back into (Model, Bench, Energy, Power,
+  /// Scenario, Seed) — the inverse of cellIndex().
   struct CellCoords {
-    size_t Model, Bench, Energy, Power, Seed;
+    size_t Model, Bench, Energy, Power, Scenario, Seed;
   };
   CellCoords cellAt(size_t I) const {
     CellCoords C{};
     C.Seed = I % Seeds.size();
     I /= Seeds.size();
+    C.Scenario = I % scenarioCount();
+    I /= scenarioCount();
     C.Power = I % powerCount();
     I /= powerCount();
     C.Energy = I % Energies.size();
@@ -89,11 +111,12 @@ struct SweepSpec {
 
 /// One evaluated grid cell: the spec indices it came from plus its metrics.
 struct SweepCellResult {
-  size_t Model = 0;  ///< Index into SweepSpec::Models.
-  size_t Bench = 0;  ///< Index into SweepSpec::Benchmarks.
-  size_t Energy = 0; ///< Index into SweepSpec::Energies.
-  size_t Power = 0;  ///< Index into SweepSpec::Powers (0 when empty).
-  size_t Seed = 0;   ///< Index into SweepSpec::Seeds.
+  size_t Model = 0;    ///< Index into SweepSpec::Models.
+  size_t Bench = 0;    ///< Index into SweepSpec::Benchmarks.
+  size_t Energy = 0;   ///< Index into SweepSpec::Energies.
+  size_t Power = 0;    ///< Index into SweepSpec::Powers (0 when empty).
+  size_t Scenario = 0; ///< Index into SweepSpec::Scenarios (0 when empty).
+  size_t Seed = 0;     ///< Index into SweepSpec::Seeds.
   IntermittentMetrics Metrics;
 };
 

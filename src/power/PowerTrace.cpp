@@ -6,13 +6,9 @@
 
 #include "power/PowerTrace.h"
 
-#include <cctype>
-#include <cerrno>
+#include "support/TimeSeriesCsv.h"
+
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <sstream>
 
 using namespace ocelot;
 
@@ -25,29 +21,44 @@ PowerTrace::PowerTrace(std::vector<Segment> Segs) : Segs(std::move(Segs)) {
 
 namespace {
 
-/// Shared validation for Builder::build and parseCsv. \returns an empty
-/// string when the segments form a valid trace; otherwise the problem
-/// (\p Where prefixes per-segment complaints, e.g. "line 4" or
-/// "segment 2").
-std::string validateSegments(const std::vector<PowerTrace::Segment> &Segs,
-                             const std::vector<std::string> &Where) {
-  if (Segs.empty())
-    return "trace has no segments";
-  double CycleEnergy = 0.0;
-  uint64_t TotalTau = 0;
-  for (size_t I = 0; I < Segs.size(); ++I) {
-    if (Segs[I].DurationTau == 0)
-      return Where[I] + ": segment duration must be > 0";
-    if (!(Segs[I].Rate >= 0.0) || !std::isfinite(Segs[I].Rate))
-      return Where[I] + ": charge rate must be finite and >= 0";
-    if (TotalTau + Segs[I].DurationTau < TotalTau)
-      return Where[I] + ": total trace duration overflows 64 bits";
-    TotalTau += Segs[I].DurationTau;
-    CycleEnergy += Segs[I].Rate * static_cast<double>(Segs[I].DurationTau);
-  }
-  if (CycleEnergy <= 0.0)
-    return "trace harvests no energy (all rates are 0)";
-  return "";
+/// The power instantiation of the shared time-series CSV format
+/// (support/TimeSeriesCsv.h): rates must be >= 0 and some segment must
+/// actually harvest, on top of the format-level rules.
+const TimeSeriesCsvSpec &powerCsvSpec() {
+  static const TimeSeriesCsvSpec Spec = {
+      /*Header=*/"# ocelot power trace v1\n# duration_tau,charge_rate\n",
+      /*Columns=*/"duration_tau,charge_rate",
+      /*ValueName=*/"charge rate",
+      /*FileNoun=*/"power trace",
+      /*ValueNonNegative=*/true,
+      /*SeriesCheck=*/
+      [](const std::vector<TimeSeriesSegment> &Segs) -> std::string {
+        double CycleEnergy = 0.0;
+        for (const TimeSeriesSegment &S : Segs)
+          CycleEnergy += S.Value * static_cast<double>(S.DurationTau);
+        if (CycleEnergy <= 0.0)
+          return "trace harvests no energy (all rates are 0)";
+        return "";
+      }};
+  return Spec;
+}
+
+std::vector<TimeSeriesSegment>
+toSeries(const std::vector<PowerTrace::Segment> &Segs) {
+  std::vector<TimeSeriesSegment> Out;
+  Out.reserve(Segs.size());
+  for (const PowerTrace::Segment &S : Segs)
+    Out.push_back({S.DurationTau, S.Rate});
+  return Out;
+}
+
+std::vector<PowerTrace::Segment>
+fromSeries(const std::vector<TimeSeriesSegment> &Segs) {
+  std::vector<PowerTrace::Segment> Out;
+  Out.reserve(Segs.size());
+  for (const TimeSeriesSegment &S : Segs)
+    Out.push_back({S.DurationTau, S.Value});
+  return Out;
 }
 
 } // namespace
@@ -58,7 +69,7 @@ PowerTrace::Builder::build(std::string &Error) const {
   Where.reserve(Segs.size());
   for (size_t I = 0; I < Segs.size(); ++I)
     Where.push_back("segment " + std::to_string(I));
-  Error = validateSegments(Segs, Where);
+  Error = timeseries::validate(toSeries(Segs), powerCsvSpec(), Where);
   if (!Error.empty())
     return nullptr;
   return std::shared_ptr<const PowerTrace>(new PowerTrace(Segs));
@@ -75,110 +86,27 @@ double PowerTrace::rateAt(uint64_t Tau) const {
 }
 
 std::string PowerTrace::toCsv() const {
-  std::string Out = "# ocelot power trace v1\n# duration_tau,charge_rate\n";
-  char Buf[64];
-  for (const Segment &S : Segs) {
-    // %.17g round-trips any double exactly, so save -> load -> save is the
-    // identity on the text as well as the segments.
-    std::snprintf(Buf, sizeof(Buf), "%llu,%.17g\n",
-                  static_cast<unsigned long long>(S.DurationTau), S.Rate);
-    Out += Buf;
-  }
-  return Out;
+  return timeseries::toCsv(powerCsvSpec(), toSeries(Segs));
 }
 
 std::shared_ptr<const PowerTrace> PowerTrace::parseCsv(std::string_view Text,
                                                        std::string &Error) {
-  std::vector<Segment> Segs;
-  std::vector<std::string> Where;
-  size_t LineNo = 0;
-  size_t Pos = 0;
-  while (Pos <= Text.size()) {
-    size_t Eol = Text.find('\n', Pos);
-    std::string_view Line = Text.substr(
-        Pos, Eol == std::string_view::npos ? std::string_view::npos
-                                           : Eol - Pos);
-    Pos = Eol == std::string_view::npos ? Text.size() + 1 : Eol + 1;
-    ++LineNo;
-    // Trim whitespace; skip blanks and # comments.
-    while (!Line.empty() && (Line.front() == ' ' || Line.front() == '\t' ||
-                             Line.front() == '\r'))
-      Line.remove_prefix(1);
-    while (!Line.empty() && (Line.back() == ' ' || Line.back() == '\t' ||
-                             Line.back() == '\r'))
-      Line.remove_suffix(1);
-    if (Line.empty() || Line.front() == '#')
-      continue;
-
-    // Parse strictly: an unsigned decimal duration (no sign — sscanf %llu
-    // would silently wrap "-100" to ~2^64), a comma, a finite double rate,
-    // and nothing else.
-    std::string Ln(Line);
-    std::string BadLine = "line " + std::to_string(LineNo) +
-                          ": expected 'duration_tau,charge_rate', got '" +
-                          Ln + "'";
-    const char *C = Ln.c_str();
-    if (!std::isdigit(static_cast<unsigned char>(*C))) {
-      Error = BadLine;
-      return nullptr;
-    }
-    char *End = nullptr;
-    errno = 0;
-    unsigned long long Dur = std::strtoull(C, &End, 10);
-    if (errno == ERANGE) {
-      Error = "line " + std::to_string(LineNo) +
-              ": segment duration exceeds 64 bits";
-      return nullptr;
-    }
-    if (*End != ',') {
-      Error = BadLine;
-      return nullptr;
-    }
-    Segment S;
-    const char *RateStart = End + 1;
-    S.Rate = std::strtod(RateStart, &End);
-    if (End == RateStart || *End != '\0') {
-      Error = BadLine;
-      return nullptr;
-    }
-    S.DurationTau = Dur;
-    Segs.push_back(S);
-    Where.push_back("line " + std::to_string(LineNo));
-  }
-  Error = validateSegments(Segs, Where);
-  if (!Error.empty())
+  std::vector<TimeSeriesSegment> Series;
+  if (!timeseries::parseCsv(Text, powerCsvSpec(), Series, Error))
     return nullptr;
-  return std::shared_ptr<const PowerTrace>(new PowerTrace(std::move(Segs)));
+  return std::shared_ptr<const PowerTrace>(new PowerTrace(fromSeries(Series)));
 }
 
 std::shared_ptr<const PowerTrace>
 PowerTrace::loadCsv(const std::string &Path, std::string &Error) {
-  std::ifstream In(Path);
-  if (!In) {
-    Error = "cannot open power trace '" + Path + "'";
+  std::vector<TimeSeriesSegment> Series;
+  if (!timeseries::loadFile(Path, powerCsvSpec(), Series, Error))
     return nullptr;
-  }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  std::shared_ptr<const PowerTrace> T = parseCsv(Buf.str(), Error);
-  if (!T)
-    Error = Path + ": " + Error;
-  return T;
+  return std::shared_ptr<const PowerTrace>(new PowerTrace(fromSeries(Series)));
 }
 
 bool PowerTrace::saveCsv(const std::string &Path, std::string &Error) const {
-  std::ofstream Out(Path);
-  if (!Out) {
-    Error = "cannot write power trace '" + Path + "'";
-    return false;
-  }
-  Out << toCsv();
-  Out.flush();
-  if (!Out) {
-    Error = "error writing power trace '" + Path + "'";
-    return false;
-  }
-  return true;
+  return timeseries::saveFile(Path, powerCsvSpec(), toSeries(Segs), Error);
 }
 
 namespace {

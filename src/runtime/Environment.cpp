@@ -1,4 +1,4 @@
-//===- Environment.cpp - Simulated sensor environment --------------------------===//
+//===- Environment.cpp - Deprecated shim over SensorScenario ---------------------===//
 //
 // Part of the Ocelot reproduction, released under the MIT license.
 //
@@ -7,85 +7,6 @@
 #include "runtime/Environment.h"
 
 using namespace ocelot;
-
-SensorSignal SensorSignal::constant(int64_t Base) {
-  SensorSignal S;
-  S.K = Kind::Constant;
-  S.Base = Base;
-  return S;
-}
-
-SensorSignal SensorSignal::step(int64_t Base, int64_t Amplitude,
-                                uint64_t StepTau) {
-  SensorSignal S;
-  S.K = Kind::Step;
-  S.Base = Base;
-  S.Amplitude = Amplitude;
-  S.StepTau = StepTau;
-  return S;
-}
-
-SensorSignal SensorSignal::ramp(int64_t Base, int64_t Slope,
-                                uint64_t Interval) {
-  SensorSignal S;
-  S.K = Kind::Ramp;
-  S.Base = Base;
-  S.Slope = Slope;
-  S.Interval = Interval ? Interval : 1;
-  return S;
-}
-
-SensorSignal SensorSignal::square(int64_t Base, int64_t Amplitude,
-                                  uint64_t Interval) {
-  SensorSignal S;
-  S.K = Kind::Square;
-  S.Base = Base;
-  S.Amplitude = Amplitude;
-  S.Interval = Interval ? Interval : 1;
-  return S;
-}
-
-SensorSignal SensorSignal::noise(int64_t Base, int64_t Amplitude,
-                                 uint64_t Interval, uint64_t Seed) {
-  SensorSignal S;
-  S.K = Kind::Noise;
-  S.Base = Base;
-  S.Amplitude = Amplitude;
-  S.Interval = Interval ? Interval : 1;
-  S.Seed = Seed;
-  return S;
-}
-
-/// Stateless 64-bit mix (splitmix64 finalizer) so Noise signals are a pure
-/// function of (seed, bucket).
-static uint64_t mix(uint64_t X) {
-  X += 0x9e3779b97f4a7c15ULL;
-  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
-  return X ^ (X >> 31);
-}
-
-int64_t SensorSignal::sample(uint64_t Tau) const {
-  switch (K) {
-  case Kind::Constant:
-    return Base;
-  case Kind::Step:
-    return Tau >= StepTau ? Base + Amplitude : Base;
-  case Kind::Ramp:
-    return Base + Slope * static_cast<int64_t>(Tau / Interval);
-  case Kind::Square:
-    return ((Tau / Interval) & 1) ? Base + Amplitude : Base;
-  case Kind::Noise: {
-    if (Amplitude <= 0)
-      return Base;
-    uint64_t Bucket = Tau / Interval;
-    uint64_t R = mix(Seed * 0x100000001b3ULL + Bucket);
-    return Base +
-           static_cast<int64_t>(R % static_cast<uint64_t>(Amplitude + 1));
-  }
-  }
-  return Base;
-}
 
 void Environment::setSignal(int Id, SensorSignal S) {
   if (Id >= static_cast<int>(Signals.size()))
@@ -99,8 +20,13 @@ int64_t Environment::sample(int Id, uint64_t Tau) const {
     return 0;
   if (Id < static_cast<int>(Signals.size()))
     return Signals[static_cast<size_t>(Id)].sample(Tau);
-  // Unconfigured sensors default to per-sensor seeded noise.
-  SensorSignal Default = SensorSignal::noise(
-      0, 100, 500, 0x51ed2701 + static_cast<uint64_t>(Id) * 1315423911ULL);
-  return Default.sample(Tau);
+  // Unconfigured sensors: the scenario subsystem owns the default.
+  return defaultSensorScenario()->sample(Id, Tau);
+}
+
+std::shared_ptr<const SensorScenario> Environment::toScenario() const {
+  SensorScenario::Builder B;
+  for (int Id = 0; Id < static_cast<int>(Signals.size()); ++Id)
+    B.channel(Id, signalChannel(Signals[static_cast<size_t>(Id)]));
+  return B.build();
 }

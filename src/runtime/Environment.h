@@ -1,59 +1,42 @@
-//===- Environment.h - Simulated sensor environment -------------*- C++ -*-===//
+//===- Environment.h - Deprecated shim over SensorScenario ------*- C++ -*-===//
 //
 // Part of the Ocelot reproduction, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Deterministic sensor signals over logical time. The paper evaluates on
-/// physical sensors (several already simulated in its own experiments,
-/// Table 1); here each sensor is a pure function of logical time τ so
-/// experiments are reproducible and staleness / inconsistency are
-/// observable: a value sensed before a long power-off differs from the
-/// environment after reboot.
+/// DEPRECATED compatibility shim. The sensor world is now the immutable
+/// `SensorScenario` subsystem (src/sensors/): channels are pure functions
+/// of logical time, scenarios are shareable across concurrent simulations,
+/// presets live in `SensorScenarioRegistry`, and the runtime reads inputs
+/// through `RunConfig::Sensors`.
+///
+/// `Environment` survives only as a tiny mutable builder for callers that
+/// still configure sensors signal-by-signal: populate it, then pass
+/// `Env.toScenario()` to `RunConfig::Sensors`. `SensorSignal` itself moved
+/// to sensors/SensorChannel.h (re-exported here); new code should build
+/// channels (`noiseChannel`, `signalChannel`, ...) and
+/// `SensorScenario::Builder` directly. This header will be removed once
+/// nothing constructs an `Environment`.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OCELOT_RUNTIME_ENVIRONMENT_H
 #define OCELOT_RUNTIME_ENVIRONMENT_H
 
+#include "sensors/SensorScenario.h"
+
 #include <cstdint>
-#include <string>
+#include <memory>
 #include <vector>
 
 namespace ocelot {
 
-/// Signal shapes for one sensor.
-struct SensorSignal {
-  enum class Kind {
-    Constant, ///< always Base
-    Step,     ///< Base before StepTau, Base + Amplitude after
-    Ramp,     ///< Base + Slope * (tau / Interval)
-    Square,   ///< alternates Base / Base+Amplitude every Interval
-    Noise,    ///< piecewise-constant pseudo-random in [Base, Base+Amplitude],
-              ///< re-drawn every Interval (seeded, stateless in tau)
-  };
-
-  Kind K = Kind::Constant;
-  int64_t Base = 0;
-  int64_t Amplitude = 0;
-  int64_t Slope = 0;
-  uint64_t Interval = 1000;
-  uint64_t StepTau = 0;
-  uint64_t Seed = 1;
-
-  static SensorSignal constant(int64_t Base);
-  static SensorSignal step(int64_t Base, int64_t Amplitude, uint64_t StepTau);
-  static SensorSignal ramp(int64_t Base, int64_t Slope, uint64_t Interval);
-  static SensorSignal square(int64_t Base, int64_t Amplitude,
-                             uint64_t Interval);
-  static SensorSignal noise(int64_t Base, int64_t Amplitude,
-                            uint64_t Interval, uint64_t Seed);
-
-  int64_t sample(uint64_t Tau) const;
-};
-
-/// The program's sensor environment: one signal per sensor id.
+/// Mutable signal-by-signal sensor configuration (deprecated; see file
+/// comment). Observationally identical to the pre-scenario Environment:
+/// `sample` reads configured signals, gaps created by `setSignal` hold the
+/// historical filler noise, and ids beyond the table read the per-id
+/// seeded-noise default.
 class Environment {
 public:
   Environment() = default;
@@ -66,6 +49,11 @@ public:
   int64_t sample(int Id, uint64_t Tau) const;
 
   int numConfigured() const { return static_cast<int>(Signals.size()); }
+
+  /// Freezes the current configuration into an immutable scenario that
+  /// samples bit-for-bit like this Environment — the migration path onto
+  /// `RunConfig::Sensors`.
+  std::shared_ptr<const SensorScenario> toScenario() const;
 
 private:
   std::vector<SensorSignal> Signals;

@@ -39,11 +39,14 @@ uint64_t CostModel::costOfOp(Opcode Op) const {
   }
 }
 
-Interpreter::Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
+Interpreter::Interpreter(const Program &P, RunConfig Cfg,
                          const MonitorPlan *Plan,
                          const std::vector<RegionInfo> *Regions,
                          std::shared_ptr<const ExecutableImage> Image)
-    : P(P), Env(Env), Cfg(std::move(Cfg)), Regions(Regions),
+    : P(P), Cfg(std::move(Cfg)),
+      Sensors(this->Cfg.Sensors ? this->Cfg.Sensors
+                                : defaultSensorScenario()),
+      Regions(Regions),
       Img(Image ? std::move(Image)
                 : ExecutableImage::build(P, Regions, Plan)),
       Rand(this->Cfg.Seed) {
@@ -514,7 +517,7 @@ RunResult Interpreter::runOnceTree() {
         }
         V = E.Value;
       } else {
-        V = Env.sample(I->SensorId, Tau);
+        V = Sensors->sample(I->SensorId, Tau);
       }
       InputEvent E;
       E.Sensor = I->SensorId;
@@ -622,10 +625,9 @@ bool ocelot::replayRefines(const Program &P, const MonitorPlan *Plan,
                            const Trace &T, int NumRuns,
                            const std::vector<std::vector<int64_t>> &FinalNvm,
                            std::string &Why) {
-  Environment Unused;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
-  Interpreter I(P, Unused, Cfg, Plan, nullptr);
+  Interpreter I(P, Cfg, Plan, nullptr);
   I.setReplayInputs(T.Inputs);
 
   std::vector<OutputEvent> ReplayOutputs;

@@ -43,8 +43,8 @@
 #include "ir/Program.h"
 #include "runtime/CostModel.h"
 #include "runtime/EnergyModel.h"
-#include "runtime/Environment.h"
 #include "runtime/ExecutableImage.h"
+#include "sensors/SensorScenario.h"
 #include "runtime/FailurePlan.h"
 #include "runtime/MonitorPlan.h"
 #include "runtime/Trace.h"
@@ -75,6 +75,12 @@ struct RunConfig {
   /// sequence bit-for-bit. Sources are immutable, so one instance may be
   /// shared by any number of concurrent simulations.
   std::shared_ptr<const PowerSource> Power;
+  /// The sensed world (src/sensors/): one pure-function-of-τ channel per
+  /// sensor id. Null selects `defaultSensorScenario()` (per-id seeded
+  /// noise), preserving the pre-subsystem unconfigured behavior
+  /// bit-for-bit. Scenarios are immutable, so one instance may be shared
+  /// by any number of concurrent simulations.
+  std::shared_ptr<const SensorScenario> Sensors;
   uint64_t Seed = 1;
   DispatchEngine Dispatch = DispatchEngine::Flat;
   bool TrackTaint = false;
@@ -111,14 +117,15 @@ struct RunResult {
 class Interpreter {
 public:
   /// \p Plan and \p Regions may be null/empty for programs without
-  /// annotations. NVM, tau, the reboot epoch and the energy store persist
-  /// across runOnce() calls, as on a real device.
+  /// annotations. Inputs are read from `Cfg.Sensors` (null = the default
+  /// noise scenario). NVM, tau, the reboot epoch and the energy store
+  /// persist across runOnce() calls, as on a real device.
   ///
   /// \p Image is the precomputed execution form; pass the artifact's so N
   /// simulations share one image. When null, the interpreter builds its
   /// own (callers that only have a raw Program, e.g. the refinement
   /// replay).
-  Interpreter(const Program &P, Environment &Env, RunConfig Cfg,
+  Interpreter(const Program &P, RunConfig Cfg,
               const MonitorPlan *Plan = nullptr,
               const std::vector<RegionInfo> *Regions = nullptr,
               std::shared_ptr<const ExecutableImage> Image = nullptr);
@@ -129,9 +136,9 @@ public:
   /// Re-initializes NVM from the program's initializers (fresh device).
   void resetNvm();
 
-  /// Feeds inputs from \p Events instead of the environment (in order);
-  /// used by the refinement replay. Pass std::nullopt to return to the
-  /// environment.
+  /// Feeds inputs from \p Events instead of the sensor scenario (in
+  /// order); used by the refinement replay. Pass std::nullopt to return
+  /// to the scenario.
   void setReplayInputs(std::optional<std::vector<InputEvent>> Events);
 
   /// Inputs left in the replay queue (0 when not replaying).
@@ -220,8 +227,10 @@ private:
   }
 
   const Program &P;
-  Environment &Env;
   RunConfig Cfg;
+  /// The sensed world; never null (Cfg.Sensors or the default scenario).
+  /// Shared and immutable — reads are thread-safe pure functions of τ.
+  std::shared_ptr<const SensorScenario> Sensors;
   const std::vector<RegionInfo> *Regions;
   std::shared_ptr<const ExecutableImage> Img;
   /// PC-indexed cycle costs under Cfg.Costs. Points at the image's

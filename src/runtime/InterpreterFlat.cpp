@@ -456,7 +456,7 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
         }
         V = E.Value;
       } else {
-        V = Env.sample(FI.SensorId, Tau);
+        V = Sensors->sample(FI.SensorId, Tau);
       }
       InputEvent E;
       E.Sensor = FI.SensorId;

@@ -6,13 +6,15 @@
 ///
 /// \file
 /// A `Simulation` is one simulated intermittent device executing an
-/// immutable `CompiledArtifact`. It owns *all* mutable state of a run — the
-/// sensor environment, the interpreter's NVM / logical time / energy store /
-/// RNG — while sharing the artifact's program, region metadata and monitor
-/// plan read-only. Because nothing in the artifact is written, one artifact
-/// can back any number of Simulations running on different threads at once;
-/// two Simulations built from the same (artifact, spec) produce bitwise
-/// identical results regardless of what else runs concurrently.
+/// immutable `CompiledArtifact`. It owns *all* mutable state of a run —
+/// the interpreter's NVM / logical time / energy store / RNG — while
+/// sharing read-only inputs: the artifact's program, region metadata and
+/// monitor plan, plus the immutable `SensorScenario` and `PowerSource`
+/// named by the `RunConfig`. Because none of the shared pieces are
+/// written, one artifact (and one scenario) can back any number of
+/// Simulations running on different threads at once; two Simulations
+/// built from the same (artifact, spec) produce bitwise identical results
+/// regardless of what else runs concurrently.
 ///
 /// This is the only supported way to execute a compiled program outside
 /// `src/runtime/`; constructing an `Interpreter` directly is reserved for
@@ -33,12 +35,14 @@
 
 namespace ocelot {
 
-/// Everything that varies per simulated device: the sensor environment and
-/// the run configuration (cost model, failure plan, energy config, seed,
-/// monitor toggles). Copied into the Simulation, so a spec can be reused —
-/// and tweaked per cell — when fanning one artifact across a sweep.
+/// Everything that varies per simulated device: the run configuration
+/// (sensor scenario, power source, cost model, failure plan, energy
+/// config, seed, monitor toggles). Copied into the Simulation, so a spec
+/// can be reused — and tweaked per cell — when fanning one artifact
+/// across a sweep. (The sensor world moved into `RunConfig::Sensors`; the
+/// old mutable `Environment Env` member is gone — build a
+/// `SensorScenario` instead, or migrate via `Environment::toScenario()`.)
 struct SimulationSpec {
-  Environment Env;
   RunConfig Config;
 };
 
@@ -48,10 +52,13 @@ class Simulation {
 public:
   Simulation(CompiledArtifact Artifact, SimulationSpec Spec)
       : A(std::move(Artifact)),
-        Env(std::make_unique<Environment>(std::move(Spec.Env))),
         Interp(std::make_unique<Interpreter>(
-            A.program(), *Env, std::move(Spec.Config), &A.monitorPlan(),
+            A.program(), std::move(Spec.Config), &A.monitorPlan(),
             &A.regions(), A.imagePtr())) {}
+
+  /// Convenience: a spec is just its RunConfig.
+  Simulation(CompiledArtifact Artifact, RunConfig Config)
+      : Simulation(std::move(Artifact), SimulationSpec{std::move(Config)}) {}
 
   /// Executes one activation of main() to completion (or abort). NVM, tau,
   /// the reboot epoch and the energy store persist across calls, as on a
@@ -61,9 +68,9 @@ public:
   /// Re-initializes NVM from the program's initializers (fresh device).
   void resetNvm() { Interp->resetNvm(); }
 
-  /// Feeds inputs from \p Events instead of the environment (in order);
-  /// used by the refinement replay. Pass std::nullopt to return to the
-  /// environment.
+  /// Feeds inputs from \p Events instead of the sensor scenario (in
+  /// order); used by the refinement replay. Pass std::nullopt to return
+  /// to the scenario.
   void setReplayInputs(std::optional<std::vector<InputEvent>> Events) {
     Interp->setReplayInputs(std::move(Events));
   }
@@ -82,7 +89,6 @@ public:
 
 private:
   CompiledArtifact A; ///< Shared, read-only; keeps the program alive.
-  std::unique_ptr<Environment> Env; ///< Stable address for the interpreter.
   std::unique_ptr<Interpreter> Interp;
 };
 

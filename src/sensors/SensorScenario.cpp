@@ -1,0 +1,53 @@
+//===- SensorScenario.cpp - Immutable multi-channel sensor worlds ----------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sensors/SensorScenario.h"
+
+using namespace ocelot;
+
+SensorScenario::Builder &SensorScenario::Builder::channel(int Id,
+                                                          SensorChannelPtr C) {
+  if (Id < 0)
+    return *this;
+  if (Id >= static_cast<int>(Channels.size()))
+    Channels.resize(static_cast<size_t>(Id) + 1);
+  Channels[static_cast<size_t>(Id)] = std::move(C);
+  return *this;
+}
+
+std::shared_ptr<const SensorScenario> SensorScenario::Builder::build() const {
+  return std::shared_ptr<const SensorScenario>(new SensorScenario(Channels));
+}
+
+int64_t SensorScenario::defaultSample(int Id, uint64_t Tau) {
+  // Unconfigured sensors default to per-sensor seeded noise (the exact
+  // constants of the original Environment, pinned by SensorScenarioTest).
+  SensorSignal Default = SensorSignal::noise(
+      0, 100, 500, 0x51ed2701 + static_cast<uint64_t>(Id) * 1315423911ULL);
+  return Default.sample(Tau);
+}
+
+std::shared_ptr<const SensorScenario> ocelot::defaultSensorScenario() {
+  static const std::shared_ptr<const SensorScenario> S =
+      SensorScenario::Builder().build();
+  return S;
+}
+
+std::shared_ptr<const SensorScenario>
+ocelot::traceScenario(std::shared_ptr<const SensorTrace> Trace,
+                      int NumChannels) {
+  SensorScenario::Builder B;
+  if (NumChannels < 1)
+    NumChannels = 1;
+  const uint64_t Period = Trace->totalDurationTau();
+  SensorChannelPtr Base = traceChannel(Trace);
+  for (int I = 0; I < NumChannels; ++I) {
+    uint64_t Shift =
+        Period / static_cast<uint64_t>(NumChannels) * static_cast<uint64_t>(I);
+    B.channel(I, Shift ? timeShiftChannel(Base, Shift) : Base);
+  }
+  return B.build();
+}

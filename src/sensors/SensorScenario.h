@@ -1,0 +1,103 @@
+//===- SensorScenario.h - Immutable multi-channel sensor worlds -*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `SensorScenario` is the whole physical world a simulated device
+/// senses: one `SensorChannel` per sensor id, frozen at build time. Like a
+/// `CompiledArtifact` or a `PowerSource`, a scenario is immutable and
+/// shareable — every channel is a pure function of logical time, so one
+/// scenario instance can back any number of concurrent `Simulation`s and
+/// two runs over the same (scenario, seed) are bitwise identical.
+///
+/// Sensor ids a scenario never configured fall back to per-id seeded
+/// noise, exactly the unconfigured default of the original `Environment`
+/// — which is what keeps the default tables byte-identical when no
+/// scenario is set anywhere (`RunConfig::Sensors == nullptr` selects
+/// `defaultSensorScenario()`).
+///
+/// Scenarios reach the runtime through `RunConfig::Sensors`, sweep grids
+/// through `SweepSpec::Scenarios`, and the CLI through
+/// `ocelotc --sensors=<preset|trace.csv>` (SensorScenarios.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_SENSORS_SENSORSCENARIO_H
+#define OCELOT_SENSORS_SENSORSCENARIO_H
+
+#include "sensors/SensorChannel.h"
+#include "sensors/SensorTrace.h"
+
+#include <memory>
+#include <vector>
+
+namespace ocelot {
+
+class SensorScenario {
+public:
+  /// Accumulates per-id channels, then freezes them into a scenario. Ids
+  /// skipped (or given a null channel) keep the unconfigured default.
+  class Builder {
+  public:
+    /// Configures sensor \p Id (growing the table as needed); returns
+    /// *this for chaining. Negative ids are ignored.
+    Builder &channel(int Id, SensorChannelPtr C);
+
+    std::shared_ptr<const SensorScenario> build() const;
+
+  private:
+    std::vector<SensorChannelPtr> Channels;
+  };
+
+  /// The value sensor \p Id reads at logical time \p Tau. Negative ids
+  /// read 0; unconfigured ids read the per-id seeded-noise default.
+  int64_t sample(int Id, uint64_t Tau) const {
+    if (Id < 0)
+      return 0;
+    if (Id < static_cast<int>(Channels.size()) &&
+        Channels[static_cast<size_t>(Id)])
+      return Channels[static_cast<size_t>(Id)]->sample(Tau);
+    return defaultSample(Id, Tau);
+  }
+
+  /// The channel configured for \p Id, or nullptr when \p Id falls back
+  /// to the default noise.
+  const SensorChannel *channel(int Id) const {
+    return Id >= 0 && Id < static_cast<int>(Channels.size())
+               ? Channels[static_cast<size_t>(Id)].get()
+               : nullptr;
+  }
+
+  /// Size of the configured channel table (unconfigured ids beyond it are
+  /// still sampleable).
+  int numConfigured() const { return static_cast<int>(Channels.size()); }
+
+private:
+  explicit SensorScenario(std::vector<SensorChannelPtr> Channels)
+      : Channels(std::move(Channels)) {}
+
+  /// The unconfigured-sensor fallback: per-id seeded noise, bit-for-bit
+  /// the original `Environment` default.
+  static int64_t defaultSample(int Id, uint64_t Tau);
+
+  std::vector<SensorChannelPtr> Channels;
+};
+
+/// The scenario with no channels configured at all: every sensor reads
+/// its per-id seeded-noise default. Selected whenever `RunConfig::Sensors`
+/// is null; the returned instance is shared.
+std::shared_ptr<const SensorScenario> defaultSensorScenario();
+
+/// Builds a correlated multi-channel scenario out of one recording:
+/// sensor id i (i in [0, NumChannels)) replays \p Trace staggered
+/// i * period / NumChannels into the future, so all channels see the same
+/// physical process at different phases — the shape consistent-set
+/// experiments care about.
+std::shared_ptr<const SensorScenario>
+traceScenario(std::shared_ptr<const SensorTrace> Trace, int NumChannels = 4);
+
+} // namespace ocelot
+
+#endif // OCELOT_SENSORS_SENSORSCENARIO_H

@@ -1,0 +1,148 @@
+//===- SensorScenarios.cpp - Named sensor-world presets --------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sensors/SensorScenarios.h"
+
+using namespace ocelot;
+
+namespace {
+
+/// Every channel frozen: staleness and inconsistency have no observable
+/// value cost, isolating the pure timing side of the monitors.
+std::shared_ptr<const SensorScenario> steadyLab() {
+  return SensorScenario::Builder()
+      .channel(0, constantChannel(480))
+      .channel(1, constantChannel(22))
+      .channel(2, constantChannel(-3))
+      .channel(3, constantChannel(100))
+      .build();
+}
+
+/// Indoor climate under HVAC control: slow square waves (compressor duty
+/// cycles) with a little ADC quantization jitter on top.
+std::shared_ptr<const SensorScenario> officeHvac() {
+  return SensorScenario::Builder()
+      .channel(0, jitterChannel(squareChannel(210, 30, 40'000), 2, 0xace1))
+      .channel(1, offsetChannel(squareChannel(18, 4, 60'000), 3))
+      .channel(2, jitterChannel(constantChannel(55), 1, 0xbee5))
+      .channel(3, noiseChannel(40, 10, 5'000, 0x0ff1ce))
+      .build();
+}
+
+/// Outdoors over a day: large slow swings with weather noise mixed in and
+/// a monotonic seasonal drift on the second channel.
+std::shared_ptr<const SensorScenario> outdoorDiurnal() {
+  return SensorScenario::Builder()
+      .channel(0, mixChannel(squareChannel(-40, 520, 750'000),
+                             noiseChannel(0, 60, 900, 0x50a1), 0.8))
+      .channel(1, jitterChannel(rampChannel(5, 1, 9'000), 3, 0xd1a))
+      .channel(2, squareChannel(-10, 45, 600'000))
+      .channel(3, mixChannel(noiseChannel(100, 300, 20'000, 0x5d0c),
+                             constantChannel(150), 0.5))
+      .build();
+}
+
+/// Violent fast dynamics: broadband shaking, a one-off shock step, and
+/// heavy per-read jitter — the adversarial end for freshness policies.
+std::shared_ptr<const SensorScenario> quakeBursts() {
+  return SensorScenario::Builder()
+      .channel(0, jitterChannel(noiseChannel(-200, 400, 120, 0x9a3e), 15,
+                                0x7e11))
+      .channel(1, scaleChannel(noiseChannel(-60, 120, 90, 0x5e15), 2.5))
+      .channel(2, mixChannel(stepChannel(0, 900, 1'500'000),
+                             noiseChannel(0, 250, 200, 0xbad), 0.6))
+      .channel(3, noiseChannel(0, 1000, 60, 0x40ab))
+      .build();
+}
+
+} // namespace
+
+SensorScenarioRegistry &SensorScenarioRegistry::global() {
+  static SensorScenarioRegistry *R = [] {
+    auto *Reg = new SensorScenarioRegistry();
+    Reg->registerScenario(
+        "legacy-noise",
+        "per-sensor seeded noise (the unconfigured default)",
+        [] { return defaultSensorScenario(); });
+    Reg->registerScenario("steady-lab",
+                          "every channel frozen at a bench constant",
+                          [] { return steadyLab(); });
+    Reg->registerScenario(
+        "office-hvac",
+        "slow HVAC square waves with quantization jitter",
+        [] { return officeHvac(); });
+    Reg->registerScenario(
+        "outdoor-diurnal",
+        "large slow swings, drift, and weather noise",
+        [] { return outdoorDiurnal(); });
+    Reg->registerScenario("quake-bursts",
+                          "violent fast dynamics and shock steps",
+                          [] { return quakeBursts(); });
+    return Reg;
+  }();
+  return *R;
+}
+
+void SensorScenarioRegistry::registerScenario(const std::string &Name,
+                                              const std::string &Description,
+                                              Factory F) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries[Name] = Entry{Description, std::move(F)};
+}
+
+std::shared_ptr<const SensorScenario>
+SensorScenarioRegistry::create(const std::string &Name) const {
+  Factory F;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Name);
+    if (It == Entries.end())
+      return nullptr;
+    F = It->second.Make;
+  }
+  return F();
+}
+
+std::string SensorScenarioRegistry::describe(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? std::string() : It->second.Description;
+}
+
+std::vector<std::string> SensorScenarioRegistry::names() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Name, E] : Entries)
+    Out.push_back(Name); // std::map iterates sorted.
+  return Out;
+}
+
+bool SensorScenarioRegistry::contains(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.count(Name) != 0;
+}
+
+std::shared_ptr<const SensorScenario>
+ocelot::resolveSensorScenario(const std::string &Spec, std::string &Error) {
+  bool LooksLikePath = Spec.find('/') != std::string::npos ||
+                       (Spec.size() > 4 &&
+                        Spec.compare(Spec.size() - 4, 4, ".csv") == 0);
+  if (LooksLikePath) {
+    std::shared_ptr<const SensorTrace> T = SensorTrace::loadCsv(Spec, Error);
+    if (!T)
+      return nullptr;
+    return traceScenario(std::move(T));
+  }
+  if (std::shared_ptr<const SensorScenario> S =
+          SensorScenarioRegistry::global().create(Spec))
+    return S;
+  Error = "unknown sensor scenario '" + Spec + "' (valid scenarios:";
+  for (const std::string &N : SensorScenarioRegistry::global().names())
+    Error += " " + N;
+  Error += "; or a path to a sensor-trace CSV)";
+  return nullptr;
+}

@@ -1,0 +1,89 @@
+//===- SensorScenarios.h - Named sensor-world presets -----------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String-addressable presets over the `SensorScenario` zoo — the input
+/// mirror of `PowerProfileRegistry` — so every layer
+/// (`ocelotc --sensors=...`, `SweepSpec::Scenarios`, bench drivers, user
+/// code) names sensor worlds the same way. The registry ships with:
+///
+///   legacy-noise     per-sensor seeded noise (the unconfigured default)
+///   steady-lab       every channel frozen at a bench constant
+///   office-hvac      slow HVAC square waves with quantization jitter
+///   outdoor-diurnal  large slow swings, drift, and weather noise
+///   quake-bursts     violent fast dynamics and shock steps
+///
+/// `resolveSensorScenario` additionally accepts a path to a `SensorTrace`
+/// CSV (anything containing a path separator or ending in ".csv"),
+/// covering the `--sensors=<preset|file.csv>` CLI contract in one place;
+/// a trace resolves to `traceScenario` (phase-staggered correlated
+/// channels over the recording).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_SENSORS_SENSORSCENARIOS_H
+#define OCELOT_SENSORS_SENSORSCENARIOS_H
+
+#include "sensors/SensorScenario.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ocelot {
+
+/// Thread-safe name -> SensorScenario factory map. The global() instance
+/// is pre-populated with the built-in presets above; tests and
+/// applications may register more (re-registering a name replaces it).
+class SensorScenarioRegistry {
+public:
+  using Factory = std::function<std::shared_ptr<const SensorScenario>()>;
+
+  /// The process-wide registry with the built-in presets.
+  static SensorScenarioRegistry &global();
+
+  /// Registers (or replaces) \p Name.
+  void registerScenario(const std::string &Name,
+                        const std::string &Description, Factory F);
+
+  /// \returns the scenario for \p Name, or nullptr if unknown.
+  std::shared_ptr<const SensorScenario> create(const std::string &Name) const;
+
+  /// One-line description of \p Name (empty if unknown).
+  std::string describe(const std::string &Name) const;
+
+  /// All registered names, sorted, e.g. for error messages and --help.
+  std::vector<std::string> names() const;
+
+  bool contains(const std::string &Name) const;
+
+  SensorScenarioRegistry() = default;
+  SensorScenarioRegistry(const SensorScenarioRegistry &) = delete;
+  SensorScenarioRegistry &operator=(const SensorScenarioRegistry &) = delete;
+
+private:
+  struct Entry {
+    std::string Description;
+    Factory Make;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries;
+};
+
+/// Resolves a `--sensors=` spec: a registered scenario name, or a path to
+/// a sensor-trace CSV (recognized by a '/' in the spec or a ".csv"
+/// suffix). On failure returns nullptr and sets \p Error to a message
+/// listing the valid scenario names (or the trace loader's complaint).
+std::shared_ptr<const SensorScenario>
+resolveSensorScenario(const std::string &Spec, std::string &Error);
+
+} // namespace ocelot
+
+#endif // OCELOT_SENSORS_SENSORSCENARIOS_H

@@ -1,0 +1,105 @@
+//===- SensorTrace.h - Recorded sensor-value time series --------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `SensorTrace` is a recorded sensor reading as a piecewise-constant
+/// time series — the sensor-side twin of `PowerTrace`, sharing the same
+/// CSV format machinery (support/TimeSeriesCsv.h):
+///
+/// ```csv
+/// # ocelot sensor trace v1
+/// # duration_tau,value
+/// 50000,21.5
+/// 150000,-3
+/// ```
+///
+/// Comment lines start with `#`; each data line is one segment holding a
+/// value (which, unlike a charge rate, may be negative) for a duration. A
+/// valid trace has at least one segment, every duration > 0 and every
+/// value finite; loading reports the first problem with its line number,
+/// and toCsv round-trips exactly. Traces are immutable once built —
+/// `traceChannel` replays one cyclically against absolute logical time, so
+/// a single recording can back any number of concurrent simulations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_SENSORS_SENSORTRACE_H
+#define OCELOT_SENSORS_SENSORTRACE_H
+
+#include "sensors/SensorChannel.h"
+#include "support/TimeSeriesCsv.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocelot {
+
+class SensorTrace {
+public:
+  /// One reading held for a duration — exactly the shared CSV layer's
+  /// segment (Value is the sensed value and may be negative).
+  using Segment = TimeSeriesSegment;
+
+  /// Accumulates segments, then validates and freezes them into a trace.
+  class Builder {
+  public:
+    /// Appends one segment; returns *this for chaining.
+    Builder &segment(uint64_t DurationTau, double Value) {
+      Segs.push_back({DurationTau, Value});
+      return *this;
+    }
+
+    /// Validates and builds. On failure returns nullptr and sets \p Error.
+    std::shared_ptr<const SensorTrace> build(std::string &Error) const;
+
+  private:
+    std::vector<Segment> Segs;
+  };
+
+  const std::vector<Segment> &segments() const { return Segs; }
+  /// Sum of all segment durations (> 0 for a valid trace).
+  uint64_t totalDurationTau() const { return TotalTau; }
+
+  /// The reading in effect at absolute time \p Tau (the trace repeats
+  /// with period totalDurationTau()).
+  double valueAt(uint64_t Tau) const;
+
+  /// Renders the trace as CSV text (the same format parseCsv reads; a
+  /// parse of the output yields identical segments).
+  std::string toCsv() const;
+
+  /// Parses CSV text. On failure returns nullptr and sets \p Error to a
+  /// message naming the offending line.
+  static std::shared_ptr<const SensorTrace> parseCsv(std::string_view Text,
+                                                     std::string &Error);
+
+  /// Reads and parses \p Path. On failure returns nullptr and sets
+  /// \p Error (file errors and parse errors alike).
+  static std::shared_ptr<const SensorTrace> loadCsv(const std::string &Path,
+                                                    std::string &Error);
+
+  /// Writes toCsv() to \p Path; returns false and sets \p Error on I/O
+  /// failure.
+  bool saveCsv(const std::string &Path, std::string &Error) const;
+
+private:
+  explicit SensorTrace(std::vector<Segment> Segs);
+
+  std::vector<Segment> Segs;
+  uint64_t TotalTau = 0;
+};
+
+/// Wraps an immutable trace as a `SensorChannel` ("trace") replaying it
+/// cyclically against absolute logical time; readings round to the
+/// nearest integer at the sample site.
+SensorChannelPtr traceChannel(std::shared_ptr<const SensorTrace> Trace);
+
+} // namespace ocelot
+
+#endif // OCELOT_SENSORS_SENSORTRACE_H

@@ -21,12 +21,17 @@
 ///                                      name (see src/power/PowerProfiles.h)
 ///                                      or a power-trace CSV path; implies
 ///                                      --intermittent
+///   --sensors=S                        sensed world: a scenario preset
+///                                      name (see
+///                                      src/sensors/SensorScenarios.h) or a
+///                                      sensor-trace CSV path (default:
+///                                      per-sensor seeded noise)
 ///   --monitor                          arm both violation detectors
 ///   --seed=S                           simulation seed
 ///
 /// Exit status: 0 on success; 1 on compile/check/run failure (including an
-/// unknown --model= value); for --monitor runs, 2 when any timing violation
-/// was detected.
+/// unknown --model=, --power= or --sensors= value); for --monitor runs, 2
+/// when any timing violation was detected.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +39,7 @@
 #include "ocelot/Toolchain.h"
 #include "power/PowerProfiles.h"
 #include "runtime/Simulation.h"
+#include "sensors/SensorScenarios.h"
 
 #include <cstdio>
 #include <cstring>
@@ -63,7 +69,8 @@ void usage() {
       "usage: ocelotc FILE.ocl [--model=jit|atomics|ocelot|check]\n"
       "               [--emit-ir] [--disasm] [--emit-policies] [--run[=N]]\n"
       "               [--intermittent] [--power=profile|trace.csv]\n"
-      "               [--monitor] [--seed=S]\n");
+      "               [--sensors=scenario|trace.csv] [--monitor] "
+      "[--seed=S]\n");
 }
 
 } // namespace
@@ -74,6 +81,7 @@ int main(int argc, char **argv) {
   bool EmitIr = false, Disasm = false, EmitPolicies = false,
        Intermittent = false, Monitor = false;
   std::shared_ptr<const PowerSource> Power;
+  std::shared_ptr<const SensorScenario> Sensors;
   int Runs = 0;
   uint64_t Seed = 1;
 
@@ -99,6 +107,13 @@ int main(int argc, char **argv) {
         return 1;
       }
       Intermittent = true; // A harvesting environment implies failures.
+    } else if (Arg.rfind("--sensors=", 0) == 0) {
+      std::string Error;
+      Sensors = resolveSensorScenario(Arg.substr(10), Error);
+      if (!Sensors) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
     } else if (Arg == "--monitor") {
       Monitor = true;
     } else if (Arg.rfind("--seed=", 0) == 0) {
@@ -205,7 +220,8 @@ int main(int argc, char **argv) {
   if (Runs <= 0)
     return 0;
 
-  SimulationSpec Spec; // Default environment: seeded noise per sensor.
+  SimulationSpec Spec;
+  Spec.Config.Sensors = Sensors; // Null = seeded noise per sensor.
   Spec.Config.Seed = Seed;
   Spec.Config.RecordTrace = true;
   if (Intermittent) {

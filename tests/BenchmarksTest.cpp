@@ -94,7 +94,7 @@ TEST_P(BenchmarkSuite, IntermittentOcelotCleanAndCharging) {
 TEST_P(BenchmarkSuite, IntermittentTraceRefinesContinuous) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
   SimulationSpec Spec;
-  def().setupEnvironment(Spec.Env, 23);
+  Spec.Config.Sensors = def().scenario(23);
   // The period must exceed the largest atomic region or no region can ever
   // commit (§5.3's satisfiability constraint).
   Spec.Config.Plan = FailurePlan::periodic(1600, 0.3);

@@ -13,7 +13,8 @@
 ///    engines; RunResult (traps, outputs, violation records, all
 ///    intermittent counters) and final device state must match exactly.
 ///    Focused differentials cover the pathological, random (+static
-///    omega) and periodic failure paths.
+///    omega) and periodic failure paths, plus a trace-driven
+///    SensorScenario feeding the flat engine's zero-temporary Input path.
 ///
 ///  * Image construction — linearization order, branch/call target
 ///    resolution, cost-table folding, monitor/omega side-table density
@@ -82,21 +83,26 @@ void expectSameResult(const RunResult &Flat, const RunResult &Tree,
 }
 
 /// Runs \p Runs activations under both engines with otherwise identical
-/// specs and compares every activation plus the final device state.
+/// specs and compares every activation plus the final device state. A
+/// null \p Scenario selects the benchmark's default seeded-noise world.
 void runDifferential(const BenchmarkDef &B, ExecModel Model, uint64_t Seed,
-                     const RunConfig &Base, int Runs) {
+                     const RunConfig &Base, int Runs,
+                     std::shared_ptr<const SensorScenario> Scenario =
+                         nullptr) {
   CompiledBenchmark CB = compileBenchmark(B, Model);
+  if (!Scenario)
+    Scenario = B.scenario(Seed);
 
   SimulationSpec FlatSpec;
-  B.setupEnvironment(FlatSpec.Env, Seed);
   FlatSpec.Config = Base;
+  FlatSpec.Config.Sensors = Scenario;
   FlatSpec.Config.Seed = Seed;
   FlatSpec.Config.Dispatch = DispatchEngine::Flat;
   Simulation Flat(CB.Artifact, std::move(FlatSpec));
 
   SimulationSpec TreeSpec;
-  B.setupEnvironment(TreeSpec.Env, Seed);
   TreeSpec.Config = Base;
+  TreeSpec.Config.Sensors = Scenario;
   TreeSpec.Config.Seed = Seed;
   TreeSpec.Config.Dispatch = DispatchEngine::Tree;
   Simulation Tree(CB.Artifact, std::move(TreeSpec));
@@ -170,6 +176,28 @@ TEST(ExecImageDifferentialFocused, RandomPlanWithStaticOmega) {
   Cfg.RecordTrace = true;
   runDifferential(*findBenchmark("cem"), ExecModel::AtomicsOnly, 29, Cfg,
                   /*Runs=*/6);
+}
+
+TEST(ExecImageDifferentialFocused, TraceDrivenScenario) {
+  // Inputs from a recorded trace (phase-staggered correlated channels)
+  // instead of synthetic noise: the flat engine's raw-int64 Input path
+  // must still agree with the tree engine bit for bit.
+  std::string Error;
+  std::shared_ptr<const SensorTrace> T = SensorTrace::Builder()
+                                             .segment(40'000, 21)
+                                             .segment(25'000, -4)
+                                             .segment(60'000, 35)
+                                             .segment(15'000, 250)
+                                             .build(Error);
+  ASSERT_TRUE(T) << Error;
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.MonitorBitVector = true;
+  Cfg.MonitorFormal = true;
+  Cfg.RecordTrace = true;
+  for (const char *Name : {"tire", "greenhouse"})
+    runDifferential(*findBenchmark(Name), ExecModel::Ocelot, 11, Cfg,
+                    /*Runs=*/6, traceScenario(T));
 }
 
 TEST(ExecImageDifferentialFocused, PeriodicPlan) {
@@ -375,10 +403,9 @@ TEST(ExecImage, KindlessOperandTrapsInsteadOfYieldingZero) {
   // White-box: a surgically corrupted Program has no artifact, so this
   // test constructs the Interpreter directly (the runtime-internal path).
   for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree}) {
-    Environment Env;
     RunConfig Cfg;
     Cfg.Dispatch = E;
-    Interpreter I(*CR.Prog, Env, Cfg, &CR.Monitor, &CR.Regions);
+    Interpreter I(*CR.Prog, Cfg, &CR.Monitor, &CR.Regions);
     RunResult R = I.runOnce();
     EXPECT_FALSE(R.Completed);
     EXPECT_NE(R.Trap.find("operand without a kind"), std::string::npos)

@@ -32,24 +32,21 @@ CompiledArtifact compile(const std::string &Src,
 }
 
 /// Runs continuously once and returns the Output events.
-std::vector<OutputEvent> outputsOf(const std::string &Src,
-                                   Environment &Env) {
+std::vector<OutputEvent> outputsOf(const std::string &Src) {
   CompiledArtifact A = compile(Src);
   RunConfig Cfg;
   Cfg.RecordTrace = true;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   EXPECT_TRUE(Res.Completed) << Res.Trap;
   return Res.TraceData.Outputs;
 }
 
 TEST(Interp, ArithmeticAndComparison) {
-  Environment Env;
   auto Out = outputsOf(
       "fn main() { log(7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3); "
       "log(1 << 4, 256 >> 2, 6 & 3, 6 | 3, 6 ^ 3); "
-      "let b = 3 < 4 && 4 <= 4 || false; if b { log(1); } }",
-      Env);
+      "let b = 3 < 4 && 4 <= 4 || false; if b { log(1); } }");
   ASSERT_EQ(Out.size(), 3u);
   EXPECT_EQ(Out[0].Args, (std::vector<int64_t>{10, 4, 21, 2, 1}));
   EXPECT_EQ(Out[1].Args, (std::vector<int64_t>{16, 64, 2, 7, 5}));
@@ -57,50 +54,41 @@ TEST(Interp, ArithmeticAndComparison) {
 }
 
 TEST(Interp, UnaryOperators) {
-  Environment Env;
   auto Out = outputsOf("fn main() { let x = 5; log(-x, ~x); "
-                       "let b = !(x > 9); if b { log(1); } }",
-                       Env);
+                       "let b = !(x > 9); if b { log(1); } }");
   ASSERT_EQ(Out.size(), 2u);
   EXPECT_EQ(Out[0].Args, (std::vector<int64_t>{-5, -6}));
 }
 
 TEST(Interp, CallsReturnsAndRecursionFreeNesting) {
-  Environment Env;
   auto Out = outputsOf("fn add(a: int, b: int) -> int { return a + b; }\n"
                        "fn twice(x: int) -> int { return add(x, x); }\n"
-                       "fn main() { log(twice(add(2, 3))); }",
-                       Env);
+                       "fn main() { log(twice(add(2, 3))); }");
   ASSERT_EQ(Out.size(), 1u);
   EXPECT_EQ(Out[0].Args[0], 10);
 }
 
 TEST(Interp, ReferencesWriteThrough) {
-  Environment Env;
   auto Out = outputsOf("fn bump(r: &int) { *r = *r + 10; }\n"
                        "fn main() { let c = 5; bump(&c); bump(&c); "
-                       "log(c); }",
-                       Env);
+                       "log(c); }");
   ASSERT_EQ(Out.size(), 1u);
   EXPECT_EQ(Out[0].Args[0], 25);
 }
 
 TEST(Interp, ArraysAndLoops) {
-  Environment Env;
   auto Out = outputsOf("fn main() { let a = [0; 6]; for i in 0..6 { "
                        "a[i] = i * i; } let mut s = 0; for i in 0..6 { "
-                       "s = s + a[i]; } log(s); }",
-                       Env);
+                       "s = s + a[i]; } log(s); }");
   ASSERT_EQ(Out.size(), 1u);
   EXPECT_EQ(Out[0].Args[0], 0 + 1 + 4 + 9 + 16 + 25);
 }
 
 TEST(Interp, StaticsPersistAcrossRuns) {
   CompiledArtifact A = compile("static n = 0;\nfn main() { n += 1; log(n); }");
-  Environment Env;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   for (int Run = 1; Run <= 3; ++Run) {
     RunResult Res = I.runOnce();
     ASSERT_TRUE(Res.Completed);
@@ -113,9 +101,8 @@ TEST(Interp, StaticsPersistAcrossRuns) {
 
 TEST(Interp, DivisionByZeroTraps) {
   CompiledArtifact A = compile("fn main() { let z = 0; log(5 / z); }");
-  Environment Env;
   RunConfig Cfg;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   EXPECT_FALSE(Res.Completed);
   EXPECT_NE(Res.Trap.find("division by zero"), std::string::npos);
@@ -124,21 +111,21 @@ TEST(Interp, DivisionByZeroTraps) {
 TEST(Interp, ArrayBoundsTrap) {
   CompiledArtifact A =
       compile("static a: [int; 2];\nfn main() { let i = 5; a[i] = 1; }");
-  Environment Env;
   RunConfig Cfg;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   EXPECT_FALSE(Res.Completed);
   EXPECT_NE(Res.Trap.find("out of bounds"), std::string::npos);
 }
 
-TEST(Interp, InputsSampleEnvironmentAtLogicalTime) {
+TEST(Interp, InputsSampleScenarioAtLogicalTime) {
   CompiledArtifact A = compile("io s;\nfn main() { log(s()); }");
-  Environment Env;
-  Env.setSignal(0, SensorSignal::ramp(100, 1, 10)); // +1 every 10 tau
   RunConfig Cfg;
+  Cfg.Sensors = SensorScenario::Builder()
+                    .channel(0, rampChannel(100, 1, 10)) // +1 every 10 tau
+                    .build();
   Cfg.RecordTrace = true;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult First = I.runOnce();
   RunResult Second = I.runOnce();
   ASSERT_TRUE(First.Completed && Second.Completed);
@@ -154,12 +141,11 @@ TEST(Interp, JitResumeDoesNotReExecute) {
   // run regardless of how many reboots interrupt it.
   CompiledArtifact A = compile("static n = 0;\nfn main() { n += 1; log(n); }",
                             ExecModel::JitOnly);
-  Environment Env;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
   Cfg.Plan = FailurePlan::periodic(400, 0.0);
   Cfg.Plan.setOffTime(100, 100);
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   uint64_t Reboots = 0;
   for (int Run = 1; Run <= 10; ++Run) {
     RunResult Res = I.runOnce();
@@ -173,11 +159,10 @@ TEST(Interp, JitResumeDoesNotReExecute) {
 
 TEST(Interp, TauAdvancesAcrossReboots) {
   CompiledArtifact A = compile("fn main() { log(1); }", ExecModel::JitOnly);
-  Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::periodic(400, 0.0);
   Cfg.Plan.setOffTime(5000, 5000);
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   uint64_t Reboots = 0, Off = 0;
   for (int Run = 0; Run < 20; ++Run) {
     RunResult Res = I.runOnce();
@@ -198,17 +183,15 @@ TEST(Interp, AtomicRollbackIsIdempotent) {
   const char *Src = "static n = 0;\nstatic flag = 0;\n"
                     "fn main() { atomic { n += 1; n += 1; "
                     "if n > 1 { flag = n; } } log(n, flag); }";
-  Environment Env;
-  auto Continuous = outputsOf(Src, Env);
+  auto Continuous = outputsOf(Src);
 
   CompiledArtifact A = compile(Src);
-  Environment Env2;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
   Cfg.Plan = FailurePlan::random(0.03);
   Cfg.Plan.setOffTime(50, 50);
   Cfg.Seed = 17;
-  Simulation I(A, {Env2, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   EXPECT_GT(Res.AtomicAborts, 0u) << "failures must hit inside the region";
@@ -220,13 +203,12 @@ TEST(Interp, AtomicRollbackIsIdempotent) {
 TEST(Interp, RolledBackOutputsDiscarded) {
   CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { n += 1; log(n); } }");
-  Environment Env;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
   Cfg.Plan = FailurePlan::random(0.01);
   Cfg.Plan.setOffTime(50, 50);
   Cfg.Seed = 23;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   // However many attempts aborted, exactly one log(1) commits.
@@ -238,13 +220,12 @@ TEST(Interp, NestedRegionsFlattenToOutermost) {
   CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { n += 1; atomic { n += 1; "
                             "} n += 1; } log(n); }");
-  Environment Env;
   RunConfig Cfg;
   Cfg.RecordTrace = true;
   Cfg.Plan = FailurePlan::random(0.02);
   Cfg.Plan.setOffTime(50, 50);
   Cfg.Seed = 5;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   ASSERT_TRUE(Res.Completed) << Res.Trap;
   // Inner commit must not make inner effects durable: a failure after the
@@ -259,14 +240,13 @@ TEST(Interp, StaticOmegaMatchesDynamicLogging) {
                     "log(a, b); }";
   for (bool StaticOmega : {false, true}) {
     CompiledArtifact A = compile(Src);
-    Environment Env;
-    RunConfig Cfg;
+      RunConfig Cfg;
     Cfg.RecordTrace = true;
     Cfg.StaticOmega = StaticOmega;
     Cfg.Plan = FailurePlan::random(0.02);
     Cfg.Plan.setOffTime(50, 50);
     Cfg.Seed = 29;
-    Simulation I(A, {Env, Cfg});
+    Simulation I(A, Cfg);
     RunResult Res = I.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;
     EXPECT_EQ(Res.TraceData.Outputs[0].Args, (std::vector<int64_t>{2, 1}))
@@ -278,12 +258,11 @@ TEST(Interp, StarvationDetectedForOversizedRegion) {
   CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { for i in 0..50 { n += 1; } "
                             "} log(n); }");
-  Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::periodic(20, 0.0); // Region needs > 20 cycles.
   Cfg.Plan.setOffTime(50, 50);
   Cfg.MaxAbortsPerRegion = 30;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   RunResult Res = I.runOnce();
   EXPECT_TRUE(Res.Starved);
   EXPECT_FALSE(Res.Completed);
@@ -292,12 +271,11 @@ TEST(Interp, StarvationDetectedForOversizedRegion) {
 TEST(Interp, EnergyDrivenChargingAccounting) {
   CompiledArtifact A = compile("io s;\nfn main() { let x = s(); log(x); }",
                             ExecModel::JitOnly);
-  Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::energyDriven();
   Cfg.Energy.CapacityCycles = 500;
   Cfg.Energy.ReserveCycles = 250;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   uint64_t On = 0, Off = 0, Reboots = 0;
   for (int Run = 0; Run < 50; ++Run) {
     RunResult Res = I.runOnce();
@@ -312,14 +290,12 @@ TEST(Interp, EnergyDrivenChargingAccounting) {
 
 TEST(Interp, CheckpointCostsCounted) {
   CompiledArtifact A = compile("fn main() { log(1); }", ExecModel::JitOnly);
-  Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::periodic(300, 0.0);
   Cfg.Plan.setOffTime(10, 10);
-  Simulation I(A, {Env, Cfg});
-  Environment Env2;
+  Simulation I(A, Cfg);
   RunConfig Cfg2;
-  Simulation I2(A, {Env2, Cfg2});
+  Simulation I2(A, Cfg2);
   uint64_t FailCycles = 0, CleanCycles = 0, Ckpts = 0;
   for (int Run = 0; Run < 10; ++Run) {
     RunResult Failing = I.runOnce();
@@ -336,13 +312,12 @@ TEST(Interp, CheckpointCostsCounted) {
 TEST(Interp, RandomFailurePlanCompletes) {
   CompiledArtifact A = compile("static n = 0;\n"
                             "fn main() { atomic { n += 1; } log(n); }");
-  Environment Env;
   RunConfig Cfg;
   Cfg.Plan = FailurePlan::random(0.02);
   Cfg.Plan.setOffTime(100, 1000);
   Cfg.Seed = 3;
   Cfg.RecordTrace = true;
-  Simulation I(A, {Env, Cfg});
+  Simulation I(A, Cfg);
   for (int Run = 1; Run <= 10; ++Run) {
     RunResult Res = I.runOnce();
     ASSERT_TRUE(Res.Completed) << Res.Trap;

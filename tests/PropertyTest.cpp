@@ -67,7 +67,7 @@ TEST_P(PropertySweep, OcelotNeverViolatesUnderAnyPlan) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
   for (FailurePlan &Plan : plansFor(CB.Artifact)) {
     SimulationSpec Spec;
-    def().setupEnvironment(Spec.Env, seed());
+    Spec.Config.Sensors = def().scenario(seed());
     Spec.Config.Seed = seed();
     Spec.Config.Plan = Plan;
     Spec.Config.MonitorBitVector = true;
@@ -87,7 +87,7 @@ TEST_P(PropertySweep, OcelotNeverViolatesUnderAnyPlan) {
 TEST_P(PropertySweep, JitPathologicalDetectorsAgree) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::JitOnly);
   SimulationSpec Spec;
-  def().setupEnvironment(Spec.Env, seed());
+  Spec.Config.Sensors = def().scenario(seed());
   Spec.Config.Seed = seed();
   Spec.Config.Plan =
       FailurePlan::pathological(pathologicalPoints(CB.Artifact));
@@ -118,7 +118,7 @@ TEST_P(PropertySweep, JitPathologicalDetectorsAgree) {
 TEST_P(PropertySweep, CommittedTracesRefineContinuous) {
   CompiledBenchmark CB = compileBenchmark(def(), ExecModel::Ocelot);
   SimulationSpec Spec;
-  def().setupEnvironment(Spec.Env, seed());
+  Spec.Config.Sensors = def().scenario(seed());
   Spec.Config.Seed = seed();
   Spec.Config.Plan = FailurePlan::energyDriven();
   Spec.Config.RecordTrace = true;

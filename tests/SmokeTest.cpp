@@ -69,10 +69,11 @@ TEST(Smoke, OcelotInfersRegions) {
 TEST(Smoke, JitViolatesUnderPathologicalFailures) {
   CompiledArtifact A = compile(ExecModel::JitOnly);
   SimulationSpec Spec;
-  Spec.Env.setSignal(0, SensorSignal::noise(0, 10, 50, 11));
-  Spec.Env.setSignal(1, SensorSignal::noise(900, 200, 50, 12));
-  Spec.Env.setSignal(2, SensorSignal::noise(30, 60, 50, 13));
-
+  Spec.Config.Sensors = SensorScenario::Builder()
+                            .channel(0, noiseChannel(0, 10, 50, 11))
+                            .channel(1, noiseChannel(900, 200, 50, 12))
+                            .channel(2, noiseChannel(30, 60, 50, 13))
+                            .build();
   Spec.Config.Plan = FailurePlan::pathological(pathologicalPoints(A));
   Spec.Config.Plan.setOffTime(10000, 50000);
   Spec.Config.MonitorBitVector = true;

@@ -14,6 +14,7 @@
 
 #include "harness/SweepRunner.h"
 #include "power/PowerProfiles.h"
+#include "sensors/SensorScenarios.h"
 
 #include <gtest/gtest.h>
 
@@ -45,11 +46,15 @@ void expectIdentical(const std::vector<SweepCellResult> &A,
     EXPECT_EQ(A[I].Model, B[I].Model) << "cell " << I;
     EXPECT_EQ(A[I].Bench, B[I].Bench) << "cell " << I;
     EXPECT_EQ(A[I].Energy, B[I].Energy) << "cell " << I;
+    EXPECT_EQ(A[I].Power, B[I].Power) << "cell " << I;
+    EXPECT_EQ(A[I].Scenario, B[I].Scenario) << "cell " << I;
     EXPECT_EQ(A[I].Seed, B[I].Seed) << "cell " << I;
     const IntermittentMetrics &M = A[I].Metrics, &N = B[I].Metrics;
     EXPECT_EQ(M.CompletedRuns, N.CompletedRuns) << "cell " << I;
     EXPECT_EQ(M.ViolatingRuns, N.ViolatingRuns) << "cell " << I;
     EXPECT_EQ(M.Starved, N.Starved) << "cell " << I;
+    EXPECT_EQ(M.Trapped, N.Trapped) << "cell " << I;
+    EXPECT_EQ(M.Trap, N.Trap) << "cell " << I;
     EXPECT_EQ(M.OnCyclesPerRun, N.OnCyclesPerRun) << "cell " << I;
     EXPECT_EQ(M.OffCyclesPerRun, N.OffCyclesPerRun) << "cell " << I;
     EXPECT_EQ(M.RebootsPerRun, N.RebootsPerRun) << "cell " << I;
@@ -139,6 +144,62 @@ TEST(SweepRunner, PowerDimensionSweepsAndAttributesCorrectly) {
   // check above to mean anything: legacy-jitter vs rf-office off-times.
   EXPECT_NE(Parallel[Spec.cellIndex(0, 0, 0, 0, 0)].Metrics.OffCyclesPerRun,
             Parallel[Spec.cellIndex(0, 0, 0, 2, 0)].Metrics.OffCyclesPerRun);
+}
+
+TEST(SweepRunner, ScenarioDimensionSweepsAndAttributesCorrectly) {
+  // Non-empty Scenarios (combined with a power column): the grid grows a
+  // scenario dimension between power and seed, the parallel run matches
+  // the sequential one bitwise, and every cell's metrics match a
+  // hand-rolled measureIntermittent with *that* cell's scenario — i.e.
+  // the 6-arg cellIndex and cellAt stay in sync and no cell reads
+  // another world's inputs.
+  SweepSpec Spec;
+  Spec.Benchmarks = {findBenchmark("send_photo")};
+  Spec.Models = {ExecModel::JitOnly};
+  Spec.Energies = {EnergyConfig{}};
+  Spec.Powers = {nullptr,
+                 PowerProfileRegistry::global().create("bench-constant")};
+  Spec.Scenarios = {nullptr, // Implicit benchmark default.
+                    SensorScenarioRegistry::global().create("steady-lab"),
+                    SensorScenarioRegistry::global().create("quake-bursts")};
+  Spec.Seeds = {1, 77};
+  Spec.TauBudget = 1'500'000;
+  EXPECT_EQ(Spec.scenarioCount(), 3u);
+  EXPECT_EQ(Spec.cellCount(), 1u * 1u * 1u * 2u * 3u * 2u);
+
+  std::vector<SweepCellResult> Sequential = SweepRunner(1).run(Spec);
+  std::vector<SweepCellResult> Parallel = SweepRunner(4).run(Spec);
+  expectIdentical(Sequential, Parallel);
+
+  CompiledBenchmark CB =
+      compileBenchmark(*Spec.Benchmarks[0], Spec.Models[0]);
+  for (size_t P = 0; P < Spec.Powers.size(); ++P)
+    for (size_t Sc = 0; Sc < Spec.Scenarios.size(); ++Sc)
+      for (size_t S = 0; S < Spec.Seeds.size(); ++S) {
+        size_t I = Spec.cellIndex(0, 0, 0, P, Sc, S);
+        SweepSpec::CellCoords C = Spec.cellAt(I);
+        EXPECT_EQ(C.Power, P);
+        EXPECT_EQ(C.Scenario, Sc);
+        EXPECT_EQ(C.Seed, S);
+        const SweepCellResult &Got = Parallel[I];
+        EXPECT_EQ(Got.Power, P);
+        EXPECT_EQ(Got.Scenario, Sc);
+        IntermittentMetrics Want = measureIntermittent(
+            CB, *Spec.Benchmarks[0], Spec.Energies[0], Spec.TauBudget,
+            Spec.Seeds[S], Spec.Monitors, Spec.Powers[P],
+            Spec.Scenarios[Sc]);
+        EXPECT_EQ(Got.Metrics.CompletedRuns, Want.CompletedRuns)
+            << "cell " << I;
+        EXPECT_EQ(Got.Metrics.ViolatingRuns, Want.ViolatingRuns)
+            << "cell " << I << " got another scenario's inputs";
+        EXPECT_EQ(Got.Metrics.OnCyclesPerRun, Want.OnCyclesPerRun)
+            << "cell " << I;
+      }
+  // The scenarios must differ observably for the attribution check to
+  // mean anything: send_photo's conditional send makes its on-time track
+  // the input world (frozen steady-lab vs bursty quake-bursts).
+  EXPECT_NE(Parallel[Spec.cellIndex(0, 0, 0, 0, 1, 0)].Metrics.OnCyclesPerRun,
+            Parallel[Spec.cellIndex(0, 0, 0, 0, 2, 0)].Metrics.OnCyclesPerRun);
 }
 
 TEST(SweepRunner, DefaultsToHardwareConcurrency) {

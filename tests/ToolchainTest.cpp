@@ -112,9 +112,16 @@ TEST(Toolchain, OneArtifactBacksConcurrentSimulations) {
   ASSERT_TRUE(C.ok());
   const CompiledArtifact &A = C.artifact();
 
-  auto Campaign = [&A](uint64_t Seed) {
+  // One immutable sensor world shared by every simulation below: like the
+  // artifact, a SensorScenario is safe to share across threads.
+  std::shared_ptr<const SensorScenario> World =
+      SensorScenario::Builder()
+          .channel(0, noiseChannel(10, 40, 400, 42))
+          .build();
+
+  auto Campaign = [&A, &World](uint64_t Seed) {
     SimulationSpec Spec;
-    Spec.Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42));
+    Spec.Config.Sensors = World;
     Spec.Config.Seed = Seed;
     Spec.Config.Plan = FailurePlan::energyDriven();
     Spec.Config.MonitorBitVector = true;
