@@ -5,12 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runtime micro-benchmarks in two parts:
+/// Runtime micro-benchmarks in three parts:
 ///
 ///  * `--json=PATH` — the interpreter throughput report: steps-per-second
-///    of the flat PC-indexed engine vs the tree-walking baseline for every
+///    of every dispatch engine against the tree-walking baseline for every
 ///    benchmark x execution model, written as JSON so CI can record the
-///    perf trajectory per PR. Needs no external library.
+///    perf trajectory per PR (tools/bench_compare.py gates on the
+///    host-normalized speedup ratios). Needs no external library. The
+///    schema is N-engine: adding an engine extends the `engines` array
+///    and the per-row maps without changing any existing key.
+///
+///  * `--pairs` — the dynamic opcode-pair histogram over all benchmarks x
+///    models, counted by the tree engine (RunConfig::OpcodePairCounts).
+///    This is the data the superinstruction set in ExecutableImage's
+///    fusion pass was chosen from.
 ///
 ///  * Google-Benchmark micro-suite (when the library is available) for the
 ///    simulator's mechanisms: interpreter throughput, taint-tracking
@@ -26,6 +34,7 @@
 #include "ocelot/Toolchain.h"
 #include "runtime/Simulation.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -71,20 +80,27 @@ Throughput measureThroughput(const CompiledBenchmark &CB,
 
   uint64_t Steps = 0;
   uint64_t Runs = 0;
+  uint64_t Batch = 1;
   auto Start = std::chrono::steady_clock::now();
   double Elapsed = 0;
   do {
-    RunResult R = Sim.runOnce();
-    if (!R.Completed) {
-      std::fprintf(stderr, "throughput run of %s failed: %s\n",
-                   CB.Name.c_str(), R.Trap.c_str());
-      std::abort();
+    for (uint64_t I = 0; I < Batch; ++I) {
+      RunResult R = Sim.runOnce();
+      if (!R.Completed) {
+        std::fprintf(stderr, "throughput run of %s failed: %s\n",
+                     CB.Name.c_str(), R.Trap.c_str());
+        std::abort();
+      }
+      Steps += R.Steps;
     }
-    Steps += R.Steps;
-    ++Runs;
+    Runs += Batch;
     Elapsed = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)
                   .count();
+    // Keep clock reads off the measured path: grow the batch until one
+    // batch spans a meaningful slice of the budget.
+    if (Elapsed * 64 < MinSeconds)
+      Batch *= 2;
   } while (Elapsed < MinSeconds);
 
   Throughput T;
@@ -93,13 +109,34 @@ Throughput measureThroughput(const CompiledBenchmark &CB,
   return T;
 }
 
+/// The engines the report measures. The baseline comes first: every other
+/// engine's speedup (and the CI gate in tools/bench_compare.py) is the
+/// steps/sec ratio against it, which normalizes out host speed.
+struct EngineSpec {
+  const char *Name;
+  DispatchEngine Engine;
+};
+constexpr EngineSpec Engines[] = {
+    {"tree", DispatchEngine::Tree},
+    {"flat", DispatchEngine::Flat},
+    {"threaded", DispatchEngine::Threaded},
+};
+constexpr size_t NumEngines = sizeof(Engines) / sizeof(Engines[0]);
+
+const ExecModel ReportModels[] = {ExecModel::Ocelot, ExecModel::JitOnly,
+                                  ExecModel::AtomicsOnly};
+
+/// One measured activation executes the app body this many times
+/// (compileBenchmark's MainReps driver): trivial apps like send_photo run
+/// ~10 instructions per activation, so unamortized rows would time
+/// per-activation setup instead of the dispatch loop the report is for.
+constexpr int ThroughputReps = 64;
+
 int runInterpReport(const std::string &Path) {
   const bool Smoke = benchSmokeMode();
   // Long enough for stable numbers in a full run; bench-smoke keeps every
   // binary fast enough to run on each PR.
   const double MinSeconds = Smoke ? 0.02 : 0.25;
-  const ExecModel Models[] = {ExecModel::Ocelot, ExecModel::JitOnly,
-                              ExecModel::AtomicsOnly};
 
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out) {
@@ -107,44 +144,128 @@ int runInterpReport(const std::string &Path) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"report\": \"interpreter steps per second\",\n"
-                    "  \"mode\": \"%s\",\n  \"rows\": [\n",
-               Smoke ? "smoke" : "full");
+                    "  \"mode\": \"%s\",\n  \"baseline\": \"%s\",\n"
+                    "  \"engines\": [",
+               Smoke ? "smoke" : "full", Engines[0].Name);
+  for (size_t E = 0; E < NumEngines; ++E)
+    std::fprintf(Out, "%s\"%s\"", E ? ", " : "", Engines[E].Name);
+  std::fprintf(Out, "],\n  \"rows\": [\n");
 
-  double LogSum = 0;
+  double LogSum[NumEngines] = {};
   int RowCount = 0;
   for (const BenchmarkDef &B : allBenchmarks()) {
-    for (ExecModel Model : Models) {
-      CompiledBenchmark CB = compileBenchmark(B, Model);
-      Throughput Tree =
-          measureThroughput(CB, B, DispatchEngine::Tree, MinSeconds);
-      Throughput Flat =
-          measureThroughput(CB, B, DispatchEngine::Flat, MinSeconds);
-      double Speedup = Tree.StepsPerSec > 0
-                           ? Flat.StepsPerSec / Tree.StepsPerSec
-                           : 0;
-      LogSum += std::log(Speedup);
+    for (ExecModel Model : ReportModels) {
+      CompiledBenchmark CB = compileBenchmark(B, Model, ThroughputReps);
+      Throughput T[NumEngines];
+      for (size_t E = 0; E < NumEngines; ++E)
+        T[E] = measureThroughput(CB, B, Engines[E].Engine, MinSeconds);
+      double Speedup[NumEngines] = {};
+      for (size_t E = 1; E < NumEngines; ++E) {
+        Speedup[E] =
+            T[0].StepsPerSec > 0 ? T[E].StepsPerSec / T[0].StepsPerSec : 0;
+        LogSum[E] += std::log(Speedup[E]);
+      }
       std::fprintf(Out,
                    "%s    {\"benchmark\": \"%s\", \"model\": \"%s\", "
-                   "\"steps_per_run\": %llu, "
-                   "\"tree_steps_per_sec\": %.0f, "
-                   "\"flat_steps_per_sec\": %.0f, "
-                   "\"speedup\": %.3f}",
+                   "\"steps_per_run\": %llu, \"steps_per_sec\": {",
                    RowCount ? ",\n" : "", B.Name.c_str(),
                    execModelName(Model),
-                   static_cast<unsigned long long>(Flat.StepsPerRun),
-                   Tree.StepsPerSec, Flat.StepsPerSec, Speedup);
-      std::fprintf(stderr, "%-12s %-8s tree %10.0f steps/s   flat %10.0f "
-                           "steps/s   x%.2f\n",
-                   B.Name.c_str(), execModelName(Model), Tree.StepsPerSec,
-                   Flat.StepsPerSec, Speedup);
+                   static_cast<unsigned long long>(T[0].StepsPerRun));
+      for (size_t E = 0; E < NumEngines; ++E)
+        std::fprintf(Out, "%s\"%s\": %.0f", E ? ", " : "", Engines[E].Name,
+                     T[E].StepsPerSec);
+      std::fprintf(Out, "}, \"speedup\": {");
+      for (size_t E = 1; E < NumEngines; ++E)
+        std::fprintf(Out, "%s\"%s\": %.3f", E > 1 ? ", " : "",
+                     Engines[E].Name, Speedup[E]);
+      std::fprintf(Out, "}}");
+      std::fprintf(stderr, "%-12s %-8s", B.Name.c_str(),
+                   execModelName(Model));
+      for (size_t E = 0; E < NumEngines; ++E) {
+        std::fprintf(stderr, "  %s %10.0f", Engines[E].Name,
+                     T[E].StepsPerSec);
+        if (E)
+          std::fprintf(stderr, " (x%.2f)", Speedup[E]);
+      }
+      std::fprintf(stderr, "\n");
       ++RowCount;
     }
   }
-  double Geomean = std::exp(LogSum / RowCount);
-  std::fprintf(Out, "\n  ],\n  \"geomean_speedup\": %.3f\n}\n", Geomean);
+  std::fprintf(Out, "\n  ],\n  \"geomean_speedup\": {");
+  for (size_t E = 1; E < NumEngines; ++E)
+    std::fprintf(Out, "%s\"%s\": %.3f", E > 1 ? ", " : "", Engines[E].Name,
+                 std::exp(LogSum[E] / RowCount));
+  std::fprintf(Out, "}\n}\n");
   std::fclose(Out);
-  std::fprintf(stderr, "geomean flat/tree speedup: x%.2f (%s)\n", Geomean,
-               Path.c_str());
+  for (size_t E = 1; E < NumEngines; ++E)
+    std::fprintf(stderr, "geomean %s/%s speedup: x%.2f\n", Engines[E].Name,
+                 Engines[0].Name, std::exp(LogSum[E] / RowCount));
+  std::fprintf(stderr, "report written to %s\n", Path.c_str());
+  return 0;
+}
+
+// -- Dynamic opcode-pair histogram (--pairs) -------------------------------
+
+int runPairHistogram() {
+  std::vector<uint64_t> Hist(
+      static_cast<size_t>(NumOpcodes) * static_cast<size_t>(NumOpcodes), 0);
+  const int RunsPer = benchSmokeMode() ? 1 : 8;
+  for (const BenchmarkDef &B : allBenchmarks()) {
+    for (ExecModel Model : ReportModels) {
+      CompiledBenchmark CB = compileBenchmark(B, Model);
+      SimulationSpec Spec;
+      Spec.Config.Sensors = B.scenario(1);
+      Spec.Config.Seed = 1;
+      Spec.Config.Dispatch = DispatchEngine::Tree;
+      Spec.Config.OpcodePairCounts = &Hist;
+      Simulation Sim(CB.Artifact, std::move(Spec));
+      for (int R = 0; R < RunsPer; ++R) {
+        RunResult Res = Sim.runOnce();
+        if (!Res.Completed) {
+          std::fprintf(stderr, "pair-histogram run of %s failed: %s\n",
+                       CB.Name.c_str(), Res.Trap.c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
+  struct PairCount {
+    int Prev = 0, Cur = 0;
+    uint64_t N = 0;
+  };
+  std::vector<PairCount> Pairs;
+  uint64_t Total = 0;
+  for (int Prev = 0; Prev < NumOpcodes; ++Prev)
+    for (int Cur = 0; Cur < NumOpcodes; ++Cur) {
+      uint64_t N = Hist[static_cast<size_t>(Prev) *
+                            static_cast<size_t>(NumOpcodes) +
+                        static_cast<size_t>(Cur)];
+      if (N) {
+        Pairs.push_back({Prev, Cur, N});
+        Total += N;
+      }
+    }
+  std::sort(Pairs.begin(), Pairs.end(),
+            [](const PairCount &A, const PairCount &B) { return A.N > B.N; });
+
+  std::printf("dynamic opcode pairs over all benchmarks x models "
+              "(tree engine, %llu adjacent executions)\n",
+              static_cast<unsigned long long>(Total));
+  std::printf("%-24s %14s %8s %8s\n", "pair", "count", "%", "cum%");
+  double Cum = 0;
+  size_t Shown = 0;
+  for (const PairCount &PC : Pairs) {
+    double Pct = 100.0 * static_cast<double>(PC.N) /
+                 static_cast<double>(Total);
+    Cum += Pct;
+    std::string Name = std::string(opcodeName(static_cast<Opcode>(PC.Prev))) +
+                       "+" + opcodeName(static_cast<Opcode>(PC.Cur));
+    std::printf("%-24s %14llu %7.2f%% %7.2f%%\n", Name.c_str(),
+                static_cast<unsigned long long>(PC.N), Pct, Cum);
+    if (++Shown >= 20)
+      break;
+  }
   return 0;
 }
 
@@ -200,6 +321,11 @@ void interpretContinuous(benchmark::State &State, DispatchEngine Engine) {
   State.counters["steps/s"] = benchmark::Counter(
       static_cast<double>(Steps), benchmark::Counter::kIsRate);
 }
+
+void BM_InterpretContinuousThreaded(benchmark::State &State) {
+  interpretContinuous(State, DispatchEngine::Threaded);
+}
+BENCHMARK(BM_InterpretContinuousThreaded);
 
 void BM_InterpretContinuousFlat(benchmark::State &State) {
   interpretContinuous(State, DispatchEngine::Flat);
@@ -293,9 +419,12 @@ BENCHMARK(BM_RegionInference);
 #endif // OCELOT_HAVE_GBENCH
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
+  for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0)
       return runInterpReport(argv[I] + 7);
+    if (std::strcmp(argv[I], "--pairs") == 0)
+      return runPairHistogram();
+  }
 #ifdef OCELOT_HAVE_GBENCH
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -12,8 +12,27 @@
 
 using namespace ocelot;
 
+namespace {
+
+/// Renames the app's `main` and appends a driver that calls it \p Reps
+/// times from a `for` loop (bounds must be integer literals, so the count
+/// is spliced into the source).
+std::string repeatMainSource(const char *Src, int Reps) {
+  std::string S(Src);
+  const std::string Needle = "fn main(";
+  size_t At = S.find(Needle);
+  if (At == std::string::npos)
+    return S;
+  S.replace(At, Needle.size(), "fn app_main(");
+  S += "\nfn main() {\n  for rep in 0.." + std::to_string(Reps) +
+       " {\n    app_main();\n  }\n}\n";
+  return S;
+}
+
+} // namespace
+
 CompiledBenchmark ocelot::compileBenchmark(const BenchmarkDef &B,
-                                           ExecModel Model) {
+                                           ExecModel Model, int MainReps) {
   CompiledBenchmark CB;
   CB.Name = B.Name;
   CB.Model = Model;
@@ -24,6 +43,11 @@ CompiledBenchmark ocelot::compileBenchmark(const BenchmarkDef &B,
   bool WantManualRegions =
       Model == ExecModel::AtomicsOnly || Model == ExecModel::CheckOnly;
   const char *Src = WantManualRegions ? B.AtomicsSrc : B.AnnotatedSrc;
+  std::string Repeated;
+  if (MainReps > 1) {
+    Repeated = repeatMainSource(Src, MainReps);
+    Src = Repeated.c_str();
+  }
   Compilation C = Toolchain().compile(Src, Opts);
   if (!C.ok()) {
     std::fprintf(stderr, "failed to compile benchmark %s under %s:\n%s\n",

@@ -38,7 +38,15 @@ struct CompiledBenchmark {
 /// Compiles \p B under \p Model (the Atomics-only model uses the manually
 /// regioned source). Aborts the process with a message on compile failure —
 /// benches treat the benchmarks as trusted inputs.
-CompiledBenchmark compileBenchmark(const BenchmarkDef &B, ExecModel Model);
+///
+/// \p MainReps > 1 compiles a *throughput driver* variant: the app's
+/// `main` is renamed and called MainReps times from a generated `for`
+/// loop, so one activation executes the app body that many times.
+/// Interpreter-throughput measurements use this to stay dispatch-bound on
+/// trivial apps (send_photo executes ~10 instructions per activation;
+/// unamortized, a measurement of it times per-activation setup instead).
+CompiledBenchmark compileBenchmark(const BenchmarkDef &B, ExecModel Model,
+                                   int MainReps = 1);
 
 /// The §7.3 pathological failure points of a compiled benchmark: every use
 /// of a fresh variable and every non-first member of each consistent set.

@@ -41,6 +41,10 @@ enum class Opcode {
   Nop,         ///< no-op (used by tests and instrumentation)
 };
 
+/// Number of opcodes; sizes the opcode-pair histogram
+/// (RunConfig::OpcodePairCounts) and the threaded dispatch table.
+constexpr int NumOpcodes = static_cast<int>(Opcode::Nop) + 1;
+
 enum class BinOp {
   Add,
   Sub,

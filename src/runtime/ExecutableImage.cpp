@@ -141,7 +141,177 @@ ExecutableImage::build(const Program &P,
   }
 
   Img->DefaultCosts = Img->costTableFor(CostModel());
+  Img->buildThreadedView();
   return Img;
+}
+
+// The one-to-one ThreadedOp block must mirror Opcode exactly: the fusion
+// pass seeds the dispatch table with a plain static_cast of each opcode.
+static_assert(static_cast<int>(ThreadedOp::Const) ==
+              static_cast<int>(Opcode::Const));
+static_assert(static_cast<int>(ThreadedOp::Bin) ==
+              static_cast<int>(Opcode::Bin));
+static_assert(static_cast<int>(ThreadedOp::CondBr) ==
+              static_cast<int>(Opcode::CondBr));
+static_assert(static_cast<int>(ThreadedOp::AtomicStart) ==
+              static_cast<int>(Opcode::AtomicStart));
+static_assert(static_cast<int>(ThreadedOp::Nop) ==
+              static_cast<int>(Opcode::Nop));
+static_assert(static_cast<size_t>(FirstFusedOp) ==
+              static_cast<size_t>(Opcode::Nop) + 1);
+
+namespace {
+
+bool readsReg(const Operand &O, int32_t Reg) {
+  return O.isReg() && O.Reg == Reg;
+}
+
+/// Matches the superinstruction patterns over an adjacent pair. Returns
+/// the head's plain code when nothing matches. Forwarding patterns pair a
+/// fall-through head (Const/Bin/Mov/LoadG/LoadA) with a tail that
+/// consumes the head's destination register, so the tail's input is the
+/// head's result; dispatch-elision patterns have no dataflow condition
+/// and their tails re-read the register file. AtomicStart/AtomicEnd are
+/// in no pattern: fusion cannot cross a region boundary.
+ThreadedOp fusePattern(const FlatInst &H, const FlatInst &T) {
+  const ThreadedOp Plain = static_cast<ThreadedOp>(H.Op);
+  // Consistent is a taint-off no-op with no destination register; it is
+  // the only fusable head without one.
+  if (H.Op == Opcode::Consistent)
+    return T.Op == Opcode::Bin ? ThreadedOp::FuseConsistentBin : Plain;
+  if (H.Dst < 0)
+    return Plain;
+  switch (H.Op) {
+  case Opcode::Bin:
+    if (T.Op == Opcode::CondBr && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseBinCondBr;
+    if (T.Op == Opcode::StoreG && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseBinStoreG;
+    if (T.Op == Opcode::StoreA && readsReg(T.B, H.Dst))
+      return ThreadedOp::FuseBinStoreA;
+    if (T.Op == Opcode::Mov && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseBinMov;
+    if (T.Op == Opcode::Bin && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseBinBin;
+    if (T.Op == Opcode::LoadA)
+      return ThreadedOp::FuseBinLoadA;
+    return Plain;
+  case Opcode::Mov:
+    if (T.Op == Opcode::Bin && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseMovBin;
+    if (T.Op == Opcode::Br)
+      return ThreadedOp::FuseMovBr;
+    if (T.Op == Opcode::LoadA)
+      return ThreadedOp::FuseMovLoadA;
+    if (T.Op == Opcode::Consistent)
+      return ThreadedOp::FuseMovConsistent;
+    return Plain;
+  case Opcode::LoadG:
+    if (T.Op == Opcode::Bin && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseLoadGBin;
+    if (T.Op == Opcode::StoreG && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseLoadGStoreG;
+    return Plain;
+  case Opcode::LoadA:
+    if (T.Op == Opcode::Bin && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseLoadABin;
+    if (T.Op == Opcode::LoadA)
+      return ThreadedOp::FuseLoadALoadA;
+    return Plain;
+  case Opcode::Const:
+    if (T.Op == Opcode::StoreG && readsReg(T.A, H.Dst))
+      return ThreadedOp::FuseConstStoreG;
+    return Plain;
+  default:
+    return Plain;
+  }
+}
+
+} // namespace
+
+const char *ocelot::threadedOpName(ThreadedOp Op) {
+  if (Op < FirstFusedOp)
+    return opcodeName(static_cast<Opcode>(Op));
+  switch (Op) {
+  case ThreadedOp::FuseBinCondBr:
+    return "bin+condbr";
+  case ThreadedOp::FuseBinStoreG:
+    return "bin+storeg";
+  case ThreadedOp::FuseBinStoreA:
+    return "bin+storea";
+  case ThreadedOp::FuseLoadGBin:
+    return "loadg+bin";
+  case ThreadedOp::FuseLoadABin:
+    return "loada+bin";
+  case ThreadedOp::FuseConstStoreG:
+    return "const+storeg";
+  case ThreadedOp::FuseLoadGStoreG:
+    return "loadg+storeg";
+  case ThreadedOp::FuseMovBin:
+    return "mov+bin";
+  case ThreadedOp::FuseBinMov:
+    return "bin+mov";
+  case ThreadedOp::FuseMovBr:
+    return "mov+br";
+  case ThreadedOp::FuseBinBin:
+    return "bin+bin";
+  case ThreadedOp::FuseMovLoadA:
+    return "mov+loada";
+  case ThreadedOp::FuseBinLoadA:
+    return "bin+loada";
+  case ThreadedOp::FuseLoadALoadA:
+    return "loada+loada";
+  case ThreadedOp::FuseMovConsistent:
+    return "mov+consistent";
+  case ThreadedOp::FuseConsistentBin:
+    return "consistent+bin";
+  default:
+    return "<invalid>";
+  }
+}
+
+void ExecutableImage::buildThreadedView() {
+  const size_t N = Code.size();
+
+  // Leaders: block starts (covers function entries and branch targets,
+  // since verified IR only branches to block heads) plus the resume point
+  // after every Call. A leader must keep a plain dispatch code so any
+  // control transfer onto it — branch, return, or power-failure resume —
+  // executes exactly the unfused instruction.
+  Leaders.assign(N, 0);
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    const FlatInst &FI = Code[Pc];
+    if (Pc == 0 || FI.Func != Code[Pc - 1].Func ||
+        FI.Block != Code[Pc - 1].Block)
+      Leaders[Pc] = 1;
+    if (FI.Op == Opcode::Br || FI.Op == Opcode::CondBr) {
+      if (FI.Target < N)
+        Leaders[FI.Target] = 1;
+      if (FI.Op == Opcode::CondBr && FI.Target2 < N)
+        Leaders[FI.Target2] = 1;
+    }
+    if (FI.Op == Opcode::Call && Pc + 1 < N)
+      Leaders[Pc + 1] = 1;
+  }
+
+  // Seed with the one-to-one mapping, then greedily fuse non-overlapping
+  // adjacent pairs. Tails keep their plain code: a JIT reboot can leave
+  // the resume PC in the middle of a pair, and dispatching the tail's
+  // plain code there is the unfused semantics.
+  TOps.resize(N);
+  for (size_t Pc = 0; Pc < N; ++Pc)
+    TOps[Pc] = static_cast<ThreadedOp>(Code[Pc].Op);
+  FusedPairs = 0;
+  for (size_t Pc = 0; Pc + 1 < N; ++Pc) {
+    if (Leaders[Pc + 1] || Code[Pc].Func != Code[Pc + 1].Func)
+      continue;
+    ThreadedOp Fused = fusePattern(Code[Pc], Code[Pc + 1]);
+    if (Fused < FirstFusedOp)
+      continue;
+    TOps[Pc] = Fused;
+    ++FusedPairs;
+    ++Pc; // Non-overlapping: the tail cannot head another pair.
+  }
 }
 
 std::vector<uint64_t>
@@ -175,7 +345,8 @@ std::string ExecutableImage::disassemble(const Program &P) const {
   Out += "; executable image: " + std::to_string(Code.size()) +
          " instruction(s), " + std::to_string(Funcs.size()) +
          " function(s), " + std::to_string(Globals.size()) +
-         " global(s) in " + std::to_string(NvmCellCount) + " NVM cell(s)\n";
+         " global(s) in " + std::to_string(NvmCellCount) + " NVM cell(s), " +
+         std::to_string(FusedPairs) + " fused pair(s)\n";
   CostModel Default;
   for (int F = 0; F < numFunctions(); ++F) {
     const FuncLayout &L = func(F);
@@ -297,6 +468,10 @@ std::string ExecutableImage::disassemble(const Program &P) const {
         }
         Out += "]";
       }
+      if (isFusedHead(Pc))
+        Out += " fused=" + std::string(threadedOpName(TOps[Pc]));
+      else if (Pc > 0 && isFusedHead(Pc - 1))
+        Out += " fused-tail";
       Out += "\n";
     }
   }

@@ -83,6 +83,73 @@ struct FlatInst {
   uint32_t UseRegsBegin = 0;               ///< Formal use-regs span.
 };
 
+/// Dispatch codes consumed by the threaded engine
+/// (InterpreterThreaded.cpp). The first block mirrors `Opcode` one-to-one;
+/// the rest are *superinstructions*: an image-build-time peephole pass
+/// (the fusion pass) marks hot adjacent opcode pairs so the threaded
+/// engine executes both with a single dispatch.
+///
+/// Fusion never rewrites the `FlatInst` array — costs, monitor flags and
+/// omega spans stay per-PC and untouched. A fused pair is encoded purely
+/// in this side table: the *head* slot gets a `Fuse*` code covering
+/// [pc, pc+1], while the *tail* slot keeps its plain one-to-one code.
+/// That tail code is load-bearing: a JIT reboot can resume execution in
+/// the middle of a pair, and dispatching the tail's plain code there is
+/// exactly the unfused semantics.
+enum class ThreadedOp : uint8_t {
+  // One-to-one with Opcode (same order; a FlatInst's opcode is its own
+  // dispatch code when the slot is not a fused head).
+  Const,
+  Bin,
+  Un,
+  Mov,
+  LoadG,
+  StoreG,
+  LoadA,
+  StoreA,
+  LoadInd,
+  StoreInd,
+  Input,
+  Call,
+  Ret,
+  Br,
+  CondBr,
+  Fresh,
+  Consistent,
+  AtomicStart,
+  AtomicEnd,
+  Output,
+  Nop,
+  // Superinstructions (head slots only). Chosen from the dynamic
+  // opcode-pair histogram of the benchmarks (bench/micro_runtime --pairs).
+  FuseBinCondBr,   ///< Bin + CondBr testing the Bin's destination.
+  FuseBinStoreG,   ///< Bin + StoreG storing the Bin's destination.
+  FuseBinStoreA,   ///< Bin + StoreA storing the Bin's destination.
+  FuseLoadGBin,    ///< LoadG + Bin whose A operand is the loaded register.
+  FuseLoadABin,    ///< LoadA + Bin whose A operand is the loaded register.
+  FuseConstStoreG, ///< Const + StoreG storing the constant's register.
+  FuseLoadGStoreG, ///< LoadG + StoreG: global-to-global scalar copy.
+  FuseMovBin,      ///< Mov + Bin whose A operand is the moved register.
+  FuseBinMov,      ///< Bin + Mov copying the Bin's destination.
+  FuseMovBr,       ///< Mov + unconditional Br.
+  FuseBinBin,      ///< Bin + Bin whose A operand is the first's result.
+  // Dispatch-elision-only pairs: no dataflow condition, the tail re-reads
+  // the register file (already updated by the head) like a plain handler.
+  FuseMovLoadA,      ///< Mov + LoadA.
+  FuseBinLoadA,      ///< Bin + LoadA.
+  FuseLoadALoadA,    ///< LoadA + LoadA.
+  FuseMovConsistent, ///< Mov + Consistent (a taint-off no-op).
+  FuseConsistentBin, ///< Consistent + Bin.
+};
+
+/// Total number of ThreadedOp codes (jump-table size).
+constexpr size_t NumThreadedOps =
+    static_cast<size_t>(ThreadedOp::FuseConsistentBin) + 1;
+/// Codes >= this are fused heads.
+constexpr ThreadedOp FirstFusedOp = ThreadedOp::FuseBinCondBr;
+
+const char *threadedOpName(ThreadedOp Op);
+
 /// Layout of one non-volatile global in the flat NVM array.
 struct GlobalSlot {
   uint32_t Base = 0; ///< First cell index.
@@ -149,6 +216,27 @@ public:
   const std::vector<uint64_t> &defaultCosts() const { return DefaultCosts; }
   std::vector<uint64_t> costTableFor(const CostModel &Costs) const;
 
+  // -- Threaded dispatch view --------------------------------------------
+  /// PC-indexed dispatch codes for the threaded engine. Non-fused slots
+  /// (including every fused pair's tail) carry their FlatInst's opcode
+  /// verbatim; fused heads carry a Fuse* code covering [pc, pc+1].
+  const std::vector<ThreadedOp> &threadedOps() const { return TOps; }
+  ThreadedOp threadedOpAt(uint32_t Pc) const {
+    return TOps[static_cast<size_t>(Pc)];
+  }
+  bool isFusedHead(uint32_t Pc) const {
+    return TOps[static_cast<size_t>(Pc)] >= FirstFusedOp;
+  }
+  /// Number of fused pairs the peephole pass formed.
+  uint32_t fusedPairCount() const { return FusedPairs; }
+  /// True when \p Pc is a *leader*: a block start (function entries and
+  /// branch targets included) or the resume point after a Call. Fusion
+  /// never makes a leader a pair's tail, so every control transfer lands
+  /// on a plain dispatch code. Exposed for the fusion-pass unit tests.
+  bool isLeader(uint32_t Pc) const {
+    return Leaders[static_cast<size_t>(Pc)] != 0;
+  }
+
   /// Human-readable dump of the whole image: PC, opcode, resolved
   /// targets, cost, region/monitor annotations (ocelotc --disasm).
   /// \p P must be the program this image was built from (names only).
@@ -157,7 +245,14 @@ public:
 private:
   ExecutableImage() = default;
 
+  /// Computes the leader set and runs the superinstruction peephole pass
+  /// over the finished Code array, filling TOps/Leaders/FusedPairs.
+  void buildThreadedView();
+
   std::vector<FlatInst> Code;
+  std::vector<ThreadedOp> TOps;
+  std::vector<uint8_t> Leaders;
+  uint32_t FusedPairs = 0;
   std::vector<FuncLayout> Funcs;
   std::vector<Operand> ArgPool;
   std::vector<int32_t> OmegaPool;

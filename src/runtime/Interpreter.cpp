@@ -284,8 +284,15 @@ bool Interpreter::checkEnergyAndPlan(uint64_t Cost) {
 }
 
 RunResult Interpreter::runOnce() {
-  return Cfg.Dispatch == DispatchEngine::Tree ? runOnceTree()
-                                              : runOnceFlat();
+  switch (Cfg.Dispatch) {
+  case DispatchEngine::Tree:
+    return runOnceTree();
+  case DispatchEngine::Flat:
+    return runOnceFlat();
+  case DispatchEngine::Threaded:
+    return runOnceThreaded();
+  }
+  return runOnceFlat(); // Unreachable; silences -Wreturn-type.
 }
 
 RunResult Interpreter::runOnceTree() {
@@ -318,6 +325,18 @@ RunResult Interpreter::runOnceTree() {
     const Instruction *I = fetch();
     Frame &Top = Frames.back();
     InstrRef Site(Top.Func, I->Label);
+
+    // Opcode-pair profiling (the fusion pass's input). Idx > 0 means the
+    // previous slot of this block executed at the adjacent PC — exactly
+    // the pairs the image's peephole pass may fuse.
+    if (Cfg.OpcodePairCounts && Top.Idx > 0) {
+      const Instruction &Prev =
+          P.function(Top.Func)->block(Top.Block)->instructions()
+              [static_cast<size_t>(Top.Idx - 1)];
+      ++(*Cfg.OpcodePairCounts)[static_cast<size_t>(Prev.Op) *
+                                    static_cast<size_t>(NumOpcodes) +
+                                static_cast<size_t>(I->Op)];
+    }
 
     // Failure injection before the instruction (pathological / random).
     if (Cfg.Plan.firesBefore(Site, Rand)) {
@@ -582,17 +601,22 @@ RunResult Interpreter::runOnceTree() {
       commitAtomic(R);
       break;
     case Opcode::Output: {
+      if (!Cfg.RecordTrace) {
+        // Args are still evaluated (same trap conversion for kind-less
+        // operands), but the event is never materialized.
+        for (const Operand &A : I->Args)
+          (void)eval(A).V;
+        break;
+      }
       OutputEvent E;
       E.Kind = I->OutKind;
       E.Tau = Tau;
       for (const Operand &A : I->Args)
         E.Args.push_back(eval(A).V);
-      if (Cfg.RecordTrace) {
-        if (ExecMode == Mode::Atomic)
-          PendingOutputs.push_back(E);
-        else
-          Committed.Outputs.push_back(std::move(E));
-      }
+      if (ExecMode == Mode::Atomic)
+        PendingOutputs.push_back(E);
+      else
+        Committed.Outputs.push_back(std::move(E));
       break;
     }
     case Opcode::Nop:

@@ -21,14 +21,19 @@
 ///  * Optional dynamic taint (Appendix B) feeds the formal violation
 ///    checker; the bit-vector detector (§7.3) runs independently.
 ///
-/// Two dispatch engines implement these semantics and are pinned to
-/// bitwise-identical results by differential tests (ExecImageTest):
+/// Three dispatch engines implement these semantics and are pinned to
+/// bitwise-identical results by differential tests (ExecImageTest,
+/// DifferentialFuzzTest):
 ///
-///  * Flat (the default) — PC-indexed dispatch over the artifact's
-///    `ExecutableImage`: one contiguous instruction array, pre-resolved
-///    branch/call targets, a folded cost table, and dense monitor/region
-///    side tables. Frames shrink to {ReturnPc, RegBase} over one shared
-///    register stack.
+///  * Threaded (the default) — computed-goto direct-threaded dispatch
+///    (with a portable switch fallback) over the image's ThreadedOp view,
+///    in which a build-time peephole pass fused hot adjacent opcode pairs
+///    into superinstructions. Shares the flat engine's volatile state and
+///    slow paths (power failure, region entry, commit).
+///  * Flat — PC-indexed dispatch over the artifact's `ExecutableImage`:
+///    one contiguous instruction array, pre-resolved branch/call targets,
+///    a folded cost table, and dense monitor/region side tables. Frames
+///    shrink to {ReturnPc, RegBase} over one shared register stack.
 ///  * Tree — the original tree-walking engine chasing
 ///    Program→Function→Block→Instruction pointers. Retained as the
 ///    reference semantics for differential tests and as the baseline for
@@ -58,11 +63,12 @@ namespace ocelot {
 
 class PowerSource;
 
-/// Which dispatch loop executes the program. Both engines implement the
-/// same semantics; Flat is strictly an acceleration.
+/// Which dispatch loop executes the program. All engines implement the
+/// same semantics; Flat and Threaded are strictly accelerations.
 enum class DispatchEngine {
-  Flat, ///< PC-indexed dispatch over the ExecutableImage (default).
-  Tree, ///< Original pointer-chasing walk of the Program (reference).
+  Flat,     ///< PC-indexed dispatch over the ExecutableImage.
+  Tree,     ///< Original pointer-chasing walk of the Program (reference).
+  Threaded, ///< Computed-goto dispatch with superinstructions (default).
 };
 
 struct RunConfig {
@@ -82,7 +88,7 @@ struct RunConfig {
   /// by any number of concurrent simulations.
   std::shared_ptr<const SensorScenario> Sensors;
   uint64_t Seed = 1;
-  DispatchEngine Dispatch = DispatchEngine::Flat;
+  DispatchEngine Dispatch = DispatchEngine::Threaded;
   bool TrackTaint = false;
   bool MonitorBitVector = false;
   bool MonitorFormal = false; ///< Implies TrackTaint.
@@ -91,6 +97,14 @@ struct RunConfig {
   bool RecordTrace = false;
   uint64_t MaxOnCyclesPerRun = 50'000'000;
   uint64_t MaxAbortsPerRegion = 1000; ///< Starvation detector (§5.3).
+  /// Optional dynamic opcode-pair histogram, filled by the *tree* engine
+  /// only (the reference walk — profiling must not perturb the fast
+  /// paths). When non-null it must hold NumOpcodes^2 counters; the count
+  /// of executing PC-adjacent pair (prev, cur) lands at
+  /// [prev * NumOpcodes + cur]. This is the data the superinstruction set
+  /// in ExecutableImage's fusion pass was chosen from
+  /// (bench/micro_runtime --pairs).
+  std::vector<uint64_t> *OpcodePairCounts = nullptr;
 };
 
 /// The outcome of one main() activation.
@@ -185,11 +199,22 @@ private:
 
   RunResult runOnceTree();
   RunResult runOnceFlat();
+  RunResult runOnceThreaded();
   /// The flat dispatch loop, specialized on taint tracking: the taint-off
   /// instantiation (the default hot path) moves raw int64 payloads with no
   /// RtValue temporaries — legal because with TrackTaint off every taint
   /// vector in registers and NVM is empty by construction.
   template <bool TaintOn> RunResult runFlatLoop();
+  /// The threaded dispatch loop (InterpreterThreaded.cpp): computed-goto
+  /// (or switch-fallback) dispatch over the image's ThreadedOp view. Only
+  /// ever instantiated taint-off — runOnceThreaded routes taint-tracking
+  /// configs to runFlatLoop<true>, where dispatch cost is noise next to
+  /// taint propagation. The Hot instantiation additionally assumes no
+  /// failure plan, no energy model and no monitors (the steady-state
+  /// throughput configuration), dropping the per-step failure/energy/
+  /// monitor checks that the non-Hot instantiation performs exactly like
+  /// the flat loop.
+  template <bool Hot> RunResult runThreadedLoop();
 
   const Instruction *fetch() const;
   RtValue eval(Operand O) const;     ///< Tree engine operand read.

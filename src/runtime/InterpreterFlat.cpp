@@ -550,19 +550,24 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
       commitAtomic(R);
       break;
     case Opcode::Output: {
+      const Operand *Args = Img->args(FI);
+      if (!Cfg.RecordTrace) {
+        // Args are still evaluated (kind-less operands must convert to
+        // the same trap), but the event is never materialized.
+        for (uint32_t A = 0; A < FI.ArgsCount; ++A)
+          (void)(TaintOn ? evalFlat(Args[A]).V : RawVal(Args[A]));
+        break;
+      }
       OutputEvent E;
       E.Kind = FI.OutKind;
       E.Tau = Tau;
-      const Operand *Args = Img->args(FI);
       E.Args.reserve(FI.ArgsCount);
       for (uint32_t A = 0; A < FI.ArgsCount; ++A)
         E.Args.push_back(TaintOn ? evalFlat(Args[A]).V : RawVal(Args[A]));
-      if (Cfg.RecordTrace) {
-        if (ExecMode == Mode::Atomic)
-          PendingOutputs.push_back(E);
-        else
-          Committed.Outputs.push_back(std::move(E));
-      }
+      if (ExecMode == Mode::Atomic)
+        PendingOutputs.push_back(E);
+      else
+        Committed.Outputs.push_back(std::move(E));
       break;
     }
     case Opcode::Nop:

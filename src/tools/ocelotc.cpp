@@ -10,6 +10,9 @@
 ///   ocelotc FILE.ocl [options]
 ///
 ///   --model=jit|atomics|ocelot|check   execution model (default ocelot)
+///   --dispatch=tree|flat|threaded      interpreter engine (default
+///                                      threaded; all three are pinned
+///                                      bitwise-identical)
 ///   --emit-ir                          print the compiled IR
 ///   --disasm                           print the flat executable image
 ///                                      (PC, opcode, resolved targets,
@@ -63,10 +66,22 @@ constexpr ModelName ModelNames[] = {
     {"check", ExecModel::CheckOnly},
 };
 
+struct EngineName {
+  const char *Name;
+  DispatchEngine Engine;
+};
+
+constexpr EngineName EngineNames[] = {
+    {"tree", DispatchEngine::Tree},
+    {"flat", DispatchEngine::Flat},
+    {"threaded", DispatchEngine::Threaded},
+};
+
 void usage() {
   std::fprintf(
       stderr,
       "usage: ocelotc FILE.ocl [--model=jit|atomics|ocelot|check]\n"
+      "               [--dispatch=tree|flat|threaded]\n"
       "               [--emit-ir] [--disasm] [--emit-policies] [--run[=N]]\n"
       "               [--intermittent] [--power=profile|trace.csv]\n"
       "               [--sensors=scenario|trace.csv] [--monitor] "
@@ -78,6 +93,7 @@ void usage() {
 int main(int argc, char **argv) {
   std::string Path;
   ExecModel Model = ExecModel::Ocelot;
+  DispatchEngine Engine = RunConfig().Dispatch;
   bool EmitIr = false, Disasm = false, EmitPolicies = false,
        Intermittent = false, Monitor = false;
   std::shared_ptr<const PowerSource> Power;
@@ -118,6 +134,22 @@ int main(int argc, char **argv) {
       Monitor = true;
     } else if (Arg.rfind("--seed=", 0) == 0) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg.rfind("--dispatch=", 0) == 0) {
+      std::string E = Arg.substr(11);
+      bool Known = false;
+      for (const EngineName &EN : EngineNames)
+        if (E == EN.Name) {
+          Engine = EN.Engine;
+          Known = true;
+          break;
+        }
+      if (!Known) {
+        std::fprintf(
+            stderr,
+            "error: unknown engine '%s' (valid: tree, flat, threaded)\n",
+            E.c_str());
+        return 1;
+      }
     } else if (Arg.rfind("--model=", 0) == 0) {
       std::string M = Arg.substr(8);
       bool Known = false;
@@ -223,6 +255,7 @@ int main(int argc, char **argv) {
   SimulationSpec Spec;
   Spec.Config.Sensors = Sensors; // Null = seeded noise per sensor.
   Spec.Config.Seed = Seed;
+  Spec.Config.Dispatch = Engine;
   Spec.Config.RecordTrace = true;
   if (Intermittent) {
     Spec.Config.Plan = FailurePlan::energyDriven();

@@ -5,20 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Pins the flat PC-indexed dispatch engine to the tree-walking reference
-/// semantics, and unit-tests the ExecutableImage construction itself:
+/// Pins the flat PC-indexed and threaded direct-dispatch engines to the
+/// tree-walking reference semantics, and unit-tests the ExecutableImage
+/// construction itself:
 ///
 ///  * Differential sweep — every benchmark x {Ocelot, JIT-only,
-///    Atomics-only} x 3 seeds runs under energy-driven failures with both
-///    engines; RunResult (traps, outputs, violation records, all
+///    Atomics-only} x 3 seeds runs under energy-driven failures with all
+///    three engines; RunResult (traps, outputs, violation records, all
 ///    intermittent counters) and final device state must match exactly.
 ///    Focused differentials cover the pathological, random (+static
-///    omega) and periodic failure paths, plus a trace-driven
-///    SensorScenario feeding the flat engine's zero-temporary Input path.
+///    omega) and periodic failure paths, a trace-driven SensorScenario
+///    feeding the zero-temporary Input paths, the bit-vector-only monitor
+///    configuration (the threaded engine's own checked loop; the formal
+///    monitor instead delegates to the taint interpreter) and the
+///    monitor-free continuous configuration (the Hot loop).
 ///
 ///  * Image construction — linearization order, branch/call target
 ///    resolution, cost-table folding, monitor/omega side-table density
 ///    and the NVM layout table are checked against the source Program.
+///
+///  * Fusion pass — every superinstruction the peephole pass formed is
+///    re-validated against its pattern's legality conditions: correct
+///    opcode pair, forwarding patterns really consume the head's
+///    destination, tails keep plain dispatch codes, no pair covers a
+///    leader, crosses a function, or contains a region bound, and the
+///    per-PC side tables (folded costs, monitor flags, omega spans,
+///    resolved branch targets) are untouched at fused sites.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +49,8 @@ namespace {
 // -- Differential execution ------------------------------------------------
 
 /// Everything observable about one activation must match across engines.
-void expectSameResult(const RunResult &Flat, const RunResult &Tree,
+void expectSameResult(const RunResult &Flat /*engine under test*/,
+                      const RunResult &Tree /*reference*/,
                       const std::string &What) {
   EXPECT_EQ(Flat.Completed, Tree.Completed) << What;
   EXPECT_EQ(Flat.Starved, Tree.Starved) << What;
@@ -82,9 +95,10 @@ void expectSameResult(const RunResult &Flat, const RunResult &Tree,
   EXPECT_EQ(Flat.TraceData.Reboots, Tree.TraceData.Reboots) << What;
 }
 
-/// Runs \p Runs activations under both engines with otherwise identical
-/// specs and compares every activation plus the final device state. A
-/// null \p Scenario selects the benchmark's default seeded-noise world.
+/// Runs \p Runs activations under all three engines with otherwise
+/// identical specs and compares every activation plus the final device
+/// state against the tree reference. A null \p Scenario selects the
+/// benchmark's default seeded-noise world.
 void runDifferential(const BenchmarkDef &B, ExecModel Model, uint64_t Seed,
                      const RunConfig &Base, int Runs,
                      std::shared_ptr<const SensorScenario> Scenario =
@@ -93,32 +107,36 @@ void runDifferential(const BenchmarkDef &B, ExecModel Model, uint64_t Seed,
   if (!Scenario)
     Scenario = B.scenario(Seed);
 
-  SimulationSpec FlatSpec;
-  FlatSpec.Config = Base;
-  FlatSpec.Config.Sensors = Scenario;
-  FlatSpec.Config.Seed = Seed;
-  FlatSpec.Config.Dispatch = DispatchEngine::Flat;
-  Simulation Flat(CB.Artifact, std::move(FlatSpec));
-
-  SimulationSpec TreeSpec;
-  TreeSpec.Config = Base;
-  TreeSpec.Config.Sensors = Scenario;
-  TreeSpec.Config.Seed = Seed;
-  TreeSpec.Config.Dispatch = DispatchEngine::Tree;
-  Simulation Tree(CB.Artifact, std::move(TreeSpec));
+  auto mkSim = [&](DispatchEngine E) {
+    SimulationSpec Spec;
+    Spec.Config = Base;
+    Spec.Config.Sensors = Scenario;
+    Spec.Config.Seed = Seed;
+    Spec.Config.Dispatch = E;
+    return Simulation(CB.Artifact, std::move(Spec));
+  };
+  Simulation Tree = mkSim(DispatchEngine::Tree);
+  Simulation Flat = mkSim(DispatchEngine::Flat);
+  Simulation Threaded = mkSim(DispatchEngine::Threaded);
 
   std::string What = B.Name + "/" + execModelName(Model) + "/seed" +
                      std::to_string(Seed);
   for (int Run = 0; Run < Runs; ++Run) {
-    RunResult FR = Flat.runOnce();
     RunResult TR = Tree.runOnce();
-    expectSameResult(FR, TR, What + "/run" + std::to_string(Run));
-    if (FR.Starved && TR.Starved)
+    RunResult FR = Flat.runOnce();
+    RunResult HR = Threaded.runOnce();
+    std::string Tag = What + "/run" + std::to_string(Run);
+    expectSameResult(FR, TR, Tag + " [flat vs tree]");
+    expectSameResult(HR, TR, Tag + " [threaded vs tree]");
+    if (TR.Starved && FR.Starved && HR.Starved)
       break; // Device state after starvation is equal but final.
   }
   EXPECT_EQ(Flat.tau(), Tree.tau()) << What;
+  EXPECT_EQ(Threaded.tau(), Tree.tau()) << What;
   EXPECT_EQ(Flat.epoch(), Tree.epoch()) << What;
+  EXPECT_EQ(Threaded.epoch(), Tree.epoch()) << What;
   EXPECT_EQ(Flat.nvmSnapshot(), Tree.nvmSnapshot()) << What;
+  EXPECT_EQ(Threaded.nvmSnapshot(), Tree.nvmSnapshot()) << What;
 }
 
 using Cell = std::tuple<std::string, ExecModel, uint64_t>;
@@ -209,13 +227,37 @@ TEST(ExecImageDifferentialFocused, PeriodicPlan) {
                   /*Runs=*/8);
 }
 
+TEST(ExecImageDifferentialFocused, BitVectorOnlyMonitors) {
+  // With the formal monitor off, the threaded engine runs its own checked
+  // (non-Hot) loop with the bit-vector detector armed, instead of
+  // delegating taint tracking to the flat taint interpreter.
+  RunConfig Cfg;
+  Cfg.Plan = FailurePlan::energyDriven();
+  Cfg.MonitorBitVector = true;
+  Cfg.RecordTrace = true;
+  for (const char *Name : {"tire", "cem"})
+    runDifferential(*findBenchmark(Name), ExecModel::Ocelot, 23, Cfg,
+                    /*Runs=*/6);
+}
+
+TEST(ExecImageDifferentialFocused, HotLoopNoMonitors) {
+  // Continuous power, no monitors, no trace: the specialization every
+  // engine uses for throughput measurements (including the trace-off
+  // Output fast path).
+  RunConfig Cfg;
+  for (const char *Name : {"activity", "send_photo"})
+    runDifferential(*findBenchmark(Name), ExecModel::JitOnly, 5, Cfg,
+                    /*Runs=*/4);
+}
+
 TEST(ExecImageDifferentialFocused, TrapsMatch) {
   CompileOptions Opts;
   Opts.Model = ExecModel::AtomicsOnly;
   Compilation C = Toolchain().compile(
       "static a: [int; 2];\nfn main() { let i = 5; a[i] = 1; }", Opts);
   ASSERT_TRUE(C.ok()) << C.status().str();
-  for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree}) {
+  for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree,
+                           DispatchEngine::Threaded}) {
     SimulationSpec Spec;
     Spec.Config.Dispatch = E;
     Simulation Sim(C.artifact(), std::move(Spec));
@@ -375,6 +417,255 @@ TEST(ExecImage, MainEntryAndDisassembly) {
   EXPECT_NE(Dis.find("monitor=fresh-use"), std::string::npos);
 }
 
+// -- Superinstruction fusion pass ------------------------------------------
+
+/// Re-derives the legality of every fusion decision in \p A's image from
+/// public state: structural rules (no leader tails, no cross-function or
+/// cross-region pairs, plain tail codes, non-overlap), the per-pattern
+/// opcode/dataflow conditions, and the invariant that fusion left the
+/// per-PC side tables (costs, monitor flags, omega spans, branch targets)
+/// untouched.
+void checkThreadedView(const CompiledArtifact &A) {
+  const ExecutableImage &Img = A.image();
+  ASSERT_EQ(Img.threadedOps().size(), Img.code().size());
+
+  CostModel Default;
+  uint32_t Fused = 0;
+  for (uint32_t Pc = 0; Pc < Img.size(); ++Pc) {
+    const FlatInst &FI = Img.code()[Pc];
+
+    // Region bounds are in no pattern, as head or tail.
+    if (FI.Op == Opcode::AtomicStart || FI.Op == Opcode::AtomicEnd) {
+      EXPECT_FALSE(Img.isFusedHead(Pc)) << "pc " << Pc;
+      if (Pc > 0) {
+        EXPECT_FALSE(Img.isFusedHead(Pc - 1)) << "pc " << Pc - 1;
+      }
+    }
+    // A leader is never a pair's tail: every control transfer (branch,
+    // return, power-failure resume) must land on a plain dispatch code.
+    if (Img.isLeader(Pc) && Pc > 0) {
+      EXPECT_FALSE(Img.isFusedHead(Pc - 1)) << "leader pc " << Pc;
+    }
+
+    if (!Img.isFusedHead(Pc)) {
+      // Non-head slots (including tails) carry their opcode verbatim.
+      EXPECT_EQ(static_cast<int>(Img.threadedOpAt(Pc)),
+                static_cast<int>(FI.Op))
+          << "pc " << Pc;
+      continue;
+    }
+
+    ++Fused;
+    ASSERT_LT(Pc + 1, Img.size()) << "fused head at the last pc";
+    const FlatInst &Tail = Img.code()[Pc + 1];
+    EXPECT_FALSE(Img.isLeader(Pc + 1)) << "pc " << Pc;
+    EXPECT_EQ(FI.Func, Tail.Func) << "pc " << Pc;
+    EXPECT_FALSE(Img.isFusedHead(Pc + 1)) << "pc " << Pc; // non-overlap
+
+    // The pattern's opcode pair and (for forwarding patterns) the
+    // dataflow condition: the tail consumes the head's destination.
+    auto Pair = [&](Opcode H, Opcode T) {
+      EXPECT_EQ(FI.Op, H) << "pc " << Pc;
+      EXPECT_EQ(Tail.Op, T) << "pc " << Pc;
+    };
+    auto Forwards = [&](const Operand &O) {
+      ASSERT_GE(FI.Dst, 0) << "pc " << Pc;
+      EXPECT_TRUE(O.isReg() && O.Reg == FI.Dst) << "pc " << Pc;
+    };
+    switch (Img.threadedOpAt(Pc)) {
+    case ThreadedOp::FuseBinCondBr:
+      Pair(Opcode::Bin, Opcode::CondBr);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseBinStoreG:
+      Pair(Opcode::Bin, Opcode::StoreG);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseBinStoreA:
+      Pair(Opcode::Bin, Opcode::StoreA);
+      Forwards(Tail.B);
+      break;
+    case ThreadedOp::FuseLoadGBin:
+      Pair(Opcode::LoadG, Opcode::Bin);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseLoadABin:
+      Pair(Opcode::LoadA, Opcode::Bin);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseConstStoreG:
+      Pair(Opcode::Const, Opcode::StoreG);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseLoadGStoreG:
+      Pair(Opcode::LoadG, Opcode::StoreG);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseMovBin:
+      Pair(Opcode::Mov, Opcode::Bin);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseBinMov:
+      Pair(Opcode::Bin, Opcode::Mov);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseMovBr:
+      Pair(Opcode::Mov, Opcode::Br);
+      break;
+    case ThreadedOp::FuseBinBin:
+      Pair(Opcode::Bin, Opcode::Bin);
+      Forwards(Tail.A);
+      break;
+    case ThreadedOp::FuseMovLoadA:
+      Pair(Opcode::Mov, Opcode::LoadA);
+      break;
+    case ThreadedOp::FuseBinLoadA:
+      Pair(Opcode::Bin, Opcode::LoadA);
+      break;
+    case ThreadedOp::FuseLoadALoadA:
+      Pair(Opcode::LoadA, Opcode::LoadA);
+      break;
+    case ThreadedOp::FuseMovConsistent:
+      Pair(Opcode::Mov, Opcode::Consistent);
+      break;
+    case ThreadedOp::FuseConsistentBin:
+      Pair(Opcode::Consistent, Opcode::Bin);
+      break;
+    default:
+      ADD_FAILURE() << "unknown fused code at pc " << Pc;
+      break;
+    }
+
+    // Fusion is a side table: both slots keep their folded costs and
+    // monitor/omega side-table state, and the tail's branch targets (if
+    // any) still resolve to leaders.
+    EXPECT_EQ(Img.defaultCosts()[Pc], Default.costOfOp(FI.Op))
+        << "pc " << Pc;
+    EXPECT_EQ(Img.defaultCosts()[Pc + 1], Default.costOfOp(Tail.Op))
+        << "pc " << Pc + 1;
+    if (Tail.Op == Opcode::Br || Tail.Op == Opcode::CondBr) {
+      ASSERT_LT(Tail.Target, Img.size());
+      EXPECT_TRUE(Img.isLeader(Tail.Target)) << "pc " << Pc;
+      if (Tail.Op == Opcode::CondBr) {
+        ASSERT_LT(Tail.Target2, Img.size());
+        EXPECT_TRUE(Img.isLeader(Tail.Target2)) << "pc " << Pc;
+      }
+    }
+  }
+  EXPECT_EQ(Fused, Img.fusedPairCount());
+}
+
+TEST(FusionPass, LegalOnAllBenchmarks) {
+  uint32_t TotalFused = 0;
+  for (const BenchmarkDef &B : allBenchmarks())
+    for (ExecModel Model :
+         {ExecModel::Ocelot, ExecModel::JitOnly, ExecModel::AtomicsOnly}) {
+      SCOPED_TRACE(B.Name + "/" + execModelName(Model));
+      CompiledBenchmark CB = compileBenchmark(B, Model);
+      checkThreadedView(CB.Artifact);
+      TotalFused += CB.Artifact.image().fusedPairCount();
+    }
+  // The pass exists because the benchmarks exhibit these pairs; a zero
+  // here means the pattern table silently stopped matching real code.
+  EXPECT_GT(TotalFused, 0u);
+}
+
+/// Compiles \p Src under \p Model and returns the artifact, asserting
+/// success.
+CompiledArtifact compileSource(const std::string &Src, ExecModel Model) {
+  CompileOptions Opts;
+  Opts.Model = Model;
+  Compilation C = Toolchain().compile(Src, Opts);
+  EXPECT_TRUE(C.ok()) << C.status().str();
+  return C.artifact();
+}
+
+TEST(FusionPass, FusesAdjacentDataflowPairs) {
+  // `n = x * 2 + 1;` lowers to mov/bin/bin/storeg: the greedy pass forms
+  // mov+bin over the first two and bin+storeg over the last two -- both
+  // forwarding patterns, back to back.
+  CompiledArtifact A = compileSource(
+      "io s;\nstatic n = 0;\n"
+      "fn main() { let x = s(); n = x * 2 + 1; log(n); }",
+      ExecModel::JitOnly);
+  checkThreadedView(A);
+  const ExecutableImage &Img = A.image();
+  EXPECT_EQ(Img.fusedPairCount(), 2u);
+  bool SawMovBin = false;
+  bool SawBinStoreG = false;
+  for (uint32_t Pc = 0; Pc < Img.size(); ++Pc) {
+    SawMovBin |= Img.threadedOpAt(Pc) == ThreadedOp::FuseMovBin;
+    SawBinStoreG |= Img.threadedOpAt(Pc) == ThreadedOp::FuseBinStoreG;
+  }
+  EXPECT_TRUE(SawMovBin);
+  EXPECT_TRUE(SawBinStoreG);
+}
+
+TEST(FusionPass, NeverFusesIntoCallResume) {
+  // The instruction after a Call is a leader (Ret lands there), so the
+  // pair (instruction-before-resume, resume) must never form even when
+  // the opcodes would otherwise match a pattern.
+  CompiledArtifact A = compileSource(
+      "static n = 0;\nfn id(d: int) -> int { return d; }\n"
+      "fn main() { let a = id(2); let b = a + 1; n = b; log(n); }",
+      ExecModel::JitOnly);
+  checkThreadedView(A);
+  const ExecutableImage &Img = A.image();
+  bool SawCall = false;
+  for (uint32_t Pc = 0; Pc + 1 < Img.size(); ++Pc)
+    if (Img.code()[Pc].Op == Opcode::Call) {
+      SawCall = true;
+      EXPECT_TRUE(Img.isLeader(Pc + 1)) << "pc " << Pc;
+      EXPECT_FALSE(Img.isFusedHead(Pc)) << "pc " << Pc;
+    }
+  EXPECT_TRUE(SawCall);
+}
+
+TEST(FusionPass, NeverFusesAcrossRegionBounds) {
+  // bin+storeg shapes on both sides of the region bounds: the pairs
+  // inside the region may fuse, but AtomicStart/AtomicEnd never join one.
+  CompiledArtifact A = compileSource(
+      "static n = 0;\nfn main() { let x = 1;\n"
+      "  atomic { let y = x * 2; n = y; }\n  let z = n + 1; n = z;\n"
+      "  log(n); }",
+      ExecModel::AtomicsOnly);
+  checkThreadedView(A); // includes the region-bound assertions
+  const ExecutableImage &Img = A.image();
+  bool SawRegion = false;
+  for (uint32_t Pc = 0; Pc < Img.size(); ++Pc)
+    SawRegion |= Img.code()[Pc].Op == Opcode::AtomicStart;
+  EXPECT_TRUE(SawRegion);
+  EXPECT_GT(Img.fusedPairCount(), 0u);
+}
+
+TEST(FusionPass, NeverFusesAcrossBlockLeaders) {
+  // The join block after the `if` starts at a leader; the would-be pair
+  // spanning (last-instruction-of-then, join) must stay unfused while the
+  // same opcode shapes fuse inside straight-line blocks.
+  CompiledArtifact A = compileSource(
+      "io s;\nstatic n = 0;\n"
+      "fn main() { let x = s(); if x > 0 { n = x + 1; } n = n + 2;\n"
+      "  log(n); }",
+      ExecModel::JitOnly);
+  checkThreadedView(A);
+  const ExecutableImage &Img = A.image();
+  // No branch target is ever a pair's *tail* (it may head its own pair:
+  // jumping to a fused head executes both halves, which is the point).
+  for (uint32_t Pc = 0; Pc < Img.size(); ++Pc) {
+    const FlatInst &FI = Img.code()[Pc];
+    if (FI.Op == Opcode::Br || FI.Op == Opcode::CondBr) {
+      if (FI.Target > 0) {
+        EXPECT_FALSE(Img.isFusedHead(FI.Target - 1))
+            << "target of pc " << Pc << " is a fused tail";
+      }
+      if (FI.Op == Opcode::CondBr && FI.Target2 > 0) {
+        EXPECT_FALSE(Img.isFusedHead(FI.Target2 - 1))
+            << "target of pc " << Pc << " is a fused tail";
+      }
+    }
+  }
+}
+
 // -- Kind-less operand handling (lowering-bug detector) --------------------
 
 #ifdef NDEBUG
@@ -402,7 +693,8 @@ TEST(ExecImage, KindlessOperandTrapsInsteadOfYieldingZero) {
 
   // White-box: a surgically corrupted Program has no artifact, so this
   // test constructs the Interpreter directly (the runtime-internal path).
-  for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree}) {
+  for (DispatchEngine E : {DispatchEngine::Flat, DispatchEngine::Tree,
+                           DispatchEngine::Threaded}) {
     RunConfig Cfg;
     Cfg.Dispatch = E;
     Interpreter I(*CR.Prog, Cfg, &CR.Monitor, &CR.Regions);

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Interpreter-throughput regression gate.
+
+Compares a fresh ``micro_runtime --json=...`` report against the committed
+baseline (``BENCH_interp.json`` at the repository root) and exits non-zero
+when any engine's geomean speedup-over-tree regressed by more than the
+allowed fraction (default 10%).
+
+The committed numbers are *host-normalized ratios*: each engine's
+steps-per-second is divided by the tree engine's on the same host and run,
+so the gate compares dispatch-efficiency shape rather than absolute
+machine speed. Absolute steps/sec from the report are printed for
+diagnosis but never gated on.
+
+Usage:
+    tools/bench_compare.py BASELINE CANDIDATE [--max-regression FRAC]
+
+Typical CI wiring:
+    ./build/bench/micro_runtime --json=/tmp/interp.json
+    python3 tools/bench_compare.py BENCH_interp.json /tmp/interp.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    for key in ("engines", "baseline", "rows", "geomean_speedup"):
+        if key not in report:
+            sys.exit(f"error: {path} is missing '{key}' "
+                     "(not a micro_runtime --json report?)")
+    return report
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_interp.json")
+    ap.add_argument("candidate", help="freshly measured report")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    metavar="FRAC",
+                    help="allowed geomean-speedup drop per engine "
+                         "(default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+
+    if cand["baseline"] != base["baseline"]:
+        sys.exit(f"error: baseline engine changed: "
+                 f"{base['baseline']!r} -> {cand['baseline']!r}")
+
+    # Every engine the baseline knows must still be measured. New engines
+    # in the candidate are fine (they get a baseline on the next commit).
+    missing = [e for e in base["geomean_speedup"]
+               if e not in cand["geomean_speedup"]]
+    if missing:
+        sys.exit(f"error: candidate report lost engine(s): "
+                 f"{', '.join(missing)}")
+
+    failed = False
+    print(f"geomean speedup over '{base['baseline']}' "
+          f"(gate: no engine drops more than "
+          f"{args.max_regression:.0%}):")
+    for engine, committed in sorted(base["geomean_speedup"].items()):
+        measured = cand["geomean_speedup"][engine]
+        floor = committed * (1.0 - args.max_regression)
+        status = "ok" if measured >= floor else "REGRESSED"
+        failed |= measured < floor
+        print(f"  {engine:10s} committed x{committed:.3f}  "
+              f"measured x{measured:.3f}  floor x{floor:.3f}  [{status}]")
+
+    # Per-row detail for diagnosis (not gated: single rows are noisy).
+    base_rows = {(r["benchmark"], r["model"]): r for r in base["rows"]}
+    print("\nper-row threaded speedup (diagnostic only):")
+    for row in cand["rows"]:
+        key = (row["benchmark"], row["model"])
+        b = base_rows.get(key)
+        for engine in sorted(row.get("speedup", {})):
+            committed = b["speedup"].get(engine) if b else None
+            delta = ("" if committed is None else
+                     f"  (committed x{committed:.2f})")
+            print(f"  {row['benchmark']:12s} {row['model']:13s} "
+                  f"{engine:10s} x{row['speedup'][engine]:.2f}{delta}")
+
+    if failed:
+        print("\nFAIL: interpreter throughput regressed beyond the "
+              "allowed margin.", file=sys.stderr)
+        return 1
+    print("\nPASS: no engine regressed beyond the allowed margin.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
