@@ -30,7 +30,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Benchmarks.h"
+#include "fleet/FleetRunner.h"
 #include "harness/Experiment.h"
+#include "harness/SweepRunner.h"
 #include "ocelot/Toolchain.h"
 #include "runtime/Simulation.h"
 
@@ -44,6 +46,10 @@
 
 #ifdef OCELOT_HAVE_GBENCH
 #include <benchmark/benchmark.h>
+#endif
+
+#ifndef _WIN32
+#include <unistd.h>
 #endif
 
 using namespace ocelot;
@@ -132,6 +138,99 @@ const ExecModel ReportModels[] = {ExecModel::Ocelot, ExecModel::JitOnly,
 /// per-activation setup instead of the dispatch loop the report is for.
 constexpr int ThroughputReps = 64;
 
+// -- Sweep-throughput section (cells/sec, in-memory vs fleet shard) --------
+
+struct SweepRates {
+  size_t Cells = 0;
+  uint64_t TauBudget = 0;
+  double MemCellsPerSec = 0;  ///< SweepRunner(1), in-memory aggregation.
+  double FleetCellsPerSec = 0; ///< runShard: streaming + checkpoints.
+};
+
+/// Evaluates a table2b-shaped grid (all benchmarks x {ocelot, jit}) twice —
+/// once through the in-memory SweepRunner, once as a single fleet shard
+/// with streaming sinks and per-cell checkpoints — and reports cells per
+/// second for both. The committed, gated number is the *ratio*
+/// (fleet / in-memory), which normalizes out host speed and isolates the
+/// fleet service's streaming + durability overhead.
+SweepRates measureSweepRates(bool Smoke) {
+  FleetSpec Fleet;
+  Fleet.Models = {"ocelot", "jit"};
+  for (const BenchmarkDef &B : allBenchmarks())
+    Fleet.Benchmarks.push_back(B.Name);
+  Fleet.Energies = {EnergyConfig()};
+  Fleet.Seeds = {99, 100, 101, 102};
+  Fleet.TauBudget = Smoke ? 50000 : 400000;
+
+  SweepSpec Spec;
+  std::string Err;
+  if (!Fleet.resolve(Spec, Err)) {
+    std::fprintf(stderr, "sweep section: %s\n", Err.c_str());
+    std::abort();
+  }
+  // Warm the process-wide artifact cache so both timed phases measure
+  // evaluation, not compilation.
+  for (ExecModel Model : Spec.Models)
+    for (const BenchmarkDef *B : Spec.Benchmarks)
+      compileBenchmark(*B, Model);
+
+  SweepRates R;
+  R.Cells = Spec.cellCount();
+  R.TauBudget = Fleet.TauBudget;
+
+  // Best-of-N on both phases: each phase runs tens of milliseconds, so a
+  // single scheduler hiccup on a busy CI host would otherwise swamp the
+  // gated ratio.
+  const int Reps = Smoke ? 1 : 3;
+
+  double MemSec = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<SweepCellResult> Mem = SweepRunner(1).run(Spec);
+    auto T1 = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(T1 - T0).count();
+    if (Rep == 0 || Sec < MemSec)
+      MemSec = Sec;
+  }
+  R.MemCellsPerSec = static_cast<double>(R.Cells) / MemSec;
+
+  char Dir[] = "/tmp/ocelot-fleet-bench-XXXXXX";
+  if (!mkdtemp(Dir)) {
+    std::fprintf(stderr, "sweep section: cannot create temp dir\n");
+    std::abort();
+  }
+  ShardRunOptions Opts;
+  Opts.OutDir = Dir;
+  Opts.Quiet = true;
+  // One checkpoint at the end of the range: the gated ratio should track
+  // streaming/serialization overhead, not the host's fsync latency (which
+  // varies wildly across CI runners and is covered by FleetTest and the
+  // CI fleet lane instead).
+  Opts.CheckpointEvery = R.Cells;
+  double FleetSec = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    // A completed shard resumes as a no-op; wipe it between reps.
+    std::remove(shardResultPath(Opts).c_str());
+    std::remove(shardManifestPath(Opts).c_str());
+    ShardOutcome Outcome;
+    auto T2 = std::chrono::steady_clock::now();
+    if (!runShard(Fleet, Opts, Outcome, Err)) {
+      std::fprintf(stderr, "sweep section: %s\n", Err.c_str());
+      std::abort();
+    }
+    auto T3 = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(T3 - T2).count();
+    if (Rep == 0 || Sec < FleetSec)
+      FleetSec = Sec;
+  }
+  R.FleetCellsPerSec = static_cast<double>(R.Cells) / FleetSec;
+
+  std::remove(shardResultPath(Opts).c_str());
+  std::remove(shardManifestPath(Opts).c_str());
+  ::rmdir(Dir);
+  return R;
+}
+
 int runInterpReport(const std::string &Path) {
   const bool Smoke = benchSmokeMode();
   // Long enough for stable numbers in a full run; bench-smoke keeps every
@@ -195,7 +294,28 @@ int runInterpReport(const std::string &Path) {
   for (size_t E = 1; E < NumEngines; ++E)
     std::fprintf(Out, "%s\"%s\": %.3f", E > 1 ? ", " : "", Engines[E].Name,
                  std::exp(LogSum[E] / RowCount));
-  std::fprintf(Out, "}\n}\n");
+  std::fprintf(Out, "},\n");
+
+  // Sweep-level throughput: the fleet service's streaming shard against
+  // the in-memory runner. `fleet_relative` is the host-normalized ratio
+  // tools/bench_compare.py gates.
+  SweepRates SR = measureSweepRates(Smoke);
+  std::fprintf(Out,
+               "  \"sweep\": {\"cells\": %zu, \"tau_budget\": %llu, "
+               "\"cells_per_sec\": %.3f, \"fleet_cells_per_sec\": %.3f, "
+               "\"fleet_relative\": %.3f}\n}\n",
+               SR.Cells, static_cast<unsigned long long>(SR.TauBudget),
+               SR.MemCellsPerSec, SR.FleetCellsPerSec,
+               SR.MemCellsPerSec > 0
+                   ? SR.FleetCellsPerSec / SR.MemCellsPerSec
+                   : 0);
+  std::fprintf(stderr,
+               "sweep: %zu cells  in-memory %.1f cells/s  fleet %.1f "
+               "cells/s (x%.2f)\n",
+               SR.Cells, SR.MemCellsPerSec, SR.FleetCellsPerSec,
+               SR.MemCellsPerSec > 0
+                   ? SR.FleetCellsPerSec / SR.MemCellsPerSec
+                   : 0);
   std::fclose(Out);
   for (size_t E = 1; E < NumEngines; ++E)
     std::fprintf(stderr, "geomean %s/%s speedup: x%.2f\n", Engines[E].Name,

@@ -82,7 +82,7 @@ int main(int argc, char **argv) {
     std::vector<std::string> Row = {Label};
     for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
       const IntermittentMetrics &I =
-          Cells[Spec.cellIndex(M, B, 0, 0)].Metrics;
+          Cells[Spec.cellIndex({.Model = M, .Bench = B})].Metrics;
       // Never fires under the benchmarks' own scenarios; guards against
       // reading a truncated sample as a clean one (trap stops the cell).
       Row.push_back(I.Trapped ? "trap" : fmtPct(I.violationPct()));

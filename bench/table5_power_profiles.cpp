@@ -107,7 +107,7 @@ int main(int argc, char **argv) {
       std::vector<double> Ratios;
       for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
         const IntermittentMetrics &I =
-            Cells[Spec.cellIndex(M, B, 0, P, 0)].Metrics;
+            Cells[Spec.cellIndex({.Model = M, .Bench = B, .Power = P})].Metrics;
         if (I.Trapped) {
           VRow.push_back("trap");
           CRow.push_back("-");

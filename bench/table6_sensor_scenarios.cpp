@@ -114,7 +114,7 @@ int main(int argc, char **argv) {
       std::vector<std::string> RRow = VRow;
       for (size_t B = 0; B < Spec.Benchmarks.size(); ++B) {
         const IntermittentMetrics &I =
-            Cells[Spec.cellIndex(M, B, 0, 0, Sc, 0)].Metrics;
+            Cells[Spec.cellIndex({.Model = M, .Bench = B, .Scenario = Sc})].Metrics;
         if (I.Trapped) {
           // The firmware crashed on an input outside the range it was
           // written to trust — an input-robustness data point.

@@ -1,0 +1,284 @@
+//===- ocelot_fleet.cpp - Sharded sweep service CLI -------------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet sweep front end:
+///
+///   ocelot-fleet plan  [grid flags] --shards=K
+///       Print the canonical spec, its hash, and every shard's cell range.
+///   ocelot-fleet run   [grid flags] --shard=i/K --out=DIR
+///       Evaluate (or resume) one shard, streaming results + checkpoints
+///       into DIR. Exit 0 = shard complete, 3 = interrupted (--max-cells).
+///   ocelot-fleet merge [grid flags] --shards=K --out=DIR [--merged=PATH]
+///       Validate all K shards and write the merged file — byte-identical
+///       to `run --shard=0/1` over the same grid.
+///
+/// Grid flags (shared by all subcommands; the *same* flags must be passed
+/// to every shard and to merge — the spec hash enforces this):
+///
+///   --benchmarks=a,b,..  default: all six paper benchmarks
+///   --models=m,..        jit|atomics|ocelot|check (default: ocelot,jit)
+///   --energy=CAP:RES[:RATE:CJ:RJ]   repeatable; default: one default config
+///   --powers=p,..        power profiles / trace CSVs; `default` = legacy
+///   --scenarios=s,..     sensor scenarios / trace CSVs; `default` = bench's
+///   --seeds=n,..         default: 99
+///   --tau=N              simulated-time budget per cell (required)
+///   --no-monitors        disarm the violation detectors
+///
+/// Run flags: --format=jsonl|csv, --workers=N, --checkpoint-every=N,
+/// --max-cells=N (stop early; exit 3), --quiet.
+///
+/// All bad input exits 1 with a message on stderr; nothing here aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetRunner.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#endif
+
+using namespace ocelot;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ocelot-fleet <plan|run|merge> [grid flags] ...\n"
+      "  plan  --shards=K                 show the spec hash and shard "
+      "ranges\n"
+      "  run   --shard=i/K --out=DIR      evaluate or resume one shard\n"
+      "        [--format=jsonl|csv] [--workers=N] [--checkpoint-every=N]\n"
+      "        [--max-cells=N] [--quiet]\n"
+      "  merge --shards=K --out=DIR       validate + merge all shards\n"
+      "        [--format=jsonl|csv] [--merged=PATH]\n"
+      "grid flags: --benchmarks= --models= --energy=CAP:RES[:RATE:CJ:RJ]\n"
+      "            --powers= --scenarios= --seeds= --tau=N --no-monitors\n");
+  return 1;
+}
+
+int fail(const std::string &Msg) {
+  std::fprintf(stderr, "error: %s\n", Msg.c_str());
+  return 1;
+}
+
+bool parseU64Flag(const std::string &Value, uint64_t &Out) {
+  if (Value.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Value.c_str(), &End, 10);
+  return End && *End == '\0' && errno == 0;
+}
+
+/// --energy=CAP:RES[:RATE:CJ:RJ]; trailing fields keep their defaults.
+bool parseEnergyFlag(const std::string &Value, EnergyConfig &Out,
+                     std::string &Error) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (Start <= Value.size()) {
+    size_t Colon = Value.find(':', Start);
+    if (Colon == std::string::npos)
+      Colon = Value.size();
+    Parts.push_back(Value.substr(Start, Colon - Start));
+    Start = Colon + 1;
+  }
+  auto Bad = [&] {
+    Error = "bad --energy value '" + Value +
+            "' (want CAP:RES[:RATE:CHARGE_JITTER:REFILL_JITTER])";
+    return false;
+  };
+  if (Parts.size() < 2 || Parts.size() > 5)
+    return Bad();
+  uint64_t U;
+  if (!parseU64Flag(Parts[0], U))
+    return Bad();
+  Out.CapacityCycles = U;
+  if (!parseU64Flag(Parts[1], U))
+    return Bad();
+  Out.ReserveCycles = U;
+  double *Doubles[] = {&Out.ChargeRate, &Out.ChargeJitter, &Out.RefillJitter};
+  for (size_t I = 2; I < Parts.size(); ++I) {
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Parts[I].c_str(), &End);
+    if (Parts[I].empty() || !End || *End != '\0' || errno != 0)
+      return Bad();
+    *Doubles[I - 2] = D;
+  }
+  return true;
+}
+
+bool ensureDir(const std::string &Path, std::string &Error) {
+#ifndef _WIN32
+  // mkdir -p: create each component, tolerating ones that exist.
+  for (size_t I = 1; I <= Path.size(); ++I) {
+    if (I != Path.size() && Path[I] != '/')
+      continue;
+    std::string Prefix = Path.substr(0, I);
+    if (::mkdir(Prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      Error = "cannot create directory " + Prefix + ": " +
+              std::strerror(errno);
+      return false;
+    }
+  }
+#else
+  (void)Path;
+  (void)Error;
+#endif
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  if (Cmd != "plan" && Cmd != "run" && Cmd != "merge") {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd.c_str());
+    return usage();
+  }
+
+  FleetSpec Fleet;
+  Fleet.Models = {"ocelot", "jit"};
+  for (const BenchmarkDef &B : allBenchmarks())
+    Fleet.Benchmarks.push_back(B.Name);
+  Fleet.Powers = {"default"};
+  Fleet.Scenarios = {"default"};
+  Fleet.Seeds = {99};
+
+  ShardRunOptions Run;
+  MergeOptions Merge;
+  unsigned Shards = 1;
+  bool HaveShard = false, HaveOut = false, HaveEnergy = false;
+  std::string Error;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const char *Prefix) {
+      return Arg.substr(std::strlen(Prefix));
+    };
+    uint64_t U = 0;
+    if (Arg.rfind("--benchmarks=", 0) == 0) {
+      Fleet.Benchmarks = splitCommaList(Value("--benchmarks="));
+    } else if (Arg.rfind("--models=", 0) == 0) {
+      Fleet.Models = splitCommaList(Value("--models="));
+    } else if (Arg.rfind("--energy=", 0) == 0) {
+      EnergyConfig E;
+      if (!parseEnergyFlag(Value("--energy="), E, Error))
+        return fail(Error);
+      if (!HaveEnergy)
+        Fleet.Energies.clear();
+      HaveEnergy = true;
+      Fleet.Energies.push_back(E);
+    } else if (Arg.rfind("--powers=", 0) == 0) {
+      Fleet.Powers = splitCommaList(Value("--powers="));
+    } else if (Arg.rfind("--scenarios=", 0) == 0) {
+      Fleet.Scenarios = splitCommaList(Value("--scenarios="));
+    } else if (Arg.rfind("--seeds=", 0) == 0) {
+      Fleet.Seeds.clear();
+      for (const std::string &S : splitCommaList(Value("--seeds="))) {
+        if (!parseU64Flag(S, U))
+          return fail("bad --seeds value '" + S + "'");
+        Fleet.Seeds.push_back(U);
+      }
+    } else if (Arg.rfind("--tau=", 0) == 0) {
+      if (!parseU64Flag(Value("--tau="), Fleet.TauBudget))
+        return fail("bad --tau value '" + Value("--tau=") + "'");
+    } else if (Arg == "--no-monitors") {
+      Fleet.Monitors = false;
+    } else if (Arg.rfind("--shard=", 0) == 0) {
+      if (!parseShardSpec(Value("--shard="), Run.Shard, Run.ShardCount,
+                          Error))
+        return fail(Error);
+      HaveShard = true;
+    } else if (Arg.rfind("--shards=", 0) == 0) {
+      if (!parseU64Flag(Value("--shards="), U) || U == 0)
+        return fail("bad --shards value '" + Value("--shards=") +
+                    "' (want >= 1)");
+      Shards = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      Run.OutDir = Merge.OutDir = Value("--out=");
+      HaveOut = true;
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      SinkFormat F;
+      if (!parseSinkFormat(Value("--format="), F, Error))
+        return fail(Error);
+      Run.Format = Merge.Format = F;
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      if (!parseWorkersFlag(Value("--workers=").c_str(), Run.Workers))
+        return 1;
+    } else if (Arg.rfind("--checkpoint-every=", 0) == 0) {
+      if (!parseU64Flag(Value("--checkpoint-every="), U) || U == 0)
+        return fail("bad --checkpoint-every value (want >= 1)");
+      Run.CheckpointEvery = static_cast<size_t>(U);
+    } else if (Arg.rfind("--max-cells=", 0) == 0) {
+      if (!parseU64Flag(Value("--max-cells="), U) || U == 0)
+        return fail("bad --max-cells value (want >= 1)");
+      Run.MaxCells = static_cast<size_t>(U);
+    } else if (Arg.rfind("--merged=", 0) == 0) {
+      Merge.MergedPath = Value("--merged=");
+    } else if (Arg == "--quiet") {
+      Run.Quiet = true;
+    } else {
+      return fail("unknown flag '" + Arg + "'");
+    }
+  }
+  if (Fleet.Energies.empty())
+    Fleet.Energies.push_back(EnergyConfig());
+
+  // Resolve early so every subcommand rejects a bad grid the same way.
+  SweepSpec Spec;
+  if (!Fleet.resolve(Spec, Error))
+    return fail(Error);
+
+  if (Cmd == "plan") {
+    ShardPlan Plan(Spec.cellCount(), Shards);
+    std::printf("%s", Fleet.canonical().c_str());
+    std::printf("spec-hash %016" PRIx64 "\n", Fleet.hash());
+    std::printf("cells %zu\n", Plan.cells());
+    for (unsigned S = 0; S < Plan.shards(); ++S) {
+      ShardRange R = Plan.range(S);
+      std::printf("shard %u/%u cells [%zu, %zu) (%zu)\n", S, Plan.shards(),
+                  R.Begin, R.End, R.size());
+    }
+    return 0;
+  }
+
+  if (!HaveOut)
+    return fail("missing --out=DIR");
+  if (Cmd == "run") {
+    if (!HaveShard)
+      return fail("missing --shard=i/K");
+    if (!ensureDir(Run.OutDir, Error))
+      return fail(Error);
+    ShardOutcome Outcome;
+    if (!runShard(Fleet, Run, Outcome, Error))
+      return fail(Error);
+    return Outcome == ShardOutcome::Complete ? 0 : 3;
+  }
+
+  // merge
+  Merge.ShardCount = Shards;
+  MergeSummary Summary;
+  if (!mergeShards(Fleet, Merge, Summary, Error))
+    return fail(Error);
+  std::printf("merged %zu cells: %" PRIu64 " completed runs, %" PRIu64
+              " violating, %zu starved cell(s), %zu trapped cell(s)\n",
+              Summary.Cells, Summary.CompletedRuns, Summary.ViolatingRuns,
+              Summary.StarvedCells, Summary.TrappedCells);
+  return 0;
+}

@@ -1,0 +1,343 @@
+//===- FleetRunner.cpp - Sharded, streaming, resumable sweeps --------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetRunner.h"
+
+#include "harness/Experiment.h"
+#include "runtime/ArenaPool.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace ocelot;
+
+namespace {
+
+std::string shardStem(const std::string &OutDir, unsigned Shard,
+                      unsigned Count) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "/shard-%u-of-%u", Shard, Count);
+  return OutDir + Buf;
+}
+
+/// Evaluates flat cell \p I of \p Spec against its precompiled artifact.
+SweepCellResult evaluateCell(const SweepSpec &Spec, size_t I,
+                             const CompiledBenchmark &CB,
+                             const std::shared_ptr<ArenaPool> &Arena) {
+  SweepCellResult R;
+  SweepSpec::CellCoords C = Spec.cellAt(I);
+  R.Model = C.Model;
+  R.Bench = C.Bench;
+  R.Energy = C.Energy;
+  R.Power = C.Power;
+  R.Scenario = C.Scenario;
+  R.Seed = C.Seed;
+  R.Metrics = measureIntermittent(
+      CB, *Spec.Benchmarks[R.Bench], Spec.Energies[R.Energy], Spec.TauBudget,
+      Spec.Seeds[R.Seed], Spec.Monitors,
+      Spec.Powers.empty() ? nullptr : Spec.Powers[R.Power],
+      Spec.Scenarios.empty() ? nullptr : Spec.Scenarios[R.Scenario], Arena);
+  return R;
+}
+
+/// The (model, benchmark) pair index of flat cell \p I — monotone in I,
+/// so a contiguous cell range needs a contiguous pair range.
+size_t pairOf(const SweepSpec &Spec, size_t I) {
+  SweepSpec::CellCoords C = Spec.cellAt(I);
+  return C.Model * Spec.Benchmarks.size() + C.Bench;
+}
+
+} // namespace
+
+std::string ocelot::shardResultPath(const ShardRunOptions &Opts) {
+  return shardStem(Opts.OutDir, Opts.Shard, Opts.ShardCount) + "." +
+         sinkFormatExtension(Opts.Format);
+}
+
+std::string ocelot::shardManifestPath(const ShardRunOptions &Opts) {
+  return shardStem(Opts.OutDir, Opts.Shard, Opts.ShardCount) + ".manifest";
+}
+
+bool ocelot::runShard(const FleetSpec &Fleet, const ShardRunOptions &Opts,
+                      ShardOutcome &Outcome, std::string &Error) {
+  SweepSpec Spec;
+  if (!Fleet.resolve(Spec, Error))
+    return false;
+  if (Opts.ShardCount == 0 || Opts.Shard >= Opts.ShardCount) {
+    Error = "shard index out of range";
+    return false;
+  }
+  const uint64_t SpecHash = Fleet.hash();
+  const ShardPlan Plan(Spec.cellCount(), Opts.ShardCount);
+  const ShardRange Range = Plan.range(Opts.Shard);
+  const std::string ResultPath = shardResultPath(Opts);
+  const std::string ManifestPath = shardManifestPath(Opts);
+
+  // Fresh start or resume? The manifest decides; its spec hash guards
+  // against resuming under a silently different grid.
+  ShardManifest M;
+  int64_t ResumeOffset = -1;
+  if (fileExists(ManifestPath)) {
+    if (!loadShardManifest(ManifestPath, M, Error))
+      return false;
+    if (M.SpecHash != SpecHash) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%016" PRIx64 ", this invocation describes %016" PRIx64,
+                    M.SpecHash, SpecHash);
+      Error = ManifestPath + " was written for a different sweep (spec hash " +
+              Buf +
+              "); re-run with the original grid flags, or delete the shard's "
+              "manifest and result file to restart under the new grid";
+      return false;
+    }
+    if (M.Shard != Opts.Shard || M.ShardCount != Opts.ShardCount ||
+        M.CellsBegin != Range.Begin || M.CellsEnd != Range.End ||
+        M.Format != Opts.Format) {
+      Error = ManifestPath + " does not match --shard=" +
+              std::to_string(Opts.Shard) + "/" +
+              std::to_string(Opts.ShardCount) + " --format=" +
+              sinkFormatName(Opts.Format) +
+              " (wrong shard spec for this output directory?)";
+      return false;
+    }
+    if (!fileExists(ResultPath)) {
+      Error = ManifestPath + " exists but " + ResultPath +
+              " is missing; delete the manifest to restart the shard";
+      return false;
+    }
+    ResumeOffset = static_cast<int64_t>(M.SinkOffset);
+  } else {
+    M.SpecHash = SpecHash;
+    M.Shard = Opts.Shard;
+    M.ShardCount = Opts.ShardCount;
+    M.Format = Opts.Format;
+    M.CellsBegin = Range.Begin;
+    M.CellsNext = Range.Begin;
+    M.CellsEnd = Range.End;
+  }
+
+  auto Sink = openResultSink(ResultPath, Opts.Format, ResumeOffset, Error);
+  if (!Sink)
+    return false;
+  if (ResumeOffset < 0) {
+    // Record the (header-only) file before evaluating anything, so even a
+    // crash during the first cell resumes cleanly.
+    M.SinkOffset = Sink->durableOffset();
+    if (!writeShardManifest(ManifestPath, M, Error))
+      return false;
+  }
+
+  const size_t Start = M.CellsNext;
+  const size_t End =
+      Opts.MaxCells ? std::min(Range.End, Start + Opts.MaxCells) : Range.End;
+  const size_t Todo = End - Start;
+  if (!Opts.Quiet)
+    std::fprintf(stderr,
+                 "[fleet: shard %u/%u cells [%zu, %zu) — running %zu of %zu "
+                 "on %u worker(s)]\n",
+                 Opts.Shard, Opts.ShardCount, Range.Begin, Range.End, Todo,
+                 Range.size(), Opts.Workers);
+
+  // Compile the shard's (model, benchmark) pairs up front — a contiguous
+  // cell range touches a contiguous pair range. compileBenchmark goes
+  // through the process-wide artifact cache, so across resumes and
+  // co-located shards each distinct pair compiles exactly once.
+  std::vector<CompiledBenchmark> Artifacts;
+  size_t PairBase = 0;
+  if (Todo) {
+    PairBase = pairOf(Spec, Start);
+    size_t PairLast = pairOf(Spec, End - 1);
+    Artifacts.resize(PairLast - PairBase + 1);
+    for (size_t P = PairBase; P <= PairLast; ++P)
+      Artifacts[P - PairBase] =
+          compileBenchmark(*Spec.Benchmarks[P % Spec.Benchmarks.size()],
+                           Spec.Models[P / Spec.Benchmarks.size()]);
+  }
+  auto Arena = std::make_shared<ArenaPool>();
+  auto ArtifactFor = [&](size_t Cell) -> const CompiledBenchmark & {
+    return Artifacts[pairOf(Spec, Cell) - PairBase];
+  };
+
+  // Emit cells strictly in order, checkpointing sink-then-manifest so the
+  // manifest never points past durable bytes.
+  size_t SinceCheckpoint = 0;
+  auto Emit = [&](size_t Cell, const SweepCellResult &R,
+                  std::string &Err) -> bool {
+    Sink->append({Cell, R});
+    M.CellsNext = Cell + 1;
+    ++SinceCheckpoint;
+    if (SinceCheckpoint >= std::max<size_t>(Opts.CheckpointEvery, 1) ||
+        M.CellsNext == End) {
+      if (!Sink->flush(Err))
+        return false;
+      M.SinkOffset = Sink->durableOffset();
+      if (!writeShardManifest(ManifestPath, M, Err))
+        return false;
+      SinceCheckpoint = 0;
+    }
+    return true;
+  };
+
+  bool Ok = true;
+  if (Opts.Workers <= 1) {
+    for (size_t I = Start; I < End && Ok; ++I)
+      Ok = Emit(I, evaluateCell(Spec, I, ArtifactFor(I), Arena), Error);
+  } else {
+    // Bounded reorder window: workers claim cells atomically and park
+    // results; the writer (this thread) drains them in order. Workers
+    // stall once they run more than `Window` cells ahead of the writer,
+    // so memory stays O(workers), not O(shard).
+    const size_t Window = std::max<size_t>(4 * Opts.Workers, 16);
+    std::mutex Mu;
+    std::condition_variable RoomCv, ReadyCv;
+    std::map<size_t, SweepCellResult> Parked;
+    std::atomic<size_t> NextClaim{Start};
+    size_t NextWrite = Start;
+    bool Failed = false;
+
+    auto Worker = [&] {
+      for (size_t I = NextClaim.fetch_add(1); I < End;
+           I = NextClaim.fetch_add(1)) {
+        {
+          std::unique_lock<std::mutex> Lk(Mu);
+          RoomCv.wait(Lk, [&] { return Failed || I < NextWrite + Window; });
+          if (Failed)
+            return;
+        }
+        SweepCellResult R = evaluateCell(Spec, I, ArtifactFor(I), Arena);
+        std::lock_guard<std::mutex> Lk(Mu);
+        Parked.emplace(I, std::move(R));
+        ReadyCv.notify_all();
+      }
+    };
+    std::vector<std::thread> Pool;
+    unsigned NThreads =
+        static_cast<unsigned>(std::min<size_t>(Opts.Workers, Todo));
+    Pool.reserve(NThreads);
+    for (unsigned T = 0; T < NThreads; ++T)
+      Pool.emplace_back(Worker);
+
+    while (NextWrite < End) {
+      SweepCellResult R;
+      {
+        std::unique_lock<std::mutex> Lk(Mu);
+        ReadyCv.wait(Lk, [&] { return Parked.count(NextWrite) != 0; });
+        R = std::move(Parked.begin()->second);
+        Parked.erase(Parked.begin());
+      }
+      if (!Emit(NextWrite, R, Error)) {
+        std::lock_guard<std::mutex> Lk(Mu);
+        Failed = Ok = false;
+        RoomCv.notify_all();
+        break;
+      }
+      ++NextWrite;
+      RoomCv.notify_all();
+    }
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+  if (!Ok)
+    return false;
+
+  Outcome = End == Range.End ? ShardOutcome::Complete
+                             : ShardOutcome::Interrupted;
+  if (!Opts.Quiet && Outcome == ShardOutcome::Interrupted)
+    std::fprintf(stderr,
+                 "[fleet: shard %u/%u interrupted at cell %zu of [%zu, %zu); "
+                 "re-run the same command to resume]\n",
+                 Opts.Shard, Opts.ShardCount, End, Range.Begin, Range.End);
+  return true;
+}
+
+bool ocelot::mergeShards(const FleetSpec &Fleet, const MergeOptions &Opts,
+                         MergeSummary &Summary, std::string &Error) {
+  SweepSpec Spec;
+  if (!Fleet.resolve(Spec, Error))
+    return false;
+  const uint64_t SpecHash = Fleet.hash();
+  const ShardPlan Plan(Spec.cellCount(), Opts.ShardCount);
+
+  std::string MergedPath =
+      Opts.MergedPath.empty()
+          ? Opts.OutDir + "/merged." + sinkFormatExtension(Opts.Format)
+          : Opts.MergedPath;
+  auto Out = openResultSink(MergedPath, Opts.Format, -1, Error);
+  if (!Out)
+    return false;
+
+  Summary = MergeSummary();
+  for (unsigned S = 0; S < Opts.ShardCount; ++S) {
+    ShardRunOptions ShardOpts;
+    ShardOpts.OutDir = Opts.OutDir;
+    ShardOpts.Shard = S;
+    ShardOpts.ShardCount = Opts.ShardCount;
+    ShardOpts.Format = Opts.Format;
+    const std::string ManifestPath = shardManifestPath(ShardOpts);
+    const std::string ResultPath = shardResultPath(ShardOpts);
+    const ShardRange Range = Plan.range(S);
+
+    ShardManifest M;
+    if (!loadShardManifest(ManifestPath, M, Error))
+      return false;
+    if (M.SpecHash != SpecHash) {
+      Error = ManifestPath + " belongs to a different sweep (spec hash "
+              "mismatch); merge with the same grid flags its shards ran with";
+      return false;
+    }
+    if (M.Shard != S || M.ShardCount != Opts.ShardCount ||
+        M.CellsBegin != Range.Begin || M.CellsEnd != Range.End ||
+        M.Format != Opts.Format) {
+      Error = ManifestPath + " does not match shard " + std::to_string(S) +
+              "/" + std::to_string(Opts.ShardCount) + " of this plan";
+      return false;
+    }
+    if (!M.complete()) {
+      Error = "shard " + std::to_string(S) + "/" +
+              std::to_string(Opts.ShardCount) + " is incomplete (" +
+              std::to_string(M.CellsNext - M.CellsBegin) + " of " +
+              std::to_string(Range.size()) +
+              " cells done); resume it first:\n  ocelot-fleet run --shard=" +
+              std::to_string(S) + "/" + std::to_string(Opts.ShardCount) +
+              " --out=" + Opts.OutDir + " <same grid flags>";
+      return false;
+    }
+
+    std::vector<CellRecord> Records;
+    if (!readResultFile(ResultPath, Opts.Format, Records, Error))
+      return false;
+    if (Records.size() != Range.size()) {
+      Error = ResultPath + " holds " + std::to_string(Records.size()) +
+              " records but the plan assigns " +
+              std::to_string(Range.size()) +
+              " cells; the shard file is stale or truncated — delete it and "
+              "its manifest, then re-run the shard";
+      return false;
+    }
+    for (size_t I = 0; I < Records.size(); ++I) {
+      const CellRecord &R = Records[I];
+      if (R.Cell != Range.Begin + I) {
+        Error = ResultPath + ": record " + std::to_string(I) +
+                " covers cell " + std::to_string(R.Cell) + ", expected " +
+                std::to_string(Range.Begin + I);
+        return false;
+      }
+      Out->append(R);
+      ++Summary.Cells;
+      Summary.CompletedRuns += R.Result.Metrics.CompletedRuns;
+      Summary.ViolatingRuns += R.Result.Metrics.ViolatingRuns;
+      Summary.StarvedCells += R.Result.Metrics.Starved ? 1 : 0;
+      Summary.TrappedCells += R.Result.Metrics.Trapped ? 1 : 0;
+    }
+  }
+  return Out->flush(Error);
+}

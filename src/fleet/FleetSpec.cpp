@@ -1,0 +1,189 @@
+//===- FleetSpec.cpp - Textual, hashable sweep grid spec -------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetSpec.h"
+
+#include "power/PowerProfiles.h"
+#include "sensors/SensorScenarios.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace ocelot;
+
+uint64_t ocelot::fnv1a64(const std::string &Text) {
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::vector<std::string> ocelot::splitCommaList(const std::string &Value) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Value.size()) {
+    size_t Comma = Value.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Value.size();
+    std::string Tok = Value.substr(Start, Comma - Start);
+    size_t B = Tok.find_first_not_of(" \t");
+    size_t E = Tok.find_last_not_of(" \t");
+    if (B != std::string::npos)
+      Out.push_back(Tok.substr(B, E - B + 1));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+namespace {
+
+void appendF(std::string &Out, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+void appendU(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+struct ModelName {
+  const char *Name;
+  ExecModel Model;
+};
+constexpr ModelName ModelNames[] = {
+    {"jit", ExecModel::JitOnly},
+    {"atomics", ExecModel::AtomicsOnly},
+    {"ocelot", ExecModel::Ocelot},
+    {"check", ExecModel::CheckOnly},
+};
+
+bool lookupModel(const std::string &Name, ExecModel &Out) {
+  for (const ModelName &MN : ModelNames)
+    if (Name == MN.Name) {
+      Out = MN.Model;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+std::string FleetSpec::canonical() const {
+  std::string T = "ocelot-fleet-spec v1\n";
+  auto Names = [&](const char *Key, const std::vector<std::string> &Vs) {
+    T += Key;
+    for (const std::string &V : Vs) {
+      T += ' ';
+      T += V;
+    }
+    T += '\n';
+  };
+  Names("models", Models);
+  Names("benchmarks", Benchmarks);
+  for (const EnergyConfig &E : Energies) {
+    T += "energy ";
+    appendU(T, E.CapacityCycles);
+    T += ' ';
+    appendU(T, E.ReserveCycles);
+    T += ' ';
+    appendF(T, E.ChargeRate);
+    T += ' ';
+    appendF(T, E.ChargeJitter);
+    T += ' ';
+    appendF(T, E.RefillJitter);
+    T += '\n';
+  }
+  Names("powers", Powers);
+  Names("scenarios", Scenarios);
+  T += "seeds";
+  for (uint64_t S : Seeds) {
+    T += ' ';
+    appendU(T, S);
+  }
+  T += "\ntau ";
+  appendU(T, TauBudget);
+  T += "\nmonitors ";
+  T += Monitors ? '1' : '0';
+  T += '\n';
+  return T;
+}
+
+uint64_t FleetSpec::hash() const { return fnv1a64(canonical()); }
+
+bool FleetSpec::resolve(SweepSpec &Out, std::string &Error) const {
+  Out = SweepSpec();
+  if (Models.empty() || Benchmarks.empty() || Energies.empty() ||
+      Seeds.empty()) {
+    Error = "sweep spec needs at least one model, benchmark, energy config "
+            "and seed";
+    return false;
+  }
+  if (TauBudget == 0) {
+    Error = "sweep spec needs a nonzero --tau simulated-time budget";
+    return false;
+  }
+  for (const std::string &M : Models) {
+    ExecModel Model;
+    if (!lookupModel(M, Model)) {
+      Error = "unknown model '" + M + "' (valid: jit, atomics, ocelot, check)";
+      return false;
+    }
+    Out.Models.push_back(Model);
+  }
+  for (const std::string &B : Benchmarks) {
+    const BenchmarkDef *Def = findBenchmark(B);
+    if (!Def) {
+      std::string Valid;
+      for (const BenchmarkDef &Known : allBenchmarks()) {
+        if (!Valid.empty())
+          Valid += ", ";
+        Valid += Known.Name;
+      }
+      Error = "unknown benchmark '" + B + "' (valid: " + Valid + ")";
+      return false;
+    }
+    Out.Benchmarks.push_back(Def);
+  }
+  Out.Energies = Energies;
+  // "default" maps to the nullptr column in both optional dimensions
+  // (legacy-jitter power / the benchmark's own seeded noise) — the same
+  // cell an empty vector's implicit single column evaluates.
+  for (const std::string &P : Powers) {
+    if (P == "default") {
+      Out.Powers.push_back(nullptr);
+      continue;
+    }
+    std::string Why;
+    auto Src = resolvePowerSource(P, Why);
+    if (!Src) {
+      Error = "bad power '" + P + "': " + Why;
+      return false;
+    }
+    Out.Powers.push_back(std::move(Src));
+  }
+  for (const std::string &Sc : Scenarios) {
+    if (Sc == "default") {
+      Out.Scenarios.push_back(nullptr);
+      continue;
+    }
+    std::string Why;
+    auto World = resolveSensorScenario(Sc, Why);
+    if (!World) {
+      Error = "bad scenario '" + Sc + "': " + Why;
+      return false;
+    }
+    Out.Scenarios.push_back(std::move(World));
+  }
+  Out.Seeds = Seeds;
+  Out.TauBudget = TauBudget;
+  Out.Monitors = Monitors;
+  return true;
+}

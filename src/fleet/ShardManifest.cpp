@@ -1,0 +1,166 @@
+//===- ShardManifest.cpp - Durable per-shard progress record ---------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/ShardManifest.h"
+
+#include "fleet/FleetSpec.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace ocelot;
+
+namespace {
+
+constexpr const char *Magic = "ocelot-fleet-manifest v1";
+
+std::string serializeBody(const ShardManifest &M) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s\n"
+                "spec_hash %016" PRIx64 "\n"
+                "shard %u/%u\n"
+                "format %s\n"
+                "cells %zu %zu %zu\n"
+                "sink_offset %" PRIu64 "\n",
+                Magic, M.SpecHash, M.Shard, M.ShardCount,
+                sinkFormatName(M.Format), M.CellsBegin, M.CellsNext,
+                M.CellsEnd, M.SinkOffset);
+  return Buf;
+}
+
+bool syncParentDir(const std::string &Path) {
+#ifndef _WIN32
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+#else
+  (void)Path;
+  return true;
+#endif
+}
+
+} // namespace
+
+bool ocelot::fileExists(const std::string &Path) {
+#ifndef _WIN32
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+#else
+  std::ifstream In(Path);
+  return In.good();
+#endif
+}
+
+bool ocelot::writeShardManifest(const std::string &Path,
+                                const ShardManifest &M, std::string &Error) {
+  std::string Body = serializeBody(M);
+  char Sum[32];
+  std::snprintf(Sum, sizeof(Sum), "checksum %016" PRIx64 "\n",
+                fnv1a64(Body));
+  std::string Tmp = Path + ".tmp";
+
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    Error = "cannot create " + Tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) == Body.size() &&
+            std::fwrite(Sum, 1, std::strlen(Sum), F) == std::strlen(Sum) &&
+            std::fflush(F) == 0;
+#ifndef _WIN32
+  Ok = Ok && ::fsync(fileno(F)) == 0;
+#endif
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok) {
+    Error = "cannot write " + Tmp + ": " + std::strerror(errno);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "cannot replace " + Path + ": " + std::strerror(errno);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable; a failure here is ignorable only in
+  // the sense that the *previous* manifest is still valid, but report it
+  // so the caller stops instead of advancing past an undurable record.
+  if (!syncParentDir(Path)) {
+    Error = "cannot fsync directory of " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool ocelot::loadShardManifest(const std::string &Path, ShardManifest &M,
+                               std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::ostringstream Raw;
+  Raw << In.rdbuf();
+  std::string Text = Raw.str();
+
+  auto Corrupt = [&](const std::string &Why) {
+    Error = "corrupt manifest " + Path + ": " + Why +
+            " (delete the shard's manifest and result file to restart it "
+            "from scratch)";
+    return false;
+  };
+
+  // Split off the trailing checksum line and verify it covers the body.
+  size_t SumPos = Text.rfind("checksum ");
+  if (SumPos == std::string::npos || SumPos == 0 || Text[SumPos - 1] != '\n')
+    return Corrupt("missing checksum line");
+  std::string Body = Text.substr(0, SumPos);
+  uint64_t WantSum = 0;
+  if (std::sscanf(Text.c_str() + SumPos, "checksum %" SCNx64, &WantSum) != 1)
+    return Corrupt("unreadable checksum line");
+  if (fnv1a64(Body) != WantSum)
+    return Corrupt("checksum mismatch (torn or edited write)");
+
+  ShardManifest P;
+  char FormatName[16] = {0};
+  char MagicBuf[64] = {0};
+  int Matched = std::sscanf(
+      Body.c_str(),
+      "%63[^\n]\n"
+      "spec_hash %" SCNx64 "\n"
+      "shard %u/%u\n"
+      "format %15[^\n]\n"
+      "cells %zu %zu %zu\n"
+      "sink_offset %" SCNu64 "\n",
+      MagicBuf, &P.SpecHash, &P.Shard, &P.ShardCount, FormatName,
+      &P.CellsBegin, &P.CellsNext, &P.CellsEnd, &P.SinkOffset);
+  if (Matched != 9 || std::string(MagicBuf) != Magic)
+    return Corrupt("unrecognized layout");
+  std::string Why;
+  if (!parseSinkFormat(FormatName, P.Format, Why))
+    return Corrupt(Why);
+  if (P.ShardCount == 0 || P.Shard >= P.ShardCount ||
+      P.CellsBegin > P.CellsNext || P.CellsNext > P.CellsEnd)
+    return Corrupt("inconsistent progress fields");
+  M = P;
+  return true;
+}

@@ -1,0 +1,68 @@
+//===- ShardManifest.h - Durable per-shard progress record ------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint a fleet shard leaves behind so a killed process can
+/// resume from its last durable cell. The manifest records the spec hash
+/// (so a resume under a *different* grid is rejected, not silently
+/// merged), the shard's range, the next cell to evaluate, and the result
+/// file's durable byte offset.
+///
+/// Write protocol: serialize to `<path>.tmp`, fsync, rename over the real
+/// path, fsync the directory. A crash leaves either the old manifest or
+/// the new one — never a torn mix. The file additionally carries an FNV
+/// checksum of its own lines, so a manifest that *was* torn some other
+/// way (filesystem without atomic rename, manual edit) is detected and
+/// reported rather than trusted.
+///
+/// The ordering invariant the resume correctness rests on: the result
+/// sink is flushed (fsync) *before* the manifest advances. The manifest's
+/// SinkOffset therefore never points past durable sink bytes; a resume
+/// truncates the sink to SinkOffset, dropping at most a torn tail that
+/// the restarted shard recomputes deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FLEET_SHARDMANIFEST_H
+#define OCELOT_FLEET_SHARDMANIFEST_H
+
+#include "fleet/ResultSink.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ocelot {
+
+/// The durable progress record of one shard of one sweep.
+struct ShardManifest {
+  uint64_t SpecHash = 0;      ///< FleetSpec::hash() of the grid.
+  unsigned Shard = 0;         ///< This shard's index.
+  unsigned ShardCount = 1;    ///< Total shards in the plan.
+  SinkFormat Format = SinkFormat::Jsonl;
+  size_t CellsBegin = 0;      ///< First cell of the shard's range.
+  size_t CellsNext = 0;       ///< Next cell to evaluate (resume point).
+  size_t CellsEnd = 0;        ///< One past the shard's last cell.
+  uint64_t SinkOffset = 0;    ///< Durable byte size of the result file.
+
+  bool complete() const { return CellsNext == CellsEnd; }
+};
+
+/// Atomically replaces \p Path with \p M (tmp + fsync + rename + dir
+/// fsync). Returns false with \p Error on I/O failure.
+bool writeShardManifest(const std::string &Path, const ShardManifest &M,
+                        std::string &Error);
+
+/// Loads and validates \p Path. Checksum or syntax failures produce a
+/// "corrupt manifest" error naming the path; they never abort.
+bool loadShardManifest(const std::string &Path, ShardManifest &M,
+                       std::string &Error);
+
+/// True if \p Path exists (distinguishes "fresh shard" from "resume").
+bool fileExists(const std::string &Path);
+
+} // namespace ocelot
+
+#endif // OCELOT_FLEET_SHARDMANIFEST_H

@@ -1,0 +1,47 @@
+//===- ShardPlan.cpp - Deterministic sweep partitioning --------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/ShardPlan.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace ocelot;
+
+ShardPlan::ShardPlan(size_t Cells, unsigned Shards)
+    : Cells(Cells), Shards(Shards ? Shards : 1) {}
+
+ShardRange ShardPlan::range(unsigned Shard) const {
+  assert(Shard < Shards && "shard index out of range");
+  size_t Base = Cells / Shards;
+  size_t Extra = Cells % Shards;
+  // The first `Extra` shards hold Base + 1 cells, the rest Base.
+  auto StartOf = [&](size_t I) {
+    return I * Base + (I < Extra ? I : Extra);
+  };
+  return {StartOf(Shard), StartOf(Shard + 1)};
+}
+
+bool ocelot::parseShardSpec(const std::string &Spec, unsigned &Shard,
+                            unsigned &Count, std::string &Error) {
+  const char *Text = Spec.c_str();
+  char *End = nullptr;
+  long I = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '/') {
+    Error = "bad shard spec '" + Spec + "' (want I/K, e.g. --shard=0/4)";
+    return false;
+  }
+  const char *KText = End + 1;
+  long K = std::strtol(KText, &End, 10);
+  if (End == KText || *End != '\0' || K < 1 || I < 0 || I >= K) {
+    Error = "bad shard spec '" + Spec +
+            "' (want 0 <= I < K, e.g. --shard=0/4)";
+    return false;
+  }
+  Shard = static_cast<unsigned>(I);
+  Count = static_cast<unsigned>(K);
+  return true;
+}

@@ -1,0 +1,64 @@
+//===- ShardPlan.h - Deterministic sweep partitioning -----------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partitions a sweep's flat cell-index space `[0, Cells)` into K
+/// contiguous, balanced, disjoint shard ranges so K independent processes
+/// can each evaluate one range and a merge of their streamed outputs is
+/// byte-identical to a single sequential run. The partition is a pure
+/// function of (Cells, Shards): every process that agrees on the spec
+/// agrees on the plan, with nothing to coordinate.
+///
+/// Contiguous ranges (rather than strided assignment) keep each shard's
+/// cells grouped by (model, benchmark), which maximizes compiled-artifact
+/// cache hits within a shard, and make merge a concatenation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FLEET_SHARDPLAN_H
+#define OCELOT_FLEET_SHARDPLAN_H
+
+#include <cstddef>
+#include <string>
+
+namespace ocelot {
+
+/// Half-open range of flat cell indices assigned to one shard.
+struct ShardRange {
+  size_t Begin = 0;
+  size_t End = 0;
+
+  size_t size() const { return End - Begin; }
+  bool empty() const { return Begin == End; }
+};
+
+/// The deterministic partition of \p Cells cells into \p Shards
+/// contiguous ranges whose sizes differ by at most one (the first
+/// `Cells % Shards` shards get the extra cell).
+class ShardPlan {
+public:
+  ShardPlan(size_t Cells, unsigned Shards);
+
+  size_t cells() const { return Cells; }
+  unsigned shards() const { return Shards; }
+
+  /// The range of shard \p Shard (< shards()).
+  ShardRange range(unsigned Shard) const;
+
+private:
+  size_t Cells;
+  unsigned Shards;
+};
+
+/// Parses a `--shard=i/K` value (the text after the '='). On success
+/// stores the zero-based index and the shard count and returns true;
+/// otherwise sets \p Error to an actionable message and returns false.
+bool parseShardSpec(const std::string &Spec, unsigned &Shard,
+                    unsigned &Count, std::string &Error);
+
+} // namespace ocelot
+
+#endif // OCELOT_FLEET_SHARDPLAN_H

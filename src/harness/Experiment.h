@@ -88,12 +88,15 @@ struct IntermittentMetrics {
 /// \p Power selects the harvesting environment (src/power/); null keeps
 /// the legacy-jitter recharge behavior. \p Sensors selects the sensed
 /// world (src/sensors/); null keeps the benchmark's own seeded-noise
-/// scenario (`B.scenario(Seed)`).
+/// scenario (`B.scenario(Seed)`). \p Arena optionally pools the
+/// Simulation's large buffers across cells (src/runtime/ArenaPool.h) —
+/// results are bitwise identical with or without it.
 IntermittentMetrics measureIntermittent(
     const CompiledBenchmark &CB, const BenchmarkDef &B,
     const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
     bool Monitors, std::shared_ptr<const PowerSource> Power = nullptr,
-    std::shared_ptr<const SensorScenario> Sensors = nullptr);
+    std::shared_ptr<const SensorScenario> Sensors = nullptr,
+    std::shared_ptr<ArenaPool> Arena = nullptr);
 
 /// Table 2(a): percentage (0–100) of runs violating any policy under
 /// pathological failure injection.

@@ -66,33 +66,39 @@ struct SweepSpec {
            powerCount() * scenarioCount() * Seeds.size();
   }
 
-  /// Flat index of cell (model M, benchmark B, energy E, power P,
-  /// scenario Sc, seed S) in the result vector. The inverse is cellAt();
-  /// keep the two in sync.
+  /// Grid coordinates of one cell. Dimensions a sweep does not span stay
+  /// 0 (aggregate initialization zero-fills the tail, so e.g.
+  /// `{M, B, E, 0, 0, S}` and `{.Model = M, .Bench = B}` both work).
+  struct CellCoords {
+    size_t Model = 0, Bench = 0, Energy = 0, Power = 0, Scenario = 0,
+           Seed = 0;
+  };
+
+  /// Flat index of cell \p C in the result vector. The inverse is
+  /// cellAt(); keep the two in sync.
+  size_t cellIndex(const CellCoords &C) const {
+    return ((((C.Model * Benchmarks.size() + C.Bench) * Energies.size() +
+              C.Energy) *
+                 powerCount() +
+             C.Power) *
+                scenarioCount() +
+            C.Scenario) *
+               Seeds.size() +
+           C.Seed;
+  }
+  /// Positional spelling, kept only for source compatibility. (The 4- and
+  /// 5-argument overloads that accreted while the grid grew power and
+  /// scenario dimensions are gone — zero-filled CellCoords replaces
+  /// them.)
+  [[deprecated("use cellIndex(CellCoords) — positional indices misread as "
+               "soon as the grid gains a dimension")]]
   size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t Sc,
                    size_t S) const {
-    return ((((M * Benchmarks.size() + B) * Energies.size() + E) *
-                 powerCount() +
-             P) *
-                scenarioCount() +
-            Sc) *
-               Seeds.size() +
-           S;
-  }
-  /// Convenience for sweeps without a scenario dimension.
-  size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t S) const {
-    return cellIndex(M, B, E, P, 0, S);
-  }
-  /// Convenience for sweeps without power or scenario dimensions.
-  size_t cellIndex(size_t M, size_t B, size_t E, size_t S) const {
-    return cellIndex(M, B, E, 0, 0, S);
+    return cellIndex(CellCoords{M, B, E, P, Sc, S});
   }
 
-  /// Decodes a flat index back into (Model, Bench, Energy, Power,
-  /// Scenario, Seed) — the inverse of cellIndex().
-  struct CellCoords {
-    size_t Model, Bench, Energy, Power, Scenario, Seed;
-  };
+  /// Decodes a flat index back into CellCoords — the inverse of
+  /// cellIndex().
   CellCoords cellAt(size_t I) const {
     CellCoords C{};
     C.Seed = I % Seeds.size();

@@ -6,7 +6,44 @@
 
 #include "ocelot/Toolchain.h"
 
+#include <mutex>
+#include <unordered_map>
+
 using namespace ocelot;
+
+namespace {
+
+/// The process-wide artifact cache behind Toolchain::compileCached. The
+/// key is the full source text plus every CompileOptions field, so two
+/// compiles share an entry exactly when the pipeline would produce the
+/// same artifact. Artifacts are immutable shared handles, so handing the
+/// same Compilation to every caller is safe by construction.
+struct ArtifactCache {
+  std::mutex Mu;
+  std::unordered_map<std::string, Compilation> Entries;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  static ArtifactCache &instance() {
+    static ArtifactCache C;
+    return C;
+  }
+};
+
+/// Canonical cache key: the options fields are prefixed so a source text
+/// can never collide with another source compiled under other options.
+std::string cacheKey(const SourceRef &Src, const CompileOptions &Opts) {
+  std::string Key;
+  Key.reserve(Src.Text.size() + 8);
+  Key += static_cast<char>('0' + static_cast<int>(Opts.Model));
+  Key += Opts.Verify ? 'v' : '-';
+  Key += Opts.SelfCheck ? 's' : '-';
+  Key += '\x1f';
+  Key += Src.Text;
+  return Key;
+}
+
+} // namespace
 
 std::string Status::summary() const {
   for (const Diagnostic &D : Diags)
@@ -61,4 +98,48 @@ Compilation Toolchain::compile(const SourceRef &Src,
   C.A = CompiledArtifact(
       std::shared_ptr<const CompiledArtifact::State>(std::move(State)));
   return C;
+}
+
+Compilation Toolchain::compileCached(const SourceRef &Src,
+                                     const CompileOptions &Opts) const {
+  ArtifactCache &Cache = ArtifactCache::instance();
+  std::string Key = cacheKey(Src, Opts);
+  {
+    std::lock_guard<std::mutex> Lock(Cache.Mu);
+    auto It = Cache.Entries.find(Key);
+    if (It != Cache.Entries.end()) {
+      ++Cache.Hits;
+      return It->second;
+    }
+    ++Cache.Misses;
+  }
+
+  // Compile outside the lock: the pipeline is the expensive part, and
+  // holding the mutex across it would serialize every thread's misses.
+  Compilation C = compile(Src, Opts);
+  if (!C.ok())
+    return C; // Failures are never cached; diagnostics stay per-call.
+
+  std::lock_guard<std::mutex> Lock(Cache.Mu);
+  // First insertion wins; a racing thread that also missed adopts the
+  // winner so all callers share one artifact.
+  auto [It, Inserted] = Cache.Entries.emplace(std::move(Key), std::move(C));
+  return It->second;
+}
+
+ToolchainCacheStats Toolchain::cacheStats() {
+  ArtifactCache &Cache = ArtifactCache::instance();
+  std::lock_guard<std::mutex> Lock(Cache.Mu);
+  ToolchainCacheStats S;
+  S.Hits = Cache.Hits;
+  S.Misses = Cache.Misses;
+  S.Entries = Cache.Entries.size();
+  return S;
+}
+
+void Toolchain::clearCache() {
+  ArtifactCache &Cache = ArtifactCache::instance();
+  std::lock_guard<std::mutex> Lock(Cache.Mu);
+  Cache.Entries.clear();
+  Cache.Hits = Cache.Misses = 0;
 }

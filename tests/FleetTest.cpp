@@ -1,0 +1,524 @@
+//===- FleetTest.cpp - The sharded sweep service ---------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract tests for src/fleet/: the shard plan partition, sink
+/// round-trips (every SweepCellResult field, both formats), the
+/// determinism spine (shard + merge ≡ sequential, bitwise — including
+/// after a mid-shard kill and resume over a torn sink), the error paths
+/// (corrupt manifest, spec-hash mismatch, incomplete merge), the
+/// process-wide compiled-artifact cache, and arena pooling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetRunner.h"
+
+#include "harness/Experiment.h"
+#include "ocelot/Toolchain.h"
+#include "runtime/ArenaPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace ocelot;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Raw;
+  Raw << In.rdbuf();
+  return Raw.str();
+}
+
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "fleet-" + Name + "-" +
+                    std::to_string(::getpid());
+  std::remove(Dir.c_str());
+#ifndef _WIN32
+  ::mkdir(Dir.c_str(), 0777);
+#endif
+  return Dir;
+}
+
+/// A small grid spanning all five swept dimensions. cem × quake-bursts
+/// feeds readings outside the firmware's trusted range, so the grid also
+/// exercises trapped cells end to end.
+FleetSpec wideSpec() {
+  FleetSpec F;
+  F.Models = {"ocelot", "jit"};
+  F.Benchmarks = {"photo", "cem"};
+  F.Energies = {EnergyConfig(), EnergyConfig{3000, 350, 0.1, 0.25, 0.2}};
+  F.Powers = {"default", "rf-office"};
+  F.Scenarios = {"default", "quake-bursts"};
+  F.Seeds = {5};
+  F.TauBudget = 60000;
+  return F;
+}
+
+FleetSpec tinySpec() {
+  FleetSpec F;
+  F.Models = {"ocelot"};
+  F.Benchmarks = {"photo"};
+  F.Energies = {EnergyConfig()};
+  F.Seeds = {5, 6, 7, 8};
+  F.TauBudget = 60000;
+  return F;
+}
+
+ShardRunOptions shardOpts(const std::string &Dir, unsigned Shard,
+                          unsigned Count, SinkFormat Format) {
+  ShardRunOptions O;
+  O.OutDir = Dir;
+  O.Shard = Shard;
+  O.ShardCount = Count;
+  O.Format = Format;
+  O.Quiet = true;
+  return O;
+}
+
+// -- ShardPlan --------------------------------------------------------------
+
+TEST(ShardPlan, PartitionsContiguouslyAndBalanced) {
+  for (size_t Cells : {size_t(0), size_t(1), size_t(5), size_t(24),
+                       size_t(97), size_t(10000)}) {
+    for (unsigned Shards : {1u, 2u, 3u, 4u, 7u, 13u}) {
+      ShardPlan Plan(Cells, Shards);
+      size_t Expect = 0;
+      size_t Lo = Cells / Shards, Hi = Lo + (Cells % Shards ? 1 : 0);
+      for (unsigned S = 0; S < Shards; ++S) {
+        ShardRange R = Plan.range(S);
+        EXPECT_EQ(R.Begin, Expect) << Cells << "/" << Shards << " @" << S;
+        EXPECT_GE(R.size(), std::min(Lo, Hi));
+        EXPECT_LE(R.size(), Hi);
+        Expect = R.End;
+      }
+      EXPECT_EQ(Expect, Cells);
+    }
+  }
+}
+
+TEST(ShardPlan, ParseShardSpecAcceptsAndRejects) {
+  unsigned S = 99, K = 99;
+  std::string Err;
+  EXPECT_TRUE(parseShardSpec("0/1", S, K, Err));
+  EXPECT_EQ(S, 0u);
+  EXPECT_EQ(K, 1u);
+  EXPECT_TRUE(parseShardSpec("3/4", S, K, Err));
+  EXPECT_EQ(S, 3u);
+  EXPECT_EQ(K, 4u);
+  for (const char *Bad : {"", "3", "a/b", "4/4", "5/4", "-1/4", "2/0",
+                          "1/2x"}) {
+    EXPECT_FALSE(parseShardSpec(Bad, S, K, Err)) << Bad;
+    EXPECT_NE(Err.find("bad shard spec"), std::string::npos) << Err;
+  }
+}
+
+// -- Sink round-trips -------------------------------------------------------
+
+std::vector<CellRecord> trickyRecords() {
+  std::vector<CellRecord> Rs;
+  CellRecord A;
+  A.Cell = 12345;
+  A.Result.Model = 1;
+  A.Result.Bench = 2;
+  A.Result.Energy = 3;
+  A.Result.Power = 4;
+  A.Result.Scenario = 5;
+  A.Result.Seed = 6;
+  A.Result.Metrics.OnCyclesPerRun = 1.0 / 3.0;
+  A.Result.Metrics.OffCyclesPerRun = 0.1;
+  A.Result.Metrics.RebootsPerRun = 16285.714285714286;
+  A.Result.Metrics.CompletedRuns = 18446744073709551615ull;
+  A.Result.Metrics.ViolatingRuns = 7;
+  A.Result.Metrics.Starved = true;
+  Rs.push_back(A);
+
+  CellRecord B;
+  B.Cell = 0;
+  B.Result.Metrics.OnCyclesPerRun = 1e300;
+  B.Result.Metrics.OffCyclesPerRun = 5e-324; // Denormal min.
+  B.Result.Metrics.RebootsPerRun = -0.0;
+  B.Result.Metrics.Trapped = true;
+  B.Result.Metrics.Trap = "he said \"boo\", twice\nand a\ttab\r\\done";
+  Rs.push_back(B);
+  return Rs;
+}
+
+class SinkRoundTrip : public ::testing::TestWithParam<SinkFormat> {};
+
+TEST_P(SinkRoundTrip, EveryFieldSurvivesAndReEmitsByteIdentical) {
+  SinkFormat Format = GetParam();
+  std::string Path = ::testing::TempDir() + "roundtrip-" +
+                     std::to_string(::getpid()) + "." +
+                     sinkFormatExtension(Format);
+  std::string Err;
+  auto Sink = openResultSink(Path, Format, -1, Err);
+  ASSERT_TRUE(Sink) << Err;
+  std::vector<CellRecord> Want = trickyRecords();
+  for (const CellRecord &R : Want)
+    Sink->append(R);
+  ASSERT_TRUE(Sink->flush(Err)) << Err;
+  Sink.reset();
+
+  std::vector<CellRecord> Got;
+  ASSERT_TRUE(readResultFile(Path, Format, Got, Err)) << Err;
+  ASSERT_EQ(Got.size(), Want.size());
+  std::string ReEmitted =
+      Format == SinkFormat::Csv ? csvHeaderLine() : std::string();
+  for (size_t I = 0; I < Want.size(); ++I) {
+    const SweepCellResult &W = Want[I].Result, &G = Got[I].Result;
+    EXPECT_EQ(Got[I].Cell, Want[I].Cell);
+    EXPECT_EQ(G.Model, W.Model);
+    EXPECT_EQ(G.Bench, W.Bench);
+    EXPECT_EQ(G.Energy, W.Energy);
+    EXPECT_EQ(G.Power, W.Power);
+    EXPECT_EQ(G.Scenario, W.Scenario);
+    EXPECT_EQ(G.Seed, W.Seed);
+    EXPECT_EQ(G.Metrics.CompletedRuns, W.Metrics.CompletedRuns);
+    EXPECT_EQ(G.Metrics.ViolatingRuns, W.Metrics.ViolatingRuns);
+    // Bitwise, not approximate: %.17g must round-trip exactly.
+    EXPECT_EQ(G.Metrics.OnCyclesPerRun, W.Metrics.OnCyclesPerRun);
+    EXPECT_EQ(G.Metrics.OffCyclesPerRun, W.Metrics.OffCyclesPerRun);
+    EXPECT_EQ(G.Metrics.RebootsPerRun, W.Metrics.RebootsPerRun);
+    EXPECT_EQ(G.Metrics.Starved, W.Metrics.Starved);
+    EXPECT_EQ(G.Metrics.Trapped, W.Metrics.Trapped);
+    EXPECT_EQ(G.Metrics.Trap, W.Metrics.Trap);
+    ReEmitted += formatCellRecord(Got[I], Format);
+  }
+  EXPECT_EQ(ReEmitted, slurp(Path));
+  std::remove(Path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SinkRoundTrip,
+                         ::testing::Values(SinkFormat::Jsonl,
+                                           SinkFormat::Csv));
+
+TEST(ResultSink, ReaderRejectsGarbageWithLineNumbers) {
+  std::string Path = ::testing::TempDir() + "garbage.jsonl";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << formatCellRecord(CellRecord{}, SinkFormat::Jsonl);
+    Out << "{\"cell\": 1, \"model\":\n"; // Torn mid-record.
+  }
+  std::vector<CellRecord> Got;
+  std::string Err;
+  EXPECT_FALSE(readResultFile(Path, SinkFormat::Jsonl, Got, Err));
+  EXPECT_NE(Err.find(":2:"), std::string::npos) << Err;
+  std::remove(Path.c_str());
+}
+
+// -- Determinism spine ------------------------------------------------------
+
+class FleetDeterminism : public ::testing::TestWithParam<SinkFormat> {};
+
+TEST_P(FleetDeterminism, ShardsPlusMergeMatchSequentialBitwise) {
+  SinkFormat Format = GetParam();
+  FleetSpec Fleet = wideSpec();
+  std::string Seq = freshDir(std::string("seq") + sinkFormatExtension(Format));
+  std::string Par = freshDir(std::string("par") + sinkFormatExtension(Format));
+  std::string Err;
+  ShardOutcome Outcome;
+
+  ASSERT_TRUE(runShard(Fleet, shardOpts(Seq, 0, 1, Format), Outcome, Err))
+      << Err;
+  EXPECT_EQ(Outcome, ShardOutcome::Complete);
+
+  for (unsigned S = 0; S < 3; ++S) {
+    ShardRunOptions O = shardOpts(Par, S, 3, Format);
+    // Mixed worker counts: emission order must not depend on scheduling.
+    O.Workers = 1 + S;
+    ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+    EXPECT_EQ(Outcome, ShardOutcome::Complete);
+  }
+
+  MergeOptions M;
+  M.OutDir = Par;
+  M.ShardCount = 3;
+  M.Format = Format;
+  MergeSummary Summary;
+  ASSERT_TRUE(mergeShards(Fleet, M, Summary, Err)) << Err;
+
+  SweepSpec Spec;
+  ASSERT_TRUE(Fleet.resolve(Spec, Err)) << Err;
+  EXPECT_EQ(Summary.Cells, Spec.cellCount());
+  // cem under quake-bursts wedges the simulated device — the sweep
+  // carries trapped cells through serialization and merge.
+  EXPECT_GT(Summary.TrappedCells, 0u);
+
+  std::string SeqBytes =
+      slurp(shardResultPath(shardOpts(Seq, 0, 1, Format)));
+  EXPECT_FALSE(SeqBytes.empty());
+  EXPECT_EQ(SeqBytes,
+            slurp(Par + "/merged." + sinkFormatExtension(Format)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FleetDeterminism,
+                         ::testing::Values(SinkFormat::Jsonl,
+                                           SinkFormat::Csv));
+
+TEST(FleetResume, KilledShardResumesOverTornTailBitIdentical) {
+  FleetSpec Fleet = tinySpec();
+  std::string Gold = freshDir("gold");
+  std::string Cut = freshDir("cut");
+  std::string Err;
+  ShardOutcome Outcome;
+
+  ASSERT_TRUE(
+      runShard(Fleet, shardOpts(Gold, 0, 1, SinkFormat::Jsonl), Outcome, Err))
+      << Err;
+
+  // First invocation stops after 2 of 4 cells...
+  ShardRunOptions O = shardOpts(Cut, 0, 1, SinkFormat::Jsonl);
+  O.MaxCells = 2;
+  ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+  EXPECT_EQ(Outcome, ShardOutcome::Interrupted);
+
+  // ...dies mid-write (torn, unflushed tail past the durable offset)...
+  std::string SinkPath = shardResultPath(O);
+  {
+    std::ofstream Tail(SinkPath, std::ios::binary | std::ios::app);
+    Tail << "{\"cell\": 2, \"model\": 0, \"ben";
+  }
+
+  // ...and the resume truncates the tail, recomputes, and completes.
+  O.MaxCells = 0;
+  ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+  EXPECT_EQ(Outcome, ShardOutcome::Complete);
+
+  EXPECT_EQ(slurp(shardResultPath(shardOpts(Gold, 0, 1, SinkFormat::Jsonl))),
+            slurp(SinkPath));
+}
+
+TEST(FleetResume, SinkAheadOfStaleManifestIsRolledBack) {
+  FleetSpec Fleet = tinySpec();
+  std::string Gold = freshDir("gold2");
+  std::string Cut = freshDir("cut2");
+  std::string Err;
+  ShardOutcome Outcome;
+
+  ASSERT_TRUE(
+      runShard(Fleet, shardOpts(Gold, 0, 1, SinkFormat::Jsonl), Outcome, Err))
+      << Err;
+
+  ShardRunOptions O = shardOpts(Cut, 0, 1, SinkFormat::Jsonl);
+  O.MaxCells = 2;
+  ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+
+  // A *complete* extra line the manifest never admitted (flushed sink,
+  // crash before the manifest advanced). Resume must discard and
+  // recompute it — deterministically reproducing the same bytes.
+  std::string GoldBytes =
+      slurp(shardResultPath(shardOpts(Gold, 0, 1, SinkFormat::Jsonl)));
+  size_t Nl = 0;
+  for (int Lines = 0; Lines < 3; ++Lines)
+    Nl = GoldBytes.find('\n', Nl) + 1;
+  {
+    std::ofstream Tail(shardResultPath(O), std::ios::binary | std::ios::app);
+    size_t ThirdLine = GoldBytes.rfind('\n', Nl - 2) + 1;
+    Tail << GoldBytes.substr(ThirdLine, Nl - ThirdLine);
+  }
+
+  O.MaxCells = 0;
+  ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+  EXPECT_EQ(Outcome, ShardOutcome::Complete);
+  EXPECT_EQ(GoldBytes, slurp(shardResultPath(O)));
+}
+
+// -- Error paths ------------------------------------------------------------
+
+TEST(FleetErrors, ResumeUnderDifferentSpecIsRejected) {
+  FleetSpec Fleet = tinySpec();
+  std::string Dir = freshDir("hashmismatch");
+  std::string Err;
+  ShardOutcome Outcome;
+  ShardRunOptions O = shardOpts(Dir, 0, 1, SinkFormat::Jsonl);
+  O.MaxCells = 1;
+  ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+
+  Fleet.Seeds = {123};
+  EXPECT_FALSE(runShard(Fleet, O, Outcome, Err));
+  EXPECT_NE(Err.find("different sweep"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("spec hash"), std::string::npos) << Err;
+}
+
+TEST(FleetErrors, CorruptManifestIsDetectedNotTrusted) {
+  FleetSpec Fleet = tinySpec();
+  std::string Dir = freshDir("corrupt");
+  std::string Err;
+  ShardOutcome Outcome;
+  ShardRunOptions O = shardOpts(Dir, 0, 1, SinkFormat::Jsonl);
+  O.MaxCells = 1;
+  ASSERT_TRUE(runShard(Fleet, O, Outcome, Err)) << Err;
+
+  std::string Path = shardManifestPath(O);
+  std::string Bytes = slurp(Path);
+  Bytes[Bytes.find("cells ") + 6] ^= 1; // Flip a digit, keep the checksum.
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Bytes;
+  }
+  ShardManifest M;
+  EXPECT_FALSE(loadShardManifest(Path, M, Err));
+  EXPECT_NE(Err.find("corrupt manifest"), std::string::npos) << Err;
+  EXPECT_FALSE(runShard(Fleet, O, Outcome, Err));
+  EXPECT_NE(Err.find("corrupt manifest"), std::string::npos) << Err;
+}
+
+TEST(FleetErrors, MergeNamesTheIncompleteShardAndItsResumeCommand) {
+  FleetSpec Fleet = tinySpec();
+  std::string Dir = freshDir("incomplete");
+  std::string Err;
+  ShardOutcome Outcome;
+
+  ShardRunOptions O0 = shardOpts(Dir, 0, 2, SinkFormat::Jsonl);
+  O0.MaxCells = 1; // 2 cells in the range: leaves it incomplete.
+  ASSERT_TRUE(runShard(Fleet, O0, Outcome, Err)) << Err;
+  EXPECT_EQ(Outcome, ShardOutcome::Interrupted);
+  ASSERT_TRUE(
+      runShard(Fleet, shardOpts(Dir, 1, 2, SinkFormat::Jsonl), Outcome, Err))
+      << Err;
+
+  MergeOptions M;
+  M.OutDir = Dir;
+  M.ShardCount = 2;
+  MergeSummary Summary;
+  EXPECT_FALSE(mergeShards(Fleet, M, Summary, Err));
+  EXPECT_NE(Err.find("shard 0/2 is incomplete"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("ocelot-fleet run --shard=0/2"), std::string::npos)
+      << Err;
+}
+
+TEST(FleetErrors, UnresolvableSpecsFailWithActionableMessages) {
+  SweepSpec Spec;
+  std::string Err;
+  FleetSpec F = tinySpec();
+  F.Benchmarks = {"nope"};
+  EXPECT_FALSE(F.resolve(Spec, Err));
+  EXPECT_NE(Err.find("unknown benchmark 'nope'"), std::string::npos) << Err;
+
+  F = tinySpec();
+  F.Models = {"llvm"};
+  EXPECT_FALSE(F.resolve(Spec, Err));
+  EXPECT_NE(Err.find("unknown model 'llvm'"), std::string::npos) << Err;
+
+  F = tinySpec();
+  F.TauBudget = 0;
+  EXPECT_FALSE(F.resolve(Spec, Err));
+  EXPECT_NE(Err.find("--tau"), std::string::npos) << Err;
+
+  F = tinySpec();
+  F.Powers = {"mystery"};
+  EXPECT_FALSE(F.resolve(Spec, Err));
+  EXPECT_NE(Err.find("bad power 'mystery'"), std::string::npos) << Err;
+}
+
+// -- Compiled-artifact cache ------------------------------------------------
+
+const char *CacheSrc = R"(
+io tmp;
+
+fn main() {
+  let x = tmp();
+  Fresh(x);
+  log(x);
+}
+)";
+
+TEST(ArtifactCache, SecondCompileIsAHitSharingOneArtifact) {
+  Toolchain::clearCache();
+  Toolchain TC;
+  Compilation A = TC.compileCached(CacheSrc);
+  Compilation B = TC.compileCached(CacheSrc);
+  ASSERT_TRUE(A.ok() && B.ok());
+  ToolchainCacheStats St = Toolchain::cacheStats();
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Entries, 1u);
+  // Not merely equal — the same immutable program in memory.
+  EXPECT_EQ(&A.artifact().program(), &B.artifact().program());
+
+  // A different model is a different key.
+  CompileOptions Jit;
+  Jit.Model = ExecModel::JitOnly;
+  Compilation C = TC.compileCached(CacheSrc, Jit);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(Toolchain::cacheStats().Entries, 2u);
+  EXPECT_NE(&C.artifact().program(), &A.artifact().program());
+}
+
+TEST(ArtifactCache, FailuresAreNotCached) {
+  Toolchain::clearCache();
+  Toolchain TC;
+  EXPECT_FALSE(TC.compileCached("fn main() { let x = ; }").ok());
+  EXPECT_FALSE(TC.compileCached("fn main() { let x = ; }").ok());
+  ToolchainCacheStats St = Toolchain::cacheStats();
+  EXPECT_EQ(St.Entries, 0u);
+  EXPECT_EQ(St.Misses, 2u);
+}
+
+TEST(ArtifactCache, ConcurrentMissesConvergeOnOneEntry) {
+  Toolchain::clearCache();
+  const Program *Progs[4] = {};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < 4; ++T)
+    Pool.emplace_back([T, &Progs] {
+      Compilation C = Toolchain().compileCached(CacheSrc);
+      ASSERT_TRUE(C.ok());
+      Progs[T] = &C.artifact().program();
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  EXPECT_EQ(Toolchain::cacheStats().Entries, 1u);
+  // Racing compiles may all run, but every caller got the winning insert.
+  for (int T = 1; T < 4; ++T)
+    EXPECT_EQ(Progs[T], Progs[0]);
+}
+
+// -- Arena pooling ----------------------------------------------------------
+
+TEST(ArenaPool, ReusesBuffersAcrossSimulationsWithoutChangingResults) {
+  const BenchmarkDef *B = findBenchmark("photo");
+  ASSERT_NE(B, nullptr);
+  CompiledBenchmark CB = compileBenchmark(*B, ExecModel::Ocelot);
+
+  auto Pool = std::make_shared<ArenaPool>();
+  IntermittentMetrics Bare, Pooled1, Pooled2;
+  Bare = measureIntermittent(CB, *B, EnergyConfig(), 50000, 7, true);
+  Pooled1 =
+      measureIntermittent(CB, *B, EnergyConfig(), 50000, 7, true, nullptr,
+                          nullptr, Pool);
+  Pooled2 =
+      measureIntermittent(CB, *B, EnergyConfig(), 50000, 7, true, nullptr,
+                          nullptr, Pool);
+
+  // Bitwise identical with and without pooling, and across reuse.
+  for (const IntermittentMetrics *M : {&Pooled1, &Pooled2}) {
+    EXPECT_EQ(M->CompletedRuns, Bare.CompletedRuns);
+    EXPECT_EQ(M->ViolatingRuns, Bare.ViolatingRuns);
+    EXPECT_EQ(M->OnCyclesPerRun, Bare.OnCyclesPerRun);
+    EXPECT_EQ(M->OffCyclesPerRun, Bare.OffCyclesPerRun);
+    EXPECT_EQ(M->RebootsPerRun, Bare.RebootsPerRun);
+    EXPECT_EQ(M->Starved, Bare.Starved);
+    EXPECT_EQ(M->Trapped, Bare.Trapped);
+  }
+
+  ArenaPool::Stats St = Pool->stats();
+  EXPECT_GT(St.Taken, 0u);
+  EXPECT_GT(St.Reused, 0u) << "second cell did not reuse pooled buffers";
+  EXPECT_GT(St.Returned, 0u);
+}
+
+} // namespace

@@ -83,7 +83,9 @@ TEST(SweepRunner, MatchesHandRolledSequentialLoop) {
           IntermittentMetrics Want = measureIntermittent(
               CB, *Spec.Benchmarks[B], Spec.Energies[E], Spec.TauBudget,
               Spec.Seeds[S], Spec.Monitors);
-          const SweepCellResult &Got = Swept[Spec.cellIndex(M, B, E, S)];
+          const SweepCellResult &Got =
+              Swept[Spec.cellIndex({.Model = M, .Bench = B, .Energy = E,
+                                    .Seed = S})];
           EXPECT_EQ(Got.Model, M);
           EXPECT_EQ(Got.Bench, B);
           EXPECT_EQ(Got.Energy, E);
@@ -124,7 +126,7 @@ TEST(SweepRunner, PowerDimensionSweepsAndAttributesCorrectly) {
         compileBenchmark(*Spec.Benchmarks[0], Spec.Models[M]);
     for (size_t P = 0; P < Spec.Powers.size(); ++P)
       for (size_t S = 0; S < Spec.Seeds.size(); ++S) {
-        size_t I = Spec.cellIndex(M, 0, 0, P, S);
+        size_t I = Spec.cellIndex({.Model = M, .Power = P, .Seed = S});
         SweepSpec::CellCoords C = Spec.cellAt(I);
         EXPECT_EQ(C.Model, M);
         EXPECT_EQ(C.Power, P);
@@ -142,8 +144,8 @@ TEST(SweepRunner, PowerDimensionSweepsAndAttributesCorrectly) {
   }
   // The profiles must actually differ observably for the attribution
   // check above to mean anything: legacy-jitter vs rf-office off-times.
-  EXPECT_NE(Parallel[Spec.cellIndex(0, 0, 0, 0, 0)].Metrics.OffCyclesPerRun,
-            Parallel[Spec.cellIndex(0, 0, 0, 2, 0)].Metrics.OffCyclesPerRun);
+  EXPECT_NE(Parallel[Spec.cellIndex({.Power = 0})].Metrics.OffCyclesPerRun,
+            Parallel[Spec.cellIndex({.Power = 2})].Metrics.OffCyclesPerRun);
 }
 
 TEST(SweepRunner, ScenarioDimensionSweepsAndAttributesCorrectly) {
@@ -151,7 +153,7 @@ TEST(SweepRunner, ScenarioDimensionSweepsAndAttributesCorrectly) {
   // scenario dimension between power and seed, the parallel run matches
   // the sequential one bitwise, and every cell's metrics match a
   // hand-rolled measureIntermittent with *that* cell's scenario — i.e.
-  // the 6-arg cellIndex and cellAt stay in sync and no cell reads
+  // cellIndex(CellCoords) and cellAt stay in sync and no cell reads
   // another world's inputs.
   SweepSpec Spec;
   Spec.Benchmarks = {findBenchmark("send_photo")};
@@ -176,7 +178,8 @@ TEST(SweepRunner, ScenarioDimensionSweepsAndAttributesCorrectly) {
   for (size_t P = 0; P < Spec.Powers.size(); ++P)
     for (size_t Sc = 0; Sc < Spec.Scenarios.size(); ++Sc)
       for (size_t S = 0; S < Spec.Seeds.size(); ++S) {
-        size_t I = Spec.cellIndex(0, 0, 0, P, Sc, S);
+        size_t I =
+            Spec.cellIndex({.Power = P, .Scenario = Sc, .Seed = S});
         SweepSpec::CellCoords C = Spec.cellAt(I);
         EXPECT_EQ(C.Power, P);
         EXPECT_EQ(C.Scenario, Sc);
@@ -198,8 +201,28 @@ TEST(SweepRunner, ScenarioDimensionSweepsAndAttributesCorrectly) {
   // The scenarios must differ observably for the attribution check to
   // mean anything: send_photo's conditional send makes its on-time track
   // the input world (frozen steady-lab vs bursty quake-bursts).
-  EXPECT_NE(Parallel[Spec.cellIndex(0, 0, 0, 0, 1, 0)].Metrics.OnCyclesPerRun,
-            Parallel[Spec.cellIndex(0, 0, 0, 0, 2, 0)].Metrics.OnCyclesPerRun);
+  EXPECT_NE(Parallel[Spec.cellIndex({.Scenario = 1})].Metrics.OnCyclesPerRun,
+            Parallel[Spec.cellIndex({.Scenario = 2})].Metrics.OnCyclesPerRun);
+}
+
+TEST(SweepSpec, DeprecatedPositionalCellIndexStillAgrees) {
+  // The positional 6-arg overload survives one more PR as a deprecated
+  // shim over cellIndex(CellCoords); pin that it still computes the same
+  // flat index so out-of-tree callers migrate without silent reshuffles.
+  SweepSpec Spec = smallGrid();
+  Spec.Powers = {nullptr, nullptr};
+  Spec.Scenarios = {nullptr, nullptr, nullptr};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  for (size_t M = 0; M < Spec.Models.size(); ++M)
+    for (size_t B = 0; B < Spec.Benchmarks.size(); ++B)
+      for (size_t E = 0; E < Spec.Energies.size(); ++E)
+        for (size_t P = 0; P < Spec.powerCount(); ++P)
+          for (size_t Sc = 0; Sc < Spec.scenarioCount(); ++Sc)
+            for (size_t S = 0; S < Spec.Seeds.size(); ++S)
+              EXPECT_EQ(Spec.cellIndex(M, B, E, P, Sc, S),
+                        Spec.cellIndex({M, B, E, P, Sc, S}));
+#pragma GCC diagnostic pop
 }
 
 TEST(SweepRunner, DefaultsToHardwareConcurrency) {
@@ -223,7 +246,9 @@ TEST(SweepRunner, OneArtifactBacksManyCells) {
   for (size_t B = 0; B < Spec.Benchmarks.size(); ++B)
     for (size_t E = 0; E < Spec.Energies.size(); ++E)
       for (size_t S = 0; S < Spec.Seeds.size(); ++S)
-        EXPECT_EQ(R[Spec.cellIndex(0, B, E, S)].Metrics.ViolatingRuns, 0u)
+        EXPECT_EQ(R[Spec.cellIndex({.Bench = B, .Energy = E, .Seed = S})]
+                      .Metrics.ViolatingRuns,
+                  0u)
             << Spec.Benchmarks[B]->Name;
 }
 

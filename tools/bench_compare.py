@@ -61,6 +61,32 @@ def main():
                  f"{', '.join(missing)}")
 
     failed = False
+    # Sweep-level throughput gate: the fleet shard's cells/sec relative to
+    # the in-memory runner on the same host and grid. Ratios below the
+    # committed value mean the streaming/checkpoint path got slower.
+    base_sweep = base.get("sweep")
+    cand_sweep = cand.get("sweep")
+    if base_sweep and base.get("mode") != cand.get("mode"):
+        # Smoke-mode cells are far cheaper, which inflates the relative
+        # cost of streaming; the ratio is only comparable like-for-like.
+        print(f"note: sweep gate skipped ({base.get('mode')!r} baseline vs "
+              f"{cand.get('mode')!r} candidate)\n")
+    elif base_sweep:
+        if not cand_sweep:
+            sys.exit("error: candidate report lost the 'sweep' section")
+        committed = base_sweep["fleet_relative"]
+        measured = cand_sweep["fleet_relative"]
+        floor = committed * (1.0 - args.max_regression)
+        status = "ok" if measured >= floor else "REGRESSED"
+        failed |= measured < floor
+        print(f"fleet sweep throughput relative to in-memory runner "
+              f"({cand_sweep['cells']} cells):")
+        print(f"  {'fleet':10s} committed x{committed:.3f}  "
+              f"measured x{measured:.3f}  floor x{floor:.3f}  [{status}]")
+        print(f"  (absolute, not gated: in-memory "
+              f"{cand_sweep['cells_per_sec']:.1f} cells/s, fleet "
+              f"{cand_sweep['fleet_cells_per_sec']:.1f} cells/s)\n")
+
     print(f"geomean speedup over '{base['baseline']}' "
           f"(gate: no engine drops more than "
           f"{args.max_regression:.0%}):")
