@@ -15,6 +15,11 @@
 ///   ocelot-fleet merge [grid flags] --shards=K --out=DIR [--merged=PATH]
 ///       Validate all K shards and write the merged file — byte-identical
 ///       to `run --shard=0/1` over the same grid.
+///   ocelot-fleet status DIR
+///       Render per-shard progress for every shard in DIR: durable cells
+///       from the manifests, live throughput/ETA from the advisory
+///       `.progress` heartbeats. Works on in-flight and completed sweeps
+///       and never touches result bytes.
 ///
 /// Grid flags (shared by all subcommands; the *same* flags must be passed
 /// to every shard and to merge — the spec hash enforces this):
@@ -36,7 +41,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "fleet/FleetRunner.h"
+#include "fleet/ShardProgress.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
@@ -46,6 +53,7 @@
 #include <vector>
 
 #ifndef _WIN32
+#include <dirent.h>
 #include <sys/stat.h>
 #endif
 
@@ -64,6 +72,8 @@ int usage() {
       "        [--max-cells=N] [--quiet]\n"
       "  merge --shards=K --out=DIR       validate + merge all shards\n"
       "        [--format=jsonl|csv] [--merged=PATH]\n"
+      "  status DIR                       per-shard progress of a sweep "
+      "directory\n"
       "grid flags: --benchmarks= --models= --energy=CAP:RES[:RATE:CJ:RJ]\n"
       "            --powers= --scenarios= --seeds= --tau=N --no-monitors\n");
   return 1;
@@ -141,12 +151,119 @@ bool ensureDir(const std::string &Path, std::string &Error) {
   return true;
 }
 
+/// `ocelot-fleet status DIR`: one row per manifest found in DIR. Durable
+/// progress comes from the manifest (the source of truth); rate and ETA
+/// come from the last `.progress` heartbeat when one exists. Needs no
+/// grid flags — everything is read from the shard files themselves.
+int runStatus(const std::string &Dir) {
+#ifdef _WIN32
+  return fail("status is not supported on this platform");
+#else
+  struct Row {
+    unsigned Shard = 0, ShardCount = 1;
+    ShardManifest M;
+    ShardProgress P;
+    bool HaveProgress = false;
+  };
+  std::vector<Row> Rows;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return fail("cannot open directory " + Dir + ": " +
+                std::strerror(errno));
+  while (struct dirent *E = ::readdir(D)) {
+    unsigned Shard, Count;
+    char Tail;
+    // Only `shard-i-of-K.manifest` names; %c rejects longer suffixes.
+    if (std::sscanf(E->d_name, "shard-%u-of-%u.manifes%c", &Shard, &Count,
+                    &Tail) != 3 ||
+        Tail != 't' ||
+        std::strlen(E->d_name) !=
+            static_cast<size_t>(std::snprintf(nullptr, 0,
+                                              "shard-%u-of-%u.manifest",
+                                              Shard, Count)))
+      continue;
+    Row R;
+    R.Shard = Shard;
+    R.ShardCount = Count;
+    std::string Error;
+    if (!loadShardManifest(Dir + "/" + E->d_name, R.M, Error)) {
+      std::fprintf(stderr, "warning: %s\n", Error.c_str());
+      continue;
+    }
+    ShardRunOptions Opts;
+    Opts.OutDir = Dir;
+    Opts.Shard = Shard;
+    Opts.ShardCount = Count;
+    R.HaveProgress = readLastShardProgress(shardProgressPath(Opts), R.P);
+    Rows.push_back(std::move(R));
+  }
+  ::closedir(D);
+  if (Rows.empty())
+    return fail("no shard manifests in " + Dir);
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    return A.ShardCount != B.ShardCount ? A.ShardCount < B.ShardCount
+                                        : A.Shard < B.Shard;
+  });
+
+  std::printf("%-8s %-16s %12s %12s %10s %8s  %s\n", "shard", "cells",
+              "durable", "observed", "cells/s", "eta", "state");
+  size_t TotalCells = 0, TotalDone = 0;
+  unsigned Complete = 0;
+  for (const Row &R : Rows) {
+    size_t Range = R.M.CellsEnd - R.M.CellsBegin;
+    size_t Durable = R.M.CellsNext - R.M.CellsBegin;
+    TotalCells += Range;
+    TotalDone += Durable;
+    Complete += R.M.complete() ? 1 : 0;
+    char Id[32], Cells[48], Dur[32], Obs[32], Rate[32], Eta[32];
+    std::snprintf(Id, sizeof(Id), "%u/%u", R.Shard, R.ShardCount);
+    std::snprintf(Cells, sizeof(Cells), "[%zu, %zu)", R.M.CellsBegin,
+                  R.M.CellsEnd);
+    std::snprintf(Dur, sizeof(Dur), "%zu/%zu", Durable, Range);
+    if (R.HaveProgress) {
+      std::snprintf(Obs, sizeof(Obs), "%zu/%zu", R.P.CellsDone, Range);
+      std::snprintf(Rate, sizeof(Rate), "%.1f", R.P.CellsPerSec);
+      if (R.M.complete() || R.P.done())
+        std::snprintf(Eta, sizeof(Eta), "-");
+      else
+        std::snprintf(Eta, sizeof(Eta), "%.0fs", R.P.EtaSec);
+    } else {
+      std::snprintf(Obs, sizeof(Obs), "-");
+      std::snprintf(Rate, sizeof(Rate), "-");
+      std::snprintf(Eta, sizeof(Eta), "-");
+    }
+    std::printf("%-8s %-16s %12s %12s %10s %8s  %s\n", Id, Cells, Dur, Obs,
+                Rate, Eta, R.M.complete() ? "complete" : "in progress");
+  }
+  std::printf("total: %zu/%zu cells durable, %u/%zu shard(s) complete\n",
+              TotalDone, TotalCells, Complete, Rows.size());
+  // Exit 0 when the sweep is done, 3 while shards remain — scripts can
+  // poll `status` the way they check `run`'s interrupted exit code.
+  return Complete == Rows.size() ? 0 : 3;
+#endif
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
+  if (Cmd == "status") {
+    std::string Dir;
+    for (int I = 2; I < argc; ++I) {
+      std::string Arg = argv[I];
+      if (Arg.rfind("--out=", 0) == 0)
+        Dir = Arg.substr(6);
+      else if (!Arg.empty() && Arg[0] != '-' && Dir.empty())
+        Dir = Arg;
+      else
+        return fail("unknown status argument '" + Arg + "'");
+    }
+    if (Dir.empty())
+      return fail("status needs a sweep directory: ocelot-fleet status DIR");
+    return runStatus(Dir);
+  }
   if (Cmd != "plan" && Cmd != "run" && Cmd != "merge") {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd.c_str());
     return usage();

@@ -6,10 +6,12 @@
 
 #include "fleet/FleetRunner.h"
 
+#include "fleet/ShardProgress.h"
 #include "harness/Experiment.h"
 #include "runtime/ArenaPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <condition_variable>
 #include <cstdio>
@@ -167,6 +169,57 @@ bool ocelot::runShard(const FleetSpec &Fleet, const ShardRunOptions &Opts,
     return Artifacts[pairOf(Spec, Cell) - PairBase];
   };
 
+  // Progress: throttled heartbeats to the advisory `.progress` sidecar
+  // (what `ocelot-fleet status` renders) plus a periodic stderr line.
+  // Both run on the writer thread only, observe wall time only, and never
+  // touch result bytes — a traced, timed, or silent shard emits the same
+  // result file byte for byte.
+  ProgressWriter Progress(shardProgressPath(Opts));
+  const auto WallStart = std::chrono::steady_clock::now();
+  auto LastLine = WallStart;
+  size_t DoneThisRun = 0;
+  auto snapshotProgress = [&]() {
+    auto Now = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(Now - WallStart).count();
+    ShardProgress P;
+    P.Shard = Opts.Shard;
+    P.ShardCount = Opts.ShardCount;
+    P.CellsBegin = Range.Begin;
+    P.CellsEnd = Range.End;
+    P.CellsDone = M.CellsNext - Range.Begin;
+    P.CellsPerSec = Sec > 0 ? static_cast<double>(DoneThisRun) / Sec : 0;
+    P.EtaSec = P.CellsPerSec > 0 ? static_cast<double>(Range.End -
+                                                       M.CellsNext) /
+                                       P.CellsPerSec
+                                 : 0;
+    P.WallMs = static_cast<uint64_t>(Sec * 1000.0);
+    return P;
+  };
+  auto reportProgress = [&](bool Final) {
+    ShardProgress P = snapshotProgress();
+    Progress.heartbeat(P, Final);
+    if (Opts.Quiet)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    if (!Final && Now - LastLine < std::chrono::seconds(1))
+      return;
+    LastLine = Now;
+    std::fprintf(stderr,
+                 "[fleet: shard %u/%u %zu/%zu cells (%.1f%%) %.1f cells/s "
+                 "eta %.0fs]\n",
+                 P.Shard, P.ShardCount, P.CellsDone,
+                 P.CellsEnd - P.CellsBegin,
+                 P.CellsEnd > P.CellsBegin
+                     ? 100.0 * static_cast<double>(P.CellsDone) /
+                           static_cast<double>(P.CellsEnd - P.CellsBegin)
+                     : 100.0,
+                 P.CellsPerSec, P.EtaSec);
+  };
+  // First heartbeat before any cell: an in-flight shard is visible to
+  // `status` the moment it starts (and a resumed shard re-announces its
+  // position).
+  Progress.heartbeat(snapshotProgress(), /*Force=*/true);
+
   // Emit cells strictly in order, checkpointing sink-then-manifest so the
   // manifest never points past durable bytes.
   size_t SinceCheckpoint = 0;
@@ -175,6 +228,7 @@ bool ocelot::runShard(const FleetSpec &Fleet, const ShardRunOptions &Opts,
     Sink->append({Cell, R});
     M.CellsNext = Cell + 1;
     ++SinceCheckpoint;
+    ++DoneThisRun;
     if (SinceCheckpoint >= std::max<size_t>(Opts.CheckpointEvery, 1) ||
         M.CellsNext == End) {
       if (!Sink->flush(Err))
@@ -184,6 +238,7 @@ bool ocelot::runShard(const FleetSpec &Fleet, const ShardRunOptions &Opts,
         return false;
       SinceCheckpoint = 0;
     }
+    reportProgress(/*Final=*/M.CellsNext == End);
     return true;
   };
 

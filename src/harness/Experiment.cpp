@@ -149,7 +149,7 @@ IntermittentMetrics ocelot::measureIntermittent(
 
 double ocelot::pathologicalViolationPct(const CompiledBenchmark &CB,
                                         const BenchmarkDef &B, int Runs,
-                                        uint64_t Seed) {
+                                        uint64_t Seed, TraceSink *Trace) {
   SimulationSpec Spec;
   Spec.Config.Sensors = B.scenario(Seed);
   Spec.Config.Seed = Seed;
@@ -159,6 +159,7 @@ double ocelot::pathologicalViolationPct(const CompiledBenchmark &CB,
   Spec.Config.Plan.setOffTime(20000, 200000);
   Spec.Config.MonitorBitVector = true;
   Spec.Config.MonitorFormal = true;
+  Spec.Config.Telemetry = Trace;
   Simulation Sim(CB.Artifact, std::move(Spec));
 
   int Violating = 0;

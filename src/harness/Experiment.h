@@ -99,10 +99,12 @@ IntermittentMetrics measureIntermittent(
     std::shared_ptr<ArenaPool> Arena = nullptr);
 
 /// Table 2(a): percentage (0–100) of runs violating any policy under
-/// pathological failure injection.
+/// pathological failure injection. \p Trace optionally attaches a
+/// telemetry sink to every run (src/telemetry/TraceSink.h); the returned
+/// percentage is bitwise identical with or without it.
 double pathologicalViolationPct(const CompiledBenchmark &CB,
                                 const BenchmarkDef &B, int Runs,
-                                uint64_t Seed);
+                                uint64_t Seed, TraceSink *Trace = nullptr);
 
 /// True when OCELOT_BENCH_SMOKE is set in the environment (to anything but
 /// "", "0" or "false"): bench binaries shrink their iteration counts /

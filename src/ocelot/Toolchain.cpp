@@ -6,6 +6,9 @@
 
 #include "ocelot/Toolchain.h"
 
+#include "telemetry/MetricsRegistry.h"
+
+#include <chrono>
 #include <mutex>
 #include <unordered_map>
 
@@ -71,9 +74,16 @@ Compilation Toolchain::compile(const SourceRef &Src,
   // The pipeline itself has no shared state: every invocation works on its
   // own DiagnosticEngine and freshly built IR, which is what makes this
   // entry point safe to call from many threads at once.
+  auto Start = std::chrono::steady_clock::now();
   DiagnosticEngine Diags;
   CompileResult R = detail::runCompilePipeline(std::string(Src.Text), Opts,
                                                Diags);
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.add("toolchain.compile.count");
+  M.observe("toolchain.compile.wall_ms", WallMs);
   Compilation C;
   if (!R.Ok) {
     C.S = Status::failure(Diags.diagnostics());
@@ -109,9 +119,11 @@ Compilation Toolchain::compileCached(const SourceRef &Src,
     auto It = Cache.Entries.find(Key);
     if (It != Cache.Entries.end()) {
       ++Cache.Hits;
+      MetricsRegistry::global().add("toolchain.cache.hits");
       return It->second;
     }
     ++Cache.Misses;
+    MetricsRegistry::global().add("toolchain.cache.misses");
   }
 
   // Compile outside the lock: the pipeline is the expensive part, and

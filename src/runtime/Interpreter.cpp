@@ -14,6 +14,7 @@
 #include "runtime/Interpreter.h"
 
 #include "runtime/ArenaPool.h"
+#include "telemetry/TraceSink.h"
 
 #include <cassert>
 
@@ -55,6 +56,7 @@ Interpreter::Interpreter(const Program &P, RunConfig Cfg,
   static const MonitorPlan EmptyPlan;
   Monitor = std::make_unique<ViolationMonitor>(Plan ? *Plan : EmptyPlan,
                                                P.numSensors());
+  Monitor->setTraceSink(this->Cfg.Telemetry);
   if (this->Cfg.Plan.isEnergyDriven())
     Energy = std::make_unique<EnergyModel>(
         this->Cfg.Energy, this->Cfg.Seed ^ 0xe4e4f00dULL, this->Cfg.Power);
@@ -209,6 +211,8 @@ void Interpreter::enterAtomic(const Instruction &I, RunResult &R) {
       }
     }
   }
+  if (TraceSink *T = Cfg.Telemetry)
+    T->regionEnter(Tau, CurrentRegion);
 }
 
 void Interpreter::commitAtomic(RunResult &R) {
@@ -216,6 +220,8 @@ void Interpreter::commitAtomic(RunResult &R) {
     --Natom; // Atom-End-Inner.
     return;
   }
+  if (TraceSink *T = Cfg.Telemetry)
+    T->regionCommit(Tau, CurrentRegion, Undo.size());
   // Atom-End-Outer: effects become visible; pending events commit.
   for (InputEvent &E : PendingInputs)
     Committed.Inputs.push_back(E);
@@ -234,6 +240,8 @@ void Interpreter::rebootCommon(RunResult &R, uint64_t TotalRegs) {
   ++R.Reboots;
   ++Epoch;
   ++Committed.Reboots;
+  if (TraceSink *T = Cfg.Telemetry)
+    T->reboot(Tau, Epoch);
 
   if (ExecMode == Mode::Jit) {
     // JIT-LowPower: the ISR checkpoints volatile state into NVM within the
@@ -244,10 +252,14 @@ void Interpreter::rebootCommon(RunResult &R, uint64_t TotalRegs) {
     LifetimeOn += CkptCost;
     Tau += CkptCost;
     ++R.Checkpoints;
+    if (TraceSink *T = Cfg.Telemetry)
+      T->checkpoint(Tau, TotalRegs);
   }
   // Atom-LowPower: shut down immediately; nothing saved.
 
   uint64_t Off = Energy ? Energy->recharge(Tau) : Cfg.Plan.drawOffTime(Rand);
+  if (TraceSink *T = Cfg.Telemetry)
+    T->energyRecharge(Tau, Off);
   Tau += Off;
   R.OffCycles += Off;
   Monitor->onPowerFailure();
@@ -274,6 +286,8 @@ void Interpreter::powerFail(RunResult &R) {
     PendingOutputs.clear();
     ++R.AtomicAborts;
     ++AbortsThisRegion;
+    if (TraceSink *T = Cfg.Telemetry)
+      T->regionRetry(Tau, CurrentRegion, AbortsThisRegion);
     if (AbortsThisRegion > Cfg.MaxAbortsPerRegion) {
       R.Starved = true;
       Frames.clear();
@@ -563,6 +577,8 @@ RunResult Interpreter::runOnceTree() {
       if (Cfg.TrackTaint)
         Out.Taint.push_back(E);
       Frames.back().Regs[static_cast<size_t>(I->Dst)] = std::move(Out);
+      if (TraceSink *T = Cfg.Telemetry)
+        T->sensorRead(Tau, I->SensorId, V);
       if (Cfg.MonitorBitVector)
         Monitor->onInput(Site, currentChain(I->Label), I->SensorId, Tau);
       if (Cfg.RecordTrace) {

@@ -63,6 +63,8 @@ namespace ocelot {
 
 class ArenaPool;
 class PowerSource;
+class TraceSink;
+struct PcProfile;
 
 /// Which dispatch loop executes the program. All engines implement the
 /// same semantics; Flat and Threaded are strictly accelerations.
@@ -113,6 +115,18 @@ struct RunConfig {
   /// in ExecutableImage's fusion pass was chosen from
   /// (bench/micro_runtime --pairs).
   std::vector<uint64_t> *OpcodePairCounts = nullptr;
+  /// Optional structured run tracing (src/telemetry/TraceSink.h): when
+  /// non-null the engines and the violation monitor record reboot /
+  /// checkpoint / region / monitor / sensor / energy events with τ
+  /// timestamps. Null (the default) costs one predictable branch per hook
+  /// site and nothing on the threaded Hot path (a traced run takes the
+  /// non-Hot loop); results are bitwise identical either way.
+  TraceSink *Telemetry = nullptr;
+  /// Optional per-PC / per-opcode-pair execution profile
+  /// (src/telemetry/Profile.h), filled by the flat and threaded engines.
+  /// Callers size it via PcProfile::prepare(image size, NumOpcodes). Same
+  /// cost discipline as Telemetry; results are unaffected.
+  PcProfile *Profile = nullptr;
 };
 
 /// The outcome of one main() activation.

@@ -22,6 +22,9 @@
 
 #include "runtime/Interpreter.h"
 
+#include "telemetry/Profile.h"
+#include "telemetry/TraceSink.h"
+
 #include <cassert>
 
 using namespace ocelot;
@@ -104,6 +107,8 @@ void Interpreter::enterAtomicFlat(const FlatInst &I, RunResult &R) {
       }
     }
   }
+  if (TraceSink *T = Cfg.Telemetry)
+    T->regionEnter(Tau, CurrentRegion);
 }
 
 void Interpreter::powerFailFlat(RunResult &R) {
@@ -129,6 +134,8 @@ void Interpreter::powerFailFlat(RunResult &R) {
     PendingOutputs.clear();
     ++R.AtomicAborts;
     ++AbortsThisRegion;
+    if (TraceSink *T = Cfg.Telemetry)
+      T->regionRetry(Tau, CurrentRegion, AbortsThisRegion);
     if (AbortsThisRegion > Cfg.MaxAbortsPerRegion) {
       R.Starved = true;
       FFrames.clear();
@@ -184,6 +191,12 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
   const bool BitVector = Cfg.MonitorBitVector;
   const bool Formal = Cfg.MonitorFormal;
   assert((TaintOn || !Formal) && "MonitorFormal implies TrackTaint");
+  // Telemetry/profiling observers: one predictable null test per step
+  // when off; never any effect on results.
+  TraceSink *const Telem = Cfg.Telemetry;
+  PcProfile *const Prof = Cfg.Profile;
+  uint32_t ProfPrevPc = ~0u;
+  uint16_t ProfPrevOp = 0;
 
   // Raw operand payload — the taint-off fast path touches no RtValue.
   auto RawVal = [&](const Operand &O) -> int64_t {
@@ -223,6 +236,11 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
     LifetimeOn += Cost;
     Tau += Cost;
     ++R.Steps;
+    if (Prof) {
+      Prof->step(Pc, static_cast<uint16_t>(FI.Op), ProfPrevPc, ProfPrevOp);
+      ProfPrevPc = Pc;
+      ProfPrevOp = static_cast<uint16_t>(FI.Op);
+    }
 
     const uint32_t RegBase = FFrames.back().RegBase;
 
@@ -470,6 +488,8 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
       } else {
         RegStack[RegBase + static_cast<size_t>(FI.Dst)].V = V;
       }
+      if (Telem)
+        Telem->sensorRead(Tau, FI.SensorId, V);
       if (BitVector)
         Monitor->onInput(Site, currentChainFlat(FI.Func, FI.Label),
                          FI.SensorId, Tau);

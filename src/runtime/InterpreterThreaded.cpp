@@ -40,6 +40,9 @@
 
 #include "runtime/Interpreter.h"
 
+#include "telemetry/Profile.h"
+#include "telemetry/TraceSink.h"
+
 #include <cassert>
 
 using namespace ocelot;
@@ -122,7 +125,7 @@ RunResult Interpreter::runOnceThreaded() {
     return runFlatLoop<true>();
   const bool Hot = Cfg.Plan.kind() == FailurePlan::Kind::None &&
                    Energy == nullptr && !Cfg.MonitorBitVector &&
-                   !Cfg.MonitorFormal;
+                   !Cfg.MonitorFormal && !Cfg.Telemetry && !Cfg.Profile;
   return Hot ? runThreadedLoop<true>() : runThreadedLoop<false>();
 }
 
@@ -161,8 +164,17 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
   [[maybe_unused]] const bool NeedEnergyCheck =
       Energy != nullptr || PlanKind == FailurePlan::Kind::Periodic;
   const bool BitVector = Cfg.MonitorBitVector;
-  assert(!(Hot && (PlanMayFireBefore || NeedEnergyCheck || BitVector)) &&
-         "Hot instantiation requires no plan, no energy, no monitors");
+  // Telemetry/profiling observers: the Hot instantiation excludes them
+  // (runOnceThreaded routes observed runs here as non-Hot), so the Hot
+  // fast path carries not even the null tests.
+  [[maybe_unused]] TraceSink *const Telem = Cfg.Telemetry;
+  [[maybe_unused]] PcProfile *const Prof = Cfg.Profile;
+  [[maybe_unused]] uint32_t ProfPrevPc = ~0u;
+  [[maybe_unused]] uint16_t ProfPrevOp = 0;
+  assert(!(Hot && (PlanMayFireBefore || NeedEnergyCheck || BitVector ||
+                   Telem || Prof)) &&
+         "Hot instantiation requires no plan, no energy, no monitors, no "
+         "telemetry");
 
   // Hot-loop state mirrored into locals (the members stay authoritative
   // for everything out of line): synced out before and back in after
@@ -271,6 +283,12 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
     Tau += Cost;                                                               \
     ++Steps;                                                                   \
     if constexpr (!Hot) {                                                      \
+      if (Prof) {                                                              \
+        Prof->step(Pc, static_cast<uint16_t>(FI->Op), ProfPrevPc,              \
+                   ProfPrevOp);                                                \
+        ProfPrevPc = Pc;                                                       \
+        ProfPrevOp = static_cast<uint16_t>(FI->Op);                            \
+      }                                                                        \
       if (BitVector && FI->HasUseCheck)                                        \
         Monitor->onFreshUse(InstrRef(FI->Func, FI->Label), Tau);               \
     }                                                                          \
@@ -481,6 +499,10 @@ LSwitch:
     E.Epoch = Epoch;
     E.Value = V;
     RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    if constexpr (!Hot) {
+      if (Telem)
+        Telem->sensorRead(Tau, FI->SensorId, V);
+    }
     if (BitVector)
       Monitor->onInput(InstrRef(FI->Func, FI->Label),
                        currentChainFlat(FI->Func, FI->Label), FI->SensorId,
@@ -553,6 +575,8 @@ LSwitch:
   }
 
   OCELOT_CASE(AtomicEnd) : {
+    if constexpr (!Hot)
+      SyncOut(); // commitAtomic's telemetry hook reads the member tau.
     commitAtomic(R);
     goto LTop; // Re-enter through the fully-checked loop head.
   }

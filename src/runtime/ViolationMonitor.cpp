@@ -6,6 +6,8 @@
 
 #include "runtime/ViolationMonitor.h"
 
+#include "telemetry/TraceSink.h"
+
 using namespace ocelot;
 
 const char *ocelot::violationKindName(ViolationRecord::Kind K) {
@@ -36,6 +38,8 @@ void ViolationMonitor::beginRun() {
 void ViolationMonitor::onPowerFailure() { Bits.clear(); }
 
 void ViolationMonitor::record(ViolationRecord R) {
+  if (Sink)
+    Sink->violation(R.Tau, R.Site.Label, R.SetId, violationKindName(R.K));
   if (R.K == ViolationRecord::Kind::FreshBitVec ||
       R.K == ViolationRecord::Kind::FreshFormal) {
     FreshViolated = true;
@@ -55,11 +59,13 @@ void ViolationMonitor::onInput(InstrRef Site, const ProvChain &AbsChain,
   // plan's member chains. Checks run before this operation's bit is set,
   // since members reached through different call sites can share the same
   // static input instruction.
+  bool Checked = false, Failed = false;
   for (size_t SI = 0; SI < Plan.Sets.size(); ++SI) {
     const ConsistentSetPlan &SP = Plan.Sets[SI];
     for (size_t MI = 0; MI < SP.Members.size(); ++MI) {
       if (SP.Members[MI] != AbsChain)
         continue;
+      Checked = true;
       auto &Executed = MemberExecuted[SI];
       // Re-execution of an already-executed member starts a new dynamic
       // activation of the set (Definition 3 scopes consistency to one
@@ -73,6 +79,7 @@ void ViolationMonitor::onInput(InstrRef Site, const ProvChain &AbsChain,
         if (Other == MI || !Executed[Other])
           continue;
         if (!Bits.count(SP.Members[Other].back())) {
+          Failed = true;
           ViolationRecord R;
           R.K = ViolationRecord::Kind::ConsistentBitVec;
           R.Site = Site;
@@ -88,6 +95,8 @@ void ViolationMonitor::onInput(InstrRef Site, const ProvChain &AbsChain,
       Executed[MI] = true;
     }
   }
+  if (Sink && Checked)
+    Sink->monitorCheck(Tau, Site.Label, Failed);
   Bits.insert(Site);
 }
 
@@ -95,8 +104,10 @@ void ViolationMonitor::onFreshUse(InstrRef Site, uint64_t Tau) {
   auto It = Plan.UseChecks.find(Site);
   if (It == Plan.UseChecks.end())
     return;
+  bool Failed = false;
   for (const InstrRef &InputOp : It->second) {
     if (!Bits.count(InputOp)) {
+      Failed = true;
       ViolationRecord R;
       R.K = ViolationRecord::Kind::FreshBitVec;
       R.Site = Site;
@@ -105,16 +116,20 @@ void ViolationMonitor::onFreshUse(InstrRef Site, uint64_t Tau) {
                  std::to_string(InputOp.Label) +
                  "'s bit cleared by a power failure";
       record(std::move(R));
-      return;
+      break;
     }
   }
+  if (Sink)
+    Sink->monitorCheck(Tau, Site.Label, Failed);
 }
 
 void ViolationMonitor::onFreshUseFormal(InstrRef Site,
                                         const std::vector<InputEvent> &Taint,
                                         uint64_t Epoch, uint64_t Tau) {
+  bool Failed = false;
   for (const InputEvent &E : Taint) {
     if (E.Epoch != Epoch) {
+      Failed = true;
       ViolationRecord R;
       R.K = ViolationRecord::Kind::FreshFormal;
       R.Site = Site;
@@ -123,9 +138,11 @@ void ViolationMonitor::onFreshUseFormal(InstrRef Site,
                  std::to_string(E.Epoch) + " but is used in epoch " +
                  std::to_string(Epoch);
       record(std::move(R));
-      return;
+      break;
     }
   }
+  if (Sink)
+    Sink->monitorCheck(Tau, Site.Label, Failed);
 }
 
 void ViolationMonitor::onConsistentMarker(int SetId, uint32_t MarkerLabel,
@@ -164,8 +181,12 @@ void ViolationMonitor::onConsistentMarker(int SetId, uint32_t MarkerLabel,
                    std::to_string(SetEpoch) + " and " +
                    std::to_string(E.Epoch);
         record(std::move(R));
+        if (Sink)
+          Sink->monitorCheck(Tau, MarkerLabel, true);
         return;
       }
     }
   }
+  if (Sink)
+    Sink->monitorCheck(Tau, MarkerLabel, false);
 }

@@ -31,6 +31,8 @@
 
 namespace ocelot {
 
+class TraceSink;
+
 struct ViolationRecord {
   enum class Kind {
     FreshBitVec,
@@ -96,9 +98,16 @@ public:
 
   const MonitorPlan &plan() const { return Plan; }
 
+  /// Attaches a telemetry sink: every check that runs becomes a
+  /// monitor_check event and every recorded violation a violation event
+  /// (src/telemetry/TraceSink.h). Null (the default) detaches; detection
+  /// behavior is identical either way.
+  void setTraceSink(TraceSink *T) { Sink = T; }
+
 private:
   void record(ViolationRecord R);
 
+  TraceSink *Sink = nullptr;
   MonitorPlan Plan;
   /// Non-volatile bit vector: one position per static input operation
   /// (§7.3: "Each sensor operation has a unique position in the bit

@@ -1,0 +1,132 @@
+//===- MetricsRegistry.cpp - Named counters and histograms -----------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/MetricsRegistry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ocelot {
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+void MetricsRegistry::add(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Name] += Delta;
+}
+
+void MetricsRegistry::observe(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Summary &S = Summaries[Name];
+  if (S.Count == 0) {
+    S.Min = S.Max = Value;
+  } else {
+    if (Value < S.Min)
+      S.Min = Value;
+    if (Value > S.Max)
+      S.Max = Value;
+  }
+  ++S.Count;
+  S.Sum += Value;
+}
+
+uint64_t MetricsRegistry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+MetricsRegistry::Summary
+MetricsRegistry::summary(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Summaries.find(Name);
+  return It == Summaries.end() ? Summary{} : It->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Counters.begin(), Counters.end()};
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::Summary>>
+MetricsRegistry::summaries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Summaries.begin(), Summaries.end()};
+}
+
+std::string MetricsRegistry::dumpText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  char Buf[256];
+  for (const auto &[Name, V] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%s %" PRIu64 "\n", Name.c_str(), V);
+    Out += Buf;
+  }
+  for (const auto &[Name, S] : Summaries) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s count=%" PRIu64 " sum=%.6g min=%.6g max=%.6g\n",
+                  Name.c_str(), S.Count, S.Sum, S.Min, S.Max);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::dumpJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"counters\":{";
+  char Buf[256];
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%" PRIu64,
+                  First ? "" : ",", Name.c_str(), V);
+    Out += Buf;
+    First = false;
+  }
+  Out += "},\"summaries\":{";
+  First = true;
+  for (const auto &[Name, S] : Summaries) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\"%s\":{\"count\":%" PRIu64
+                  ",\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g}",
+                  First ? "" : ",", Name.c_str(), S.Count, S.Sum, S.Min,
+                  S.Max);
+    Out += Buf;
+    First = false;
+  }
+  Out += "}}";
+  return Out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+  Summaries.clear();
+}
+
+double peakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Ru;
+  if (getrusage(RUSAGE_SELF, &Ru) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(Ru.ru_maxrss) / (1024.0 * 1024.0); // bytes
+#else
+  return static_cast<double>(Ru.ru_maxrss) / 1024.0; // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
+
+} // namespace ocelot

@@ -31,6 +31,15 @@
 ///                                      per-sensor seeded noise)
 ///   --monitor                          arm both violation detectors
 ///   --seed=S                           simulation seed
+///   --trace-out=FILE                   write a Chrome trace_event JSON
+///                                      timeline of the run (reboots,
+///                                      regions, monitor checks, sensor
+///                                      reads; load in Perfetto /
+///                                      chrome://tracing)
+///   --profile                          after --run, print per-PC and
+///                                      opcode-pair execution counts and
+///                                      how the superinstruction pattern
+///                                      table covers the measured pairs
 ///
 /// Exit status: 0 on success; 1 on compile/check/run failure (including an
 /// unknown --model=, --power= or --sensors= value); for --monitor runs, 2
@@ -43,7 +52,10 @@
 #include "power/PowerProfiles.h"
 #include "runtime/Simulation.h"
 #include "sensors/SensorScenarios.h"
+#include "telemetry/Profile.h"
+#include "telemetry/TraceSink.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -85,7 +97,88 @@ void usage() {
       "               [--emit-ir] [--disasm] [--emit-policies] [--run[=N]]\n"
       "               [--intermittent] [--power=profile|trace.csv]\n"
       "               [--sensors=scenario|trace.csv] [--monitor] "
-      "[--seed=S]\n");
+      "[--seed=S]\n"
+      "               [--trace-out=FILE] [--profile]\n");
+}
+
+/// `--profile` report: per-PC execution counts with disassembly context,
+/// and the PC-adjacent opcode-pair histogram annotated with the current
+/// superinstruction pattern table's coverage — measured data for choosing
+/// the next fusion candidates.
+void printProfile(const CompiledArtifact &A, const PcProfile &Prof) {
+  const ExecutableImage &Img = A.image();
+  const Program &P = A.program();
+  const std::vector<FlatInst> &Code = Img.code();
+
+  std::printf("\nprofile: %llu step(s) over %u PC(s)\n",
+              static_cast<unsigned long long>(Prof.Steps), Img.size());
+
+  std::vector<uint32_t> Pcs;
+  for (uint32_t Pc = 0; Pc < Prof.PcCounts.size(); ++Pc)
+    if (Prof.PcCounts[Pc])
+      Pcs.push_back(Pc);
+  std::sort(Pcs.begin(), Pcs.end(), [&](uint32_t L, uint32_t R) {
+    if (Prof.PcCounts[L] != Prof.PcCounts[R])
+      return Prof.PcCounts[L] > Prof.PcCounts[R];
+    return L < R;
+  });
+  size_t TopPcs = std::min<size_t>(Pcs.size(), 20);
+  std::printf("hot PCs (top %zu of %zu executed):\n", TopPcs, Pcs.size());
+  for (size_t I = 0; I < TopPcs; ++I) {
+    uint32_t Pc = Pcs[I];
+    const FlatInst &FI = Code[Pc];
+    ThreadedOp TOp = Img.threadedOps()[Pc];
+    std::string FusedNote;
+    if (TOp >= FirstFusedOp)
+      FusedNote = std::string("  [fused head: ") + threadedOpName(TOp) + "]";
+    std::printf("  pc %5u  %12llu  %-9s %s@%u%s\n", Pc,
+                static_cast<unsigned long long>(Prof.PcCounts[Pc]),
+                opcodeName(FI.Op), P.function(FI.Func)->name().c_str(),
+                FI.Label, FusedNote.c_str());
+  }
+
+  struct PairRow {
+    uint16_t Prev, Cur;
+    uint64_t N;
+  };
+  std::vector<PairRow> Pairs;
+  for (uint16_t Prev = 0; Prev < Prof.NumOpcodes; ++Prev)
+    for (uint16_t Cur = 0; Cur < Prof.NumOpcodes; ++Cur) {
+      uint64_t N = Prof.PairCounts[static_cast<size_t>(Prev) *
+                                       Prof.NumOpcodes +
+                                   Cur];
+      if (N)
+        Pairs.push_back({Prev, Cur, N});
+    }
+  std::sort(Pairs.begin(), Pairs.end(), [](const PairRow &L,
+                                           const PairRow &R) {
+    if (L.N != R.N)
+      return L.N > R.N;
+    if (L.Prev != R.Prev)
+      return L.Prev < R.Prev;
+    return L.Cur < R.Cur;
+  });
+  size_t TopPairs = std::min<size_t>(Pairs.size(), 15);
+  std::printf("hot PC-adjacent opcode pairs (top %zu of %zu; feed for the "
+              "superinstruction table):\n",
+              TopPairs, Pairs.size());
+  for (size_t I = 0; I < TopPairs; ++I) {
+    const PairRow &Row = Pairs[I];
+    std::string Name = std::string(opcodeName(static_cast<Opcode>(Row.Prev))) +
+                       "+" + opcodeName(static_cast<Opcode>(Row.Cur));
+    // A pair is covered when the pattern table has a superinstruction of
+    // exactly this spelling (fused names are "head+tail").
+    bool Covered = false;
+    for (size_t Op = static_cast<size_t>(FirstFusedOp); Op < NumThreadedOps;
+         ++Op)
+      if (Name == threadedOpName(static_cast<ThreadedOp>(Op))) {
+        Covered = true;
+        break;
+      }
+    std::printf("  %-20s %12llu  %s\n", Name.c_str(),
+                static_cast<unsigned long long>(Row.N),
+                Covered ? "[in pattern table]" : "[unfused]");
+  }
 }
 
 } // namespace
@@ -95,7 +188,8 @@ int main(int argc, char **argv) {
   ExecModel Model = ExecModel::Ocelot;
   DispatchEngine Engine = RunConfig().Dispatch;
   bool EmitIr = false, Disasm = false, EmitPolicies = false,
-       Intermittent = false, Monitor = false;
+       Intermittent = false, Monitor = false, Profile = false;
+  std::string TracePath;
   std::shared_ptr<const PowerSource> Power;
   std::shared_ptr<const SensorScenario> Sensors;
   int Runs = 0;
@@ -132,6 +226,10 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--monitor") {
       Monitor = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TracePath = Arg.substr(12);
     } else if (Arg.rfind("--seed=", 0) == 0) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     } else if (Arg.rfind("--dispatch=", 0) == 0) {
@@ -191,9 +289,16 @@ int main(int argc, char **argv) {
   Buf << In.rdbuf();
   std::string Source = Buf.str();
 
+  TraceSink Sink;
+  const bool Tracing = !TracePath.empty();
+
   CompileOptions Opts;
   Opts.Model = Model;
+  if (Tracing)
+    Sink.compileStart(Path);
   Compilation C = Toolchain().compile(Source, Opts);
+  if (Tracing)
+    Sink.compileEnd(Path);
   // Warnings (including checker-mode findings) always print.
   for (const Diagnostic &D : C.status().diagnostics())
     std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
@@ -249,8 +354,26 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (Runs <= 0)
-    return 0;
+  auto WriteTrace = [&]() -> bool {
+    if (!Tracing)
+      return true;
+    std::string Error;
+    if (!Sink.writeChromeJson(TracePath, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "wrote %zu trace event(s) to %s%s\n", Sink.size(),
+                 TracePath.c_str(),
+                 Sink.dropped() ? " (ring overflow dropped oldest)" : "");
+    return true;
+  };
+
+  if (Runs <= 0) {
+    if (Profile)
+      std::fprintf(stderr,
+                   "note: --profile needs --run to collect any data\n");
+    return WriteTrace() ? 0 : 1;
+  }
 
   SimulationSpec Spec;
   Spec.Config.Sensors = Sensors; // Null = seeded noise per sensor.
@@ -264,6 +387,13 @@ int main(int argc, char **argv) {
   if (Monitor) {
     Spec.Config.MonitorBitVector = true;
     Spec.Config.MonitorFormal = true;
+  }
+  if (Tracing)
+    Spec.Config.Telemetry = &Sink;
+  PcProfile Prof;
+  if (Profile) {
+    Prof.prepare(A.image().size(), static_cast<size_t>(NumOpcodes));
+    Spec.Config.Profile = &Prof;
   }
   Simulation Sim(A, std::move(Spec));
   uint64_t Reboots = 0, Violations = 0;
@@ -294,5 +424,9 @@ int main(int argc, char **argv) {
     std::printf(", %llu run(s) with timing violations",
                 static_cast<unsigned long long>(Violations));
   std::printf("\n");
+  if (Profile)
+    printProfile(A, Prof);
+  if (!WriteTrace())
+    return 1;
   return Monitor && Violations ? 2 : 0;
 }

@@ -39,6 +39,7 @@
 
 #include "ocelot/Toolchain.h"
 #include "runtime/Simulation.h"
+#include "telemetry/TraceSink.h"
 
 #include <gtest/gtest.h>
 
@@ -527,13 +528,20 @@ void expectSameResult(const RunResult &Got, const RunResult &Ref,
 
 /// Runs \p Runs activations of \p A under all three engines with identical
 /// configs and compares every activation plus the final device state.
+/// \p Traced attaches a fresh TraceSink per engine and additionally
+/// requires the three exported trace streams to be byte-identical.
 void runThreeWay(const CompiledArtifact &A, const RunConfig &Base,
-                 uint64_t Seed, int Runs, const std::string &What) {
+                 uint64_t Seed, int Runs, const std::string &What,
+                 bool Traced = false) {
+  TraceSink Sinks[3];
+  int NextSink = 0;
   auto mkSim = [&](DispatchEngine E) {
     SimulationSpec Spec;
     Spec.Config = Base;
     Spec.Config.Seed = Seed;
     Spec.Config.Dispatch = E;
+    if (Traced)
+      Spec.Config.Telemetry = &Sinks[NextSink++];
     return Simulation(A, std::move(Spec));
   };
   Simulation Tree = mkSim(DispatchEngine::Tree);
@@ -556,6 +564,13 @@ void runThreeWay(const CompiledArtifact &A, const RunConfig &Base,
   EXPECT_EQ(Threaded.epoch(), Tree.epoch()) << What;
   EXPECT_EQ(Flat.nvmSnapshot(), Tree.nvmSnapshot()) << What;
   EXPECT_EQ(Threaded.nvmSnapshot(), Tree.nvmSnapshot()) << What;
+  if (Traced) {
+    std::string Ref = Sinks[0].exportChromeJson();
+    EXPECT_EQ(Sinks[1].exportChromeJson(), Ref)
+        << What << " [flat trace diverged]";
+    EXPECT_EQ(Sinks[2].exportChromeJson(), Ref)
+        << What << " [threaded trace diverged]";
+  }
 }
 
 TEST(DifferentialFuzz, TreeFlatThreadedAgreeOnRandomPrograms) {
@@ -602,6 +617,12 @@ TEST(DifferentialFuzz, TreeFlatThreadedAgreeOnRandomPrograms) {
       RunConfig Full = Energy;
       Full.MonitorFormal = true;
       runThreeWay(A, Full, GenSeed * 131 + 13, 4, What + "/energy-taint");
+
+      // Same config with telemetry attached: trace hooks must not change
+      // any observable result, and the per-engine trace streams must
+      // match byte for byte.
+      runThreeWay(A, Full, GenSeed * 131 + 13, 4, What + "/energy-traced",
+                  /*Traced=*/true);
     }
   }
   EXPECT_GT(Valid, 0) << "the generator produced no compilable programs";

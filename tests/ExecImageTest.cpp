@@ -37,6 +37,7 @@
 #include "harness/Experiment.h"
 #include "ocelot/Toolchain.h"
 #include "runtime/Simulation.h"
+#include "telemetry/TraceSink.h"
 
 #include <gtest/gtest.h>
 
@@ -248,6 +249,38 @@ TEST(ExecImageDifferentialFocused, HotLoopNoMonitors) {
   for (const char *Name : {"activity", "send_photo"})
     runDifferential(*findBenchmark(Name), ExecModel::JitOnly, 5, Cfg,
                     /*Runs=*/4);
+}
+
+TEST(ExecImageDifferentialFocused, TracedRunsStayPinned) {
+  // Telemetry attached (per-engine sinks): the trace hooks must not
+  // perturb execution — the differential pinning holds with tracing on —
+  // and the three engines' event streams must export identical bytes.
+  const BenchmarkDef &B = *findBenchmark("tire");
+  CompiledBenchmark CB = compileBenchmark(B, ExecModel::Ocelot);
+  TraceSink Sinks[3];
+  const DispatchEngine Engines[3] = {
+      DispatchEngine::Tree, DispatchEngine::Flat, DispatchEngine::Threaded};
+  RunResult Results[3];
+  for (int E = 0; E < 3; ++E) {
+    SimulationSpec Spec;
+    Spec.Config.Plan = FailurePlan::energyDriven();
+    Spec.Config.MonitorBitVector = true;
+    Spec.Config.MonitorFormal = true;
+    Spec.Config.RecordTrace = true;
+    Spec.Config.Sensors = B.scenario(23);
+    Spec.Config.Seed = 23;
+    Spec.Config.Dispatch = Engines[E];
+    Spec.Config.Telemetry = &Sinks[E];
+    Simulation Sim(CB.Artifact, std::move(Spec));
+    for (int Run = 0; Run < 4; ++Run)
+      Results[E] = Sim.runOnce();
+  }
+  expectSameResult(Results[1], Results[0], "traced [flat vs tree]");
+  expectSameResult(Results[2], Results[0], "traced [threaded vs tree]");
+  std::string Ref = Sinks[0].exportChromeJson();
+  EXPECT_GT(Sinks[0].size(), 0u);
+  EXPECT_EQ(Sinks[1].exportChromeJson(), Ref) << "flat trace diverged";
+  EXPECT_EQ(Sinks[2].exportChromeJson(), Ref) << "threaded trace diverged";
 }
 
 TEST(ExecImageDifferentialFocused, TrapsMatch) {

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fleet/FleetRunner.h"
+#include "fleet/ShardProgress.h"
 
 #include "harness/Experiment.h"
 #include "ocelot/Toolchain.h"
@@ -426,6 +427,65 @@ TEST(FleetErrors, UnresolvableSpecsFailWithActionableMessages) {
 }
 
 // -- Compiled-artifact cache ------------------------------------------------
+
+// -- ShardProgress ----------------------------------------------------------
+
+TEST(ShardProgressTest, RunningShardWritesParsableHeartbeats) {
+  std::string Dir = freshDir("progress");
+  FleetSpec F = tinySpec();
+  ShardRunOptions O = shardOpts(Dir, 0, 1, SinkFormat::Jsonl);
+  ShardOutcome Outcome;
+  std::string Error;
+  ASSERT_TRUE(runShard(F, O, Outcome, Error)) << Error;
+
+  ShardProgress P;
+  ASSERT_TRUE(readLastShardProgress(shardProgressPath(O), P));
+  EXPECT_EQ(P.Shard, 0u);
+  EXPECT_EQ(P.ShardCount, 1u);
+  EXPECT_EQ(P.CellsBegin, 0u);
+  EXPECT_EQ(P.CellsEnd, 4u);
+  EXPECT_EQ(P.CellsDone, 4u);
+  EXPECT_TRUE(P.done());
+  EXPECT_GT(P.CellsPerSec, 0.0);
+}
+
+TEST(ShardProgressTest, SidecarNeverChangesResultBytes) {
+  // A shard with heartbeats and one without (sidecar deleted between
+  // runs) must produce identical result files — progress is observability
+  // only.
+  std::string DirA = freshDir("progress-a"), DirB = freshDir("progress-b");
+  FleetSpec F = tinySpec();
+  ShardOutcome Outcome;
+  std::string Error;
+  ShardRunOptions OA = shardOpts(DirA, 0, 1, SinkFormat::Jsonl);
+  ASSERT_TRUE(runShard(F, OA, Outcome, Error)) << Error;
+  ShardRunOptions OB = shardOpts(DirB, 0, 1, SinkFormat::Jsonl);
+  ASSERT_TRUE(runShard(F, OB, Outcome, Error)) << Error;
+  EXPECT_EQ(slurp(shardResultPath(OA)), slurp(shardResultPath(OB)));
+}
+
+TEST(ShardProgressTest, MissingOrGarbageSidecarIsIgnored) {
+  ShardProgress P;
+  EXPECT_FALSE(readLastShardProgress("/nonexistent/progress", P));
+
+  std::string Path = ::testing::TempDir() + "garbage.progress";
+  std::ofstream Out(Path);
+  Out << "not json at all\n{\"shard\": 1}\n";
+  Out.close();
+  EXPECT_FALSE(readLastShardProgress(Path, P));
+
+  // A trailing half-written record parses to the last complete one.
+  std::ofstream App(Path, std::ios::app);
+  App << "{\"shard\": 2, \"of\": 4, \"cells_begin\": 10, \"cells_end\": "
+         "20, \"cells_done\": 15, \"cells_per_sec\": 3.5, \"eta_sec\": "
+         "1.4, \"wall_ms\": 99}\n";
+  App << "{\"shard\": 2, \"of\": 4, \"cells_be"; // torn write, no newline
+  App.close();
+  ASSERT_TRUE(readLastShardProgress(Path, P));
+  EXPECT_EQ(P.CellsDone, 15u);
+  EXPECT_EQ(P.WallMs, 99u);
+  std::remove(Path.c_str());
+}
 
 const char *CacheSrc = R"(
 io tmp;

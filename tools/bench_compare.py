@@ -43,6 +43,10 @@ def main():
                     metavar="FRAC",
                     help="allowed geomean-speedup drop per engine "
                          "(default 0.10 = 10%%)")
+    ap.add_argument("--max-rss-growth", type=float, default=0.50,
+                    metavar="FRAC",
+                    help="allowed fleet-shard peak-RSS growth "
+                         "(default 0.50 = 50%%)")
     args = ap.parse_args()
 
     base = load_report(args.baseline)
@@ -87,6 +91,26 @@ def main():
               f"{cand_sweep['cells_per_sec']:.1f} cells/s, fleet "
               f"{cand_sweep['fleet_cells_per_sec']:.1f} cells/s)\n")
 
+    # Fleet-shard memory gate: peak process RSS after streaming a
+    # many-cell shard. The fleet service promises a bounded footprint, so
+    # RSS growth beyond the margin means per-cell state is accumulating.
+    # Absolute MB is host/allocator-dependent, hence the generous margin.
+    base_rss = (base_sweep or {}).get("peak_rss_mb")
+    cand_rss = (cand_sweep or {}).get("peak_rss_mb")
+    if base_rss and base.get("mode") != cand.get("mode"):
+        print(f"note: shard RSS gate skipped ({base.get('mode')!r} baseline "
+              f"vs {cand.get('mode')!r} candidate)\n")
+    elif base_rss:
+        if not cand_rss:
+            sys.exit("error: candidate report lost 'sweep.peak_rss_mb'")
+        ceiling = base_rss * (1.0 + args.max_rss_growth)
+        status = "ok" if cand_rss <= ceiling else "REGRESSED"
+        failed |= cand_rss > ceiling
+        print(f"fleet shard peak RSS ({cand_sweep['rss_cells']} cells):")
+        print(f"  {'rss':10s} committed {base_rss:.1f} MB  "
+              f"measured {cand_rss:.1f} MB  ceiling {ceiling:.1f} MB  "
+              f"[{status}]\n")
+
     print(f"geomean speedup over '{base['baseline']}' "
           f"(gate: no engine drops more than "
           f"{args.max_regression:.0%}):")
@@ -97,6 +121,18 @@ def main():
         failed |= measured < floor
         print(f"  {engine:10s} committed x{committed:.3f}  "
               f"measured x{measured:.3f}  floor x{floor:.3f}  [{status}]")
+
+    # Toolchain compile cost (diagnostic only: wall time is host speed).
+    cand_compile = cand.get("compile")
+    if cand_compile:
+        print("\ncompile cost (diagnostic only):")
+        for row in cand_compile.get("benchmarks", []):
+            print(f"  {row['name']:12s} {row['wall_ms']:8.2f} ms")
+        cache = cand_compile.get("cache", {})
+        if cache:
+            print(f"  artifact cache: {cache.get('hits', 0)} hit(s), "
+                  f"{cache.get('misses', 0)} miss(es), hit rate "
+                  f"{cache.get('hit_rate', 0):.0%}")
 
     # Per-row detail for diagnosis (not gated: single rows are noisy).
     base_rows = {(r["benchmark"], r["model"]): r for r in base["rows"]}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validator for Chrome trace_event JSON produced by --trace-out.
+
+Checks that the file parses as JSON, is shaped like a trace_event
+container ({"traceEvents": [...]}), that every event carries the
+required fields with sane types, that duration events balance (every
+"B" has a matching "E" per thread), and optionally that specific event
+names are present.
+
+Usage:
+    tools/check_trace.py TRACE.json [--require name ...]
+
+Exit 0 when valid, 1 with a message on stderr otherwise. Stdlib only —
+this runs in CI lanes with no extra packages.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    sys.exit(f"check_trace: {msg}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument("--require", nargs="*", default=[], metavar="NAME",
+                    help="event names that must appear at least once")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{args.trace}: not a trace_event container "
+             "(missing 'traceEvents')")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{args.trace}: 'traceEvents' must be a non-empty array")
+
+    names = set()
+    open_stacks = {}  # tid -> count of unmatched "B" events
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i}: not an object")
+        for key, kind in (("name", str), ("ph", str), ("ts", (int, float)),
+                          ("pid", int), ("tid", int)):
+            if key not in ev:
+                fail(f"event {i}: missing '{key}'")
+            if not isinstance(ev[key], kind):
+                fail(f"event {i}: '{key}' has wrong type "
+                     f"({type(ev[key]).__name__})")
+        if ev["ph"] not in ("B", "E", "i", "I", "M", "X", "C"):
+            fail(f"event {i}: unknown phase {ev['ph']!r}")
+        if ev["ts"] < 0:
+            fail(f"event {i}: negative timestamp")
+        names.add(ev["name"])
+        if ev["ph"] == "B":
+            open_stacks[ev["tid"]] = open_stacks.get(ev["tid"], 0) + 1
+        elif ev["ph"] == "E":
+            depth = open_stacks.get(ev["tid"], 0)
+            if depth == 0:
+                fail(f"event {i}: 'E' with no open 'B' on tid {ev['tid']}")
+            open_stacks[ev["tid"]] = depth - 1
+
+    unbalanced = {tid: n for tid, n in open_stacks.items() if n}
+    if unbalanced:
+        fail(f"unbalanced B/E events per tid: {unbalanced}")
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        fail(f"required event name(s) absent: {', '.join(missing)}; "
+             f"present: {', '.join(sorted(names))}")
+
+    print(f"check_trace: {args.trace} ok — {len(events)} events, "
+          f"{len(names)} distinct names")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

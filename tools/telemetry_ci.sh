@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI smoke for the telemetry subsystem: run the Table 2a benchmark once
+# with --trace-out and once without, byte-compare the two stdouts (the
+# zero-interference invariant: tracing must never change reported
+# results), and validate the emitted Chrome trace — JSON shape, balanced
+# B/E spans, and the event names the run is guaranteed to produce
+# (reboots, atomic regions, monitor checks, sensor reads, compiles).
+#
+# Usage: tools/telemetry_ci.sh PATH/TO/table2a_pathological [TRACE_OUT]
+set -euo pipefail
+
+BENCH=${1:?usage: telemetry_ci.sh PATH/TO/table2a_pathological [TRACE_OUT]}
+TRACE=${2:-table2a_trace.json}
+HERE=$(cd "$(dirname "$0")" && pwd)
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+export OCELOT_BENCH_SMOKE=1
+
+echo "== untraced run (golden stdout) =="
+"$BENCH" > "$WORK/plain.out"
+
+echo "== traced run =="
+"$BENCH" --trace-out="$TRACE" > "$WORK/traced.out"
+
+echo "== stdout must be byte-identical with tracing on =="
+cmp "$WORK/plain.out" "$WORK/traced.out"
+
+echo "== validate the trace =="
+python3 "$HERE/check_trace.py" "$TRACE" \
+  --require reboot region monitor_check sensor_read compile
+
+echo "PASS: traced stdout is byte-identical and $TRACE is a valid" \
+     "Chrome trace"
