@@ -34,7 +34,12 @@
 ///   --no-monitors        disarm the violation detectors
 ///
 /// Run flags: --format=jsonl|csv, --workers=N, --checkpoint-every=N,
-/// --max-cells=N (stop early; exit 3), --quiet.
+/// --max-cells=N (stop early; exit 3), --quiet,
+/// --fusion=off|pairs|chains (threaded-view fusion tier; default chains),
+/// --pgo=FILE (a `--pgo-out` bundle driving superblock-chain selection).
+/// Fusion tier and PGO change per-cell wall time only, never result
+/// bytes, so they are run-local knobs — not part of the spec hash — and
+/// shards of one sweep may legally mix them.
 ///
 /// All bad input exits 1 with a message on stderr; nothing here aborts.
 ///
@@ -42,6 +47,8 @@
 
 #include "fleet/FleetRunner.h"
 #include "fleet/ShardProgress.h"
+#include "harness/Experiment.h"
+#include "telemetry/Profile.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -69,7 +76,8 @@ int usage() {
       "ranges\n"
       "  run   --shard=i/K --out=DIR      evaluate or resume one shard\n"
       "        [--format=jsonl|csv] [--workers=N] [--checkpoint-every=N]\n"
-      "        [--max-cells=N] [--quiet]\n"
+      "        [--max-cells=N] [--quiet] [--fusion=off|pairs|chains]\n"
+      "        [--pgo=FILE]\n"
       "  merge --shards=K --out=DIR       validate + merge all shards\n"
       "        [--format=jsonl|csv] [--merged=PATH]\n"
       "  status DIR                       per-shard progress of a sweep "
@@ -348,6 +356,17 @@ int main(int argc, char **argv) {
       Run.MaxCells = static_cast<size_t>(U);
     } else if (Arg.rfind("--merged=", 0) == 0) {
       Merge.MergedPath = Value("--merged=");
+    } else if (Arg.rfind("--fusion=", 0) == 0) {
+      FusionMode F;
+      if (!parseFusionMode(Value("--fusion="), F))
+        return fail("unknown fusion tier '" + Value("--fusion=") +
+                    "' (valid: off, pairs, chains)");
+      setBenchFusion(F);
+    } else if (Arg.rfind("--pgo=", 0) == 0) {
+      auto Bundle = PgoBundle::load(Value("--pgo="), Error);
+      if (!Bundle)
+        return fail(Error);
+      setBenchPgo(std::move(Bundle));
     } else if (Arg == "--quiet") {
       Run.Quiet = true;
     } else {

@@ -86,17 +86,6 @@ struct SweepSpec {
                Seeds.size() +
            C.Seed;
   }
-  /// Positional spelling, kept only for source compatibility. (The 4- and
-  /// 5-argument overloads that accreted while the grid grew power and
-  /// scenario dimensions are gone — zero-filled CellCoords replaces
-  /// them.)
-  [[deprecated("use cellIndex(CellCoords) — positional indices misread as "
-               "soon as the grid gains a dimension")]]
-  size_t cellIndex(size_t M, size_t B, size_t E, size_t P, size_t Sc,
-                   size_t S) const {
-    return cellIndex(CellCoords{M, B, E, P, Sc, S});
-  }
-
   /// Decodes a flat index back into CellCoords — the inverse of
   /// cellIndex().
   CellCoords cellAt(size_t I) const {

@@ -9,6 +9,7 @@
 #include "telemetry/MetricsRegistry.h"
 
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <unordered_map>
 
@@ -37,10 +38,18 @@ struct ArtifactCache {
 /// can never collide with another source compiled under other options.
 std::string cacheKey(const SourceRef &Src, const CompileOptions &Opts) {
   std::string Key;
-  Key.reserve(Src.Text.size() + 8);
+  Key.reserve(Src.Text.size() + 32);
   Key += static_cast<char>('0' + static_cast<int>(Opts.Model));
   Key += Opts.Verify ? 'v' : '-';
   Key += Opts.SelfCheck ? 's' : '-';
+  Key += static_cast<char>('0' + static_cast<int>(Opts.Fusion));
+  // Bundles are immutable once loaded, so pointer identity is a sound
+  // (conservative) key: re-loading the same file gets a fresh entry, but
+  // one loaded bundle shared across a sweep caches perfectly.
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%p",
+                static_cast<const void *>(Opts.Pgo.get()));
+  Key += Buf;
   Key += '\x1f';
   Key += Src.Text;
   return Key;
@@ -98,8 +107,9 @@ Compilation Toolchain::compile(const SourceRef &Src,
   State->Monitor = std::move(R.Monitor);
   // Precompute the flat execution form once; every Simulation built from
   // this artifact shares it read-only.
-  State->Image =
-      ExecutableImage::build(*State->Prog, &State->Regions, &State->Monitor);
+  State->Image = ExecutableImage::build(*State->Prog, &State->Regions,
+                                        &State->Monitor, Opts.Fusion,
+                                        Opts.Pgo.get());
   State->Effort = R.Effort;
   State->Model = Opts.Model;
   State->PlacementValid = R.PlacementValid;

@@ -9,7 +9,9 @@
 /// (with a portable switch fallback when the compiler lacks the labels-as-
 /// values extension) over the image's ThreadedOp view, in which the
 /// build-time peephole pass fused hot adjacent opcode pairs into
-/// superinstructions (ExecutableImage::buildThreadedView).
+/// superinstructions and the superblock pass fused straight-line runs of
+/// 3-6 instructions into variable-length chains
+/// (ExecutableImage::buildThreadedView).
 ///
 /// Like the flat engine it accelerates, every rule here must mirror the
 /// tree engine exactly — same cost charging, same RNG draw sequence, same
@@ -28,6 +30,17 @@
 ///  * Fusion never spans a leader (block start or post-call resume
 ///    point), so every branch, return and region re-entry lands on a
 ///    plain code.
+///
+/// Chains extend the same contract to 3-6 slots: every slot runs the full
+/// step header (a power failure can strike between any two slots, and the
+/// interrupted PC's plain code resumes it), only the final slot may
+/// branch, and region bounds are never inside a chain. What chains add
+/// over pairs is *in-chain register caching*: the run's most recent
+/// destination register is mirrored in a local, so an accumulator-style
+/// run reads its flowing value without round-tripping the register file.
+/// The register file is still written at every slot — the cache elides
+/// reads only — which is exactly what makes mid-chain resume sound: the
+/// architectural state a reboot sees is always complete.
 ///
 /// The loop is only ever instantiated taint-off; runOnceThreaded routes
 /// taint-tracking configs to the flat loop's taint instantiation, where
@@ -184,27 +197,62 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
   uint64_t Tau = this->Tau;
   uint64_t LifetimeOn = this->LifetimeOn;
   uint64_t OnCycles = R.OnCycles;
+  // In the Hot instantiation every charge lands on OnCycles, Tau and
+  // LifetimeOn alike (step costs and undo-log entries; there is no energy
+  // model or failure plan to diverge them), so the loop keeps only
+  // OnCycles as a running counter and derives the other two on demand
+  // from their entry offsets — two fewer adds on every step. The offsets
+  // are wrap-exact: (Tau - OnCycles) + OnCycles == Tau in uint64 even
+  // when the subtraction wraps. Non-Hot keeps all three live (plans and
+  // energy accounting read and reset them mid-run).
+  uint64_t TauMinusOn = Tau - OnCycles;
+  uint64_t LifeMinusOn = LifetimeOn - OnCycles;
   uint64_t Steps = R.Steps;
   uint32_t RegBase = FFrames.back().RegBase;
+  // Current frame's register window. Every operand access previously went
+  // through RegStack[RegBase + i] — re-loading the vector's data pointer
+  // from memory each time, since the compiler must assume any opaque call
+  // clobbers it. Hoisting the window into a local pointer drops a load
+  // and an add from every register read and write; the refresh points are
+  // exactly where the window can move: Call/Ret (resize + base change),
+  // and SyncIn (a power-failure restore replaces the stack wholesale).
+  RtValue *Regs = RegStack.data() + RegBase;
   const uint64_t MaxOnCycles = Cfg.MaxOnCyclesPerRun;
+  // Headroom for the Hot batched chain prologue's budget guard: besides
+  // the pre-summed base costs, each chained store can add at most one
+  // undo-log charge, and a chain has at most MaxChainLen slots. A chain
+  // whose worst case could cross the budget re-runs per-slot instead.
+  [[maybe_unused]] const uint64_t ChainSlack =
+      static_cast<uint64_t>(MaxChainLen) * Cfg.Costs.UndoLogEntryCost;
   const FlatInst *FI = Code + Pc;
   [[maybe_unused]] ThreadedOp TOp = ThreadedOp::Nop;
   uint64_t Cost = 0;
 
   auto SyncOut = [&] {
     this->Pc = Pc;
-    this->Tau = Tau;
-    this->LifetimeOn = LifetimeOn;
+    if constexpr (Hot) {
+      this->Tau = TauMinusOn + OnCycles;
+      this->LifetimeOn = LifeMinusOn + OnCycles;
+    } else {
+      this->Tau = Tau;
+      this->LifetimeOn = LifetimeOn;
+    }
     R.OnCycles = OnCycles;
     R.Steps = Steps;
   };
   auto SyncIn = [&] {
     Pc = this->Pc;
-    Tau = this->Tau;
-    LifetimeOn = this->LifetimeOn;
     OnCycles = R.OnCycles;
+    if constexpr (Hot) {
+      TauMinusOn = this->Tau - OnCycles;
+      LifeMinusOn = this->LifetimeOn - OnCycles;
+    } else {
+      Tau = this->Tau;
+      LifetimeOn = this->LifetimeOn;
+    }
     Steps = R.Steps;
     RegBase = FFrames.empty() ? 0 : FFrames.back().RegBase;
+    Regs = RegStack.data() + RegBase;
   };
 
   // Raw operand payload — mirrors the flat loop's taint-off RawVal.
@@ -212,7 +260,7 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
     if (O.isImm())
       return O.Imm;
     if (O.isReg())
-      return RegStack[RegBase + static_cast<size_t>(O.Reg)].V;
+      return Regs[O.Reg].V;
     return evalKindless().V;
   };
 
@@ -223,8 +271,10 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
       if (Undo.logIfFirst(G, Index, nvmCell(G, Index))) {
         ++R.UndoLogEntries;
         OnCycles += Cfg.Costs.UndoLogEntryCost;
-        LifetimeOn += Cfg.Costs.UndoLogEntryCost;
-        Tau += Cfg.Costs.UndoLogEntryCost;
+        if constexpr (!Hot) {
+          LifetimeOn += Cfg.Costs.UndoLogEntryCost;
+          Tau += Cfg.Costs.UndoLogEntryCost;
+        }
       }
     }
     nvmCell(G, Index).V = V;
@@ -237,6 +287,11 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
   auto BoundsTrap = [&](const FlatInst &I) {
     R.Trap = "array index out of bounds in " + P.function(I.Func)->name();
   };
+
+// Current simulated time, valid in both instantiations: the Hot loop
+// only advances OnCycles (see the locals above), so tau is its entry
+// offset plus the counter; the non-Hot loop keeps Tau itself live.
+#define OCELOT_TAU() (Hot ? TauMinusOn + OnCycles : Tau)
 
 // One instruction's step header, identical to one flat-loop iteration
 // header: budget check, failure injection, energy draw, cost/tau/step
@@ -279,8 +334,69 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
       ConsecutiveFailures = 0;                                                 \
     }                                                                          \
     OnCycles += Cost;                                                          \
-    LifetimeOn += Cost;                                                        \
-    Tau += Cost;                                                               \
+    if constexpr (!Hot) {                                                      \
+      LifetimeOn += Cost;                                                      \
+      Tau += Cost;                                                             \
+    }                                                                          \
+    ++Steps;                                                                   \
+    if constexpr (!Hot) {                                                      \
+      if (Prof) {                                                              \
+        Prof->step(Pc, static_cast<uint16_t>(FI->Op), ProfPrevPc,              \
+                   ProfPrevOp);                                                \
+        ProfPrevPc = Pc;                                                       \
+        ProfPrevOp = static_cast<uint16_t>(FI->Op);                            \
+      }                                                                        \
+      if (BitVector && FI->HasUseCheck)                                        \
+        Monitor->onFreshUse(InstrRef(FI->Func, FI->Label), Tau);               \
+    }                                                                          \
+    ++Pc; /* Advance before executing (branches overwrite). */                 \
+  } while (0)
+
+// One chain slot's step header: OCELOT_STEP minus the dispatch-code load
+// (a chain handler already knows what each slot executes; the TOps entry
+// is only needed again when the chain ends and control re-dispatches).
+// Keeping the full failure/energy/monitor ladder per slot is what lets a
+// power failure strike between any two chain slots and resume at the
+// interrupted PC's plain code.
+#define OCELOT_CHAIN_STEP()                                                    \
+  do {                                                                         \
+    if (OnCycles > MaxOnCycles) {                                              \
+      R.Trap = "on-cycle budget exceeded";                                     \
+      goto LDone;                                                              \
+    }                                                                          \
+    FI = Code + Pc;                                                            \
+    if constexpr (!Hot) {                                                      \
+      if (PlanMayFireBefore &&                                                 \
+          Cfg.Plan.firesBefore(InstrRef(FI->Func, FI->Label), Rand)) {         \
+        SyncOut();                                                             \
+        powerFailFlat(R);                                                      \
+        SyncIn();                                                              \
+        goto LTop;                                                             \
+      }                                                                        \
+    }                                                                          \
+    Cost = Costs[Pc];                                                          \
+    if constexpr (!Hot) {                                                      \
+      if (NeedEnergyCheck) {                                                   \
+        this->LifetimeOn = LifetimeOn; /* periodic plans arm against it */     \
+        if (checkEnergyAndPlan(Cost)) {                                        \
+          ++ConsecutiveFailures;                                               \
+          if (ConsecutiveFailures > Cfg.MaxAbortsPerRegion) {                  \
+            R.Starved = true;                                                  \
+            goto LDone;                                                        \
+          }                                                                    \
+          SyncOut();                                                           \
+          powerFailFlat(R);                                                    \
+          SyncIn();                                                            \
+          goto LTop;                                                           \
+        }                                                                      \
+      }                                                                        \
+      ConsecutiveFailures = 0;                                                 \
+    }                                                                          \
+    OnCycles += Cost;                                                          \
+    if constexpr (!Hot) {                                                      \
+      LifetimeOn += Cost;                                                      \
+      Tau += Cost;                                                             \
+    }                                                                          \
     ++Steps;                                                                   \
     if constexpr (!Hot) {                                                      \
       if (Prof) {                                                              \
@@ -363,7 +479,10 @@ template <bool Hot> RunResult Interpreter::runThreadedLoop() {
       &&LOp_FuseLoadGStoreG, &&LOp_FuseMovBin, &&LOp_FuseBinMov,
       &&LOp_FuseMovBr,     &&LOp_FuseBinBin,   &&LOp_FuseMovLoadA,
       &&LOp_FuseBinLoadA,  &&LOp_FuseLoadALoadA, &&LOp_FuseMovConsistent,
-      &&LOp_FuseConsistentBin};
+      &&LOp_FuseConsistentBin, &&LOp_FuseInputMov, &&LOp_FuseMovInput,
+      &&LOp_FuseConsistentInput, &&LOp_FuseMovMov,
+      &&LOp_FuseFreshConsistent, &&LOp_Chain3,   &&LOp_Chain4,
+      &&LOp_Chain5,        &&LOp_Chain6};
   static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) == NumThreadedOps,
                 "jump table must cover every ThreadedOp");
 #define OCELOT_CASE(name) LOp_##name
@@ -389,12 +508,12 @@ LSwitch:
 #endif
 
   OCELOT_CASE(Const) : {
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = FI->A.Imm;
+    Regs[FI->Dst].V = FI->A.Imm;
     OCELOT_NEXT_NOCHECK();
   }
 
   OCELOT_CASE(Mov) : {
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = RawVal(FI->A);
+    Regs[FI->Dst].V = RawVal(FI->A);
     OCELOT_NEXT(*FI);
   }
 
@@ -412,7 +531,7 @@ LSwitch:
       V = AV == 0 ? 1 : 0;
       break;
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
   }
 
@@ -424,12 +543,12 @@ LSwitch:
       DivZeroTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
   }
 
   OCELOT_CASE(LoadG) : {
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V =
+    Regs[FI->Dst].V =
         nvmCell(FI->GlobalId, 0).V;
     OCELOT_NEXT_NOCHECK();
   }
@@ -446,7 +565,7 @@ LSwitch:
       BoundsTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V =
+    Regs[FI->Dst].V =
         nvmCell(FI->GlobalId, Idx).V;
     OCELOT_NEXT(*FI);
   }
@@ -465,7 +584,7 @@ LSwitch:
   OCELOT_CASE(LoadInd) : {
     const int64_t G = RawVal(FI->A);
     assert(G >= 0 && G < P.numGlobals() && "bad reference value");
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V =
+    Regs[FI->Dst].V =
         nvmCell(static_cast<int>(G), 0).V;
     OCELOT_NEXT(*FI);
   }
@@ -477,42 +596,53 @@ LSwitch:
     OCELOT_NEXT(*FI);
   }
 
+// The complete Input instruction body (replay-or-sample, register write,
+// observer callbacks, trace event), shared by the plain handler and the
+// Input-fused pairs below. Leaves the sampled value in \p RESULT_, a
+// declared int64_t local; traps exit via goto LDone like every handler.
+// The trace event is only materialized under RecordTrace — it was never
+// observable otherwise.
+#define OCELOT_INPUT_BODY(RESULT_)                                             \
+  do {                                                                         \
+    if (Replay) {                                                              \
+      if (ReplayIdx >= Replay->size()) {                                       \
+        R.Trap = "replay input queue exhausted";                               \
+        goto LDone;                                                            \
+      }                                                                        \
+      const InputEvent &RE = (*Replay)[ReplayIdx++];                           \
+      if (RE.Sensor != FI->SensorId) {                                         \
+        R.Trap = "replay sensor mismatch";                                     \
+        goto LDone;                                                            \
+      }                                                                        \
+      RESULT_ = RE.Value;                                                      \
+    } else {                                                                   \
+      RESULT_ = Sensors->sample(FI->SensorId, OCELOT_TAU());                   \
+    }                                                                          \
+    Regs[FI->Dst].V = RESULT_;                                                 \
+    if constexpr (!Hot) {                                                      \
+      if (Telem)                                                               \
+        Telem->sensorRead(Tau, FI->SensorId, RESULT_);                         \
+    }                                                                          \
+    if (BitVector)                                                             \
+      Monitor->onInput(InstrRef(FI->Func, FI->Label),                          \
+                       currentChainFlat(FI->Func, FI->Label), FI->SensorId,    \
+                       OCELOT_TAU());                                          \
+    if (Cfg.RecordTrace) {                                                     \
+      InputEvent E;                                                            \
+      E.Sensor = FI->SensorId;                                                 \
+      E.Tau = OCELOT_TAU();                                                    \
+      E.Epoch = Epoch;                                                         \
+      E.Value = RESULT_;                                                       \
+      if (ExecMode == Mode::Atomic)                                            \
+        PendingInputs.push_back(E);                                            \
+      else                                                                     \
+        Committed.Inputs.push_back(E);                                         \
+    }                                                                          \
+  } while (0)
+
   OCELOT_CASE(Input) : {
     int64_t V;
-    if (Replay) {
-      if (ReplayIdx >= Replay->size()) {
-        R.Trap = "replay input queue exhausted";
-        goto LDone;
-      }
-      const InputEvent &E = (*Replay)[ReplayIdx++];
-      if (E.Sensor != FI->SensorId) {
-        R.Trap = "replay sensor mismatch";
-        goto LDone;
-      }
-      V = E.Value;
-    } else {
-      V = Sensors->sample(FI->SensorId, Tau);
-    }
-    InputEvent E;
-    E.Sensor = FI->SensorId;
-    E.Tau = Tau;
-    E.Epoch = Epoch;
-    E.Value = V;
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
-    if constexpr (!Hot) {
-      if (Telem)
-        Telem->sensorRead(Tau, FI->SensorId, V);
-    }
-    if (BitVector)
-      Monitor->onInput(InstrRef(FI->Func, FI->Label),
-                       currentChainFlat(FI->Func, FI->Label), FI->SensorId,
-                       Tau);
-    if (Cfg.RecordTrace) {
-      if (ExecMode == Mode::Atomic)
-        PendingInputs.push_back(E);
-      else
-        Committed.Inputs.push_back(E);
-    }
+    OCELOT_INPUT_BODY(V);
     OCELOT_NEXT_NOCHECK();
   }
 
@@ -521,11 +651,13 @@ LSwitch:
     // address; Code[ReturnPc - 1] recovers this call on return.
     const uint32_t NewBase = static_cast<uint32_t>(RegStack.size());
     RegStack.resize(NewBase + FI->CalleeNumRegs);
+    Regs = RegStack.data() + RegBase; // resize may have moved the stack
     const Operand *Args = Img->args(*FI);
     for (uint32_t A = 0; A < FI->ArgsCount; ++A)
       RegStack[NewBase + A].V = RawVal(Args[A]);
     FFrames.push_back(FlatFrame{/*ReturnPc=*/Pc, /*RegBase=*/NewBase});
     RegBase = NewBase;
+    Regs = RegStack.data() + NewBase;
     Pc = FI->CalleeEntryPc;
     OCELOT_NEXT(*FI);
   }
@@ -538,9 +670,10 @@ LSwitch:
     if (!FFrames.empty()) {
       Pc = F.ReturnPc;
       RegBase = FFrames.back().RegBase;
+      Regs = RegStack.data() + RegBase; // back to the caller's window
       const FlatInst &CallI = Code[F.ReturnPc - 1];
       if (CallI.Dst >= 0 && !FI->A.isNone())
-        RegStack[RegBase + static_cast<size_t>(CallI.Dst)].V = V;
+        Regs[CallI.Dst].V = V;
     }
     OCELOT_KINDCHECK(*FI)
     if (FFrames.empty())
@@ -592,7 +725,7 @@ LSwitch:
     }
     OutputEvent E;
     E.Kind = FI->OutKind;
-    E.Tau = Tau;
+    E.Tau = OCELOT_TAU();
     E.Args.reserve(FI->ArgsCount);
     for (uint32_t A = 0; A < FI->ArgsCount; ++A)
       E.Args.push_back(RawVal(Args[A]));
@@ -621,7 +754,7 @@ LSwitch:
       DivZeroTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the CondBr testing H.Dst.
     Pc = V != 0 ? FI->Target : FI->Target2;
@@ -637,7 +770,7 @@ LSwitch:
       DivZeroTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the StoreG of H.Dst.
     StoreNvmRaw(FI->GlobalId, 0, V);
@@ -653,7 +786,7 @@ LSwitch:
       DivZeroTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the StoreA whose value is H.Dst.
     const int64_t Idx = RawVal(FI->A);
@@ -669,7 +802,7 @@ LSwitch:
   OCELOT_CASE(FuseLoadGBin) : {
     const FlatInst &H = *FI;
     const int64_t V0 = nvmCell(H.GlobalId, 0).V;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V0;
+    Regs[H.Dst].V = V0;
     OCELOT_STEP(); // Tail: the Bin whose A operand is H.Dst.
     const int64_t BV = RawVal(FI->B);
     int64_t V = 0;
@@ -677,7 +810,7 @@ LSwitch:
       DivZeroTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
   }
 
@@ -689,7 +822,7 @@ LSwitch:
       OCELOT_TRAPPED(H);
     }
     const int64_t V0 = nvmCell(H.GlobalId, Idx).V;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V0;
+    Regs[H.Dst].V = V0;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the Bin whose A operand is H.Dst.
     const int64_t BV = RawVal(FI->B);
@@ -698,14 +831,14 @@ LSwitch:
       DivZeroTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
   }
 
   OCELOT_CASE(FuseConstStoreG) : {
     const FlatInst &H = *FI;
     const int64_t V = H.A.Imm;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_STEP(); // Tail: the StoreG of H.Dst.
     StoreNvmRaw(FI->GlobalId, 0, V);
     OCELOT_NEXT_NOCHECK();
@@ -714,7 +847,7 @@ LSwitch:
   OCELOT_CASE(FuseLoadGStoreG) : {
     const FlatInst &H = *FI;
     const int64_t V = nvmCell(H.GlobalId, 0).V;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_STEP(); // Tail: the StoreG of H.Dst.
     StoreNvmRaw(FI->GlobalId, 0, V);
     OCELOT_NEXT_NOCHECK();
@@ -723,7 +856,7 @@ LSwitch:
   OCELOT_CASE(FuseMovBin) : {
     const FlatInst &H = *FI;
     const int64_t V0 = RawVal(H.A);
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V0;
+    Regs[H.Dst].V = V0;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the Bin whose A operand is H.Dst.
     const int64_t BV = RawVal(FI->B);
@@ -732,7 +865,7 @@ LSwitch:
       DivZeroTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
   }
 
@@ -745,16 +878,16 @@ LSwitch:
       DivZeroTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the Mov copying H.Dst.
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT_NOCHECK();
   }
 
   OCELOT_CASE(FuseMovBr) : {
     const FlatInst &H = *FI;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = RawVal(H.A);
+    Regs[H.Dst].V = RawVal(H.A);
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the unconditional Br.
     Pc = FI->Target;
@@ -770,7 +903,7 @@ LSwitch:
       DivZeroTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V0;
+    Regs[H.Dst].V = V0;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: the Bin whose A operand is H.Dst.
     const int64_t BV2 = RawVal(FI->B);
@@ -779,7 +912,7 @@ LSwitch:
       DivZeroTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
   }
 
@@ -788,7 +921,7 @@ LSwitch:
 
   OCELOT_CASE(FuseMovLoadA) : {
     const FlatInst &H = *FI;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = RawVal(H.A);
+    Regs[H.Dst].V = RawVal(H.A);
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: a LoadA.
     const int64_t Idx = RawVal(FI->A);
@@ -797,7 +930,7 @@ LSwitch:
       BoundsTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V =
+    Regs[FI->Dst].V =
         nvmCell(FI->GlobalId, Idx).V;
     OCELOT_NEXT(*FI);
   }
@@ -811,7 +944,7 @@ LSwitch:
       DivZeroTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = V;
+    Regs[H.Dst].V = V;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: a LoadA.
     const int64_t Idx = RawVal(FI->A);
@@ -820,7 +953,7 @@ LSwitch:
       BoundsTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V =
+    Regs[FI->Dst].V =
         nvmCell(FI->GlobalId, Idx).V;
     OCELOT_NEXT(*FI);
   }
@@ -833,7 +966,7 @@ LSwitch:
       BoundsTrap(H);
       OCELOT_TRAPPED(H);
     }
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V =
+    Regs[H.Dst].V =
         nvmCell(H.GlobalId, Idx0).V;
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: a second LoadA.
@@ -843,14 +976,14 @@ LSwitch:
       BoundsTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V =
+    Regs[FI->Dst].V =
         nvmCell(FI->GlobalId, Idx).V;
     OCELOT_NEXT(*FI);
   }
 
   OCELOT_CASE(FuseMovConsistent) : {
     const FlatInst &H = *FI;
-    RegStack[RegBase + static_cast<size_t>(H.Dst)].V = RawVal(H.A);
+    Regs[H.Dst].V = RawVal(H.A);
     OCELOT_KINDCHECK(H)
     OCELOT_STEP(); // Tail: a Consistent marker (taint-off no-op).
     OCELOT_NEXT_NOCHECK();
@@ -865,8 +998,339 @@ LSwitch:
       DivZeroTrap(*FI);
       OCELOT_TRAPPED(*FI);
     }
-    RegStack[RegBase + static_cast<size_t>(FI->Dst)].V = V;
+    Regs[FI->Dst].V = V;
     OCELOT_NEXT(*FI);
+  }
+
+  OCELOT_CASE(FuseInputMov) : {
+    int64_t V;
+    OCELOT_INPUT_BODY(V);
+    OCELOT_STEP(); // Tail: a Mov copying the freshly sampled register.
+    Regs[FI->Dst].V = V;
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  OCELOT_CASE(FuseMovInput) : {
+    const FlatInst &H = *FI;
+    Regs[H.Dst].V = RawVal(H.A);
+    OCELOT_KINDCHECK(H)
+    OCELOT_STEP(); // Tail: an Input.
+    int64_t V;
+    OCELOT_INPUT_BODY(V);
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  OCELOT_CASE(FuseConsistentInput) : {
+    OCELOT_STEP(); // Head was a no-op Consistent marker; tail: an Input.
+    int64_t V;
+    OCELOT_INPUT_BODY(V);
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  OCELOT_CASE(FuseMovMov) : {
+    const FlatInst &H = *FI;
+    Regs[H.Dst].V = RawVal(H.A);
+    OCELOT_KINDCHECK(H)
+    OCELOT_STEP(); // Tail: a second Mov against the updated register file.
+    Regs[FI->Dst].V = RawVal(FI->A);
+    OCELOT_NEXT(*FI);
+  }
+
+  OCELOT_CASE(FuseFreshConsistent) : {
+    OCELOT_STEP(); // Both slots are taint-off no-op markers.
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  // -- Superblock chains --------------------------------------------------
+  // A ChainN head covers N straight-line slots under one dispatch. Each
+  // slot runs the full step header (OCELOT_CHAIN_STEP) then one arm of
+  // the slot executor below. The executor mirrors the plain handlers of
+  // every chainable opcode exactly — same trap strings, same undo-log
+  // charges, same kind-less conversion points — plus the in-chain
+  // register cache: CacheReg/CacheVal mirror the most recently written
+  // destination register, so a slot reading its predecessor's result
+  // skips the register-file load. The register file itself is written at
+  // every slot (reads are elided, writes never), keeping mid-chain
+  // power-failure resume and region snapshots sound.
+
+// Operand read through the chain cache: a register operand that names the
+// cached destination reads the local; anything else falls back to the
+// plain path (register file, immediate, or the kind-less conversion).
+#define OCELOT_CHAIN_VAL(O)                                                    \
+  ((O).isReg()                                                                 \
+       ? ((O).Reg == CacheReg                                                  \
+              ? CacheVal                                                       \
+              : Regs[(O).Reg].V)            \
+       : ((O).isImm() ? (O).Imm : evalKindless().V))
+
+// Undoes the pre-charged accounting of the chain slots that will *not*
+// execute because the current slot trapped (Hot batched mode only; see
+// the chain handlers). At a trap in slot k the header has advanced Pc to
+// k+1, and interior slots never overwrite Pc (Br/CondBr only occupy the
+// final slot, which uses the plain trap macros), so [Pc, ChainEnd) is
+// exactly the unexecuted remainder.
+#define OCELOT_CHAIN_UNDO_REST()                                               \
+  do {                                                                         \
+    uint64_t GiveBack = 0;                                                     \
+    for (uint32_t Q = Pc; Q < ChainEnd; ++Q)                                   \
+      GiveBack += Costs[Q];                                                    \
+    OnCycles -= GiveBack; /* Hot-only: tau/lifetime derive from this. */       \
+    Steps -= ChainEnd - Pc;                                                    \
+  } while (0)
+
+// Trap enders for batch-charged interior slots: give back the unexecuted
+// remainder, then trap exactly like the per-slot path.
+#define OCELOT_CHAIN_TRAPPED_FIXUP(INST)                                       \
+  do {                                                                         \
+    OCELOT_CHAIN_UNDO_REST();                                                  \
+    OCELOT_TRAPPED(INST);                                                      \
+  } while (0)
+#define OCELOT_CHAIN_KINDCHECK_FIXUP(INST)                                     \
+  if (SawKindlessOperand) {                                                    \
+    OCELOT_CHAIN_UNDO_REST();                                                  \
+  }                                                                            \
+  OCELOT_KINDCHECK(INST)
+
+// One chain slot's execution, switching on the slot's base opcode. Every
+// expansion is its own switch site, so each unrolled slot position gets
+// its own branch-prediction state (the same reason OCELOT_NEXT replicates
+// the dispatch). Only the builder-whitelisted opcodes appear; Br/CondBr
+// only ever occupy a chain's final slot (builder invariant). The trap
+// enders are parameters so the Hot batched path can substitute the
+// accounting-fixup variants on interior slots.
+#define OCELOT_CHAIN_EXEC(TRAP_, KC_)                                          \
+  switch (FI->Op) {                                                            \
+  case Opcode::Const: {                                                        \
+    const int64_t V = FI->A.Imm;                                               \
+    Regs[FI->Dst].V = V;                    \
+    CacheReg = FI->Dst;                                                        \
+    CacheVal = V;                                                              \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::Mov: {                                                          \
+    const int64_t V = OCELOT_CHAIN_VAL(FI->A);                                 \
+    Regs[FI->Dst].V = V;                    \
+    CacheReg = FI->Dst;                                                        \
+    CacheVal = V;                                                              \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::Un: {                                                           \
+    const int64_t AV = OCELOT_CHAIN_VAL(FI->A);                                \
+    int64_t V = 0;                                                             \
+    switch (FI->UnKind) {                                                      \
+    case UnOp::Neg:                                                            \
+      V = -AV;                                                                 \
+      break;                                                                   \
+    case UnOp::Not:                                                            \
+      V = ~AV;                                                                 \
+      break;                                                                   \
+    case UnOp::LNot:                                                           \
+      V = AV == 0 ? 1 : 0;                                                     \
+      break;                                                                   \
+    }                                                                          \
+    Regs[FI->Dst].V = V;                    \
+    CacheReg = FI->Dst;                                                        \
+    CacheVal = V;                                                              \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::Bin: {                                                          \
+    const int64_t AV = OCELOT_CHAIN_VAL(FI->A);                                \
+    const int64_t BV = OCELOT_CHAIN_VAL(FI->B);                                \
+    int64_t V = 0;                                                             \
+    if (!binEval(FI->BinKind, AV, BV, V)) {                                    \
+      DivZeroTrap(*FI);                                                        \
+      TRAP_(*FI);                                                              \
+    }                                                                          \
+    Regs[FI->Dst].V = V;                    \
+    CacheReg = FI->Dst;                                                        \
+    CacheVal = V;                                                              \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::LoadG: {                                                        \
+    const int64_t V = nvmCell(FI->GlobalId, 0).V;                              \
+    Regs[FI->Dst].V = V;                    \
+    CacheReg = FI->Dst;                                                        \
+    CacheVal = V;                                                              \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::StoreG: {                                                       \
+    StoreNvmRaw(FI->GlobalId, 0, OCELOT_CHAIN_VAL(FI->A));                     \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::LoadA: {                                                        \
+    const int64_t Idx = OCELOT_CHAIN_VAL(FI->A);                               \
+    if (Idx < 0 ||                                                             \
+        Idx >= static_cast<int64_t>(Img->globalSize(FI->GlobalId))) {          \
+      BoundsTrap(*FI);                                                         \
+      TRAP_(*FI);                                                              \
+    }                                                                          \
+    const int64_t V = nvmCell(FI->GlobalId, Idx).V;                            \
+    Regs[FI->Dst].V = V;                    \
+    CacheReg = FI->Dst;                                                        \
+    CacheVal = V;                                                              \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::StoreA: {                                                       \
+    const int64_t Idx = OCELOT_CHAIN_VAL(FI->A);                               \
+    if (Idx < 0 ||                                                             \
+        Idx >= static_cast<int64_t>(Img->globalSize(FI->GlobalId))) {          \
+      BoundsTrap(*FI);                                                         \
+      TRAP_(*FI);                                                              \
+    }                                                                          \
+    StoreNvmRaw(FI->GlobalId, Idx, OCELOT_CHAIN_VAL(FI->B));                   \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::Br: {                                                           \
+    Pc = FI->Target;                                                           \
+    break;                                                                     \
+  }                                                                            \
+  case Opcode::CondBr: {                                                       \
+    const int64_t V = OCELOT_CHAIN_VAL(FI->A);                                 \
+    Pc = V != 0 ? FI->Target : FI->Target2;                                    \
+    KC_(*FI)                                                                   \
+    break;                                                                     \
+  }                                                                            \
+  default: /* Fresh / Consistent / Nop: no-ops off the taint path. */          \
+    break;                                                                     \
+  }
+
+// One interior/final chain slot: full step header, then the executor.
+// This is the exact-accounting path — every instantiation that can
+// observe per-slot state (failure plans, energy, monitors, profiling)
+// runs it, as does the Hot path when a chain might brush the budget.
+#define OCELOT_CHAIN_SLOT()                                                    \
+  do {                                                                         \
+    OCELOT_CHAIN_STEP();                                                       \
+    OCELOT_CHAIN_EXEC(OCELOT_TRAPPED, OCELOT_KINDCHECK)                        \
+  } while (0)
+
+// The Hot batched chain prologue, run right after slot 0's executor.
+// Charges the remaining NSLOTS slots' base costs in one shot so the
+// interior slots can skip the per-slot accounting ladder entirely.
+//
+// Soundness: in the Hot instantiation nothing observes OnCycles / Tau /
+// LifetimeOn / Steps between slots (no failure plan, no energy model, no
+// monitors, no profiler; Input/Output are not chainable so no handler
+// reads Tau), so charging early commutes with the slots' own effects
+// (undo-log charges are additions, additions commute). The only per-slot
+// check the ladder performs in Hot mode is the budget check — the guard
+// below proves every skipped check false by requiring headroom for the
+// batched costs plus the worst-case undo-log charges (ChainSlack). A
+// chain too close to the budget falls back to plain re-dispatch at the
+// next slot: OCELOT_NEXT_NOCHECK() re-enters the fully-checked per-slot
+// path, which is exact. Traps inside the batch give back the unexecuted
+// remainder (OCELOT_CHAIN_UNDO_REST), restoring per-slot totals.
+#define OCELOT_CHAIN_BATCH(NSLOTS)                                             \
+  uint64_t Rest = 0;                                                           \
+  for (uint32_t Q = Pc; Q < Pc + (NSLOTS); ++Q)                                \
+    Rest += Costs[Q];                                                          \
+  if (OnCycles > MaxOnCycles || Rest + ChainSlack > MaxOnCycles - OnCycles) {  \
+    OCELOT_NEXT_NOCHECK();                                                     \
+  }                                                                            \
+  const uint32_t ChainEnd = Pc + (NSLOTS);                                     \
+  OnCycles += Rest; /* Hot-only: tau/lifetime derive from this. */             \
+  Steps += (NSLOTS)
+
+// A batch-charged interior slot: just the instruction fetch and the PC
+// advance — accounting already happened in OCELOT_CHAIN_BATCH. Interior
+// slots are never branches (builder invariant), so Pc is never
+// overwritten and the trap fixups can name [Pc, ChainEnd) as the
+// unexecuted remainder.
+#define OCELOT_CHAIN_FAST_SLOT()                                               \
+  do {                                                                         \
+    FI = Code + Pc;                                                            \
+    ++Pc;                                                                      \
+    OCELOT_CHAIN_EXEC(OCELOT_CHAIN_TRAPPED_FIXUP,                              \
+                      OCELOT_CHAIN_KINDCHECK_FIXUP)                            \
+  } while (0)
+
+// The batch-charged final slot. Nothing after it is pre-charged, so it
+// traps through the plain macros — which also sidesteps the fixup's
+// Pc-window arithmetic when a Br/CondBr here overwrites Pc.
+#define OCELOT_CHAIN_FINAL_SLOT()                                              \
+  do {                                                                         \
+    FI = Code + Pc;                                                            \
+    ++Pc;                                                                      \
+    OCELOT_CHAIN_EXEC(OCELOT_TRAPPED, OCELOT_KINDCHECK)                        \
+  } while (0)
+
+  OCELOT_CASE(Chain3) : {
+    int32_t CacheReg = -1;
+    int64_t CacheVal = 0;
+    // Slot 0: stepped by the dispatching OCELOT_STEP.
+    OCELOT_CHAIN_EXEC(OCELOT_TRAPPED, OCELOT_KINDCHECK)
+    if constexpr (Hot) {
+      OCELOT_CHAIN_BATCH(2);
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FINAL_SLOT();
+    } else {
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+    }
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  OCELOT_CASE(Chain4) : {
+    int32_t CacheReg = -1;
+    int64_t CacheVal = 0;
+    OCELOT_CHAIN_EXEC(OCELOT_TRAPPED, OCELOT_KINDCHECK)
+    if constexpr (Hot) {
+      OCELOT_CHAIN_BATCH(3);
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FINAL_SLOT();
+    } else {
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+    }
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  OCELOT_CASE(Chain5) : {
+    int32_t CacheReg = -1;
+    int64_t CacheVal = 0;
+    OCELOT_CHAIN_EXEC(OCELOT_TRAPPED, OCELOT_KINDCHECK)
+    if constexpr (Hot) {
+      OCELOT_CHAIN_BATCH(4);
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FINAL_SLOT();
+    } else {
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+    }
+    OCELOT_NEXT_NOCHECK();
+  }
+
+  OCELOT_CASE(Chain6) : {
+    int32_t CacheReg = -1;
+    int64_t CacheVal = 0;
+    OCELOT_CHAIN_EXEC(OCELOT_TRAPPED, OCELOT_KINDCHECK)
+    if constexpr (Hot) {
+      OCELOT_CHAIN_BATCH(5);
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FAST_SLOT();
+      OCELOT_CHAIN_FINAL_SLOT();
+    } else {
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+      OCELOT_CHAIN_SLOT();
+    }
+    OCELOT_NEXT_NOCHECK();
   }
 
 #if !defined(OCELOT_HAVE_COMPUTED_GOTO)
@@ -880,7 +1344,7 @@ LDone:
   R.Completed = FFrames.empty() && R.Trap.empty() && !R.Starved;
   R.TraceData = std::move(Committed);
   Committed.clear();
-  R.FinalTau = Tau;
+  R.FinalTau = OCELOT_TAU();
 
   R.ViolatedFresh = Monitor->runFreshViolation();
   R.ViolatedConsistent = Monitor->runConsistentViolation();
@@ -889,7 +1353,19 @@ LDone:
     R.Violations.push_back(AllViolations[I]);
   return R;
 
+#undef OCELOT_TAU
 #undef OCELOT_STEP
+#undef OCELOT_CHAIN_STEP
+#undef OCELOT_CHAIN_VAL
+#undef OCELOT_CHAIN_EXEC
+#undef OCELOT_CHAIN_SLOT
+#undef OCELOT_CHAIN_UNDO_REST
+#undef OCELOT_CHAIN_TRAPPED_FIXUP
+#undef OCELOT_CHAIN_KINDCHECK_FIXUP
+#undef OCELOT_CHAIN_BATCH
+#undef OCELOT_CHAIN_FAST_SLOT
+#undef OCELOT_CHAIN_FINAL_SLOT
+#undef OCELOT_INPUT_BODY
 #undef OCELOT_KINDCHECK
 #undef OCELOT_TRAPPED
 #undef OCELOT_NEXT

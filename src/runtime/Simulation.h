@@ -39,9 +39,8 @@ namespace ocelot {
 /// (sensor scenario, power source, cost model, failure plan, energy
 /// config, seed, monitor toggles). Copied into the Simulation, so a spec
 /// can be reused — and tweaked per cell — when fanning one artifact
-/// across a sweep. (The sensor world moved into `RunConfig::Sensors`; the
-/// old mutable `Environment Env` member is gone — build a
-/// `SensorScenario` instead, or migrate via `Environment::toScenario()`.)
+/// across a sweep. (The sensor world moved into `RunConfig::Sensors`;
+/// build a `SensorScenario` via `SensorScenarioBuilder`.)
 struct SimulationSpec {
   RunConfig Config;
 };

@@ -24,9 +24,8 @@
 ///    `timeShiftChannel` — for building correlated multi-channel worlds
 ///    out of simpler parts.
 ///
-/// `SensorSignal` survives as the plain-data spec of the synthetic shapes
-/// (and as the guts of the deprecated `Environment` shim in
-/// runtime/Environment.h).
+/// `SensorSignal` survives as the plain-data spec of the synthetic
+/// shapes.
 ///
 //===----------------------------------------------------------------------===//
 

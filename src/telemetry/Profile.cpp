@@ -1,0 +1,137 @@
+//===- Profile.cpp - PGO bundle serialization --------------------------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ocelot;
+
+void PgoBundle::merge(const PgoBundle &O) {
+  for (const auto &[Fp, Prof] : O.Entries)
+    Entries[Fp].merge(Prof);
+}
+
+std::string PgoBundle::serialize() const {
+  std::string Out;
+  Out += "ocelot-pgo v1\n";
+  Out += "images " + std::to_string(Entries.size()) + "\n";
+  char Buf[64];
+  for (const auto &[Fp, Prof] : Entries) { // std::map: ascending, stable.
+    std::snprintf(Buf, sizeof(Buf), "image %016" PRIx64 " pcs %zu ops %zu",
+                  Fp, Prof.PcCounts.size(), Prof.NumOpcodes);
+    Out += Buf;
+    Out += " steps " + std::to_string(Prof.Steps) + "\n";
+    for (size_t I = 0; I < Prof.PcCounts.size(); ++I)
+      if (Prof.PcCounts[I])
+        Out += "pc " + std::to_string(I) + " " +
+               std::to_string(Prof.PcCounts[I]) + "\n";
+    for (size_t I = 0; I < Prof.PairCounts.size(); ++I)
+      if (Prof.PairCounts[I])
+        Out += "pair " + std::to_string(I / Prof.NumOpcodes) + " " +
+               std::to_string(I % Prof.NumOpcodes) + " " +
+               std::to_string(Prof.PairCounts[I]) + "\n";
+    Out += "end\n";
+  }
+  return Out;
+}
+
+bool PgoBundle::deserialize(const std::string &Text, PgoBundle &Out,
+                            std::string &Error) {
+  Out.Entries.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  auto Fail = [&](const std::string &What) {
+    Error = "pgo profile line " + std::to_string(LineNo) + ": " + What;
+    return false;
+  };
+
+  ++LineNo;
+  if (!std::getline(In, Line) || Line != "ocelot-pgo v1")
+    return Fail("expected header \"ocelot-pgo v1\" — is this a profile "
+                "written by --pgo-out?");
+  ++LineNo;
+  size_t Images = 0;
+  if (!std::getline(In, Line) ||
+      std::sscanf(Line.c_str(), "images %zu", &Images) != 1)
+    return Fail("expected \"images <count>\"");
+
+  for (size_t I = 0; I < Images; ++I) {
+    ++LineNo;
+    uint64_t Fp = 0;
+    size_t Pcs = 0, Ops = 0;
+    uint64_t Steps = 0;
+    if (!std::getline(In, Line) ||
+        std::sscanf(Line.c_str(),
+                    "image %" SCNx64 " pcs %zu ops %zu steps %" SCNu64, &Fp,
+                    &Pcs, &Ops, &Steps) != 4)
+      return Fail("expected \"image <fingerprint> pcs <n> ops <n> steps "
+                  "<n>\"");
+    if (Out.Entries.count(Fp))
+      return Fail("duplicate image fingerprint");
+    PcProfile &Prof = Out.Entries[Fp];
+    Prof.prepare(Pcs, Ops);
+    Prof.Steps = Steps;
+    for (;;) {
+      ++LineNo;
+      if (!std::getline(In, Line))
+        return Fail("unexpected end of file inside an image entry");
+      if (Line == "end")
+        break;
+      size_t A = 0, B = 0;
+      uint64_t Count = 0;
+      if (std::sscanf(Line.c_str(), "pc %zu %" SCNu64, &A, &Count) == 2) {
+        if (A >= Pcs)
+          return Fail("pc index out of range");
+        Prof.PcCounts[A] = Count;
+      } else if (std::sscanf(Line.c_str(), "pair %zu %zu %" SCNu64, &A, &B,
+                             &Count) == 3) {
+        if (A >= Ops || B >= Ops)
+          return Fail("pair opcode out of range");
+        Prof.PairCounts[A * Ops + B] = Count;
+      } else {
+        return Fail("expected \"pc ...\", \"pair ...\" or \"end\"");
+      }
+    }
+  }
+  return true;
+}
+
+bool PgoBundle::save(const std::string &Path, std::string &Error) const {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out << serialize();
+  Out.flush();
+  if (!Out) {
+    Error = "write to " + Path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const PgoBundle> PgoBundle::load(const std::string &Path,
+                                                 std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open pgo profile " + Path;
+    return nullptr;
+  }
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  auto B = std::make_shared<PgoBundle>();
+  if (!deserialize(Text.str(), *B, Error)) {
+    Error += " (file: " + Path + ")";
+    return nullptr;
+  }
+  return B;
+}

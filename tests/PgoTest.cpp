@@ -1,0 +1,205 @@
+//===- PgoTest.cpp - PGO bundle round-trips and consumption ---------------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract tests for the `--pgo-out` / `--pgo` profile pipeline:
+///
+///  * the PgoBundle text format is deterministic — serializing a reloaded
+///    bundle reproduces the input byte-for-byte, so a `cmp` of two profile
+///    files is a meaningful equality check (CI's PGO drill relies on it);
+///  * `merge` is associative and commutative, so shards of a sweep can
+///    accumulate profiles in any grouping and order;
+///  * malformed input fails with a line-numbered, actionable message, not
+///    a silently-empty bundle;
+///  * at the image-builder level a bundle with no entry for the built
+///    image's fingerprint falls back to the static heat estimator
+///    silently (`usedPgo()` false), while a matching entry is consumed
+///    (`usedPgo()` true) — the hard stale-profile rejection is ocelotc's
+///    job, layered on top of this signal.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ocelot/Toolchain.h"
+#include "telemetry/Profile.h"
+
+#include <gtest/gtest.h>
+
+using namespace ocelot;
+
+namespace {
+
+/// A profile with recognizable sparse contents.
+PcProfile sampleProfile(uint64_t Base) {
+  PcProfile P;
+  P.prepare(8, 4);
+  P.PcCounts[1] = Base + 1;
+  P.PcCounts[5] = Base * 100;
+  P.PairCounts[2 * 4 + 3] = Base + 7;
+  P.Steps = Base + 101;
+  return P;
+}
+
+PgoBundle sampleBundle() {
+  PgoBundle B;
+  // Inserted in descending fingerprint order on purpose: the text format
+  // must sort entries, not echo insertion order.
+  B.entry(0xdeadbeefcafef00dull) = sampleProfile(9);
+  B.entry(0x0000000000000042ull) = sampleProfile(3);
+  return B;
+}
+
+TEST(PgoBundle, SerializeReloadIsByteStable) {
+  PgoBundle B = sampleBundle();
+  std::string Text = B.serialize();
+
+  PgoBundle Reloaded;
+  std::string Error;
+  ASSERT_TRUE(PgoBundle::deserialize(Text, Reloaded, Error)) << Error;
+  EXPECT_EQ(Reloaded.serialize(), Text);
+
+  // The reload really carried the counts, not just the shape.
+  const PcProfile *P = Reloaded.find(0x42);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->PcCounts[5], 300u);
+  EXPECT_EQ(P->Steps, 104u);
+  EXPECT_EQ(P->NumOpcodes, 4u);
+}
+
+TEST(PgoBundle, EmptyBundleRoundTrips) {
+  PgoBundle Empty;
+  std::string Text = Empty.serialize();
+  PgoBundle Reloaded;
+  std::string Error;
+  ASSERT_TRUE(PgoBundle::deserialize(Text, Reloaded, Error)) << Error;
+  EXPECT_TRUE(Reloaded.Entries.empty());
+  EXPECT_EQ(Reloaded.serialize(), Text);
+}
+
+TEST(PgoBundle, MergeIsAssociativeAndCommutative) {
+  // Three bundles with overlapping and disjoint fingerprints.
+  PgoBundle A, B, C;
+  A.entry(1) = sampleProfile(2);
+  A.entry(2) = sampleProfile(5);
+  B.entry(2) = sampleProfile(11);
+  B.entry(3) = sampleProfile(1);
+  C.entry(1) = sampleProfile(7);
+  C.entry(4) = sampleProfile(13);
+
+  PgoBundle AB_C = A; // (A + B) + C
+  AB_C.merge(B);
+  AB_C.merge(C);
+  PgoBundle BC = B; // A + (B + C)
+  BC.merge(C);
+  PgoBundle A_BC = A;
+  A_BC.merge(BC);
+  PgoBundle CBA = C; // (C + B) + A
+  CBA.merge(B);
+  CBA.merge(A);
+
+  EXPECT_EQ(AB_C.serialize(), A_BC.serialize());
+  EXPECT_EQ(AB_C.serialize(), CBA.serialize());
+
+  // Overlapping entries summed, disjoint ones preserved.
+  EXPECT_EQ(AB_C.find(2)->PcCounts[5], 1600u); // 500 + 1100
+  EXPECT_EQ(AB_C.find(3)->PcCounts[5], 100u);
+  EXPECT_EQ(AB_C.Entries.size(), 4u);
+}
+
+TEST(PgoBundle, DeserializeRejectsMalformedInput) {
+  PgoBundle Out;
+  std::string Error;
+
+  // Wrong magic line.
+  EXPECT_FALSE(PgoBundle::deserialize("bogus v9\n", Out, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+
+  // A valid prefix with a corrupted count line.
+  std::string Text = sampleBundle().serialize();
+  size_t Pos = Text.find("pc ");
+  ASSERT_NE(Pos, std::string::npos);
+  std::string Bad = Text.substr(0, Pos) + "pc oops\n" + Text.substr(Pos);
+  EXPECT_FALSE(PgoBundle::deserialize(Bad, Out, Error));
+  EXPECT_NE(Error.find("line"), std::string::npos) << Error;
+
+  // Truncation mid-entry (drop the trailing "end").
+  size_t End = Text.rfind("end");
+  ASSERT_NE(End, std::string::npos);
+  EXPECT_FALSE(PgoBundle::deserialize(Text.substr(0, End), Out, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(PgoBundle, LoadReportsMissingFile) {
+  std::string Error;
+  EXPECT_EQ(PgoBundle::load("/nonexistent/ocelot-pgo-test.pgo", Error),
+            nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+// -- Consumption by the image builder --------------------------------------
+
+constexpr const char *Src = R"(
+io tmp;
+
+fn main() {
+  let acc = 0;
+  for i in 0..8 {
+    let v = tmp();
+    Fresh(v);
+    acc = acc + v;
+  }
+  log(acc);
+}
+)";
+
+TEST(Pgo, StaleBundleFallsBackToStaticHeat) {
+  // A bundle that has profiles, just not for this image.
+  auto Stale = std::make_shared<PgoBundle>();
+  Stale->entry(0x1234) = sampleProfile(2);
+
+  CompileOptions Opts;
+  Opts.Pgo = Stale;
+  Compilation C = Toolchain(Opts).compile(Src);
+  ASSERT_TRUE(C.ok());
+  EXPECT_FALSE(C.artifact().image().usedPgo());
+  // Chains still form — the static estimator supplied the heat.
+  EXPECT_EQ(C.artifact().image().fusionMode(), FusionMode::Chains);
+}
+
+TEST(Pgo, MatchingBundleIsConsumed) {
+  // Compile once to learn the image's fingerprint and size…
+  Compilation Plain = Toolchain().compile(Src);
+  ASSERT_TRUE(Plain.ok());
+  const ExecutableImage &Img = Plain.artifact().image();
+
+  // …then feed back a bundle keyed by that fingerprint, hot everywhere.
+  auto Bundle = std::make_shared<PgoBundle>();
+  PcProfile &P = Bundle->entry(Img.fingerprint());
+  P.prepare(Img.size(), 4);
+  for (auto &C : P.PcCounts)
+    C = 1000;
+
+  CompileOptions Opts;
+  Opts.Pgo = Bundle;
+  Compilation C = Toolchain(Opts).compile(Src);
+  ASSERT_TRUE(C.ok());
+  EXPECT_TRUE(C.artifact().image().usedPgo());
+  // Same program layout → same fingerprint, whatever heat built the view.
+  EXPECT_EQ(C.artifact().image().fingerprint(), Img.fingerprint());
+}
+
+TEST(Pgo, PairsTierIgnoresProfiles) {
+  auto Bundle = std::make_shared<PgoBundle>();
+  Bundle->entry(0x1) = sampleProfile(1);
+  CompileOptions Opts;
+  Opts.Fusion = FusionMode::Pairs;
+  Opts.Pgo = Bundle;
+  Compilation C = Toolchain(Opts).compile(Src);
+  ASSERT_TRUE(C.ok());
+  EXPECT_FALSE(C.artifact().image().usedPgo());
+  EXPECT_EQ(C.artifact().image().fusionMode(), FusionMode::Pairs);
+}
+
+} // namespace

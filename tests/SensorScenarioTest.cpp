@@ -10,13 +10,13 @@
 /// the composition adaptors, SensorTrace CSV round-trips (including the
 /// fixtures shipped under bench/traces/), the registry/resolver error
 /// paths, and — critically — bit-compatibility of the synthetic channels
-/// and the default scenario with the pre-subsystem `Environment::sample`,
-/// which is what keeps the default tables (table2a/2b, fig8)
+/// and the default scenario with the pre-subsystem `Environment::sample`
+/// math (kept verbatim in the `legacy` namespace below; the shim itself
+/// is gone), which is what keeps the default tables (table2a/2b, fig8)
 /// byte-identical across the redesign.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Environment.h"
 #include "sensors/SensorChannel.h"
 #include "sensors/SensorScenario.h"
 #include "sensors/SensorScenarios.h"
@@ -131,16 +131,19 @@ TEST(SensorChannelCompat, DefaultScenarioMatchesLegacyUnconfiguredSample) {
   EXPECT_EQ(Sc->sample(-1, 123), 0) << "negative ids read 0";
 }
 
-TEST(SensorChannelCompat, BenchmarkScenarioMatchesEnvironmentShim) {
-  // BenchmarkDef::scenario replaced setupEnvironment; the Environment shim
-  // bridges old configurations. Both must sample identically.
-  Environment Env;
-  Env.setSignal(0, SensorSignal::noise(350, 150, 350, 99));
-  Env.setSignal(2, SensorSignal::ramp(-40, 2, 150)); // Gap at id 1.
-  std::shared_ptr<const SensorScenario> Sc = Env.toScenario();
-  for (int Id = 0; Id < 5; ++Id) // Ids 3,4 exercise the unconfigured path.
+TEST(SensorChannelCompat, BuilderFillsConfigurationGapsWithTheDefault) {
+  // Configurations with gaps (ids skipped between configured ones) must
+  // serve the unconfigured noise default for the gap ids — the behavior
+  // callers of the removed Environment shim relied on when migrating to
+  // SensorScenario::Builder.
+  std::shared_ptr<const SensorScenario> Sc =
+      SensorScenario::Builder()
+          .channel(0, signalChannel(SensorSignal::noise(350, 150, 350, 99)))
+          .channel(2, signalChannel(SensorSignal::ramp(-40, 2, 150)))
+          .build();
+  for (int Id : {1, 3, 4}) // Gap at 1; 3 and 4 past the configured range.
     for (uint64_t Tau = 0; Tau < 20'000; Tau += 17)
-      ASSERT_EQ(Sc->sample(Id, Tau), Env.sample(Id, Tau))
+      ASSERT_EQ(Sc->sample(Id, Tau), legacy::unconfiguredSample(Id, Tau))
           << "id " << Id << " tau " << Tau;
 }
 
@@ -168,14 +171,6 @@ TEST(SensorSignalClamp, ZeroIntervalFromAggregateAssignmentIsClamped) {
     // The channel wrapper shares the clamp (both read through sample()).
     EXPECT_EQ(signalChannel(Zero)->sample(123), One.sample(123));
   }
-  // And through the Environment shim (aggregate-assigned signal table).
-  Environment Env;
-  SensorSignal Bad;
-  Bad.K = SensorSignal::Kind::Square;
-  Bad.Amplitude = 9;
-  Bad.Interval = 0;
-  Env.setSignal(0, Bad);
-  EXPECT_NO_FATAL_FAILURE((void)Env.sample(0, 777));
 }
 
 // -- Purity and cross-thread determinism -----------------------------------------

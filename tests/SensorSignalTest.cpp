@@ -1,13 +1,12 @@
-//===- EnvironmentTest.cpp - SensorSignal determinism ---------------------------===//
+//===- SensorSignalTest.cpp - SensorSignal determinism --------------------------===//
 //
 // Part of the Ocelot reproduction, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Determinism tests for SensorSignal::sample over all five signal kinds,
-/// plus the deprecated `Environment` shim that still builds on it. Every
-/// signal must be a pure function of (configuration, tau): the
+/// Determinism tests for SensorSignal::sample over all five signal kinds.
+/// Every signal must be a pure function of (configuration, tau): the
 /// reproduction's experiments — and the SweepRunner's parallel == sequential
 /// guarantee — rest on sensors never carrying hidden state. Noise signals
 /// get extra scrutiny at their Interval edges, where the value is re-drawn.
@@ -17,12 +16,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Environment.h"
+#include "sensors/SensorChannel.h"
 
 #include <gtest/gtest.h>
-
-#include <set>
-#include <vector>
 
 using namespace ocelot;
 
@@ -116,23 +112,6 @@ TEST(SensorSignal, NoiseStaysInRange) {
     EXPECT_GE(V, -50);
     EXPECT_LE(V, 50);
   }
-}
-
-TEST(Environment, CopiesAndScenarioSampleIdentically) {
-  // The shim is a plain value: a copy — and the frozen scenario it builds
-  // for RunConfig::Sensors — must be observationally identical.
-  Environment Env;
-  Env.setSignal(0, SensorSignal::noise(10, 40, 400, 42));
-  Env.setSignal(2, SensorSignal::ramp(0, 1, 25));
-  Environment Copy = Env;
-  std::shared_ptr<const SensorScenario> Frozen = Env.toScenario();
-  for (uint64_t Tau = 0; Tau < 20000; Tau += 17)
-    for (int Id = 0; Id < 4; ++Id) { // Id 3 exercises the unconfigured path.
-      EXPECT_EQ(Env.sample(Id, Tau), Copy.sample(Id, Tau))
-          << "id=" << Id << " tau=" << Tau;
-      EXPECT_EQ(Env.sample(Id, Tau), Frozen->sample(Id, Tau))
-          << "id=" << Id << " tau=" << Tau;
-    }
 }
 
 } // namespace

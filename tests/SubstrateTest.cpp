@@ -6,9 +6,9 @@
 ///
 /// \file
 /// Unit tests for the simulator substrate: deterministic RNG, diagnostics,
-/// sensor environment signals, the capacitor/harvester energy model,
-/// failure plans, the undo log, the table formatter, and the §7.4 effort
-/// models.
+/// the capacitor/harvester energy model, failure plans, the undo log, the
+/// table formatter, and the §7.4 effort models. (Sensor signals and
+/// scenarios are covered by SensorSignalTest and SensorScenarioTest.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,7 +16,6 @@
 #include "harness/Experiment.h"
 #include "harness/TableFmt.h"
 #include "runtime/EnergyModel.h"
-#include "runtime/Environment.h"
 #include "runtime/FailurePlan.h"
 #include "runtime/UndoLog.h"
 #include "support/Rng.h"
@@ -68,56 +67,6 @@ TEST(Rng, RoughlyUniform) {
     ++Buckets[R.nextBelow(10)];
   for (int Count : Buckets)
     EXPECT_NEAR(Count, 1000, 200);
-}
-
-// -- Environment ------------------------------------------------------------------
-
-TEST(Environment, ConstantAndStep) {
-  Environment Env;
-  Env.setSignal(0, SensorSignal::constant(7));
-  Env.setSignal(1, SensorSignal::step(10, 5, 100));
-  EXPECT_EQ(Env.sample(0, 0), 7);
-  EXPECT_EQ(Env.sample(0, 1000000), 7);
-  EXPECT_EQ(Env.sample(1, 99), 10);
-  EXPECT_EQ(Env.sample(1, 100), 15);
-}
-
-TEST(Environment, RampAndSquare) {
-  Environment Env;
-  Env.setSignal(0, SensorSignal::ramp(0, 3, 10));
-  Env.setSignal(1, SensorSignal::square(1, 9, 50));
-  EXPECT_EQ(Env.sample(0, 0), 0);
-  EXPECT_EQ(Env.sample(0, 25), 6);
-  EXPECT_EQ(Env.sample(1, 25), 1);
-  EXPECT_EQ(Env.sample(1, 75), 10);
-}
-
-TEST(Environment, NoiseIsDeterministicAndBounded) {
-  SensorSignal S = SensorSignal::noise(100, 50, 20, 77);
-  for (uint64_t Tau = 0; Tau < 2000; Tau += 7) {
-    int64_t V = S.sample(Tau);
-    EXPECT_GE(V, 100);
-    EXPECT_LE(V, 150);
-    EXPECT_EQ(V, S.sample(Tau)) << "stateless in tau";
-  }
-  // Piecewise-constant within a bucket.
-  EXPECT_EQ(S.sample(40), S.sample(41));
-}
-
-TEST(Environment, NoiseActuallyVaries) {
-  SensorSignal S = SensorSignal::noise(0, 1000, 10, 3);
-  std::set<int64_t> Values;
-  for (uint64_t B = 0; B < 50; ++B)
-    Values.insert(S.sample(B * 10));
-  EXPECT_GT(Values.size(), 20u);
-}
-
-TEST(Environment, UnconfiguredSensorsDefaultToNoise) {
-  Environment Env;
-  std::set<int64_t> Values;
-  for (uint64_t Tau = 0; Tau < 50000; Tau += 500)
-    Values.insert(Env.sample(3, Tau));
-  EXPECT_GT(Values.size(), 5u);
 }
 
 // -- EnergyModel -----------------------------------------------------------------

@@ -205,26 +205,6 @@ TEST(SweepRunner, ScenarioDimensionSweepsAndAttributesCorrectly) {
             Parallel[Spec.cellIndex({.Scenario = 2})].Metrics.OnCyclesPerRun);
 }
 
-TEST(SweepSpec, DeprecatedPositionalCellIndexStillAgrees) {
-  // The positional 6-arg overload survives one more PR as a deprecated
-  // shim over cellIndex(CellCoords); pin that it still computes the same
-  // flat index so out-of-tree callers migrate without silent reshuffles.
-  SweepSpec Spec = smallGrid();
-  Spec.Powers = {nullptr, nullptr};
-  Spec.Scenarios = {nullptr, nullptr, nullptr};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  for (size_t M = 0; M < Spec.Models.size(); ++M)
-    for (size_t B = 0; B < Spec.Benchmarks.size(); ++B)
-      for (size_t E = 0; E < Spec.Energies.size(); ++E)
-        for (size_t P = 0; P < Spec.powerCount(); ++P)
-          for (size_t Sc = 0; Sc < Spec.scenarioCount(); ++Sc)
-            for (size_t S = 0; S < Spec.Seeds.size(); ++S)
-              EXPECT_EQ(Spec.cellIndex(M, B, E, P, Sc, S),
-                        Spec.cellIndex({M, B, E, P, Sc, S}));
-#pragma GCC diagnostic pop
-}
-
 TEST(SweepRunner, DefaultsToHardwareConcurrency) {
   EXPECT_GE(SweepRunner().workers(), 1u);
   EXPECT_EQ(SweepRunner(3).workers(), 3u);

@@ -12,6 +12,13 @@ so the gate compares dispatch-efficiency shape rather than absolute
 machine speed. Absolute steps/sec from the report are printed for
 diagnosis but never gated on.
 
+The toolchain compile section IS gated when the baseline carries one:
+per-benchmark compile wall time may not regress by more than
+``--max-compile-regression`` (default 25% — generous because wall time is
+host-dependent), and the artifact-cache hit rate may not drop at all (a
+drop means a fingerprint ingredient changed per-run, which silently
+disables warm-compile reuse).
+
 Usage:
     tools/bench_compare.py BASELINE CANDIDATE [--max-regression FRAC]
 
@@ -47,6 +54,10 @@ def main():
                     metavar="FRAC",
                     help="allowed fleet-shard peak-RSS growth "
                          "(default 0.50 = 50%%)")
+    ap.add_argument("--max-compile-regression", type=float, default=0.25,
+                    metavar="FRAC",
+                    help="allowed per-benchmark compile wall-time growth "
+                         "(default 0.25 = 25%%)")
     args = ap.parse_args()
 
     base = load_report(args.baseline)
@@ -122,10 +133,55 @@ def main():
         print(f"  {engine:10s} committed x{committed:.3f}  "
               f"measured x{measured:.3f}  floor x{floor:.3f}  [{status}]")
 
-    # Toolchain compile cost (diagnostic only: wall time is host speed).
+    # Toolchain compile gate: per-benchmark wall time (generous margin —
+    # wall time is host speed) and artifact-cache hit rate (no drop
+    # allowed: a drop means a fingerprint ingredient varies per run and
+    # warm-compile reuse silently died). Gated only when the committed
+    # baseline carries a compile section measured in the same mode.
+    base_compile = base.get("compile")
     cand_compile = cand.get("compile")
-    if cand_compile:
-        print("\ncompile cost (diagnostic only):")
+    if base_compile and base.get("mode") != cand.get("mode"):
+        print(f"\nnote: compile gate skipped ({base.get('mode')!r} baseline "
+              f"vs {cand.get('mode')!r} candidate)")
+        base_compile = None
+    if base_compile:
+        if not cand_compile:
+            sys.exit("error: candidate report lost the 'compile' section")
+        base_ms = {r["name"]: r["wall_ms"]
+                   for r in base_compile.get("benchmarks", [])}
+        cand_ms = {r["name"]: r["wall_ms"]
+                   for r in cand_compile.get("benchmarks", [])}
+        lost = sorted(set(base_ms) - set(cand_ms))
+        if lost:
+            sys.exit(f"error: candidate compile section lost "
+                     f"benchmark(s): {', '.join(lost)}")
+        print(f"\ncompile wall time (gate: no benchmark grows more than "
+              f"{args.max_compile_regression:.0%} + 1 ms grace):")
+        for name in sorted(base_ms):
+            # The +1 ms absolute grace keeps sub-millisecond compiles
+            # (where 25% is tens of microseconds — pure scheduler noise)
+            # from flapping; real regressions on those are caught once
+            # they cross into milliseconds.
+            ceiling = (base_ms[name] * (1.0 + args.max_compile_regression)
+                       + 1.0)
+            status = "ok" if cand_ms[name] <= ceiling else "REGRESSED"
+            failed |= cand_ms[name] > ceiling
+            print(f"  {name:12s} committed {base_ms[name]:8.2f} ms  "
+                  f"measured {cand_ms[name]:8.2f} ms  "
+                  f"ceiling {ceiling:8.2f} ms  [{status}]")
+        base_cache = base_compile.get("cache", {})
+        cand_cache = cand_compile.get("cache", {})
+        if base_cache:
+            if not cand_cache:
+                sys.exit("error: candidate report lost 'compile.cache'")
+            committed = base_cache.get("hit_rate", 0)
+            measured = cand_cache.get("hit_rate", 0)
+            status = "ok" if measured >= committed else "REGRESSED"
+            failed |= measured < committed
+            print(f"  {'cache':12s} committed hit rate {committed:.0%}  "
+                  f"measured {measured:.0%}  [{status}]")
+    elif cand_compile:
+        print("\ncompile cost (diagnostic only, no committed baseline):")
         for row in cand_compile.get("benchmarks", []):
             print(f"  {row['name']:12s} {row['wall_ms']:8.2f} ms")
         cache = cand_compile.get("cache", {})

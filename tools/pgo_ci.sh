@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI drill for the PGO pipeline: run the Table 2a benchmark once plain
+# (golden stdout), once recording a profile with --pgo-out, and once
+# recompiled under that profile with --pgo, then byte-compare all three
+# stdouts. Profile-guided superblock selection changes which dispatch
+# codes the threaded engine executes, never what the program computes or
+# reports — any stdout drift here is a soundness bug in the chain pass.
+# The drill also checks the bundle itself: non-empty, versioned header,
+# and at least one per-PC count recorded.
+#
+# Usage: tools/pgo_ci.sh PATH/TO/table2a_pathological [PGO_OUT]
+set -euo pipefail
+
+BENCH=${1:?usage: pgo_ci.sh PATH/TO/table2a_pathological [PGO_OUT]}
+PGO=${2:-table2a.pgo}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+export OCELOT_BENCH_SMOKE=1
+
+echo "== plain run (golden stdout) =="
+"$BENCH" > "$WORK/plain.out"
+
+echo "== profiling run (--pgo-out) =="
+"$BENCH" --pgo-out="$PGO" > "$WORK/record.out"
+
+echo "== profile bundle sanity =="
+test -s "$PGO"
+head -1 "$PGO" | grep -q '^ocelot-pgo v' || {
+  echo "FAIL: $PGO does not start with an ocelot-pgo version header" >&2
+  exit 1
+}
+grep -q '^pc ' "$PGO" || {
+  echo "FAIL: $PGO records no per-PC counts" >&2
+  exit 1
+}
+
+echo "== profile-guided run (--pgo) =="
+"$BENCH" --pgo="$PGO" > "$WORK/replay.out"
+
+echo "== stdout must be byte-identical across plain/record/replay =="
+cmp "$WORK/plain.out" "$WORK/record.out"
+cmp "$WORK/plain.out" "$WORK/replay.out"
+
+echo "PASS: PGO record/replay round-trip leaves stdout byte-identical" \
+     "and $PGO is a well-formed bundle"
