@@ -6,6 +6,8 @@
 
 #include "apps/Benchmarks.h"
 
+#include "fusion/FusionBenchmarks.h"
+
 using namespace ocelot;
 
 // -- Activity (TICS) ---------------------------------------------------------
@@ -638,6 +640,13 @@ BenchmarkDef::scenario(uint64_t Seed) const {
     B.channel(0, noiseChannel(350, 150, 350, S(8))); // pressure
     B.channel(1, noiseChannel(10, 40, 500, S(9)));   // temp
     B.channel(2, noiseChannel(-40, 80, 150, S(10))); // accel
+  } else if (Name == "ekf_fusion") {
+    B.channel(0, noiseChannel(300, 400, 280, S(11))); // primary
+    B.channel(1, noiseChannel(320, 380, 360, S(12))); // secondary
+  } else if (Name == "alarm_voting") {
+    B.channel(0, noiseChannel(250, 500, 300, S(13))); // gas
+    B.channel(1, noiseChannel(260, 480, 340, S(14))); // smoke
+    B.channel(2, noiseChannel(240, 520, 380, S(15))); // heat
   }
   return B.build();
 }
@@ -676,6 +685,11 @@ const std::vector<BenchmarkDef> &ocelot::allBenchmarks() {
 
 const BenchmarkDef *ocelot::findBenchmark(const std::string &Name) {
   for (const BenchmarkDef &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  // The fusion workloads are addressable by name but deliberately not in
+  // allBenchmarks(): the paper tables sweep only the six paper programs.
+  for (const BenchmarkDef &B : fusionBenchmarks())
     if (B.Name == Name)
       return &B;
   return nullptr;

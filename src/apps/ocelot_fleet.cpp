@@ -32,6 +32,9 @@
 ///   --seeds=n,..         default: 99
 ///   --tau=N              simulated-time budget per cell (required)
 ///   --no-monitors        disarm the violation detectors
+///   --oracle             score outputs with the input-epoch consistency
+///                        oracle (fills the oracle_* / *_enforced_runs
+///                        columns; part of the spec hash)
 ///
 /// Run flags: --format=jsonl|csv, --workers=N, --checkpoint-every=N,
 /// --max-cells=N (stop early; exit 3), --quiet,
@@ -83,7 +86,8 @@ int usage() {
       "  status DIR                       per-shard progress of a sweep "
       "directory\n"
       "grid flags: --benchmarks= --models= --energy=CAP:RES[:RATE:CJ:RJ]\n"
-      "            --powers= --scenarios= --seeds= --tau=N --no-monitors\n");
+      "            --powers= --scenarios= --seeds= --tau=N --no-monitors\n"
+      "            --oracle\n");
   return 1;
 }
 
@@ -325,6 +329,8 @@ int main(int argc, char **argv) {
         return fail("bad --tau value '" + Value("--tau=") + "'");
     } else if (Arg == "--no-monitors") {
       Fleet.Monitors = false;
+    } else if (Arg == "--oracle") {
+      Fleet.Oracle = true;
     } else if (Arg.rfind("--shard=", 0) == 0) {
       if (!parseShardSpec(Value("--shard="), Run.Shard, Run.ShardCount,
                           Error))

@@ -6,6 +6,7 @@
 
 #include "fleet/FleetSpec.h"
 
+#include "fusion/FusionBenchmarks.h"
 #include "power/PowerProfiles.h"
 #include "sensors/SensorScenarios.h"
 
@@ -112,6 +113,8 @@ std::string FleetSpec::canonical() const {
   appendU(T, TauBudget);
   T += "\nmonitors ";
   T += Monitors ? '1' : '0';
+  T += "\noracle ";
+  T += Oracle ? '1' : '0';
   T += '\n';
   return T;
 }
@@ -145,6 +148,10 @@ bool FleetSpec::resolve(SweepSpec &Out, std::string &Error) const {
       for (const BenchmarkDef &Known : allBenchmarks()) {
         if (!Valid.empty())
           Valid += ", ";
+        Valid += Known.Name;
+      }
+      for (const BenchmarkDef &Known : fusionBenchmarks()) {
+        Valid += ", ";
         Valid += Known.Name;
       }
       Error = "unknown benchmark '" + B + "' (valid: " + Valid + ")";
@@ -185,5 +192,6 @@ bool FleetSpec::resolve(SweepSpec &Out, std::string &Error) const {
   Out.Seeds = Seeds;
   Out.TauBudget = TauBudget;
   Out.Monitors = Monitors;
+  Out.Oracle = Oracle;
   return true;
 }

@@ -47,6 +47,9 @@ struct FleetSpec {
   std::vector<uint64_t> Seeds;
   uint64_t TauBudget = 0;
   bool Monitors = true;
+  /// Score outputs with the input-epoch consistency oracle and carry the
+  /// oracle/enforcement columns in every cell record (table7 grids).
+  bool Oracle = false;
 
   /// Deterministic text serialization: one `key value...` line per field,
   /// doubles in %.17g. Equal specs produce equal text; this is what

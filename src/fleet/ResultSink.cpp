@@ -88,7 +88,10 @@ constexpr const char *FieldNames[] = {
     "bench",          "energy",
     "power",          "scenario",
     "seed",           "completed_runs",
-    "violating_runs", "on_cycles_per_run",
+    "violating_runs", "oracle_fresh_outputs",
+    "oracle_stale_outputs", "oracle_cross_epoch_outputs",
+    "oracle_dirty_runs", "over_enforced_runs",
+    "under_enforced_runs", "on_cycles_per_run",
     "off_cycles_per_run", "reboots_per_run",
     "starved",        "trapped",
     "trap"};
@@ -194,6 +197,18 @@ std::string ocelot::formatCellRecord(const CellRecord &R, SinkFormat Format) {
     appendU64(L, M.CompletedRuns);
     L += ", \"violating_runs\": ";
     appendU64(L, M.ViolatingRuns);
+    L += ", \"oracle_fresh_outputs\": ";
+    appendU64(L, M.OracleFreshOutputs);
+    L += ", \"oracle_stale_outputs\": ";
+    appendU64(L, M.OracleStaleOutputs);
+    L += ", \"oracle_cross_epoch_outputs\": ";
+    appendU64(L, M.OracleCrossEpochOutputs);
+    L += ", \"oracle_dirty_runs\": ";
+    appendU64(L, M.OracleDirtyRuns);
+    L += ", \"over_enforced_runs\": ";
+    appendU64(L, M.OverEnforcedRuns);
+    L += ", \"under_enforced_runs\": ";
+    appendU64(L, M.UnderEnforcedRuns);
     L += ", \"on_cycles_per_run\": ";
     appendDouble(L, M.OnCyclesPerRun);
     L += ", \"off_cycles_per_run\": ";
@@ -226,6 +241,18 @@ std::string ocelot::formatCellRecord(const CellRecord &R, SinkFormat Format) {
   appendU64(L, M.CompletedRuns);
   L += ',';
   appendU64(L, M.ViolatingRuns);
+  L += ',';
+  appendU64(L, M.OracleFreshOutputs);
+  L += ',';
+  appendU64(L, M.OracleStaleOutputs);
+  L += ',';
+  appendU64(L, M.OracleCrossEpochOutputs);
+  L += ',';
+  appendU64(L, M.OracleDirtyRuns);
+  L += ',';
+  appendU64(L, M.OverEnforcedRuns);
+  L += ',';
+  appendU64(L, M.UnderEnforcedRuns);
   L += ',';
   appendDouble(L, M.OnCyclesPerRun);
   L += ',';
@@ -478,6 +505,18 @@ bool assignField(CellRecord &R, const std::string &Key,
     Ok = parseU64(Value, M.CompletedRuns);
   else if (Key == "violating_runs")
     Ok = parseU64(Value, M.ViolatingRuns);
+  else if (Key == "oracle_fresh_outputs")
+    Ok = parseU64(Value, M.OracleFreshOutputs);
+  else if (Key == "oracle_stale_outputs")
+    Ok = parseU64(Value, M.OracleStaleOutputs);
+  else if (Key == "oracle_cross_epoch_outputs")
+    Ok = parseU64(Value, M.OracleCrossEpochOutputs);
+  else if (Key == "oracle_dirty_runs")
+    Ok = parseU64(Value, M.OracleDirtyRuns);
+  else if (Key == "over_enforced_runs")
+    Ok = parseU64(Value, M.OverEnforcedRuns);
+  else if (Key == "under_enforced_runs")
+    Ok = parseU64(Value, M.UnderEnforcedRuns);
   else if (Key == "on_cycles_per_run")
     Ok = parseDouble(Value, D), M.OnCyclesPerRun = D;
   else if (Key == "off_cycles_per_run")

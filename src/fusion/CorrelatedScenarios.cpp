@@ -1,0 +1,84 @@
+//===- CorrelatedScenarios.cpp - Shared-latent multi-channel worlds -------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/CorrelatedScenarios.h"
+
+#include "sensors/SensorScenarios.h"
+
+using namespace ocelot;
+
+std::shared_ptr<const SensorScenario>
+ocelot::correlatedScenario(const CorrelatedSpec &Spec) {
+  SensorScenario::Builder B;
+  if (!Spec.Latent)
+    return B.build();
+  for (int I = 0; I < Spec.NumChannels; ++I) {
+    uint64_t UI = static_cast<uint64_t>(I);
+    SensorChannelPtr C =
+        delayChannel(Spec.Latent, Spec.LagStep * UI);
+    if (Spec.OffsetStep != 0)
+      C = offsetChannel(std::move(C), Spec.OffsetStep * I);
+    C = jitterChannel(std::move(C), Spec.JitterAmplitude,
+                      Spec.Seed * 0x9e3779b97f4a7c15ULL + UI);
+    B.channel(I, std::move(C));
+  }
+  return B.build();
+}
+
+void ocelot::registerFusionScenarios(SensorScenarioRegistry &Reg) {
+  Reg.registerScenario(
+      "fusion-calm",
+      "correlated latent: slow square, short lags, tiny jitter", [] {
+        CorrelatedSpec S;
+        S.Latent = mixChannel(squareChannel(300, 400, 6000),
+                              noiseChannel(0, 120, 1200, 0xF10D), 0.75);
+        S.NumChannels = 4;
+        S.LagStep = 40;
+        S.OffsetStep = 5;
+        S.JitterAmplitude = 3;
+        S.Seed = 0xF10E;
+        return correlatedScenario(S);
+      });
+  Reg.registerScenario(
+      "fusion-lagged",
+      "correlated latent: secondaries trail the primary by long lags", [] {
+        CorrelatedSpec S;
+        S.Latent = mixChannel(squareChannel(250, 500, 3500),
+                              noiseChannel(0, 160, 700, 0xF20D), 0.7);
+        S.NumChannels = 4;
+        S.LagStep = 600;
+        S.OffsetStep = 10;
+        S.JitterAmplitude = 6;
+        S.Seed = 0xF20E;
+        return correlatedScenario(S);
+      });
+  Reg.registerScenario(
+      "fusion-volatile",
+      "correlated latent: fast-moving noise, moderate jitter", [] {
+        CorrelatedSpec S;
+        S.Latent = noiseChannel(200, 600, 250, 0xF30D);
+        S.NumChannels = 4;
+        S.LagStep = 80;
+        S.OffsetStep = 0;
+        S.JitterAmplitude = 12;
+        S.Seed = 0xF30E;
+        return correlatedScenario(S);
+      });
+  Reg.registerScenario(
+      "fusion-storm",
+      "correlated latent: violent fast swings, long lags, heavy jitter",
+      [] {
+        CorrelatedSpec S;
+        S.Latent = mixChannel(squareChannel(150, 700, 900),
+                              noiseChannel(0, 300, 120, 0xF40D), 0.6);
+        S.NumChannels = 4;
+        S.LagStep = 400;
+        S.OffsetStep = 15;
+        S.JitterAmplitude = 25;
+        S.Seed = 0xF40E;
+        return correlatedScenario(S);
+      });
+}

@@ -1,0 +1,72 @@
+//===- CorrelatedScenarios.h - Shared-latent multi-channel worlds -*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Correlated multi-sensor worlds for the fusion benchmarks: one seeded
+/// latent process (the "environment") drives every channel, and each
+/// channel observes it through its own lag, gain, offset and quantization
+/// noise — the timestamped-primary / delayed-secondary shape of real
+/// sensor-fusion stacks, where secondaries are time-aligned against a
+/// primary channel.
+///
+/// Because all channels are pure functions of one latent signal, two reads
+/// taken at the same τ agree up to per-channel noise, while reads split by
+/// a long power-off straddle a latent transition — which is exactly the
+/// hazard the input-epoch consistency oracle (FusionOracle.h) scores and
+/// the table7 sweep measures per ExecModel.
+///
+/// The presets registered by `registerFusionScenarios` (called once from
+/// `SensorScenarioRegistry::global()`):
+///
+///   fusion-calm      slow latent square, short lags, tiny jitter
+///   fusion-lagged    moderate latent, secondaries trail by long lags
+///   fusion-volatile  fast-moving latent noise, moderate jitter
+///   fusion-storm     violent fast latent, long lags and heavy jitter
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FUSION_CORRELATEDSCENARIOS_H
+#define OCELOT_FUSION_CORRELATEDSCENARIOS_H
+
+#include "sensors/SensorScenario.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace ocelot {
+
+class SensorScenarioRegistry;
+
+/// Recipe for a correlated multi-channel scenario. Channel i observes the
+/// latent process as
+///
+///   sample_i(τ) = jitter_i( latent(τ - i·LagStep) + i·OffsetStep )
+///
+/// with per-channel jitter seeded from (Seed, i). Channel 0 is the
+/// primary (no lag, no offset).
+struct CorrelatedSpec {
+  SensorChannelPtr Latent;     ///< Required shared process.
+  int NumChannels = 3;         ///< Derived channels (ids 0..N-1).
+  uint64_t LagStep = 0;        ///< Per-channel observation lag (τ units).
+  int64_t OffsetStep = 0;      ///< Per-channel calibration offset.
+  int64_t JitterAmplitude = 0; ///< Per-read quantization noise (± units).
+  uint64_t Seed = 1;           ///< Seeds the per-channel jitter.
+};
+
+/// Builds the scenario described by \p Spec. A null Latent yields the
+/// default scenario (every channel unconfigured).
+std::shared_ptr<const SensorScenario>
+correlatedScenario(const CorrelatedSpec &Spec);
+
+/// Registers the four fusion presets above into \p Reg. Called by
+/// `SensorScenarioRegistry::global()` during pre-population, so the
+/// presets are visible to `ocelotc --sensors=`, `ocelot-fleet` and every
+/// sweep the moment the process starts.
+void registerFusionScenarios(SensorScenarioRegistry &Reg);
+
+} // namespace ocelot
+
+#endif // OCELOT_FUSION_CORRELATEDSCENARIOS_H

@@ -1,0 +1,182 @@
+//===- FusionBenchmarks.cpp - Cross-channel fusion workloads --------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/FusionBenchmarks.h"
+
+using namespace ocelot;
+
+// -- EKF fusion ---------------------------------------------------------------
+// A primary estimate corrected by a delayed secondary, CommRaT-style: both
+// observable outputs (the corrected estimate and the drift packet) fuse
+// the pair, so a power failure between the two reads puts inputs from two
+// reboot epochs into one output — the cross-epoch hazard the oracle
+// scores. The smoothing loop between the outputs widens the window in
+// which a JIT checkpoint can strand the committed reads in an old epoch.
+
+static const char *EkfFusionAnnotated = R"(
+// EKF-style fusion: a primary estimate corrected by a delayed secondary.
+io primary, secondary;
+
+static steps = 0;
+
+fn correct(p: int, s: int) -> int {
+  return (p * 3 + s) / 4;
+}
+
+fn main() {
+  let consistent(1) p = primary();
+  let consistent(1) s = secondary();
+  let est = correct(p, s);
+  let mut innov = p - s;
+  if innov < 0 {
+    innov = 0 - innov;
+  }
+  log(est, innov);
+  let mut gain = 0;
+  for i in 0..8 {
+    gain = gain + (est - gain) / 2;
+  }
+  send(gain);
+  steps += 1;
+}
+)";
+
+static const char *EkfFusionAtomics = R"(
+// EKF-style fusion, manually regioned.
+io primary, secondary;
+
+static steps = 0;
+
+fn correct(p: int, s: int) -> int {
+  return (p * 3 + s) / 4;
+}
+
+fn main() {
+  let mut p = 0;
+  let mut s = 0;
+  atomic {
+    p = primary();
+    Consistent(p, 1);
+    s = secondary();
+    Consistent(s, 1);
+  }
+  let est = correct(p, s);
+  let mut innov = p - s;
+  if innov < 0 {
+    innov = 0 - innov;
+  }
+  atomic {
+    log(est, innov);
+  }
+  let mut gain = 0;
+  for i in 0..8 {
+    gain = gain + (est - gain) / 2;
+  }
+  atomic {
+    send(gain);
+    steps += 1;
+  }
+}
+)";
+
+// -- Alarm voting -------------------------------------------------------------
+// 2-of-3 majority vote over three correlated channels. The alarm output
+// fuses all three reads; the heartbeat log carries only an untainted
+// counter. A run where the monitors flag the read cluster but the vote
+// falls short therefore commits only oracle-clean outputs — the
+// over-enforcement case table7 measures.
+
+static const char *AlarmVotingAnnotated = R"(
+// 2-of-3 majority alarm over three correlated channels.
+io gas, smoke, heat;
+
+static checks = 0;
+static alarms = 0;
+
+fn vote(v: int, cut: int) -> int {
+  if v > cut {
+    return 1;
+  }
+  return 0;
+}
+
+fn main() {
+  let consistent(1) g = gas();
+  let consistent(1) s = smoke();
+  let consistent(1) h = heat();
+  let votes = vote(g, 480) + vote(s, 480) + vote(h, 500);
+  let mut level = g + s;
+  for i in 0..6 {
+    level = level + (h - level) / 3;
+  }
+  if votes >= 2 {
+    alarm(level, votes);
+    alarms += 1;
+  }
+  log(checks);
+  checks += 1;
+}
+)";
+
+static const char *AlarmVotingAtomics = R"(
+// 2-of-3 majority alarm, manually regioned.
+io gas, smoke, heat;
+
+static checks = 0;
+static alarms = 0;
+
+fn vote(v: int, cut: int) -> int {
+  if v > cut {
+    return 1;
+  }
+  return 0;
+}
+
+fn main() {
+  let mut g = 0;
+  let mut s = 0;
+  let mut h = 0;
+  atomic {
+    g = gas();
+    Consistent(g, 1);
+    s = smoke();
+    Consistent(s, 1);
+    h = heat();
+    Consistent(h, 1);
+  }
+  let votes = vote(g, 480) + vote(s, 480) + vote(h, 500);
+  let mut level = g + s;
+  for i in 0..6 {
+    level = level + (h - level) / 3;
+  }
+  atomic {
+    if votes >= 2 {
+      alarm(level, votes);
+      alarms += 1;
+    }
+    log(checks);
+    checks += 1;
+  }
+}
+)";
+
+const std::vector<BenchmarkDef> &ocelot::fusionBenchmarks() {
+  static const std::vector<BenchmarkDef> Benchmarks = {
+      {"ekf_fusion",
+       "CommRaT",
+       EkfFusionAnnotated,
+       EkfFusionAtomics,
+       {"Prim", "Sec"},
+       "Con"},
+      {"alarm_voting",
+       "Fusion",
+       AlarmVotingAnnotated,
+       AlarmVotingAtomics,
+       {"Gas", "Smoke", "Heat"},
+       "Con"},
+  };
+  return Benchmarks;
+}

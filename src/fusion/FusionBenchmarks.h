@@ -1,0 +1,39 @@
+//===- FusionBenchmarks.h - Cross-channel fusion workloads ------*- C++ -*-===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fusion workloads for the table7 over/under-enforcement sweep — the
+/// first benchmarks in the suite whose observable outputs *fuse* several
+/// channels, so cross-epoch inconsistency can actually reach an output:
+///
+///   ekf_fusion    EKF-style correction: a primary estimate corrected by
+///                 a delayed secondary; both outputs (estimate + drift)
+///                 fuse the pair. Con on the pair.
+///   alarm_voting  2-of-3 majority vote over three channels; the alarm
+///                 output fuses all three, the heartbeat log is untainted
+///                 (so monitor-flagged runs whose alarm branch is not
+///                 taken are oracle-clean — measurable over-enforcement).
+///
+/// These are deliberately *not* part of `allBenchmarks()`: the six paper
+/// benchmarks and every default table stay byte-identical. They are
+/// reachable through `findBenchmark` (so `ocelot-fleet` and `ocelotc`
+/// accept them by name) and swept by `bench/table7_fusion`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OCELOT_FUSION_FUSIONBENCHMARKS_H
+#define OCELOT_FUSION_FUSIONBENCHMARKS_H
+
+#include "apps/Benchmarks.h"
+
+namespace ocelot {
+
+/// The fusion benchmarks, in table7 presentation order.
+const std::vector<BenchmarkDef> &fusionBenchmarks();
+
+} // namespace ocelot
+
+#endif // OCELOT_FUSION_FUSIONBENCHMARKS_H

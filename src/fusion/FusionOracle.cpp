@@ -1,0 +1,45 @@
+//===- FusionOracle.cpp - Input-epoch consistency ground truth ------------===//
+//
+// Part of the Ocelot reproduction, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/FusionOracle.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace ocelot;
+
+const char *ocelot::oracleVerdictName(OracleVerdict V) {
+  switch (V) {
+  case OracleVerdict::Fresh:
+    return "fresh";
+  case OracleVerdict::Stale:
+    return "stale";
+  case OracleVerdict::CrossEpoch:
+    return "cross-epoch";
+  }
+  return "?";
+}
+
+OracleVerdict ocelot::classifyOracleInputs(std::vector<InputEvent> &Inputs,
+                                           uint64_t EmitEpoch) {
+  auto Key = [](const InputEvent &E) {
+    return std::make_tuple(E.Sensor, E.Tau, E.Epoch, E.Value);
+  };
+  std::sort(Inputs.begin(), Inputs.end(),
+            [&](const InputEvent &A, const InputEvent &B) {
+              return Key(A) < Key(B);
+            });
+  Inputs.erase(std::unique(Inputs.begin(), Inputs.end()), Inputs.end());
+
+  bool Stale = false;
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    if (I > 0 && Inputs[I].Epoch != Inputs[I - 1].Epoch)
+      return OracleVerdict::CrossEpoch;
+    if (Inputs[I].Epoch < EmitEpoch)
+      Stale = true;
+  }
+  return Stale ? OracleVerdict::Stale : OracleVerdict::Fresh;
+}

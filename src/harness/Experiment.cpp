@@ -115,7 +115,7 @@ IntermittentMetrics ocelot::measureIntermittent(
     const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
     bool Monitors, std::shared_ptr<const PowerSource> Power,
     std::shared_ptr<const SensorScenario> Sensors,
-    std::shared_ptr<ArenaPool> Arena) {
+    std::shared_ptr<ArenaPool> Arena, bool Oracle) {
   SimulationSpec Spec;
   Spec.Config.Sensors = Sensors ? std::move(Sensors) : B.scenario(Seed);
   Spec.Config.Seed = Seed;
@@ -125,6 +125,7 @@ IntermittentMetrics ocelot::measureIntermittent(
   Spec.Config.Arena = std::move(Arena);
   Spec.Config.MonitorBitVector = Monitors;
   Spec.Config.MonitorFormal = Monitors;
+  Spec.Config.Oracle = Oracle;
   Simulation Sim(CB.Artifact, std::move(Spec));
 
   IntermittentMetrics M;
@@ -149,8 +150,25 @@ IntermittentMetrics ocelot::measureIntermittent(
     Off += R.OffCycles;
     Reboots += R.Reboots;
     ++M.CompletedRuns;
-    if (R.ViolatedFresh || R.ViolatedConsistent)
+    bool ModelFlagged = R.ViolatedFresh || R.ViolatedConsistent;
+    if (ModelFlagged)
       ++M.ViolatingRuns;
+    if (Oracle) {
+      M.OracleFreshOutputs += R.OracleFresh;
+      M.OracleStaleOutputs += R.OracleStale;
+      M.OracleCrossEpochOutputs += R.OracleCrossEpoch;
+      bool OracleDirty = R.OracleStale + R.OracleCrossEpoch > 0;
+      if (OracleDirty)
+        ++M.OracleDirtyRuns;
+      // Per-run cross-classification of the two verdicts: the monitors
+      // enforce the program's *annotations*, the oracle scores the
+      // *outputs* — the two disagreeing in either direction is table7's
+      // whole measurement.
+      if (ModelFlagged && !OracleDirty)
+        ++M.OverEnforcedRuns;
+      if (OracleDirty && !ModelFlagged)
+        ++M.UnderEnforcedRuns;
+    }
   }
   if (M.CompletedRuns) {
     double N = static_cast<double>(M.CompletedRuns);

@@ -97,6 +97,52 @@ struct IntermittentMetrics {
                : 100.0 * static_cast<double>(ViolatingRuns) /
                      static_cast<double>(CompletedRuns);
   }
+
+  // --- Input-epoch oracle aggregates (the Oracle flag of
+  // measureIntermittent; all zero otherwise). Output counts sum over
+  // every completed run's committed outputs; run counts cross-reference
+  // the oracle's ground truth against the monitors' enforcement verdict
+  // per run (src/fusion/FusionOracle.h).
+  uint64_t OracleFreshOutputs = 0;
+  uint64_t OracleStaleOutputs = 0;
+  uint64_t OracleCrossEpochOutputs = 0;
+  uint64_t OracleDirtyRuns = 0;   ///< Runs with any stale/cross-epoch output.
+  uint64_t OverEnforcedRuns = 0;  ///< Monitors flagged, oracle clean.
+  uint64_t UnderEnforcedRuns = 0; ///< Oracle dirty, monitors silent.
+
+  double oracleOutputs() const {
+    return static_cast<double>(OracleFreshOutputs + OracleStaleOutputs +
+                               OracleCrossEpochOutputs);
+  }
+  double staleOutputPct() const {
+    double N = oracleOutputs();
+    return N == 0 ? 0.0
+                  : 100.0 * static_cast<double>(OracleStaleOutputs) / N;
+  }
+  double crossEpochOutputPct() const {
+    double N = oracleOutputs();
+    return N == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(OracleCrossEpochOutputs) / N;
+  }
+  double oracleDirtyPct() const {
+    return CompletedRuns == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(OracleDirtyRuns) /
+                     static_cast<double>(CompletedRuns);
+  }
+  double overEnforcedPct() const {
+    return CompletedRuns == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(OverEnforcedRuns) /
+                     static_cast<double>(CompletedRuns);
+  }
+  double underEnforcedPct() const {
+    return CompletedRuns == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(UnderEnforcedRuns) /
+                     static_cast<double>(CompletedRuns);
+  }
 };
 /// \p Power selects the harvesting environment (src/power/); null keeps
 /// the legacy-jitter recharge behavior. \p Sensors selects the sensed
@@ -104,12 +150,15 @@ struct IntermittentMetrics {
 /// scenario (`B.scenario(Seed)`). \p Arena optionally pools the
 /// Simulation's large buffers across cells (src/runtime/ArenaPool.h) —
 /// results are bitwise identical with or without it.
+/// \p Oracle additionally scores every committed output with the
+/// input-epoch consistency oracle (src/fusion/FusionOracle.h) and fills
+/// the Oracle* aggregates; the default run (false) is bitwise unaffected.
 IntermittentMetrics measureIntermittent(
     const CompiledBenchmark &CB, const BenchmarkDef &B,
     const EnergyConfig &Energy, uint64_t TauBudget, uint64_t Seed,
     bool Monitors, std::shared_ptr<const PowerSource> Power = nullptr,
     std::shared_ptr<const SensorScenario> Sensors = nullptr,
-    std::shared_ptr<ArenaPool> Arena = nullptr);
+    std::shared_ptr<ArenaPool> Arena = nullptr, bool Oracle = false);
 
 /// Table 2(a): percentage (0–100) of runs violating any policy under
 /// pathological failure injection. \p Trace optionally attaches a

@@ -107,7 +107,8 @@ std::vector<SweepCellResult> SweepRunner::run(const SweepSpec &Spec) const {
             CB, *Spec.Benchmarks[R.Bench], Spec.Energies[R.Energy],
             Spec.TauBudget, Spec.Seeds[R.Seed], Spec.Monitors,
             Spec.Powers.empty() ? nullptr : Spec.Powers[R.Power],
-            Spec.Scenarios.empty() ? nullptr : Spec.Scenarios[R.Scenario]);
+            Spec.Scenarios.empty() ? nullptr : Spec.Scenarios[R.Scenario],
+            nullptr, Spec.Oracle);
       }
     };
     runOnPool(Workers, N, CellWorker);

@@ -50,6 +50,8 @@ struct SweepSpec {
   /// zero budget (it would yield all-zero metrics in every cell).
   uint64_t TauBudget = 0;
   bool Monitors = true;   ///< Arm both violation detectors.
+  bool Oracle = false;    ///< Score outputs with the input-epoch oracle
+                          ///< (src/fusion/FusionOracle.h).
 
   /// Size of the power dimension (an empty Powers vector still spans one
   /// implicit legacy-jitter column).

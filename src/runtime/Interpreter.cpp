@@ -62,6 +62,10 @@ Interpreter::Interpreter(const Program &P, RunConfig Cfg,
         this->Cfg.Energy, this->Cfg.Seed ^ 0xe4e4f00dULL, this->Cfg.Power);
   if (this->Cfg.MonitorFormal)
     this->Cfg.TrackTaint = true;
+  // The oracle scores committed outputs by their fused input taint, so it
+  // needs the same taint-augmented semantics as the formal monitors.
+  if (this->Cfg.Oracle)
+    this->Cfg.TrackTaint = true;
   // Fold the cost switch once: a PC-indexed table replaces per-step
   // CostModel::costOf calls. The default model reuses the image's table.
   if (this->Cfg.Costs == CostModel()) {
@@ -227,13 +231,53 @@ void Interpreter::commitAtomic(RunResult &R) {
     Committed.Inputs.push_back(E);
   for (OutputEvent &E : PendingOutputs)
     Committed.Outputs.push_back(E);
+  for (OracleRecord &O : PendingOracle)
+    CommittedOracle.push_back(std::move(O));
   PendingInputs.clear();
   PendingOutputs.clear();
+  PendingOracle.clear();
   Undo.clear();
   ExecMode = Mode::Jit;
   CurrentRegion = -1;
   AbortsThisRegion = 0;
   ++R.AtomicCommits;
+}
+
+void Interpreter::recordOracleOutput(OutputKind Kind,
+                                     std::vector<InputEvent> &&Inputs) {
+  OracleRecord Rec;
+  Rec.Kind = Kind;
+  Rec.Tau = Tau;
+  Rec.Epoch = Epoch;
+  Rec.Inputs = std::move(Inputs);
+  Rec.Verdict = classifyOracleInputs(Rec.Inputs, Epoch);
+  if (TraceSink *T = Cfg.Telemetry)
+    T->oracleVerdict(Tau, static_cast<int>(Rec.Verdict),
+                     Rec.Inputs.size(), oracleVerdictName(Rec.Verdict));
+  if (ExecMode == Mode::Atomic)
+    PendingOracle.push_back(std::move(Rec));
+  else
+    CommittedOracle.push_back(std::move(Rec));
+}
+
+void Interpreter::finishOracle(RunResult &R) {
+  if (!Cfg.Oracle)
+    return;
+  for (const OracleRecord &Rec : CommittedOracle) {
+    switch (Rec.Verdict) {
+    case OracleVerdict::Fresh:
+      ++R.OracleFresh;
+      break;
+    case OracleVerdict::Stale:
+      ++R.OracleStale;
+      break;
+    case OracleVerdict::CrossEpoch:
+      ++R.OracleCrossEpoch;
+      break;
+    }
+  }
+  R.OracleRecords = std::move(CommittedOracle);
+  CommittedOracle.clear();
 }
 
 void Interpreter::rebootCommon(RunResult &R, uint64_t TotalRegs) {
@@ -284,6 +328,7 @@ void Interpreter::powerFail(RunResult &R) {
     Natom = 0;
     PendingInputs.clear();
     PendingOutputs.clear();
+    PendingOracle.clear();
     ++R.AtomicAborts;
     ++AbortsThisRegion;
     if (TraceSink *T = Cfg.Telemetry)
@@ -342,6 +387,8 @@ RunResult Interpreter::runOnceTree() {
   Undo.clear();
   PendingInputs.clear();
   PendingOutputs.clear();
+  PendingOracle.clear();
+  CommittedOracle.clear();
   Committed.clear();
   AbortsThisRegion = 0;
   CurrentRegion = -1;
@@ -633,7 +680,7 @@ RunResult Interpreter::runOnceTree() {
       commitAtomic(R);
       break;
     case Opcode::Output: {
-      if (!Cfg.RecordTrace) {
+      if (!Cfg.RecordTrace && !Cfg.Oracle) {
         // Args are still evaluated (same trap conversion for kind-less
         // operands), but the event is never materialized.
         for (const Operand &A : I->Args)
@@ -643,12 +690,22 @@ RunResult Interpreter::runOnceTree() {
       OutputEvent E;
       E.Kind = I->OutKind;
       E.Tau = Tau;
-      for (const Operand &A : I->Args)
-        E.Args.push_back(eval(A).V);
-      if (ExecMode == Mode::Atomic)
-        PendingOutputs.push_back(E);
-      else
-        Committed.Outputs.push_back(std::move(E));
+      std::vector<InputEvent> Fused;
+      for (const Operand &A : I->Args) {
+        const RtValue V = eval(A);
+        E.Args.push_back(V.V);
+        if (Cfg.Oracle)
+          for (const InputEvent &T : V.Taint)
+            Fused.push_back(T);
+      }
+      if (Cfg.Oracle)
+        recordOracleOutput(E.Kind, std::move(Fused));
+      if (Cfg.RecordTrace) {
+        if (ExecMode == Mode::Atomic)
+          PendingOutputs.push_back(E);
+        else
+          Committed.Outputs.push_back(std::move(E));
+      }
       break;
     }
     case Opcode::Nop:
@@ -668,6 +725,7 @@ RunResult Interpreter::runOnceTree() {
   R.TraceData = Committed;
   Committed.clear();
   R.FinalTau = Tau;
+  finishOracle(R);
 
   R.ViolatedFresh = Monitor->runFreshViolation();
   R.ViolatedConsistent = Monitor->runConsistentViolation();

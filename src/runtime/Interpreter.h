@@ -45,6 +45,7 @@
 #define OCELOT_RUNTIME_INTERPRETER_H
 
 #include "analysis/WarAnalysis.h"
+#include "fusion/FusionOracle.h"
 #include "ir/Program.h"
 #include "runtime/CostModel.h"
 #include "runtime/EnergyModel.h"
@@ -102,6 +103,12 @@ struct RunConfig {
   bool TrackTaint = false;
   bool MonitorBitVector = false;
   bool MonitorFormal = false; ///< Implies TrackTaint.
+  /// Input-epoch consistency oracle (src/fusion/FusionOracle.h): score
+  /// every committed output against the reboot epochs of the inputs fused
+  /// into it, independent of the monitors' enforcement. Implies
+  /// TrackTaint; verdicts land in RunResult::OracleRecords and are
+  /// byte-identical across all three engines.
+  bool Oracle = false;
   bool StaticOmega = false;   ///< Back up omega at region entry instead of
                               ///< first-write logging.
   bool RecordTrace = false;
@@ -148,6 +155,12 @@ struct RunResult {
   std::vector<ViolationRecord> Violations;
   Trace TraceData;
   uint64_t FinalTau = 0;
+  /// Oracle scoring of every committed output (RunConfig::Oracle; empty
+  /// otherwise), in commit order with canonical input sets.
+  std::vector<OracleRecord> OracleRecords;
+  uint64_t OracleFresh = 0;      ///< Outputs scored OracleVerdict::Fresh.
+  uint64_t OracleStale = 0;      ///< Outputs scored OracleVerdict::Stale.
+  uint64_t OracleCrossEpoch = 0; ///< Outputs scored CrossEpoch.
 };
 
 class Interpreter {
@@ -325,6 +338,24 @@ private:
   Trace Committed;
   std::vector<InputEvent> PendingInputs;
   std::vector<OutputEvent> PendingOutputs;
+
+  /// Oracle records follow the exact pending/committed discipline of
+  /// outputs: buffered while a region is open, spliced on commit,
+  /// discarded on abort. Classification happens at emission — sound
+  /// because a record only survives if its region commits in the same
+  /// epoch it executed in (a power failure inside the region discards
+  /// the pending records with the outputs).
+  std::vector<OracleRecord> CommittedOracle;
+  std::vector<OracleRecord> PendingOracle;
+
+  /// Scores one output's fused taint (RunConfig::Oracle): canonicalizes
+  /// \p Inputs, classifies against the current epoch, buffers the record
+  /// per the pending/committed discipline, and emits a telemetry event.
+  void recordOracleOutput(OutputKind Kind, std::vector<InputEvent> &&Inputs);
+
+  /// Moves the run's committed oracle records and verdict counts into
+  /// \p R (both engines' epilogues).
+  void finishOracle(RunResult &R);
 
   std::optional<std::vector<InputEvent>> Replay;
   size_t ReplayIdx = 0;

@@ -132,6 +132,7 @@ void Interpreter::powerFailFlat(RunResult &R) {
     Natom = 0;
     PendingInputs.clear();
     PendingOutputs.clear();
+    PendingOracle.clear();
     ++R.AtomicAborts;
     ++AbortsThisRegion;
     if (TraceSink *T = Cfg.Telemetry)
@@ -173,6 +174,8 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
   Undo.clear();
   PendingInputs.clear();
   PendingOutputs.clear();
+  PendingOracle.clear();
+  CommittedOracle.clear();
   Committed.clear();
   AbortsThisRegion = 0;
   CurrentRegion = -1;
@@ -571,7 +574,11 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
       break;
     case Opcode::Output: {
       const Operand *Args = Img->args(FI);
-      if (!Cfg.RecordTrace) {
+      // The oracle needs taint, which only the TaintOn instantiation
+      // carries (RunConfig::Oracle implies TrackTaint, so taint-off loops
+      // never see Cfg.Oracle set).
+      const bool OracleOn = TaintOn && Cfg.Oracle;
+      if (!Cfg.RecordTrace && !OracleOn) {
         // Args are still evaluated (kind-less operands must convert to
         // the same trap), but the event is never materialized.
         for (uint32_t A = 0; A < FI.ArgsCount; ++A)
@@ -582,12 +589,26 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
       E.Kind = FI.OutKind;
       E.Tau = Tau;
       E.Args.reserve(FI.ArgsCount);
-      for (uint32_t A = 0; A < FI.ArgsCount; ++A)
-        E.Args.push_back(TaintOn ? evalFlat(Args[A]).V : RawVal(Args[A]));
-      if (ExecMode == Mode::Atomic)
-        PendingOutputs.push_back(E);
-      else
-        Committed.Outputs.push_back(std::move(E));
+      std::vector<InputEvent> Fused;
+      for (uint32_t A = 0; A < FI.ArgsCount; ++A) {
+        if constexpr (TaintOn) {
+          const RtValue V = evalFlat(Args[A]);
+          E.Args.push_back(V.V);
+          if (OracleOn)
+            for (const InputEvent &T : V.Taint)
+              Fused.push_back(T);
+        } else {
+          E.Args.push_back(RawVal(Args[A]));
+        }
+      }
+      if (OracleOn)
+        recordOracleOutput(E.Kind, std::move(Fused));
+      if (Cfg.RecordTrace) {
+        if (ExecMode == Mode::Atomic)
+          PendingOutputs.push_back(E);
+        else
+          Committed.Outputs.push_back(std::move(E));
+      }
       break;
     }
     case Opcode::Nop:
@@ -607,6 +628,7 @@ template <bool TaintOn> RunResult Interpreter::runFlatLoop() {
   R.TraceData = std::move(Committed);
   Committed.clear();
   R.FinalTau = Tau;
+  finishOracle(R);
 
   R.ViolatedFresh = Monitor->runFreshViolation();
   R.ViolatedConsistent = Monitor->runConsistentViolation();

@@ -183,6 +183,20 @@ private:
   uint64_t Seed;
 };
 
+class DelayChannel final : public SensorChannel {
+public:
+  DelayChannel(SensorChannelPtr Inner, uint64_t LagTau)
+      : Inner(std::move(Inner)), LagTau(LagTau) {}
+  const char *name() const override { return "delay"; }
+  int64_t sample(uint64_t Tau) const override {
+    return Inner->sample(Tau >= LagTau ? Tau - LagTau : 0);
+  }
+
+private:
+  SensorChannelPtr Inner;
+  uint64_t LagTau;
+};
+
 class TimeShiftChannel final : public SensorChannel {
 public:
   TimeShiftChannel(SensorChannelPtr Inner, uint64_t AheadTau)
@@ -253,4 +267,11 @@ SensorChannelPtr ocelot::jitterChannel(SensorChannelPtr Inner,
 SensorChannelPtr ocelot::timeShiftChannel(SensorChannelPtr Inner,
                                           uint64_t AheadTau) {
   return std::make_shared<const TimeShiftChannel>(std::move(Inner), AheadTau);
+}
+
+SensorChannelPtr ocelot::delayChannel(SensorChannelPtr Inner,
+                                      uint64_t LagTau) {
+  if (LagTau == 0)
+    return Inner;
+  return std::make_shared<const DelayChannel>(std::move(Inner), LagTau);
 }

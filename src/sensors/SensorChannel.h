@@ -126,6 +126,13 @@ SensorChannelPtr jitterChannel(SensorChannelPtr Inner, int64_t Amplitude,
 /// correlated multi-channel scenario (see traceScenario).
 SensorChannelPtr timeShiftChannel(SensorChannelPtr Inner, uint64_t AheadTau);
 
+/// \p Inner observed \p LagTau units late: sample(Tau) =
+/// Inner(Tau >= LagTau ? Tau - LagTau : 0). The secondary-trails-primary
+/// shape of correlated fusion scenarios (src/fusion/CorrelatedScenarios.h):
+/// a slow secondary sensor reports the latent process after a pipeline
+/// delay. LagTau == 0 returns Inner.
+SensorChannelPtr delayChannel(SensorChannelPtr Inner, uint64_t LagTau);
+
 } // namespace ocelot
 
 #endif // OCELOT_SENSORS_SENSORCHANNEL_H

@@ -6,6 +6,8 @@
 
 #include "sensors/SensorScenarios.h"
 
+#include "fusion/CorrelatedScenarios.h"
+
 using namespace ocelot;
 
 namespace {
@@ -81,6 +83,11 @@ SensorScenarioRegistry &SensorScenarioRegistry::global() {
     Reg->registerScenario("quake-bursts",
                           "violent fast dynamics and shock steps",
                           [] { return quakeBursts(); });
+    // The correlated fusion presets (fusion-calm .. fusion-storm) live
+    // with the fusion subsystem but register here so every consumer of
+    // the registry — ocelotc --sensors=, ocelot-fleet grids, table6's
+    // all-preset sweep — sees them without extra wiring.
+    registerFusionScenarios(*Reg);
     return Reg;
   }();
   return *R;

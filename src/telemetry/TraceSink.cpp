@@ -33,6 +33,8 @@ const char *traceEventKindName(TraceEventKind K) {
     return "sensor_read";
   case TraceEventKind::EnergyRecharge:
     return "energy_recharge";
+  case TraceEventKind::OracleVerdict:
+    return "oracle_verdict";
   case TraceEventKind::CompileStart:
     return "compile";
   case TraceEventKind::CompileEnd:
@@ -220,6 +222,14 @@ std::string TraceSink::exportChromeJson() const {
       appendEvent(Out, Name, 'i', E.Ts, SimTid, argsI64("off_cycles", E.A0),
                   First);
       break;
+    case TraceEventKind::OracleVerdict: {
+      std::string Args = argsI64("code", E.A0, "fused_inputs", E.A1);
+      Args += ",\"verdict\":\"";
+      appendEscaped(Args, E.Detail);
+      Args += '"';
+      appendEvent(Out, Name, 'i', E.Ts, SimTid, Args, First);
+      break;
+    }
     case TraceEventKind::CompileStart:
     case TraceEventKind::CompileEnd: {
       std::string Args = "\"name\":\"";

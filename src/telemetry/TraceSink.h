@@ -59,6 +59,9 @@ enum class TraceEventKind : uint8_t {
                  ///< A1 = set id (-1 for freshness). Detail = kind name.
   SensorRead,    ///< Input executed. A0 = sensor id, A1 = value read.
   EnergyRecharge,///< Off-time drawn across a reboot. A0 = off cycles.
+  OracleVerdict, ///< Fusion oracle scored an output. A0 = verdict code
+                 ///< (0 fresh / 1 stale / 2 cross-epoch), A1 = fused
+                 ///< input-event count. Detail = verdict name.
   CompileStart,  ///< Toolchain compile began (wall clock). Detail = name.
   CompileEnd,    ///< Toolchain compile finished (wall clock). Detail = name.
 };
@@ -110,6 +113,11 @@ public:
   void energyRecharge(uint64_t Tau, uint64_t OffCycles) {
     push({TraceEventKind::EnergyRecharge, Tau,
           static_cast<int64_t>(OffCycles), 0, {}});
+  }
+  void oracleVerdict(uint64_t Tau, int VerdictCode, size_t FusedInputs,
+                     const char *VerdictName) {
+    push({TraceEventKind::OracleVerdict, Tau, VerdictCode,
+          static_cast<int64_t>(FusedInputs), VerdictName});
   }
 
   // --- Wall-clock hooks (Ts = µs since sink creation, separate track). --

@@ -14,8 +14,11 @@
 ///
 /// The generator emits straight-line arithmetic, nested if/else, bounded
 /// for loops, helper-function calls (by value and by reference), manual
-/// atomic regions, sensor reads over declared io names, freshness /
-/// consistency annotations, and all four output kinds. It is type-aware
+/// atomic regions, sensor reads over declared io names, fused
+/// multi-channel read clusters (distinct channels flowing into one output,
+/// placed inside / outside / straddling atomic regions — the shapes the
+/// input-epoch oracle scores), freshness / consistency annotations, and
+/// all four output kinds. It is type-aware
 /// (Sema distinguishes bool from int) and respects the structural rules:
 /// no recursion, no address-of on parameters or loop variables, no return
 /// inside atomic regions, break/continue only from loops opened inside the
@@ -29,7 +32,8 @@
 /// the threaded engine: continuous power without monitors (the Hot loop
 /// with the trace-off output fast path), bit-vector monitors alone (the
 /// checked loop -- the formal monitor would instead force the taint
-/// interpreter), and energy-driven failures with each monitor setting.
+/// interpreter), energy-driven failures with each monitor setting, and an
+/// oracle-armed config whose OracleRecords must also agree bitwise.
 ///
 /// OCELOT_FUZZ_PROGRAMS sets the number of generated programs (default
 /// 30, sized for the default ctest lane; the dedicated CI fuzz job raises
@@ -342,6 +346,53 @@ private:
       genBlock(Depth + 1);
       LoopsInRegion = SavedLoops;
       Out << ind() << "}\n";
+    } else if (R < 82 && Depth < 3 && Sensors.size() >= 2) {
+      // Fused multi-channel read cluster: reads from distinct channels
+      // flowing into one output — the shape the input-epoch oracle
+      // scores. Placement varies: both reads and the output inside one
+      // atomic region, reads straddling a region boundary, or fully
+      // unprotected.
+      std::string A = newVar(), B = newVar();
+      int NumS = static_cast<int>(Sensors.size());
+      int S0 = rnd(NumS);
+      int S1 = (S0 + 1 + rnd(NumS - 1)) % NumS;
+      std::string Qual;
+      if (chance(40))
+        Qual = "consistent(" + std::to_string(setId()) + ") ";
+      switch (rnd(3)) {
+      case 0: // both reads + fused output inside one region
+        Out << ind() << "atomic {\n";
+        ++Ind;
+        Out << ind() << "let " << Qual << A << " = " << Sensors[S0]
+            << "();\n";
+        Out << ind() << "let " << Qual << B << " = " << Sensors[S1]
+            << "();\n";
+        Out << ind() << "log(" << A << " + " << B << ");\n";
+        --Ind;
+        Out << ind() << "}\n";
+        break;
+      case 1: // reads straddle a region boundary
+        Out << ind() << "let " << Qual << A << " = " << Sensors[S0]
+            << "();\n";
+        Scope.push_back({A, false, true});
+        Out << ind() << "atomic {\n";
+        ++Ind;
+        Out << ind() << "let " << Qual << B << " = " << Sensors[S1]
+            << "();\n";
+        Out << ind() << "send(" << A << " - " << B << ");\n";
+        --Ind;
+        Out << ind() << "}\n";
+        break;
+      default: // unprotected fusion across checkpoints
+        Out << ind() << "let " << Qual << A << " = " << Sensors[S0]
+            << "();\n";
+        Out << ind() << "let " << Qual << B << " = " << Sensors[S1]
+            << "();\n";
+        Out << ind() << "uart(" << A << " + " << B << ");\n";
+        Scope.push_back({A, false, true});
+        Scope.push_back({B, false, true});
+        break;
+      }
     } else if (R < 86) { // output statement
       switch (rnd(5)) {
       case 0:
@@ -499,6 +550,14 @@ void expectSameResult(const RunResult &Got, const RunResult &Ref,
   EXPECT_EQ(Got.ViolatedConsistent, Ref.ViolatedConsistent) << What;
   EXPECT_EQ(Got.FinalTau, Ref.FinalTau) << What;
 
+  EXPECT_EQ(Got.OracleFresh, Ref.OracleFresh) << What;
+  EXPECT_EQ(Got.OracleStale, Ref.OracleStale) << What;
+  EXPECT_EQ(Got.OracleCrossEpoch, Ref.OracleCrossEpoch) << What;
+  ASSERT_EQ(Got.OracleRecords.size(), Ref.OracleRecords.size()) << What;
+  for (size_t O = 0; O < Got.OracleRecords.size(); ++O)
+    EXPECT_TRUE(Got.OracleRecords[O] == Ref.OracleRecords[O])
+        << What << " oracle record " << O;
+
   ASSERT_EQ(Got.Violations.size(), Ref.Violations.size()) << What;
   for (size_t V = 0; V < Got.Violations.size(); ++V) {
     const ViolationRecord &GV = Got.Violations[V];
@@ -617,6 +676,12 @@ TEST(DifferentialFuzz, TreeFlatThreadedAgreeOnRandomPrograms) {
       RunConfig Full = Energy;
       Full.MonitorFormal = true;
       runThreeWay(A, Full, GenSeed * 131 + 13, 4, What + "/energy-taint");
+
+      // Input-epoch oracle armed: every committed output's fused-input
+      // record and verdict must agree bitwise across the engines.
+      RunConfig Oracle = Energy;
+      Oracle.Oracle = true;
+      runThreeWay(A, Oracle, GenSeed * 257 + 29, 4, What + "/energy-oracle");
 
       // Same config with telemetry attached: trace hooks must not change
       // any observable result, and the per-engine trace streams must

@@ -144,6 +144,12 @@ std::vector<CellRecord> trickyRecords() {
   A.Result.Metrics.RebootsPerRun = 16285.714285714286;
   A.Result.Metrics.CompletedRuns = 18446744073709551615ull;
   A.Result.Metrics.ViolatingRuns = 7;
+  A.Result.Metrics.OracleFreshOutputs = 18446744073709551614ull;
+  A.Result.Metrics.OracleStaleOutputs = 11;
+  A.Result.Metrics.OracleCrossEpochOutputs = 13;
+  A.Result.Metrics.OracleDirtyRuns = 5;
+  A.Result.Metrics.OverEnforcedRuns = 2;
+  A.Result.Metrics.UnderEnforcedRuns = 3;
   A.Result.Metrics.Starved = true;
   Rs.push_back(A);
 
@@ -190,6 +196,13 @@ TEST_P(SinkRoundTrip, EveryFieldSurvivesAndReEmitsByteIdentical) {
     EXPECT_EQ(G.Seed, W.Seed);
     EXPECT_EQ(G.Metrics.CompletedRuns, W.Metrics.CompletedRuns);
     EXPECT_EQ(G.Metrics.ViolatingRuns, W.Metrics.ViolatingRuns);
+    EXPECT_EQ(G.Metrics.OracleFreshOutputs, W.Metrics.OracleFreshOutputs);
+    EXPECT_EQ(G.Metrics.OracleStaleOutputs, W.Metrics.OracleStaleOutputs);
+    EXPECT_EQ(G.Metrics.OracleCrossEpochOutputs,
+              W.Metrics.OracleCrossEpochOutputs);
+    EXPECT_EQ(G.Metrics.OracleDirtyRuns, W.Metrics.OracleDirtyRuns);
+    EXPECT_EQ(G.Metrics.OverEnforcedRuns, W.Metrics.OverEnforcedRuns);
+    EXPECT_EQ(G.Metrics.UnderEnforcedRuns, W.Metrics.UnderEnforcedRuns);
     // Bitwise, not approximate: %.17g must round-trip exactly.
     EXPECT_EQ(G.Metrics.OnCyclesPerRun, W.Metrics.OnCyclesPerRun);
     EXPECT_EQ(G.Metrics.OffCyclesPerRun, W.Metrics.OffCyclesPerRun);

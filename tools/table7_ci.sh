@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI golden-diff for the table7 fusion sweep: run table7_fusion in smoke
+# mode with the fixed built-in seed and byte-compare stdout against the
+# committed golden (bench/goldens/table7_smoke.golden). The golden pins
+# the oracle's verdicts — stale / cross-epoch rates, the over/under-
+# enforcement cross-reference, and the closing witness line naming a
+# preset where a weak model commits cross-epoch outputs and Ocelot does
+# not. A single-worker rerun is compared too (stdout must be diff-stable
+# for any --workers=N).
+#
+# When a second argument names the ocelot-fleet binary, a small --oracle
+# grid is additionally run under --fusion=off and --fusion=chains and the
+# two result files byte-compared: the fusion tier is a wall-clock knob
+# and must never reach oracle verdicts.
+#
+# Usage: tools/table7_ci.sh PATH/TO/table7_fusion [PATH/TO/ocelot-fleet]
+set -euo pipefail
+
+BENCH=${1:?usage: table7_ci.sh PATH/TO/table7_fusion [PATH/TO/ocelot-fleet]}
+FLEET=${2:-}
+HERE=$(cd "$(dirname "$0")" && pwd)
+GOLDEN="$HERE/../bench/goldens/table7_smoke.golden"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+export OCELOT_BENCH_SMOKE=1
+
+echo "== table7 smoke run =="
+"$BENCH" > "$WORK/table7.out"
+
+echo "== stdout must be worker-count invariant =="
+"$BENCH" --workers=1 > "$WORK/table7.w1.out"
+cmp "$WORK/table7.out" "$WORK/table7.w1.out"
+
+echo "== golden diff =="
+diff -u "$GOLDEN" "$WORK/table7.out"
+
+if [ -n "$FLEET" ]; then
+  echo "== oracle grid must be fusion-tier invariant (off vs chains) =="
+  GRID=(--tau=300000 --seeds=7 --energy=2200:350
+        --benchmarks=ekf_fusion,alarm_voting --models=ocelot,jit
+        --scenarios=fusion-calm,fusion-storm --oracle)
+  "$FLEET" run "${GRID[@]}" --shard=0/1 --out="$WORK/off" --quiet \
+    --fusion=off
+  "$FLEET" run "${GRID[@]}" --shard=0/1 --out="$WORK/chains" --quiet \
+    --fusion=chains
+  cmp "$WORK/off/shard-0-of-1.jsonl" "$WORK/chains/shard-0-of-1.jsonl"
+fi
+
+echo "PASS: table7 output matches the golden and oracle verdicts are" \
+     "worker- and fusion-tier-invariant"
